@@ -1,0 +1,149 @@
+// Package arb is a Go implementation of the Arb system from Christoph
+// Koch's VLDB 2003 paper "Efficient Processing of Expressive
+// Node-Selecting Queries on XML Data in Secondary Storage: A Tree
+// Automata-based Approach".
+//
+// Arb evaluates node-selecting queries on XML trees with expressive power
+// equal to the unary MSO queries — all queries answerable with bounded
+// memory — in two linear passes over the data, with main memory
+// independent of the data size (apart from a stack bounded by the
+// document depth). Queries are written in TMNF (a four-template monadic
+// datalog, extended with caterpillar path expressions) or in Core XPath,
+// and are compiled into a pair of deterministic tree automata whose
+// states are residual propositional Horn programs, computed lazily.
+//
+// # Quick start
+//
+//	db, _, err := arb.CreateDB("mydb", xmlReader)     // mydb.arb + mydb.lab
+//	prog, err := arb.ParseProgram(
+//		`QUERY :- V.Label[gene].FirstChild.NextSibling*.Label[sequence];`)
+//	eng, err := arb.NewEngine(prog, db.Names)
+//	res, stats, err := eng.RunDisk(db, arb.DiskOpts{}) // two linear scans
+//	n := res.Count(prog.Queries()[0])
+//
+// Small documents can be queried in memory with Engine.Run; XPath queries
+// enter through ParseXPath. The subpackages under internal implement the
+// pieces (storage model, Horn solver, automata, frontends, workloads);
+// this package is the supported public surface.
+package arb
+
+import (
+	"io"
+
+	"arb/internal/core"
+	"arb/internal/parallel"
+	"arb/internal/storage"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+	"arb/internal/xmlparse"
+	"arb/internal/xpath"
+)
+
+// Re-exported core types. These aliases are the stable names; see the
+// originating packages for full documentation.
+type (
+	// Tree is an in-memory binary (first-child/next-sibling) tree.
+	Tree = tree.Tree
+	// NodeID is a node's preorder index (= XML document order).
+	NodeID = tree.NodeID
+	// Names maps label indices to tag names (the .lab table).
+	Names = tree.Names
+	// Label is a node label: 0..255 are text characters, >= 256 tags.
+	Label = tree.Label
+
+	// Program is a TMNF program (possibly with several query predicates).
+	Program = tmnf.Program
+	// Pred identifies an IDB predicate of a Program.
+	Pred = tmnf.Pred
+
+	// DB is an open .arb database in secondary storage.
+	DB = storage.DB
+	// CreateStats reports database-creation statistics (Figure 5).
+	CreateStats = storage.CreateStats
+
+	// Engine evaluates one compiled program over trees or databases.
+	Engine = core.Engine
+	// Result holds the selected nodes per query predicate.
+	Result = core.Result
+	// RunOpts configures in-memory runs.
+	RunOpts = core.RunOpts
+	// DiskOpts configures secondary-storage runs.
+	DiskOpts = core.DiskOpts
+	// DiskStats reports the scan profile of a secondary-storage run.
+	DiskStats = core.DiskStats
+	// Stats reports engine work (the paper's Figure 6 columns).
+	Stats = core.Stats
+
+	// XPathQuery is a Core XPath query compiled to TMNF passes.
+	XPathQuery = xpath.Query
+
+	// ParallelResult holds the result of a multi-worker run.
+	ParallelResult = parallel.Result
+)
+
+// None is the absent-node sentinel.
+const None = tree.None
+
+// ParseProgram parses a TMNF program in the Arb surface syntax,
+// including caterpillar expressions. The predicate named QUERY (or Query)
+// is the query predicate by default; use Program.SetQueries to override.
+func ParseProgram(src string) (*Program, error) { return tmnf.Parse(src) }
+
+// ParseXPath parses a Core XPath query and translates it to TMNF. The
+// positive fragment compiles to a single program; not(..) conditions add
+// auxiliary passes (evaluate with XPathQuery.Eval).
+func ParseXPath(src string) (*XPathQuery, error) { return xpath.Compile(src) }
+
+// NewEngine compiles a program and prepares an engine for evaluating it
+// against trees or databases using the given label-name table (use
+// db.Names for databases, t.Names() for trees).
+func NewEngine(p *Program, names *Names) (*Engine, error) {
+	c, err := core.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(c, names), nil
+}
+
+// ParseXML parses an XML document into an in-memory tree, text as one
+// node per character.
+func ParseXML(r io.Reader) (*Tree, error) {
+	return xmlparse.ParseTree(r, xmlparse.Opts{})
+}
+
+// TreeBuilder constructs an in-memory tree from document events
+// (Begin/Text/End), producing the binary encoding incrementally.
+type TreeBuilder = tree.Builder
+
+// NewTreeBuilder returns a builder with a fresh label-name table.
+func NewTreeBuilder() *TreeBuilder { return tree.NewBuilder(nil) }
+
+// CreateDB builds a .arb database (base.arb, base.lab) from an XML
+// document using the paper's two-pass scheme: a SAX pass writes a
+// temporary event file, a backward pass turns it into the binary-tree
+// encoding with memory proportional to the document depth.
+func CreateDB(base string, xml io.Reader) (*DB, *CreateStats, error) {
+	return xmlparse.CreateDB(base, xml, xmlparse.Opts{}, storage.CreateOpts{})
+}
+
+// CreateDBFromTree writes an in-memory tree as a database.
+func CreateDBFromTree(base string, t *Tree) (*DB, error) {
+	return storage.CreateFromTree(base, t)
+}
+
+// OpenDB opens an existing database.
+func OpenDB(base string) (*DB, error) { return storage.Open(base) }
+
+// EmitXML writes the database back out as XML, wrapping the nodes for
+// which selected returns true in <arb:selected> markup (the system's
+// default output mode). selected may be nil for plain output.
+func EmitXML(db *DB, w io.Writer, selected func(v int64) bool) error {
+	return storage.EmitXML(db, w, selected)
+}
+
+// RunParallel evaluates the engine's program over an in-memory tree with
+// multiple workers (0 = GOMAXPROCS); see internal/parallel for the
+// frontier decomposition. Results are identical to Engine.Run.
+func RunParallel(e *Engine, t *Tree, workers int) (*ParallelResult, error) {
+	return parallel.Run(e, t, workers)
+}

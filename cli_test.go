@@ -1,0 +1,93 @@
+package arb_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles cmd/arb once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "arb")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/arb")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/arb: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("arb %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	base := filepath.Join(dir, "db")
+	if err := os.WriteFile(xmlPath, []byte(libraryXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runCLI(t, bin, "create", base, xmlPath)
+	if !strings.Contains(out, "8 element nodes, 5 character nodes") {
+		t.Fatalf("create output: %s", out)
+	}
+
+	out = runCLI(t, bin, "stats", base)
+	if !strings.Contains(out, "13 nodes") {
+		t.Fatalf("stats output: %s", out)
+	}
+
+	out = runCLI(t, bin, "query", base, "-q", "QUERY :- Label[author];")
+	if !strings.Contains(out, "3 nodes selected") {
+		t.Fatalf("query output: %s", out)
+	}
+
+	out = runCLI(t, bin, "query", base, "-xpath", "//book/title")
+	if !strings.Contains(out, "2 nodes selected") {
+		t.Fatalf("xpath output: %s", out)
+	}
+
+	// Negated XPath goes through the in-memory multi-pass path.
+	out = runCLI(t, bin, "query", base, "-xpath", "//book[not(author/following-sibling::author)]/title")
+	if !strings.Contains(out, "1 nodes selected") {
+		t.Fatalf("negated xpath output: %s", out)
+	}
+
+	out = runCLI(t, bin, "query", base, "-q", "QUERY :- Label[title];", "-ids")
+	ids := strings.Fields(out)
+	if len(ids) != 2 {
+		t.Fatalf("ids output: %s", out)
+	}
+
+	out = runCLI(t, bin, "query", base, "-q", "QUERY :- Label[title];", "-mark")
+	if strings.Count(out, `arb:selected="true"`) != 2 {
+		t.Fatalf("mark output: %s", out)
+	}
+
+	out = runCLI(t, bin, "cat", base)
+	if !strings.Contains(out, "<lib><book><title>A</title>") {
+		t.Fatalf("cat output: %s", out)
+	}
+
+	// Errors are reported, not panicked.
+	if _, err := exec.Command(bin, "query", base, "-q", "nonsense").CombinedOutput(); err == nil {
+		t.Fatal("bad program accepted")
+	}
+	if _, err := exec.Command(bin, "query", filepath.Join(dir, "missing"), "-q", "QUERY :- Root;").CombinedOutput(); err == nil {
+		t.Fatal("missing database accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Command arb is the command-line interface to the Arb query engine:
+// create .arb databases from XML, evaluate TMNF or Core XPath queries
+// over them in two linear scans, and emit results.
+//
+// Usage:
+//
+//	arb create <base> [file.xml]       build base.arb/base.lab from XML (stdin default)
+//	arb query  <base> -q <program>     evaluate a TMNF program (Arb syntax)
+//	arb query  <base> -xpath <expr>    evaluate a Core XPath query (positive fragment on disk)
+//	arb cat    <base>                  write the database back as XML
+//	arb stats  <base>                  print database statistics
+//
+// Query output: -count prints the number of selected nodes per query
+// predicate (default); -ids prints the selected preorder node ids; -mark
+// re-emits the document with selected nodes wrapped in <arb:selected>
+// markup (the system's default output mode described in Section 6.3).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"arb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "create":
+		err = create(os.Args[2:])
+	case "query":
+		err = query(os.Args[2:])
+	case "cat":
+		err = cat(os.Args[2:])
+	case "stats":
+		err = stats(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  arb create <base> [file.xml]
+  arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark]
+  arb cat    <base>
+  arb stats  <base>
+`)
+	os.Exit(2)
+}
+
+func create(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	base := args[0]
+	var r io.Reader = os.Stdin
+	if len(args) > 1 {
+		f, err := os.Open(args[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = bufio.NewReaderSize(f, 1<<16)
+	}
+	db, stats, err := arb.CreateDB(base, r)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	fmt.Printf("created %s.arb: %d element nodes, %d character nodes, %d tags, %.2fs\n",
+		base, stats.ElemNodes, stats.CharNodes, stats.Tags, stats.Duration.Seconds())
+	fmt.Printf(".arb %d bytes, .lab %d bytes, temporary .evt %d bytes\n",
+		stats.ArbBytes, stats.LabBytes, stats.EvtBytes)
+	return nil
+}
+
+func query(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	progSrc := fs.String("q", "", "TMNF program (Arb surface syntax)")
+	progFile := fs.String("f", "", "file containing a TMNF program")
+	xpathSrc := fs.String("xpath", "", "Core XPath query")
+	ids := fs.Bool("ids", false, "print selected node ids")
+	mark := fs.Bool("mark", false, "emit the document with selected nodes marked up")
+	verbose := fs.Bool("v", false, "print engine statistics")
+	if len(args) < 1 {
+		usage()
+	}
+	base := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	db, err := arb.OpenDB(base)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	var prog *arb.Program
+	switch {
+	case *progFile != "":
+		b, err := os.ReadFile(*progFile)
+		if err != nil {
+			return err
+		}
+		prog, err = arb.ParseProgram(string(b))
+		if err != nil {
+			return err
+		}
+	case *progSrc != "":
+		prog, err = arb.ParseProgram(*progSrc)
+		if err != nil {
+			return err
+		}
+	case *xpathSrc != "":
+		q, err := arb.ParseXPath(*xpathSrc)
+		if err != nil {
+			return err
+		}
+		if len(q.Passes) > 0 {
+			// Multi-pass (negation): chain the passes through aux-mask
+			// sidecar files, still entirely in secondary storage.
+			return queryXPathMultiPass(db, q, base, *ids, *mark)
+		}
+		prog = q.Main
+	default:
+		return fmt.Errorf("one of -q, -f, -xpath is required")
+	}
+	if len(prog.Queries()) == 0 {
+		return fmt.Errorf("program defines no query predicate (name one QUERY or call it with -xpath)")
+	}
+
+	eng, err := arb.NewEngine(prog, db.Names)
+	if err != nil {
+		return err
+	}
+	opts := arb.DiskOpts{}
+	if *mark {
+		// The marked document streams out during phase 2 itself
+		// (Section 6.3) — still exactly two scans.
+		opts.MarkTo = os.Stdout
+	}
+	res, ds, err := eng.RunDisk(db, opts)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "phase 1 (bottom-up): %v, %d transitions; phase 2 (top-down): %v, %d transitions; temp %d bytes\n",
+			st.Phase1Time, st.BUTransitions, st.Phase2Time, st.TDTransitions, ds.StateBytes)
+	}
+	q := prog.Queries()[0]
+	switch {
+	case *mark:
+		return nil
+	case *ids:
+		res.Walk(q, func(v arb.NodeID) bool {
+			fmt.Println(v)
+			return true
+		})
+	default:
+		for _, q := range prog.Queries() {
+			fmt.Printf("%s: %d nodes selected\n", prog.PredName(q), res.Count(q))
+		}
+	}
+	return nil
+}
+
+// queryXPathMultiPass evaluates a negated XPath query on disk, chaining
+// the auxiliary passes through sidecar files next to the database.
+func queryXPathMultiPass(db *arb.DB, q *arb.XPathQuery, base string, ids, mark bool) error {
+	res, err := q.EvalDisk(db, filepath.Dir(base))
+	if err != nil {
+		return err
+	}
+	qp := q.Main.Queries()[0]
+	switch {
+	case mark:
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		return arb.EmitXML(db, w, func(v int64) bool { return res.Holds(qp, arb.NodeID(v)) })
+	case ids:
+		res.Walk(qp, func(v arb.NodeID) bool {
+			fmt.Println(v)
+			return true
+		})
+	default:
+		fmt.Printf("%s: %d nodes selected\n", q.Path, res.Count(qp))
+	}
+	return nil
+}
+
+func cat(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	db, err := arb.OpenDB(args[0])
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	return arb.EmitXML(db, w, nil)
+}
+
+func stats(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	db, err := arb.OpenDB(args[0])
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	fmt.Printf("%s: %d nodes, %d tags, %d bytes\n", args[0], db.N, db.Names.Len(), db.N*2)
+	return nil
+}

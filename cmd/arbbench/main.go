@@ -1,0 +1,147 @@
+// Command arbbench regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	arbbench -experiment fig5  [-scale f] [-dir d]
+//	arbbench -experiment fig6  [-thread treebank|acgt-flat|acgt-infix|all]
+//	         [-scale f] [-sizes 5-15] [-queries 25] [-dir d] [-mem]
+//	arbbench -experiment stream [-scale f] [-sizes 5-15] [-queries 25] [-dir d]
+//
+// fig5 prints the database-creation statistics table (Figure 5); fig6
+// prints the query benchmark table for the chosen thread (Figure 6);
+// stream prints the one-pass-vs-two-pass ablation. Databases are created
+// under -dir (a temporary directory by default) and reused within a run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"arb/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "fig6", "fig5, fig6, or stream")
+	thread := flag.String("thread", "all", "fig6 thread: treebank, acgt-flat, acgt-infix, or all")
+	scale := flag.Float64("scale", bench.DefaultScale, "fraction of the paper's dataset sizes (1.0 = full)")
+	sizesFlag := flag.String("sizes", "5-15", "query sizes, e.g. 5-15 or 5,8,12")
+	queries := flag.Int("queries", 25, "random queries per size")
+	dir := flag.String("dir", "", "directory for databases (default: temporary)")
+	inMemory := flag.Bool("mem", false, "evaluate in memory instead of on disk")
+	flag.Parse()
+
+	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory); err != nil {
+		fmt.Fprintln(os.Stderr, "arbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool) error {
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "arbbench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	sizes, err := parseSizes(sizesFlag)
+	if err != nil {
+		return err
+	}
+
+	switch experiment {
+	case "fig5":
+		rows, _, err := bench.Fig5(dir, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 5: database creation statistics (scale %.4g).\n", scale)
+		bench.WriteFig5(os.Stdout, rows)
+		return nil
+
+	case "fig6":
+		threads, err := threadsFor(thread)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 6: benchmark results, %d random queries per size (scale %.4g, %s).\n",
+			queries, scale, evalMode(inMemory))
+		for _, th := range threads {
+			rows, err := bench.Fig6(th, bench.Fig6Opts{
+				Sizes: sizes, Queries: queries, Scale: scale, Dir: dir, InMemory: inMemory,
+			})
+			if err != nil {
+				return err
+			}
+			bench.WriteFig6(os.Stdout, th, rows)
+			fmt.Println()
+		}
+		return nil
+
+	case "stream":
+		base := dir + "/Treebank"
+		if _, err := os.Stat(base + ".arb"); err != nil {
+			if _, err := bench.Fig6(bench.Treebank, bench.Fig6Opts{
+				Sizes: []int{5}, Queries: 1, Scale: scale, Dir: dir,
+			}); err != nil {
+				return err
+			}
+		}
+		rows, err := bench.StreamComparison(base, sizes, queries)
+		if err != nil {
+			return err
+		}
+		bench.WriteStreamComparison(os.Stdout, rows)
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", experiment)
+}
+
+func evalMode(inMemory bool) string {
+	if inMemory {
+		return "in memory"
+	}
+	return "on disk, two linear scans"
+}
+
+func threadsFor(name string) ([]bench.Thread, error) {
+	switch name {
+	case "treebank":
+		return []bench.Thread{bench.Treebank}, nil
+	case "acgt-flat":
+		return []bench.Thread{bench.ACGTFlat}, nil
+	case "acgt-infix":
+		return []bench.Thread{bench.ACGTInfix}, nil
+	case "all":
+		return []bench.Thread{bench.Treebank, bench.ACGTInfix, bench.ACGTFlat}, nil
+	}
+	return nil, fmt.Errorf("unknown thread %q", name)
+}
+
+func parseSizes(s string) ([]int, error) {
+	if lo, hi, ok := strings.Cut(s, "-"); ok {
+		a, err1 := strconv.Atoi(lo)
+		b, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || a > b || a < 3 {
+			return nil, fmt.Errorf("bad size range %q", s)
+		}
+		var out []int
+		for v := a; v <= b; v++ {
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 3 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

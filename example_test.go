@@ -1,0 +1,82 @@
+package arb_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"arb"
+)
+
+// Example builds a database from XML, evaluates a caterpillar TMNF query
+// over it in two linear scans, and prints the match count.
+func Example() {
+	dir, err := os.MkdirTemp("", "arb-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	doc := `<genes><gene><seq>ACCGT</seq></gene><gene><seq>TTTT</seq></gene></genes>`
+	db, _, err := arb.CreateDB(filepath.Join(dir, "genes"), strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Genes whose sequence text contains "CC": the walk descends from a
+	// gene to its seq child, into the text, and along the character
+	// siblings to a C followed by a C.
+	prog, err := arb.ParseProgram(`
+		Hit   :- V.Char[C].NextSibling.Char[C];
+		HasC  :- Hit;
+		HasC  :- HasC.invNextSibling;
+		InSeq :- HasC.invFirstChild;
+		Seq   :- Label[seq], InSeq;
+		Up    :- Seq;
+		Up    :- Up.invNextSibling;
+		AtG   :- Up.invFirstChild;
+		QUERY :- Label[gene], AtG;
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := arb.NewEngine(prog, db.Names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, err := eng.RunDisk(db, arb.DiskOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matching genes:", res.Count(prog.Queries()[0]))
+	// Output: matching genes: 1
+}
+
+// ExampleParseXPath evaluates a Core XPath query with a negated
+// condition through multi-pass evaluation.
+func ExampleParseXPath() {
+	doc := `<lib><book><author>X</author></book><book/></lib>`
+	t, err := arb.ParseXML(strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := arb.ParseXPath(`//book[not(author)]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := q.Eval(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for _, ok := range sel {
+		if ok {
+			n++
+		}
+	}
+	fmt.Println("books without authors:", n)
+	// Output: books without authors: 1
+}

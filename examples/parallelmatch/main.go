@@ -1,0 +1,101 @@
+// Parallelmatch demonstrates the paper's parallel-processing application
+// (Sections 6.2 and 7): regular expression matching on a sequence
+// restructured as a balanced binary infix tree. Tree automata evaluate
+// independently on disjoint subtrees, so a balanced tree gives O(log n)
+// parallel span; the caterpillar query walks the infix tree to the
+// in-order predecessor, making the restructuring transparent to the
+// query — an application of MSO expressiveness no path language covers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"arb"
+	"arb/internal/workload"
+)
+
+func main() {
+	// A random DNA sequence of 2^20-1 symbols as a complete infix tree.
+	seq := workload.Sequence(4, 1<<20-1)
+	t := workload.InfixTree(seq)
+	fmt.Printf("sequence of %d symbols as a balanced infix tree (%d nodes)\n", len(seq), t.Len())
+
+	// Match the regular expression T.A.(C)*.G against the sequence: the
+	// caterpillar step walks to the previous symbol in sequence order.
+	rx := workload.PathRegex{W1: []string{"T", "A"}, W2: []string{"C"}, W3: []string{"G"}}
+	prog, err := rx.Program(workload.RInfix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := prog.Queries()[0]
+
+	// Sequential run.
+	eng, err := arb.NewEngine(prog, t.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	seqRes, err := eng.Run(t, arb.RunOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqTime := time.Since(start)
+	fmt.Printf("sequential: %d matches in %v\n", seqRes.Count(q), seqTime)
+
+	// Parallel runs. Cold: a fresh engine computes the lazy transition
+	// tables under the shared-engine write lock, which serialises the
+	// warm-up. Warm: with the tables populated (the steady state when an
+	// engine serves many documents or queries), workers only take read
+	// locks and the balanced tree parallelises.
+	workers := runtime.GOMAXPROCS(0)
+	eng2, err := arb.NewEngine(prog, t.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	parRes, err := arb.RunParallel(eng2, t, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parCold := time.Since(start)
+	start = time.Now()
+	parRes, err = arb.RunParallel(eng2, t, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parWarm := time.Since(start)
+	fmt.Printf("parallel (%d workers): %d matches; cold %v (%.2fx), warm %v (%.2fx)\n",
+		workers, parRes.Count(q), parCold, seqTime.Seconds()/parCold.Seconds(),
+		parWarm, seqTime.Seconds()/parWarm.Seconds())
+
+	if seqRes.Count(q) != parRes.Count(q) {
+		log.Fatal("parallel and sequential runs disagree")
+	}
+
+	// Cross-check against direct string matching: endpoint positions of
+	// backward walks spelling T A C* G, i.e. positions p with
+	// seq[p..] beginning G C* A T reversed... the workload package's
+	// tests formalise this; here we just count occurrences of the
+	// simplest instance TAG / TACG / TACCG with a sliding window.
+	direct := 0
+	for p := 0; p+2 < len(seq); p++ {
+		if seq[p] != 'G' {
+			continue
+		}
+		i := p + 1
+		for i < len(seq) && seq[i] == 'C' {
+			i++
+		}
+		if i+1 < len(seq) && seq[i] == 'A' && seq[i+1] == 'T' {
+			direct++
+		}
+	}
+	fmt.Printf("direct string scan: %d matches\n", direct)
+	if int64(direct) != seqRes.Count(q) {
+		log.Fatal("engine disagrees with direct string matching")
+	}
+	fmt.Println("all three agree")
+}

@@ -1,0 +1,321 @@
+// Package automata implements the formal tree-automata notions of
+// Section 3 of the paper: nondeterministic bottom-up tree automata (NTA,
+// Definition 3.1), deterministic bottom-up tree automata (DTA), the weak
+// deterministic top-down tree automata used by the second evaluation phase,
+// and selecting tree automata (STA, Definition 3.2) with their
+// universally-quantified node-selection semantics.
+//
+// These are reference implementations with explicit transition relations,
+// built for clarity rather than scale; the production engine in
+// internal/core represents (sets of) STA states implicitly as residual Horn
+// programs and never enumerates them. The package also provides a direct
+// translation of TMNF programs into STAs (the [8] construction), which the
+// test suite uses as an independent oracle for the engine.
+package automata
+
+import (
+	"fmt"
+	"sort"
+
+	"arb/internal/tree"
+)
+
+// State is a tree-automaton state.
+type State int32
+
+// Bottom is the pseudo-state ⊥ for non-existent children.
+const Bottom State = -1
+
+// Key indexes the transition relation: the states of the two children (or
+// Bottom) and the node's label.
+type Key struct {
+	Left, Right State
+	Label       tree.Label
+}
+
+// NTA is a nondeterministic bottom-up tree automaton (Q, Σ, F, δ)
+// (Definition 3.1). States are 0..NumStates-1; the alphabet is implicit in
+// the transition relation's keys.
+type NTA struct {
+	NumStates int
+	Final     []bool          // F; len NumStates
+	Trans     map[Key][]State // δ; values are state sets
+}
+
+// NewNTA returns an NTA with n states and an empty transition relation.
+func NewNTA(n int) *NTA {
+	return &NTA{NumStates: n, Final: make([]bool, n), Trans: make(map[Key][]State)}
+}
+
+// AddTransition adds q to δ(left, right, label).
+func (a *NTA) AddTransition(left, right State, label tree.Label, q State) {
+	k := Key{left, right, label}
+	for _, s := range a.Trans[k] {
+		if s == q {
+			return
+		}
+	}
+	a.Trans[k] = append(a.Trans[k], q)
+}
+
+// SetFinal marks q as accepting.
+func (a *NTA) SetFinal(q State) { a.Final[q] = true }
+
+// stateSet is a sorted duplicate-free set of states.
+type stateSet []State
+
+func (s stateSet) has(q State) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= q })
+	return i < len(s) && s[i] == q
+}
+
+func canonSet(s []State) stateSet {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for i, q := range s {
+		if i == 0 || q != s[i-1] {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func (s stateSet) key() string {
+	b := make([]byte, 0, 4*len(s))
+	for _, q := range s {
+		b = append(b, byte(q), byte(q>>8), byte(q>>16), byte(q>>24))
+	}
+	return string(b)
+}
+
+// reachable computes, bottom-up, the set of states some run can reach at
+// every node of t (the powerset construction applied along the tree).
+func (a *NTA) reachable(t *tree.Tree) []stateSet {
+	n := t.Len()
+	r := make([]stateSet, n)
+	for v := n - 1; v >= 0; v-- {
+		var set []State
+		lefts := []State{Bottom}
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			lefts = r[c]
+		}
+		rights := []State{Bottom}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			rights = r[c]
+		}
+		label := t.Label(tree.NodeID(v))
+		for _, ql := range lefts {
+			for _, qr := range rights {
+				set = append(set, a.Trans[Key{ql, qr, label}]...)
+			}
+		}
+		r[v] = canonSet(set)
+	}
+	return r
+}
+
+// Accepts reports whether the automaton accepts t: whether some run
+// assigns an accepting state to the root.
+func (a *NTA) Accepts(t *tree.Tree) bool {
+	if t.Len() == 0 {
+		return false
+	}
+	for _, q := range a.reachable(t)[0] {
+		if a.Final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsRun verifies that rho (one state per node of t) is a run of the
+// automaton per Definition 3.1, and whether it is accepting.
+func (a *NTA) IsRun(t *tree.Tree, rho []State) (isRun, accepting bool) {
+	if len(rho) != t.Len() || t.Len() == 0 {
+		return false, false
+	}
+	for v := 0; v < t.Len(); v++ {
+		left, right := Bottom, Bottom
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			left = rho[c]
+		}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			right = rho[c]
+		}
+		ok := false
+		for _, q := range a.Trans[Key{left, right, t.Label(tree.NodeID(v))}] {
+			if q == rho[v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false, false
+		}
+	}
+	return true, a.Final[rho[0]]
+}
+
+// DTA is a deterministic bottom-up tree automaton: δ maps to exactly one
+// state. A missing entry means the automaton is partial; Run reports an
+// error when it falls off the transition table.
+type DTA struct {
+	NumStates int
+	Final     []bool
+	Trans     map[Key]State
+}
+
+// Run computes the unique run of the automaton on t (one state per node,
+// indexed by preorder id).
+func (d *DTA) Run(t *tree.Tree) ([]State, error) {
+	n := t.Len()
+	rho := make([]State, n)
+	for v := n - 1; v >= 0; v-- {
+		left, right := Bottom, Bottom
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			left = rho[c]
+		}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			right = rho[c]
+		}
+		q, ok := d.Trans[Key{left, right, t.Label(tree.NodeID(v))}]
+		if !ok {
+			return nil, fmt.Errorf("automata: no transition for (%d, %d, %d) at node %d", left, right, t.Label(tree.NodeID(v)), v)
+		}
+		rho[v] = q
+	}
+	return rho, nil
+}
+
+// Accepts reports whether the run on t ends in an accepting root state.
+func (d *DTA) Accepts(t *tree.Tree) (bool, error) {
+	rho, err := d.Run(t)
+	if err != nil {
+		return false, err
+	}
+	return d.Final[rho[0]], nil
+}
+
+// Determinize performs the powerset construction over the given alphabet,
+// producing a complete DTA equivalent to a (for acceptance). The DTA's
+// states are reachable subsets of a's states; subset membership is exposed
+// through the returned decode function, which maps a DTA state to the NTA
+// state set it denotes.
+//
+// Exponential in the worst case — this is the construction the paper's
+// residual-program representation avoids; it is provided for the formal
+// development and for differential tests on small automata.
+func (a *NTA) Determinize(alphabet []tree.Label) (*DTA, func(State) []State) {
+	d := &DTA{Trans: make(map[Key]State)}
+	index := map[string]State{}
+	var sets []stateSet
+	intern := func(s stateSet) State {
+		k := s.key()
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := State(len(sets))
+		sets = append(sets, s)
+		index[k] = id
+		return id
+	}
+
+	// Seed with the ⊥-only combination (leaf transitions), then saturate.
+	type pair struct{ l, r State } // DTA states or Bottom
+	seen := map[pair]bool{}
+	step := func(l, r State, label tree.Label) {
+		var set []State
+		ls := []State{Bottom}
+		if l != Bottom {
+			ls = sets[l]
+		}
+		rs := []State{Bottom}
+		if r != Bottom {
+			rs = sets[r]
+		}
+		for _, ql := range ls {
+			for _, qr := range rs {
+				set = append(set, a.Trans[Key{ql, qr, label}]...)
+			}
+		}
+		d.Trans[Key{l, r, label}] = intern(canonSet(set))
+	}
+	for _, label := range alphabet {
+		step(Bottom, Bottom, label)
+	}
+	// Saturate over all pairs of discovered states (plus Bottom).
+	for i := 0; i < len(sets); i++ {
+		all := append([]State{Bottom}, seqStates(len(sets))...)
+		for _, l := range all {
+			for _, r := range all {
+				if seen[pair{l, r}] {
+					continue
+				}
+				seen[pair{l, r}] = true
+				for _, label := range alphabet {
+					step(l, r, label)
+				}
+			}
+		}
+	}
+	d.NumStates = len(sets)
+	d.Final = make([]bool, len(sets))
+	for id, s := range sets {
+		for _, q := range s {
+			if a.Final[q] {
+				d.Final[id] = true
+				break
+			}
+		}
+	}
+	decode := func(q State) []State { return sets[q] }
+	return d, decode
+}
+
+func seqStates(n int) []State {
+	out := make([]State, n)
+	for i := range out {
+		out[i] = State(i)
+	}
+	return out
+}
+
+// TopDownDTA is the weak deterministic top-down tree automaton of
+// Section 3: separate transition functions δ1, δ2 for the two children, a
+// start state for the root, and no acceptance condition — its sole purpose
+// is annotating nodes with states.
+type TopDownDTA struct {
+	NumStates int
+	Start     State
+	Trans1    map[[2]int32]State // (state, label) -> state of first child
+	Trans2    map[[2]int32]State // (state, label) -> state of second child
+}
+
+// Run annotates every node of t with a state, assigning Start to the root
+// and propagating through δ1/δ2 keyed by the parent's state and label.
+func (d *TopDownDTA) Run(t *tree.Tree) ([]State, error) {
+	n := t.Len()
+	rho := make([]State, n)
+	if n == 0 {
+		return rho, nil
+	}
+	rho[0] = d.Start
+	for v := 0; v < n; v++ {
+		key := [2]int32{int32(rho[v]), int32(t.Label(tree.NodeID(v)))}
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			q, ok := d.Trans1[key]
+			if !ok {
+				return nil, fmt.Errorf("automata: no δ1 transition for %v at node %d", key, v)
+			}
+			rho[c] = q
+		}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			q, ok := d.Trans2[key]
+			if !ok {
+				return nil, fmt.Errorf("automata: no δ2 transition for %v at node %d", key, v)
+			}
+			rho[c] = q
+		}
+	}
+	return rho, nil
+}

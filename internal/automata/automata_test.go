@@ -1,0 +1,306 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"arb/internal/testutil"
+	"arb/internal/tree"
+)
+
+// labelsOf collects the distinct labels of a tree, for determinization
+// alphabets.
+func labelsOf(t *tree.Tree) []tree.Label {
+	seen := map[tree.Label]bool{}
+	var out []tree.Label
+	for v := 0; v < t.Len(); v++ {
+		l := t.Label(tree.NodeID(v))
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// evenLeafDTA builds the deterministic bottom-up automaton of Example 2.2:
+// state 0 = even number of a-labeled leaves in the subtree, state 1 = odd.
+// With the first-child/next-sibling encoding, a node's .arb subtree covers
+// the node, its descendants and its right siblings; parity composes as the
+// XOR of the children's parities plus the node's own contribution.
+func evenLeafDTA(a tree.Label, alphabet []tree.Label) *DTA {
+	d := &DTA{NumStates: 2, Final: []bool{true, false}, Trans: map[Key]State{}}
+	for _, l := range alphabet {
+		for _, ql := range []State{Bottom, 0, 1} {
+			for _, qr := range []State{Bottom, 0, 1} {
+				own := State(0)
+				if l == a && ql == Bottom { // leaf of the document tree: no first child
+					own = 1
+				}
+				sum := own
+				if ql == 1 {
+					sum ^= 1
+				}
+				if qr == 1 {
+					sum ^= 1
+				}
+				d.Trans[Key{ql, qr, l}] = sum
+			}
+		}
+	}
+	return d
+}
+
+func TestDTAEvenLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 60; iter++ {
+		tr := testutil.RandomTree(rng, 50)
+		a, ok := tr.Names().Lookup("a")
+		if !ok {
+			continue
+		}
+		d := evenLeafDTA(a, labelsOf(tr))
+		got, err := d.Accepts(tr)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		count := 0
+		for v := 0; v < tr.Len(); v++ {
+			if tr.Label(tree.NodeID(v)) == a && !tr.HasFirst(tree.NodeID(v)) {
+				count++
+			}
+		}
+		if got != (count%2 == 0) {
+			t.Fatalf("iter %d: Accepts=%v with %d a-leaves", iter, got, count)
+		}
+	}
+}
+
+// containsNTA accepts trees containing at least one node labeled l,
+// nondeterministically: state 1 = "seen", state 0 = "not yet".
+func containsNTA(l tree.Label, alphabet []tree.Label) *NTA {
+	a := NewNTA(2)
+	a.SetFinal(1)
+	for _, lab := range alphabet {
+		for _, ql := range []State{Bottom, 0, 1} {
+			for _, qr := range []State{Bottom, 0, 1} {
+				seen := lab == l || ql == 1 || qr == 1
+				if seen {
+					a.AddTransition(ql, qr, lab, 1)
+				} else {
+					a.AddTransition(ql, qr, lab, 0)
+				}
+			}
+		}
+	}
+	return a
+}
+
+func TestNTAAcceptsAndDeterminize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 60; iter++ {
+		tr := testutil.RandomTree(rng, 40)
+		alphabet := labelsOf(tr)
+		l := alphabet[rng.Intn(len(alphabet))]
+		nta := containsNTA(l, alphabet)
+
+		want := false
+		for v := 0; v < tr.Len(); v++ {
+			if tr.Label(tree.NodeID(v)) == l {
+				want = true
+				break
+			}
+		}
+		if got := nta.Accepts(tr); got != want {
+			t.Fatalf("iter %d: NTA.Accepts=%v, want %v", iter, got, want)
+		}
+
+		dta, decode := nta.Determinize(alphabet)
+		got, err := dta.Accepts(tr)
+		if err != nil {
+			t.Fatalf("iter %d: DTA.Run: %v", iter, err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: determinized accepts %v, want %v", iter, got, want)
+		}
+		// Determinized run at each node must equal the NTA's reachable set.
+		rho, err := dta.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reach := nta.reachable(tr)
+		for v := range rho {
+			dec := decode(rho[v])
+			if len(dec) != len(reach[v]) {
+				t.Fatalf("node %d: decoded set %v, reachable %v", v, dec, reach[v])
+			}
+			for i := range dec {
+				if dec[i] != reach[v][i] {
+					t.Fatalf("node %d: decoded set %v, reachable %v", v, dec, reach[v])
+				}
+			}
+		}
+	}
+}
+
+func TestIsRun(t *testing.T) {
+	tr := tree.New(nil)
+	a := tr.Names().MustIntern("a")
+	root := tr.AddNode(a)
+	c := tr.AddNode(a)
+	tr.SetFirst(root, c)
+
+	nta := containsNTA(a, []tree.Label{a})
+	// Both nodes labeled a: only state 1 is reachable everywhere.
+	if ok, acc := nta.IsRun(tr, []State{1, 1}); !ok || !acc {
+		t.Fatalf("IsRun([1 1]) = %v, %v; want true, true", ok, acc)
+	}
+	if ok, _ := nta.IsRun(tr, []State{0, 1}); ok {
+		t.Fatal("IsRun accepted an inconsistent labeling")
+	}
+	if ok, _ := nta.IsRun(tr, []State{1}); ok {
+		t.Fatal("IsRun accepted a wrong-length labeling")
+	}
+}
+
+func TestTopDownDTADepthParity(t *testing.T) {
+	// Annotate nodes with their document depth parity: in the FCNS
+	// encoding, the first child is one level deeper, the second child
+	// (next sibling) stays at the same level.
+	tr := tree.New(nil)
+	a := tr.Names().MustIntern("a")
+	root := tr.AddNode(a) // depth 0
+	c1 := tr.AddNode(a)   // depth 1
+	c2 := tr.AddNode(a)   // depth 1 (sibling of c1)
+	g := tr.AddNode(a)    // depth 2
+	tr.SetFirst(root, c1)
+	tr.SetSecond(c1, c2)
+	tr.SetFirst(c2, g)
+
+	d := &TopDownDTA{NumStates: 2, Start: 0,
+		Trans1: map[[2]int32]State{{0, int32(a)}: 1, {1, int32(a)}: 0},
+		Trans2: map[[2]int32]State{{0, int32(a)}: 0, {1, int32(a)}: 1},
+	}
+	rho, err := d.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []State{0, 1, 1, 0}
+	for v := range want {
+		if rho[v] != want[v] {
+			t.Fatalf("rho = %v, want %v", rho, want)
+		}
+	}
+}
+
+func TestTopDownDTAMissingTransition(t *testing.T) {
+	tr := tree.New(nil)
+	a := tr.Names().MustIntern("a")
+	root := tr.AddNode(a)
+	tr.SetFirst(root, tr.AddNode(a))
+	d := &TopDownDTA{NumStates: 1, Start: 0, Trans1: map[[2]int32]State{}, Trans2: map[[2]int32]State{}}
+	if _, err := d.Run(tr); err == nil {
+		t.Fatal("Run succeeded despite missing transition")
+	}
+}
+
+// TestSTASelectBruteForce checks Select against literal enumeration of all
+// accepting runs on tiny trees.
+func TestSTASelectBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 120; iter++ {
+		tr := testutil.RandomTree(rng, 7)
+		alphabet := labelsOf(tr)
+
+		// Random small STA.
+		n := 2 + rng.Intn(2)
+		a := NewSTA(n)
+		for q := 0; q < n; q++ {
+			if rng.Intn(2) == 0 {
+				a.SetFinal(State(q))
+			}
+			if rng.Intn(2) == 0 {
+				a.SetSelecting(State(q))
+			}
+		}
+		states := append([]State{Bottom}, seqStates(n)...)
+		for _, l := range alphabet {
+			for _, ql := range states {
+				for _, qr := range states {
+					for q := 0; q < n; q++ {
+						if rng.Intn(3) == 0 {
+							a.AddTransition(ql, qr, l, State(q))
+						}
+					}
+				}
+			}
+		}
+
+		got := a.Select(tr)
+		want := bruteForceSelect(a, tr)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("iter %d: Select[%d]=%v, brute force %v", iter, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// bruteForceSelect enumerates every state labeling, filters to accepting
+// runs, and applies Definition 3.2 literally.
+func bruteForceSelect(a *STA, t *tree.Tree) []bool {
+	n := t.Len()
+	sel := make([]bool, n)
+	for v := range sel {
+		sel[v] = true // vacuous if no accepting runs
+	}
+	rho := make([]State, n)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			if ok, acc := a.IsRun(t, rho); ok && acc {
+				for u := 0; u < n; u++ {
+					if !a.Selecting[rho[u]] {
+						sel[u] = false
+					}
+				}
+			}
+			return
+		}
+		for q := 0; q < a.NumStates; q++ {
+			rho[v] = State(q)
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	return sel
+}
+
+func TestSTAVacuousSelection(t *testing.T) {
+	tr := tree.New(nil)
+	a := tr.Names().MustIntern("a")
+	tr.AddNode(a)
+	sta := NewSTA(1) // no transitions, no final states: no accepting runs
+	got := sta.Select(tr)
+	if !got[0] {
+		t.Fatal("with no accepting runs, every node is vacuously selected")
+	}
+}
+
+func TestAcceptingRunCount(t *testing.T) {
+	tr := tree.New(nil)
+	a := tr.Names().MustIntern("a")
+	tr.AddNode(a)
+	sta := NewSTA(3)
+	sta.SetFinal(0)
+	sta.SetFinal(1)
+	sta.AddTransition(Bottom, Bottom, a, 0)
+	sta.AddTransition(Bottom, Bottom, a, 1)
+	sta.AddTransition(Bottom, Bottom, a, 2) // non-final
+	if got := sta.AcceptingRunCount(tr, 0); got != 2 {
+		t.Fatalf("AcceptingRunCount = %d, want 2", got)
+	}
+	if got := sta.AcceptingRunCount(tr, 1); got != 1 {
+		t.Fatalf("capped AcceptingRunCount = %d, want 1", got)
+	}
+}

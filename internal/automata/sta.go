@@ -1,0 +1,160 @@
+package automata
+
+import "arb/internal/tree"
+
+// STA is a selecting tree automaton (Definition 3.2): an NTA together with
+// a set S of selecting states. The unary query defined by an STA maps a
+// tree T to
+//
+//	A(T) = { v | ρ(v) ∈ S for every accepting run ρ of A on T }.
+//
+// Note the universal quantification: when T admits no accepting run at
+// all, every node is (vacuously) selected; Select implements this literal
+// semantics. The STAs produced by FromTMNF always have at least one
+// accepting run.
+type STA struct {
+	NTA
+	Selecting []bool // S; len NumStates
+}
+
+// NewSTA returns an STA with n states and empty F, S and δ.
+func NewSTA(n int) *STA {
+	return &STA{NTA: *NewNTA(n), Selecting: make([]bool, n)}
+}
+
+// SetSelecting puts q into S.
+func (a *STA) SetSelecting(q State) { a.Selecting[q] = true }
+
+// Select evaluates the STA's unary query on t, returning one boolean per
+// node (indexed by preorder id).
+//
+// The computation mirrors the two-phase scheme of Section 4, with explicit
+// state sets in place of residual programs: a bottom-up pass computes the
+// states reachable at each node in some run (the powerset construction),
+// and a top-down pass prunes them to the states that occur in at least one
+// accepting run ("viable" states). Because run constraints are local to
+// tree edges, partial runs compose, so v is selected iff every viable
+// state at v is selecting.
+func (a *STA) Select(t *tree.Tree) []bool {
+	n := t.Len()
+	selected := make([]bool, n)
+	if n == 0 {
+		return selected
+	}
+	reach := a.reachable(t)
+
+	// viable[v] ⊆ reach[v]: states occurring at v in some accepting run.
+	viable := make([]stateSet, n)
+	var rootViable []State
+	for _, q := range reach[0] {
+		if a.Final[q] {
+			rootViable = append(rootViable, q)
+		}
+	}
+	viable[0] = canonSet(rootViable)
+
+	for v := 0; v < n; v++ {
+		label := t.Label(tree.NodeID(v))
+		first := t.First(tree.NodeID(v))
+		second := t.Second(tree.NodeID(v))
+		if first == tree.None && second == tree.None {
+			continue
+		}
+		lefts := []State{Bottom}
+		if first != tree.None {
+			lefts = reach[first]
+		}
+		rights := []State{Bottom}
+		if second != tree.None {
+			rights = reach[second]
+		}
+		var v1, v2 []State
+		for _, ql := range lefts {
+			for _, qr := range rights {
+				// Does some viable parent state extend (ql, qr)?
+				ok := false
+				for _, q := range a.Trans[Key{ql, qr, label}] {
+					if viable[v].has(q) {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					if first != tree.None {
+						v1 = append(v1, ql)
+					}
+					if second != tree.None {
+						v2 = append(v2, qr)
+					}
+				}
+			}
+		}
+		if first != tree.None {
+			viable[first] = canonSet(v1)
+		}
+		if second != tree.None {
+			viable[second] = canonSet(v2)
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		sel := true
+		for _, q := range viable[v] {
+			if !a.Selecting[q] {
+				sel = false
+				break
+			}
+		}
+		selected[v] = sel
+	}
+	return selected
+}
+
+// AcceptingRunCount returns the number of accepting runs of the automaton
+// on t, capped at limit (0 = no cap). Exponential; for tests on tiny
+// trees, where it lets properties quantify over "every accepting run"
+// directly.
+func (a *STA) AcceptingRunCount(t *tree.Tree, limit int) int {
+	return a.NTA.countAcceptingRuns(t, limit)
+}
+
+func (a *NTA) countAcceptingRuns(t *tree.Tree, limit int) int {
+	n := t.Len()
+	if n == 0 {
+		return 0
+	}
+	// runs[v][q] = number of runs of the subtree of v assigning q to v.
+	runs := make([]map[State]int, n)
+	for v := n - 1; v >= 0; v-- {
+		runs[v] = map[State]int{}
+		lefts := map[State]int{Bottom: 1}
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			lefts = runs[c]
+		}
+		rights := map[State]int{Bottom: 1}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			rights = runs[c]
+		}
+		label := t.Label(tree.NodeID(v))
+		for ql, cl := range lefts {
+			for qr, cr := range rights {
+				for _, q := range a.Trans[Key{ql, qr, label}] {
+					runs[v][q] += cl * cr
+					if limit > 0 && runs[v][q] > limit {
+						runs[v][q] = limit
+					}
+				}
+			}
+		}
+	}
+	total := 0
+	for q, c := range runs[0] {
+		if a.Final[q] {
+			total += c
+			if limit > 0 && total > limit {
+				return limit
+			}
+		}
+	}
+	return total
+}

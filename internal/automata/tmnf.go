@@ -1,0 +1,284 @@
+package automata
+
+import (
+	"fmt"
+
+	"arb/internal/edb"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// This file implements the translation from TMNF to selecting tree
+// automata underlying Proposition 3.3 (the [8] construction): STA states
+// are truth assignments to the IDB predicates, a run is a labeling of the
+// tree with assignments that is closed under the program's rules, all
+// states are final (so all runs are accepting), and the selecting states
+// for query predicate P are the assignments containing P. Because each
+// run is a model of the grounded Horn program and the minimal model is
+// the intersection of all models, a node satisfies P in the TMNF
+// semantics iff every (accepting) run assigns it a P-containing state —
+// which is exactly the STA selection criterion.
+//
+// Both entry points are oracles for the test suite: FromTMNF materialises
+// an explicit STA (exponential in the number of predicates; tiny programs
+// only), while SelectTMNF evaluates the same semantics directly on a tree
+// without materialising the transition relation.
+
+// pairRules captures the inter-node consistency constraints of a TMNF
+// program as bitmask implications. A labeling assignment is a bitmask over
+// the program's predicates.
+type pairRules struct {
+	prog    *tmnf.Program
+	names   *tree.Names
+	unaries []tmnf.Unary
+	// local rules: if every body predicate bit is set and every body
+	// unary holds on the signature, head must be set.
+	local []localRule
+	// moveK[k-1]: From at parent forces Head at k-th child.
+	// invK[k-1]: From at k-th child forces Head at parent.
+	move, inv [2][]implication
+}
+
+type localRule struct {
+	head    uint32
+	body    uint32 // predicate bits that must all be set
+	unaries []int  // indices into unaries that must all hold
+}
+
+type implication struct{ from, to uint32 }
+
+func newPairRules(prog *tmnf.Program, names *tree.Names) (*pairRules, error) {
+	if prog.NumPreds() > 20 {
+		return nil, fmt.Errorf("automata: oracle limited to 20 IDB predicates, program has %d", prog.NumPreds())
+	}
+	pr := &pairRules{prog: prog, names: names, unaries: prog.Unaries()}
+	for _, r := range prog.Rules() {
+		switch r.Kind {
+		case tmnf.RuleLocal:
+			lr := localRule{head: 1 << uint(r.Head)}
+			for _, a := range r.Body {
+				if a.IsUnary {
+					lr.unaries = append(lr.unaries, a.U)
+				} else {
+					lr.body |= 1 << uint(a.Pred)
+				}
+			}
+			pr.local = append(pr.local, lr)
+		case tmnf.RuleMove:
+			pr.move[r.Rel-1] = append(pr.move[r.Rel-1], implication{1 << uint(r.From), 1 << uint(r.Head)})
+		case tmnf.RuleInvMove:
+			pr.inv[r.Rel-1] = append(pr.inv[r.Rel-1], implication{1 << uint(r.From), 1 << uint(r.Head)})
+		default:
+			return nil, fmt.Errorf("automata: unknown rule kind %d", r.Kind)
+		}
+	}
+	return pr, nil
+}
+
+// localOK reports whether assignment mask is closed under the local rules
+// at a node with signature sig.
+func (pr *pairRules) localOK(mask uint32, sig edb.NodeSig) bool {
+	for _, r := range pr.local {
+		if mask&r.head != 0 {
+			continue
+		}
+		if mask&r.body != r.body {
+			continue
+		}
+		fire := true
+		for _, u := range r.unaries {
+			if !edb.Holds(pr.unaries[u], pr.names, sig) {
+				fire = false
+				break
+			}
+		}
+		if fire {
+			return false
+		}
+	}
+	return true
+}
+
+// pairOK reports whether parent assignment p and k-th-child assignment c
+// are jointly closed under the move/inverse-move rules along relation k.
+func (pr *pairRules) pairOK(k int, p, c uint32) bool {
+	for _, im := range pr.move[k-1] {
+		if p&im.from != 0 && c&im.to == 0 {
+			return false
+		}
+	}
+	for _, im := range pr.inv[k-1] {
+		if c&im.from != 0 && p&im.to == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SelectTMNF evaluates a TMNF program on t through the STA selection
+// semantics, without materialising the automaton: reachable assignment
+// sets bottom-up, viable (occurring-in-some-accepting-run) sets top-down,
+// then a node satisfies a query predicate iff every viable assignment
+// contains it. The result maps each query predicate to its per-node truth
+// vector. Exponential in the number of predicates; a test oracle.
+func SelectTMNF(t *tree.Tree, prog *tmnf.Program) (map[tmnf.Pred][]bool, error) {
+	pr, err := newPairRules(prog, t.Names())
+	if err != nil {
+		return nil, err
+	}
+	n := t.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("automata: empty tree")
+	}
+	numMasks := uint32(1) << uint(prog.NumPreds())
+
+	reach := make([][]uint32, n)
+	for v := n - 1; v >= 0; v-- {
+		id := tree.NodeID(v)
+		sig := edb.SigOf(t, id)
+		var set []uint32
+		for m := uint32(0); m < numMasks; m++ {
+			if !pr.localOK(m, sig) {
+				continue
+			}
+			ok := true
+			if c := t.First(id); c != tree.None {
+				ok = false
+				for _, mc := range reach[c] {
+					if pr.pairOK(1, m, mc) {
+						ok = true
+						break
+					}
+				}
+			}
+			if ok {
+				if c := t.Second(id); c != tree.None {
+					ok = false
+					for _, mc := range reach[c] {
+						if pr.pairOK(2, m, mc) {
+							ok = true
+							break
+						}
+					}
+				}
+			}
+			if ok {
+				set = append(set, m)
+			}
+		}
+		reach[v] = set
+	}
+
+	viable := make([][]uint32, n)
+	viable[0] = reach[0] // all states final: every run is accepting
+	for v := 0; v < n; v++ {
+		id := tree.NodeID(v)
+		for k := 1; k <= 2; k++ {
+			var c tree.NodeID
+			if k == 1 {
+				c = t.First(id)
+			} else {
+				c = t.Second(id)
+			}
+			if c == tree.None {
+				continue
+			}
+			var set []uint32
+			for _, mc := range reach[c] {
+				for _, mp := range viable[v] {
+					if pr.pairOK(k, mp, mc) {
+						set = append(set, mc)
+						break
+					}
+				}
+			}
+			viable[c] = set
+		}
+	}
+
+	out := make(map[tmnf.Pred][]bool, len(prog.Queries()))
+	for _, q := range prog.Queries() {
+		bit := uint32(1) << uint(q)
+		sel := make([]bool, n)
+		for v := 0; v < n; v++ {
+			all := true
+			for _, m := range viable[v] {
+				if m&bit == 0 {
+					all = false
+					break
+				}
+			}
+			sel[v] = all
+		}
+		out[q] = sel
+	}
+	return out, nil
+}
+
+// FromTMNF materialises the explicit STA of the [8] construction for a
+// TMNF program over the given label alphabet. Root-ness is not visible to
+// a bottom-up transition function, so each assignment appears in two
+// variants, with and without a root flag; only root-flagged states are
+// final, and flagged states never occur as children. Selecting states are
+// those containing the program's first query predicate.
+//
+// The automaton has 2^(preds+1) states; programs are limited to 7
+// predicates to keep the transition relation enumerable.
+func FromTMNF(prog *tmnf.Program, names *tree.Names, alphabet []tree.Label) (*STA, error) {
+	if prog.NumPreds() > 7 {
+		return nil, fmt.Errorf("automata: explicit STA limited to 7 predicates, program has %d", prog.NumPreds())
+	}
+	if len(prog.Queries()) == 0 {
+		return nil, fmt.Errorf("automata: program has no query predicate")
+	}
+	pr, err := newPairRules(prog, names)
+	if err != nil {
+		return nil, err
+	}
+	ell := uint(prog.NumPreds())
+	numMasks := uint32(1) << ell
+	rootFlag := State(numMasks)
+
+	a := NewSTA(int(numMasks) * 2)
+	qbit := uint32(1) << uint(prog.Queries()[0])
+	for m := uint32(0); m < numMasks; m++ {
+		a.SetFinal(State(m) | rootFlag)
+		if m&qbit != 0 {
+			a.SetSelecting(State(m))
+			a.SetSelecting(State(m) | rootFlag)
+		}
+	}
+
+	// Child states range over ⊥ and unflagged assignments.
+	children := make([]State, 0, numMasks+1)
+	children = append(children, Bottom)
+	for m := uint32(0); m < numMasks; m++ {
+		children = append(children, State(m))
+	}
+	for _, label := range alphabet {
+		for _, q1 := range children {
+			for _, q2 := range children {
+				for m := uint32(0); m < numMasks; m++ {
+					if q1 != Bottom && !pr.pairOK(1, m, uint32(q1)) {
+						continue
+					}
+					if q2 != Bottom && !pr.pairOK(2, m, uint32(q2)) {
+						continue
+					}
+					for _, isRoot := range []bool{false, true} {
+						sig := edb.NodeSig{Label: label, HasFirst: q1 != Bottom, HasSecond: q2 != Bottom, IsRoot: isRoot}
+						if !pr.localOK(m, sig) {
+							continue
+						}
+						q := State(m)
+						if isRoot {
+							q |= rootFlag
+						}
+						a.AddTransition(q1, q2, label, q)
+					}
+				}
+			}
+		}
+	}
+	return a, nil
+}

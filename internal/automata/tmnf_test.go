@@ -1,0 +1,167 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"arb/internal/naive"
+	"arb/internal/testutil"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// TestSelectTMNFMatchesNaive is the Proposition 3.3 differential: the STA
+// selection semantics applied to a TMNF program's assignment automaton
+// must coincide with the program's minimal-model semantics.
+func TestSelectTMNFMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 80; iter++ {
+		tr := testutil.RandomTree(rng, 25)
+		prog := testutil.RandomProgramParsed(rng, 3, 6)
+		got, err := SelectTMNF(tr, prog)
+		if err != nil {
+			t.Fatalf("SelectTMNF: %v", err)
+		}
+		want := naive.Evaluate(tr, prog)
+		for _, q := range prog.Queries() {
+			for v := 0; v < tr.Len(); v++ {
+				if got[q][v] != want.Holds(q, tree.NodeID(v)) {
+					t.Fatalf("iter %d: %s(%d): STA %v, naive %v\nprogram:\n%s\ntree:\n%s",
+						iter, prog.PredName(q), v, got[q][v], want.Holds(q, tree.NodeID(v)), prog, tr)
+				}
+			}
+		}
+	}
+}
+
+// TestFromTMNFMatchesNaive materialises the explicit STA and runs its
+// generic Select; same differential, exercising the formal automaton
+// object end to end.
+func TestFromTMNFMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 25; iter++ {
+		tr := testutil.RandomTree(rng, 15)
+		prog := testutil.RandomProgramParsed(rng, 3, 5)
+		sta, err := FromTMNF(prog, tr.Names(), labelsOf(tr))
+		if err != nil {
+			t.Fatalf("FromTMNF: %v", err)
+		}
+		got := sta.Select(tr)
+		q := prog.Queries()[0]
+		want := naive.Evaluate(tr, prog)
+		for v := 0; v < tr.Len(); v++ {
+			if got[v] != want.Holds(q, tree.NodeID(v)) {
+				t.Fatalf("iter %d: node %d: STA %v, naive %v\nprogram:\n%s\ntree:\n%s",
+					iter, v, got[v], want.Holds(q, tree.NodeID(v)), prog, tr)
+			}
+		}
+	}
+}
+
+func TestFromTMNFAlwaysHasAcceptingRun(t *testing.T) {
+	// The all-true assignment is closed under any Horn rule set, so the
+	// assignment automaton accepts every tree.
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 20; iter++ {
+		tr := testutil.RandomTree(rng, 10)
+		prog := testutil.RandomProgramParsed(rng, 3, 5)
+		sta, err := FromTMNF(prog, tr.Names(), labelsOf(tr))
+		if err != nil {
+			t.Fatalf("FromTMNF: %v", err)
+		}
+		if n := sta.AcceptingRunCount(tr, 1); n == 0 {
+			t.Fatalf("iter %d: no accepting run\nprogram:\n%s", iter, prog)
+		}
+	}
+}
+
+func TestSelectTMNFPaperExample22(t *testing.T) {
+	// Example 2.2: Even/Odd leaf counting. On a document with three "a"
+	// leaves under a root, Even must hold at the root iff the count is
+	// even.
+	src := `
+Even :- Leaf, -Label[a];
+Odd  :- Leaf, Label[a];
+SFREven :- Even, LastSibling;
+SFROdd  :- Odd, LastSibling;
+FSEven :- SFREven.invNextSibling;
+FSOdd  :- SFROdd.invNextSibling;
+SFREven :- FSEven, Even;
+SFROdd  :- FSEven, Odd;
+SFROdd  :- FSOdd, Even;
+SFREven :- FSOdd, Odd;
+Even :- SFREven.invFirstChild;
+Odd  :- SFROdd.invFirstChild;
+`
+	for leaves, wantEven := range map[int]bool{1: false, 2: true, 3: false, 4: true} {
+		prog := tmnf.MustParse(src)
+		if err := prog.SetQueries("Even"); err != nil {
+			t.Fatal(err)
+		}
+		tr := tree.New(nil)
+		root := tr.AddNode(tr.Names().MustIntern("r"))
+		a := tr.Names().MustIntern("a")
+		prev := tree.None
+		for i := 0; i < leaves; i++ {
+			n := tr.AddNode(a)
+			if prev == tree.None {
+				tr.SetFirst(root, n)
+			} else {
+				tr.SetSecond(prev, n)
+			}
+			prev = n
+		}
+		got, err := SelectTMNF(tr, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := prog.Queries()[0]
+		if got[q][0] != wantEven {
+			t.Fatalf("%d a-leaves: Even at root = %v, want %v", leaves, got[q][0], wantEven)
+		}
+	}
+}
+
+func TestOraclePredicateLimits(t *testing.T) {
+	var sb []byte
+	for i := 0; i < 25; i++ {
+		sb = append(sb, []byte("P"+string(rune('0'+i/10))+string(rune('0'+i%10))+" :- Root;\n")...)
+	}
+	prog := tmnf.MustParse(string(sb))
+	prog.AddQuery(0)
+	tr := tree.New(nil)
+	tr.AddNode(tr.Names().MustIntern("a"))
+	if _, err := SelectTMNF(tr, prog); err == nil {
+		t.Fatal("SelectTMNF accepted a 25-predicate program")
+	}
+	if _, err := FromTMNF(prog, tr.Names(), labelsOf(tr)); err == nil {
+		t.Fatal("FromTMNF accepted a 25-predicate program")
+	}
+}
+
+// TestDeterminizeFromTMNF determinizes the assignment STA of tiny TMNF
+// programs and checks acceptance equivalence with the NTA on random
+// trees (the STAs accept every tree — F covers all root-flagged
+// assignments reachable by the always-present all-true run).
+func TestDeterminizeFromTMNF(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for iter := 0; iter < 10; iter++ {
+		tr := testutil.RandomTree(rng, 10)
+		prog := testutil.RandomProgramParsed(rng, 2, 3)
+		sta, err := FromTMNF(prog, tr.Names(), labelsOf(tr))
+		if err != nil {
+			t.Fatalf("FromTMNF: %v", err)
+		}
+		dta, _ := sta.Determinize(labelsOf(tr))
+		got, err := dta.Accepts(tr)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if want := sta.Accepts(tr); got != want {
+			t.Fatalf("iter %d: determinized %v, NTA %v", iter, got, want)
+		}
+		if !got {
+			t.Fatalf("iter %d: assignment automaton rejected a tree", iter)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// Tiny-scale smoke runs of the full harness; the real experiments run
+// through cmd/arbbench and the repository's bench_test.go.
+
+func TestFig5Small(t *testing.T) {
+	rows, bases, err := Fig5(t.TempDir(), 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(bases) != 4 {
+		t.Fatalf("got %d rows, %d bases; want 4, 4", len(rows), len(bases))
+	}
+	for _, r := range rows {
+		n := r.ElemNodes + r.CharNodes
+		if n == 0 {
+			t.Fatalf("%s: empty database", r.Name)
+		}
+		if r.ArbBytes != 2*n {
+			t.Fatalf("%s: .arb size %d for %d nodes, want %d", r.Name, r.ArbBytes, n, 2*n)
+		}
+		if r.EvtBytes != 2*r.ArbBytes {
+			t.Fatalf("%s: .evt size %d, want twice .arb (%d)", r.Name, r.EvtBytes, 2*r.ArbBytes)
+		}
+	}
+	WriteFig5(io.Discard, rows)
+}
+
+func TestFig6SmallAllThreads(t *testing.T) {
+	dir := t.TempDir()
+	opts := Fig6Opts{Sizes: []int{5, 6}, Queries: 3, Scale: 0.0005, Dir: dir}
+	var flat, infix []Fig6Row
+	for _, th := range []Thread{Treebank, ACGTFlat, ACGTInfix} {
+		rows, err := Fig6(th, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", th, err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("%s: %d rows", th, len(rows))
+		}
+		for _, r := range rows {
+			if r.IDB == 0 || r.Rules == 0 {
+				t.Fatalf("%s: empty program stats: %+v", th, r)
+			}
+			if r.BUTransitions == 0 || r.TDTransitions == 0 {
+				t.Fatalf("%s: no transitions: %+v", th, r)
+			}
+		}
+		switch th {
+		case ACGTFlat:
+			flat = rows
+		case ACGTInfix:
+			infix = rows
+		}
+		WriteFig6(io.Discard, th, rows)
+	}
+	// The paper's column (9) cross-check: identical selected counts on
+	// the flat and infix versions of the same sequence and queries.
+	for i := range flat {
+		if flat[i].Selected != infix[i].Selected {
+			t.Fatalf("size %d: flat selected %v, infix %v", flat[i].Size, flat[i].Selected, infix[i].Selected)
+		}
+	}
+}
+
+func TestStreamComparisonSmall(t *testing.T) {
+	dir := t.TempDir()
+	base, err := createThreadDB(Treebank, dir, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := StreamComparison(base, []int{5, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Agreed {
+			t.Fatalf("size %d: stream and engine disagree", r.Size)
+		}
+	}
+	WriteStreamComparison(io.Discard, rows)
+}

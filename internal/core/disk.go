@@ -1,0 +1,268 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"arb/internal/edb"
+	"arb/internal/storage"
+	"arb/internal/tree"
+)
+
+// DiskOpts configures a secondary-storage evaluation run.
+type DiskOpts struct {
+	// StatePath overrides the path of the temporary state file (default
+	// base.sta next to the database). The file holds one 4-byte state id
+	// per node, written in reverse preorder by phase 1 and read backwards
+	// (i.e. in preorder) by phase 2 — the paper's footnote 12.
+	StatePath string
+	// KeepStateFile retains the state file after the run.
+	KeepStateFile bool
+
+	// AuxIn optionally names a sidecar file holding one 2-byte
+	// big-endian auxiliary predicate mask per node in preorder (bit k =
+	// Aux[k]) — the disk form of RunOpts.Aux. Phase 1 reads it backwards
+	// alongside the .arb file, phase 2 forwards, preserving the
+	// two-linear-scans property.
+	AuxIn string
+	// AuxOut, when non-empty, makes phase 2 stream an updated aux file:
+	// the input masks (zero if AuxIn is empty) ORed with bit AuxOutBit
+	// for every node the query predicate AuxOutQuery selects. Chaining
+	// runs through aux files is how multi-pass XPath negation evaluates
+	// entirely in secondary storage.
+	AuxOut      string
+	AuxOutBit   uint8
+	AuxOutQuery int
+
+	// MarkTo, when non-nil, streams the document back out as XML during
+	// phase 2 itself, with the nodes selected by query predicate
+	// MarkQuery marked up — the system's default output mode
+	// (Section 6.3), produced with no pass beyond the two scans.
+	MarkTo    io.Writer
+	MarkQuery int
+}
+
+// DiskStats reports the per-scan cost profile of a disk run, alongside the
+// engine's cumulative Stats. StateBytes is the temporary disk space the
+// run needed (4 bytes per node, as in the paper's implementation).
+type DiskStats struct {
+	Phase1     storage.ScanStats
+	Phase2     storage.ScanStats
+	StateBytes int64
+}
+
+// stateIDSize is the on-disk size of one streamed state id.
+const stateIDSize = 4
+
+// RunDisk evaluates the engine's program over a .arb database in secondary
+// storage using Algorithm 4.6 with exactly two linear scans of the data
+// (Proposition 5.1): phase 1 is one backward scan of the .arb file that
+// streams the bottom-up state of every node to a temporary file; phase 2
+// is one forward scan of the .arb file that reads the state file backwards
+// — yielding the phase-1 states in preorder — and computes the true
+// predicates per node. Main memory holds only the two automata (computed
+// lazily) and a stack bounded by the depth of the XML document.
+func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, error) {
+	if db.N == 0 {
+		return nil, nil, errors.New("core: empty database")
+	}
+	if e.names != db.Names {
+		// Label[..] tests are resolved against e.names; running against a
+		// database with a different name table would silently misresolve.
+		return nil, nil, errors.New("core: engine name table does not match database")
+	}
+	statePath := opts.StatePath
+	if statePath == "" {
+		statePath = db.Base + ".sta"
+	}
+	res := newResult(e.c.Prog, db.N)
+	ds := &DiskStats{StateBytes: db.N * stateIDSize}
+	e.stats.Nodes += db.N
+
+	// Optional auxiliary mask file, read backwards in phase 1 and
+	// forwards in phase 2.
+	var auxBack *storage.BackwardReader
+	var auxFwd *bufio.Reader
+	var auxF *os.File
+	if opts.AuxIn != "" {
+		var err error
+		auxF, err = os.Open(opts.AuxIn)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer auxF.Close()
+		st, err := auxF.Stat()
+		if err != nil {
+			return nil, nil, err
+		}
+		if st.Size() != db.N*auxMaskSize {
+			return nil, nil, fmt.Errorf("core: aux file %s has %d bytes for %d nodes", opts.AuxIn, st.Size(), db.N)
+		}
+		auxBack, err = storage.NewBackwardReader(auxF, db.N*auxMaskSize, auxMaskSize)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Phase 1: backward scan of .arb; combine child states through the
+	// lazy transition function of A and stream every node's state id.
+	start := time.Now()
+	stateF, err := os.Create(statePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		stateF.Close()
+		if !opts.KeepStateFile {
+			os.Remove(statePath)
+		}
+	}()
+	sw := bufio.NewWriterSize(stateF, 1<<16)
+	var werr error
+	rootState, scan1, err := storage.FoldBottomUp(db, func(first, second *StateID, rec storage.Record, v int64) StateID {
+		left, right := NoState, NoState
+		if first != nil {
+			left = *first
+		}
+		if second != nil {
+			right = *second
+		}
+		sig := edb.NodeSig{
+			Label:     tree.Label(rec.Label),
+			HasFirst:  rec.HasFirst,
+			HasSecond: rec.HasSecond,
+			IsRoot:    v == 0,
+		}
+		if auxBack != nil {
+			b, err := auxBack.Next()
+			if err != nil && werr == nil {
+				werr = fmt.Errorf("core: reading aux file: %w", err)
+			} else if err == nil {
+				sig.Extra = binary.BigEndian.Uint16(b)
+			}
+		}
+		s := e.ReachableStates(left, right, e.SigID(sig))
+		var buf [stateIDSize]byte
+		binary.BigEndian.PutUint32(buf[:], uint32(s))
+		if _, err := sw.Write(buf[:]); err != nil && werr == nil {
+			werr = err
+		}
+		return s
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if werr == nil {
+		werr = sw.Flush()
+	}
+	if werr != nil {
+		return nil, nil, fmt.Errorf("core: writing state file: %w", werr)
+	}
+	ds.Phase1 = scan1
+	e.stats.Phase1Time += time.Since(start)
+
+	// Phase 2: forward scan of .arb; the state file, read backwards,
+	// yields the phase-1 states in preorder.
+	start = time.Now()
+	br, err := storage.NewBackwardReader(stateF, db.N*stateIDSize, stateIDSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	if auxF != nil {
+		if _, err := auxF.Seek(0, io.SeekStart); err != nil {
+			return nil, nil, err
+		}
+		auxFwd = bufio.NewReaderSize(auxF, 1<<16)
+	}
+	var auxOut *bufio.Writer
+	var auxOutF *os.File
+	if opts.AuxOut != "" {
+		auxOutF, err = os.Create(opts.AuxOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer auxOutF.Close()
+		auxOut = bufio.NewWriterSize(auxOutF, 1<<16)
+	}
+	outBit := uint16(1) << opts.AuxOutBit
+	queryBit := uint64(1) << uint(opts.AuxOutQuery)
+	var emitter *storage.XMLEmitter
+	markBit := uint64(1) << uint(opts.MarkQuery)
+	if opts.MarkTo != nil {
+		emitter = storage.NewXMLEmitter(opts.MarkTo, db.Names)
+	}
+	scan2, err := storage.ScanTopDown(db, func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
+		b, err := br.Next()
+		if err != nil {
+			return NoState, fmt.Errorf("core: reading state file: %w", err)
+		}
+		bu := StateID(binary.BigEndian.Uint32(b))
+		var td StateID
+		if parent == nil {
+			if v != 0 {
+				return NoState, fmt.Errorf("core: parentless node %d", v)
+			}
+			if bu != rootState {
+				return NoState, fmt.Errorf("core: state file corrupt: root state %d, phase 1 computed %d", bu, rootState)
+			}
+			td = e.RootTrueSet(bu)
+		} else {
+			td = e.TruePreds(*parent, bu, k)
+		}
+		mask := e.queryMask(td)
+		if mask != 0 {
+			res.markMask(mask, v)
+		}
+		if emitter != nil {
+			if err := emitter.Node(v, rec, mask&markBit != 0); err != nil {
+				return NoState, err
+			}
+		}
+		if auxOut != nil {
+			var cur uint16
+			if auxFwd != nil {
+				var ab [auxMaskSize]byte
+				if _, err := io.ReadFull(auxFwd, ab[:]); err != nil {
+					return NoState, fmt.Errorf("core: reading aux file: %w", err)
+				}
+				cur = binary.BigEndian.Uint16(ab[:])
+			}
+			if mask&queryBit != 0 {
+				cur |= outBit
+			}
+			var ab [auxMaskSize]byte
+			binary.BigEndian.PutUint16(ab[:], cur)
+			if _, err := auxOut.Write(ab[:]); err != nil {
+				return NoState, err
+			}
+		}
+		return td, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if auxOut != nil {
+		if err := auxOut.Flush(); err != nil {
+			return nil, nil, err
+		}
+		if err := auxOutF.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if emitter != nil {
+		if err := emitter.Finish(); err != nil {
+			return nil, nil, err
+		}
+	}
+	ds.Phase2 = scan2
+	e.stats.Phase2Time += time.Since(start)
+	return res, ds, nil
+}
+
+// auxMaskSize is the on-disk size of one auxiliary predicate mask.
+const auxMaskSize = 2

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"time"
+
+	"arb/internal/edb"
+	"arb/internal/horn"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// StateID identifies a state of the deterministic bottom-up automaton A (a
+// canonical residual program) or of the top-down automaton B (a canonical
+// set of true predicates). The pseudo-state ⊥ for non-existent children is
+// NoState.
+type StateID = int32
+
+// NoState is the ⊥ pseudo-state.
+const NoState StateID = -1
+
+type buKey struct {
+	left, right StateID
+	sig         int32
+}
+
+type tdKey struct {
+	parent StateID // top-down state of the parent (true-predicate set)
+	resid  StateID // bottom-up state of the child (residual program)
+	k      uint8   // 1 = first child, 2 = second child
+}
+
+// Stats reports the work done by an engine run; the fields mirror the
+// columns of the paper's Figure 6.
+type Stats struct {
+	Phase1Time    time.Duration // bottom-up pass, column (4)
+	Phase2Time    time.Duration // top-down pass, column (6)
+	BUTransitions int           // lazily computed transitions of A, column (5)
+	TDTransitions int           // lazily computed transitions of B, column (7)
+	BUStates      int           // residual programs interned
+	TDStates      int           // true-predicate sets interned
+	Nodes         int64
+}
+
+// Engine evaluates one compiled TMNF program over any number of trees.
+// As in the Arb system, it maintains four hash tables: states and
+// transitions for each of the two automata; transition functions are
+// computed lazily by ComputeReachableStates and ComputeTruePreds and are
+// reused across nodes and across trees (footnote 15 of the paper).
+type Engine struct {
+	c      *Compiled
+	solver *horn.Solver
+
+	// Bottom-up automaton A: states are canonical residual programs.
+	buStates []*horn.Program
+	buIndex  map[string]StateID
+	buTrans  map[buKey]StateID
+
+	// Node-signature interning; sig ids key the transition table and map
+	// to precomputed EDB fact sets. Signatures with identical fact sets
+	// share one id: the automaton alphabet is 2^sigma for the program's
+	// own sigma (Definition 4.2), so all labels the program does not
+	// mention collapse into one equivalence class.
+	sigIndex  map[edb.NodeSig]int32
+	factIndex map[string]int32
+	sigFacts  [][]horn.Atom
+
+	// Top-down automaton B: states are canonical sorted sets of local
+	// atoms (the predicates true at a node).
+	tdStates [][]horn.Atom
+	tdIndex  map[string]StateID
+	tdTrans  map[tdKey]StateID
+	// tdQuery caches, per top-down state, the bitmask of query predicates
+	// it contains (bit i = Queries[i]).
+	tdQuery []uint64
+
+	names *tree.Names
+
+	stats Stats
+
+	// scratch rule buffer reused across transition computations
+	ruleBuf []horn.Rule
+}
+
+// NewEngine returns an engine for the compiled program. The name table is
+// needed to resolve Label[..] tests; it must match the databases the
+// engine will be run on.
+func NewEngine(c *Compiled, names *tree.Names) *Engine {
+	return &Engine{
+		c:         c,
+		solver:    horn.NewSolver(c.U),
+		buIndex:   make(map[string]StateID),
+		buTrans:   make(map[buKey]StateID),
+		sigIndex:  make(map[edb.NodeSig]int32),
+		factIndex: make(map[string]int32),
+		tdIndex:   make(map[string]StateID),
+		tdTrans:   make(map[tdKey]StateID),
+		names:     names,
+	}
+}
+
+// Compiled returns the engine's compiled program.
+func (e *Engine) Compiled() *Compiled { return e.c }
+
+// Stats returns the statistics accumulated so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats clears the accumulated statistics (the state and transition
+// caches are kept).
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// SigID interns a node signature, collapsing signatures that satisfy the
+// same EDB facts of the program into one alphabet symbol.
+func (e *Engine) SigID(sig edb.NodeSig) int32 {
+	if id, ok := e.sigIndex[sig]; ok {
+		return id
+	}
+	facts := e.c.FactsFor(e.names, sig)
+	var key []byte
+	for _, a := range facts {
+		key = appendUvarint(key, uint64(a))
+	}
+	id, ok := e.factIndex[string(key)]
+	if !ok {
+		id = int32(len(e.sigFacts))
+		e.factIndex[string(key)] = id
+		e.sigFacts = append(e.sigFacts, facts)
+	}
+	e.sigIndex[sig] = id
+	return id
+}
+
+// internBU hash-conses a canonical residual program into a state of A.
+func (e *Engine) internBU(p *horn.Program) StateID {
+	k := p.Key()
+	if id, ok := e.buIndex[k]; ok {
+		return id
+	}
+	id := StateID(len(e.buStates))
+	e.buStates = append(e.buStates, p)
+	e.buIndex[k] = id
+	e.stats.BUStates++
+	return id
+}
+
+// BUState returns the residual program of bottom-up state id.
+func (e *Engine) BUState(id StateID) *horn.Program { return e.buStates[id] }
+
+// internTD hash-conses a sorted set of local atoms into a state of B.
+func (e *Engine) internTD(atoms []horn.Atom) StateID {
+	var buf []byte
+	for _, a := range atoms {
+		buf = appendUvarint(buf, uint64(a))
+	}
+	k := string(buf)
+	if id, ok := e.tdIndex[k]; ok {
+		return id
+	}
+	id := StateID(len(e.tdStates))
+	e.tdStates = append(e.tdStates, atoms)
+	e.tdIndex[k] = id
+	var qmask uint64
+	for qi, q := range e.c.Queries {
+		for _, a := range atoms {
+			if a == q {
+				qmask |= 1 << uint(qi)
+				break
+			}
+		}
+	}
+	e.tdQuery = append(e.tdQuery, qmask)
+	e.stats.TDStates++
+	return id
+}
+
+// TDSet returns the true predicates of top-down state id.
+func (e *Engine) TDSet(id StateID) []tmnf.Pred {
+	atoms := e.tdStates[id]
+	out := make([]tmnf.Pred, len(atoms))
+	for i, a := range atoms {
+		out[i] = tmnf.Pred(a)
+	}
+	return out
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// ReachableStates is the transition function δA of the bottom-up
+// automaton (procedure ComputeReachableStates, Figure 2), with lazy
+// caching: given the states of the two children (NoState for ⊥) and the
+// node signature, it returns the state of the node.
+func (e *Engine) ReachableStates(left, right StateID, sigID int32) StateID {
+	key := buKey{left, right, sigID}
+	if id, ok := e.buTrans[key]; ok {
+		return id
+	}
+	e.stats.BUTransitions++
+
+	u := e.c.U
+	rules := e.ruleBuf[:0]
+	rules = append(rules, e.c.Local...)
+	for _, a := range e.sigFacts[sigID] {
+		rules = append(rules, horn.Rule{Head: a})
+	}
+	if left != NoState {
+		rules = append(rules, e.c.Left...)
+		rules = append(rules, horn.PushDownProgram(u, 1, e.buStates[left])...)
+	}
+	if right != NoState {
+		rules = append(rules, e.c.Right...)
+		rules = append(rules, horn.PushDownProgram(u, 2, e.buStates[right])...)
+	}
+	e.ruleBuf = rules[:0]
+
+	res := e.solver.LTUR(rules)
+	if left != NoState || right != NoState {
+		res = horn.Contract(u, res)
+	}
+	id := e.internBU(res)
+	e.buTrans[key] = id
+	return id
+}
+
+// RootTrueSet extracts the top-down start state s_B from the bottom-up
+// state of the root: the predicates true in every reachable STA state,
+// i.e. the facts of the root's residual program (step 2 of Algorithm 4.6).
+func (e *Engine) RootTrueSet(rootState StateID) StateID {
+	return e.internTD(e.buStates[rootState].TruePreds())
+}
+
+// TruePreds is the transition function δB_k of the top-down automaton
+// (procedure ComputeTruePreds, Figure 3), with lazy caching: given the
+// top-down state of the parent, the bottom-up state (residual program) of
+// the k-th child, and k, it returns the top-down state of the child.
+func (e *Engine) TruePreds(parent StateID, resid StateID, k int) StateID {
+	key := tdKey{parent, resid, uint8(k)}
+	if id, ok := e.tdTrans[key]; ok {
+		return id
+	}
+	e.stats.TDTransitions++
+
+	u := e.c.U
+	rules := e.ruleBuf[:0]
+	if k == 1 {
+		rules = append(rules, e.c.Down1...)
+	} else {
+		rules = append(rules, e.c.Down2...)
+	}
+	for _, a := range e.tdStates[parent] {
+		rules = append(rules, horn.Rule{Head: a})
+	}
+	rules = append(rules, horn.PushDownProgram(u, k, e.buStates[resid])...)
+	e.ruleBuf = rules[:0]
+
+	derived := e.solver.Derivable(rules)
+	space := horn.Super1
+	if k == 2 {
+		space = horn.Super2
+	}
+	childPreds := horn.PushUpFrom(u, k, horn.PredsInSpace(u, derived, space))
+	id := e.internTD(childPreds)
+	e.tdTrans[key] = id
+	return id
+}
+
+// queryMask returns the query-predicate bitmask of a top-down state.
+func (e *Engine) queryMask(td StateID) uint64 { return e.tdQuery[td] }

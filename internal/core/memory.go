@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"arb/internal/edb"
+	"arb/internal/tree"
+)
+
+// RunOpts configures an evaluation run.
+type RunOpts struct {
+	// KeepStates records the bottom-up and top-down state of every node
+	// in the Result (in-memory runs only); used by tests, debugging and
+	// the marked-XML output path.
+	KeepStates bool
+	// Aux supplies the auxiliary per-node predicate bitmask (Aux[k] holds
+	// at v iff bit k of Aux(v) is set) — the paper's Section 7 mechanism
+	// for exposing precomputed information to the automata as part of
+	// the node labeling. The XPath frontend uses it for multi-pass
+	// negation. Nil means no auxiliary predicates.
+	Aux func(v tree.NodeID) uint16
+}
+
+// Run evaluates the engine's program over an in-memory tree using
+// Algorithm 4.6: one bottom-up pass computing the run ρA of automaton A
+// (reverse preorder — children of a node always follow it in preorder, so
+// a single descending index loop is a bottom-up traversal), then one
+// top-down pass computing the run ρB of automaton B (ascending index
+// loop). The per-node work is two hash-table lookups once the lazy
+// transition tables are warm.
+func (e *Engine) Run(t *tree.Tree, opts RunOpts) (*Result, error) {
+	n := t.Len()
+	if n == 0 {
+		return nil, errors.New("core: empty tree")
+	}
+	res := newResult(e.c.Prog, int64(n))
+	e.stats.Nodes += int64(n)
+
+	// Phase 1: bottom-up run of A.
+	start := time.Now()
+	bu := make([]StateID, n)
+	for v := n - 1; v >= 0; v-- {
+		left, right := NoState, NoState
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			left = bu[c]
+		}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			right = bu[c]
+		}
+		sig := edb.SigOf(t, tree.NodeID(v))
+		if opts.Aux != nil {
+			sig.Extra = opts.Aux(tree.NodeID(v))
+		}
+		bu[v] = e.ReachableStates(left, right, e.SigID(sig))
+	}
+	e.stats.Phase1Time += time.Since(start)
+
+	// Phase 2: top-down run of B over the ρA-labeled tree.
+	start = time.Now()
+	td := make([]StateID, n)
+	td[0] = e.RootTrueSet(bu[0])
+	for v := 0; v < n; v++ {
+		if mask := e.queryMask(td[v]); mask != 0 {
+			res.markMask(mask, int64(v))
+		}
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			td[c] = e.TruePreds(td[v], bu[c], 1)
+		}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			td[c] = e.TruePreds(td[v], bu[c], 2)
+		}
+	}
+	e.stats.Phase2Time += time.Since(start)
+
+	if opts.KeepStates {
+		res.BUStateOf = bu
+		res.TDStateOf = td
+	}
+	return res, nil
+}

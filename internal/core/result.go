@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/bits"
+
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// Result is the outcome of evaluating a TMNF program over a tree or
+// database: which nodes each query predicate selected, plus (optionally)
+// the per-node automaton states for inspection and output generation.
+type Result struct {
+	prog    *tmnf.Program
+	queries []tmnf.Pred
+	n       int64
+	// sel[qi] is a bitset over preorder node indices.
+	sel [][]uint64
+	// counts[qi] is the number of selected nodes, maintained eagerly so
+	// huge runs can report counts without rescanning bitsets.
+	counts []int64
+
+	// Optional per-node states (in-memory runs with KeepStates).
+	BUStateOf []StateID
+	TDStateOf []StateID
+}
+
+func newResult(prog *tmnf.Program, n int64) *Result {
+	qs := prog.Queries()
+	r := &Result{
+		prog:    prog,
+		queries: qs,
+		n:       n,
+		sel:     make([][]uint64, len(qs)),
+		counts:  make([]int64, len(qs)),
+	}
+	words := (n + 63) / 64
+	for i := range r.sel {
+		r.sel[i] = make([]uint64, words)
+	}
+	return r
+}
+
+// mark records that query qi selects node v.
+func (r *Result) mark(qi int, v int64) {
+	w, b := v/64, uint(v%64)
+	if r.sel[qi][w]&(1<<b) == 0 {
+		r.sel[qi][w] |= 1 << b
+		r.counts[qi]++
+	}
+}
+
+// markMask records all queries in the bitmask as selecting node v.
+func (r *Result) markMask(mask uint64, v int64) {
+	for qi := 0; mask != 0; qi++ {
+		if mask&1 != 0 {
+			r.mark(qi, v)
+		}
+		mask >>= 1
+	}
+}
+
+// Queries returns the query predicates the result covers.
+func (r *Result) Queries() []tmnf.Pred { return r.queries }
+
+// Len returns the number of nodes of the evaluated tree.
+func (r *Result) Len() int64 { return r.n }
+
+// queryIndex locates q among the result's queries.
+func (r *Result) queryIndex(q tmnf.Pred) int {
+	for i, e := range r.queries {
+		if e == q {
+			return i
+		}
+	}
+	return -1
+}
+
+// Holds reports whether query predicate q selected node v.
+func (r *Result) Holds(q tmnf.Pred, v tree.NodeID) bool {
+	qi := r.queryIndex(q)
+	if qi < 0 {
+		return false
+	}
+	return r.sel[qi][int64(v)/64]&(1<<(uint(v)%64)) != 0
+}
+
+// Count returns the number of nodes selected by q.
+func (r *Result) Count(q tmnf.Pred) int64 {
+	qi := r.queryIndex(q)
+	if qi < 0 {
+		return 0
+	}
+	return r.counts[qi]
+}
+
+// Selected returns the nodes selected by q in preorder. For very large
+// results prefer Walk.
+func (r *Result) Selected(q tmnf.Pred) []tree.NodeID {
+	var out []tree.NodeID
+	r.Walk(q, func(v tree.NodeID) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Walk calls f on each node selected by q in preorder until f returns
+// false.
+func (r *Result) Walk(q tmnf.Pred, f func(tree.NodeID) bool) {
+	qi := r.queryIndex(q)
+	if qi < 0 {
+		return
+	}
+	for w, word := range r.sel[qi] {
+		for word != 0 {
+			b := word & -word
+			v := int64(w)*64 + int64(bits.TrailingZeros64(word))
+			if v >= r.n || !f(tree.NodeID(v)) {
+				return
+			}
+			word ^= b
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+
+	"arb/internal/edb"
+)
+
+// SharedEngine adapts an Engine for concurrent use by the parallel
+// evaluator (internal/parallel): lookups of already-computed states and
+// transitions take a read lock; lazily computing a new transition takes
+// the write lock. Tree automata admit parallel evaluation naturally —
+// runs on disjoint subtrees are independent (Section 6.2) — and because
+// transition tables converge quickly, the write lock is rarely contended
+// after warm-up.
+type SharedEngine struct {
+	mu sync.RWMutex
+	e  *Engine
+}
+
+// Share wraps the engine for concurrent use. The underlying engine must
+// not be used directly while shared.
+func (e *Engine) Share() *SharedEngine { return &SharedEngine{e: e} }
+
+// Engine returns the wrapped engine for single-threaded use (statistics,
+// state inspection) once concurrent work has finished.
+func (s *SharedEngine) Engine() *Engine { return s.e }
+
+// ReachableStates is the concurrent δA: it interns the node signature and
+// returns the bottom-up state for the given child states.
+func (s *SharedEngine) ReachableStates(left, right StateID, sig edb.NodeSig) StateID {
+	s.mu.RLock()
+	sigID, okSig := s.e.sigIndex[sig]
+	if okSig {
+		if id, ok := s.e.buTrans[buKey{left, right, sigID}]; ok {
+			s.mu.RUnlock()
+			return id
+		}
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.ReachableStates(left, right, s.e.SigID(sig))
+}
+
+// RootTrueSet is the concurrent step 2 of Algorithm 4.6.
+func (s *SharedEngine) RootTrueSet(rootState StateID) StateID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.RootTrueSet(rootState)
+}
+
+// TruePreds is the concurrent δB.
+func (s *SharedEngine) TruePreds(parent, resid StateID, k int) StateID {
+	s.mu.RLock()
+	if id, ok := s.e.tdTrans[tdKey{parent, resid, uint8(k)}]; ok {
+		s.mu.RUnlock()
+		return id
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.TruePreds(parent, resid, k)
+}
+
+// QueryMask returns the query-predicate bitmask of a top-down state (bit
+// i set iff query i's predicate is in the state).
+func (s *SharedEngine) QueryMask(td StateID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.queryMask(td)
+}

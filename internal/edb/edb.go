@@ -1,0 +1,92 @@
+// Package edb evaluates the unary EDB relations of the binary tree model
+// (Section 2.1) on node signatures. It is shared by every evaluator in the
+// repository: the two-phase automata engine (which interns EDB fact sets
+// per signature), the naive fixpoint oracle, and the streaming baseline.
+package edb
+
+import (
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// NodeSig captures everything about a node that unary EDB relations can
+// observe: its label, whether it has a first/second child, and whether it
+// is the root. In the .arb storage model this is exactly the information
+// in a node's 2-byte record (plus root-ness, which is positional).
+type NodeSig struct {
+	Label     tree.Label
+	HasFirst  bool
+	HasSecond bool
+	IsRoot    bool
+	// Extra is a bitmask of auxiliary per-node predicates (Aux[k] holds
+	// iff bit k is set) — the paper's Section 7 mechanism for making
+	// precomputed information available to the automata as part of the
+	// labeling. Zero when unused.
+	Extra uint16
+}
+
+// SigOf returns the signature of node v of t.
+func SigOf(t *tree.Tree, v tree.NodeID) NodeSig {
+	return NodeSig{
+		Label:     t.Label(v),
+		HasFirst:  t.HasFirst(v),
+		HasSecond: t.HasSecond(v),
+		IsRoot:    t.IsRoot(v),
+	}
+}
+
+// ResolveLabel resolves a tmnf.Unary label reference against a name table.
+// A Label[x] test refers to the tag named x if the database knows such a
+// tag; otherwise, if x is a single character, it refers to the character
+// label x (the paper's model makes no lexical distinction: characters are
+// just labels 0..255). The boolean result reports whether the label could
+// be resolved at all — an unresolvable label test holds on no node.
+func ResolveLabel(u tmnf.Unary, names *tree.Names) (tree.Label, bool) {
+	switch u.Kind {
+	case ULabelKind:
+		if l, ok := names.Lookup(u.Name); ok {
+			return l, true
+		}
+		if len(u.Name) == 1 {
+			return tree.Label(u.Name[0]), true
+		}
+		return 0, false
+	case UCharKind:
+		return tree.Label(u.Char), true
+	}
+	return 0, false
+}
+
+// Kind aliases, so callers of this package do not need to import tmnf for
+// the constants alone.
+const (
+	ULabelKind = tmnf.ULabel
+	UCharKind  = tmnf.UChar
+)
+
+// Holds reports whether the unary relation u holds on a node with
+// signature sig, resolving label names against names.
+func Holds(u tmnf.Unary, names *tree.Names, sig NodeSig) bool {
+	var v bool
+	switch u.Kind {
+	case tmnf.UAll:
+		v = true
+	case tmnf.URoot:
+		v = sig.IsRoot
+	case tmnf.UHasFirstChild:
+		v = sig.HasFirst
+	case tmnf.UHasSecondChild:
+		v = sig.HasSecond
+	case tmnf.UText:
+		v = sig.Label.IsChar()
+	case tmnf.ULabel, tmnf.UChar:
+		l, ok := ResolveLabel(u, names)
+		v = ok && sig.Label == l
+	case tmnf.UAux:
+		v = sig.Extra&(1<<u.Aux) != 0
+	}
+	if u.Neg {
+		return !v
+	}
+	return v
+}

@@ -1,0 +1,73 @@
+package edb
+
+import (
+	"testing"
+
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+func TestHolds(t *testing.T) {
+	names := tree.NewNames()
+	a := names.MustIntern("a")
+	sig := NodeSig{Label: a, HasFirst: true, HasSecond: false, IsRoot: true}
+	charSig := NodeSig{Label: tree.Label('x')}
+
+	cases := []struct {
+		u    tmnf.Unary
+		sig  NodeSig
+		want bool
+	}{
+		{tmnf.Unary{Kind: tmnf.UAll}, sig, true},
+		{tmnf.Unary{Kind: tmnf.URoot}, sig, true},
+		{tmnf.Unary{Kind: tmnf.URoot, Neg: true}, sig, false},
+		{tmnf.Unary{Kind: tmnf.UHasFirstChild}, sig, true},
+		{tmnf.Unary{Kind: tmnf.UHasSecondChild}, sig, false},
+		{tmnf.Unary{Kind: tmnf.UHasSecondChild, Neg: true}, sig, true}, // LastSibling
+		{tmnf.Unary{Kind: tmnf.UText}, sig, false},
+		{tmnf.Unary{Kind: tmnf.UText}, charSig, true},
+		{tmnf.Unary{Kind: tmnf.ULabel, Name: "a"}, sig, true},
+		{tmnf.Unary{Kind: tmnf.ULabel, Name: "b"}, sig, false},
+		{tmnf.Unary{Kind: tmnf.ULabel, Name: "x"}, charSig, true}, // single chars fall back to char labels
+		{tmnf.Unary{Kind: tmnf.UChar, Char: 'x'}, charSig, true},
+		{tmnf.Unary{Kind: tmnf.UChar, Char: 'y'}, charSig, false},
+		{tmnf.Unary{Kind: tmnf.UAux, Aux: 3}, NodeSig{Extra: 1 << 3}, true},
+		{tmnf.Unary{Kind: tmnf.UAux, Aux: 2}, NodeSig{Extra: 1 << 3}, false},
+		{tmnf.Unary{Kind: tmnf.UAux, Aux: 2, Neg: true}, NodeSig{Extra: 1 << 3}, true},
+	}
+	for _, c := range cases {
+		if got := Holds(c.u, names, c.sig); got != c.want {
+			t.Errorf("Holds(%s, %+v) = %v, want %v", c.u, c.sig, got, c.want)
+		}
+	}
+}
+
+func TestResolveLabelUnknown(t *testing.T) {
+	names := tree.NewNames()
+	// Unknown multi-character tag: unresolvable, holds nowhere.
+	if _, ok := ResolveLabel(tmnf.Unary{Kind: tmnf.ULabel, Name: "missing"}, names); ok {
+		t.Fatal("resolved a label no database knows")
+	}
+	if Holds(tmnf.Unary{Kind: tmnf.ULabel, Name: "missing"}, names, NodeSig{Label: 300}) {
+		t.Fatal("unresolvable label test held")
+	}
+	// Its complement holds everywhere.
+	if !Holds(tmnf.Unary{Kind: tmnf.ULabel, Name: "missing", Neg: true}, names, NodeSig{Label: 300}) {
+		t.Fatal("complement of unresolvable label test did not hold")
+	}
+}
+
+func TestSigOf(t *testing.T) {
+	tr := tree.New(nil)
+	a := tr.Names().MustIntern("a")
+	root := tr.AddNode(a)
+	c := tr.AddNode(tree.Label('h'))
+	tr.SetFirst(root, c)
+
+	if got := SigOf(tr, root); got != (NodeSig{Label: a, HasFirst: true, IsRoot: true}) {
+		t.Fatalf("SigOf(root) = %+v", got)
+	}
+	if got := SigOf(tr, c); got != (NodeSig{Label: tree.Label('h')}) {
+		t.Fatalf("SigOf(child) = %+v", got)
+	}
+}

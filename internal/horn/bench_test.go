@@ -1,0 +1,70 @@
+package horn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomBenchRules builds a random Horn rule set over a universe with
+// nIDB predicates (plus superscripted spaces) — shaped like the rule
+// sets ComputeReachableStates feeds to LTUR.
+func randomBenchRules(rng *rand.Rand, u Universe, nRules, nFacts int) []Rule {
+	atom := func() Atom { return Atom(rng.Intn(3 * u.NumIDB)) }
+	rules := make([]Rule, 0, nRules+nFacts)
+	for i := 0; i < nFacts; i++ {
+		rules = append(rules, NewRule(atom()))
+	}
+	for i := 0; i < nRules; i++ {
+		body := make([]Atom, 1+rng.Intn(2))
+		for j := range body {
+			body[j] = atom()
+		}
+		rules = append(rules, NewRule(atom(), body...))
+	}
+	return rules
+}
+
+// BenchmarkLTUR measures Minoux's unit resolution on rule sets of the
+// size one lazy transition computation sees (tens of rules).
+func BenchmarkLTUR(b *testing.B) {
+	u := Universe{NumIDB: 30, NumEDB: 8}
+	rng := rand.New(rand.NewSource(1))
+	sets := make([][]Rule, 64)
+	for i := range sets {
+		sets[i] = randomBenchRules(rng, u, 60, 4)
+	}
+	s := NewSolver(u)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LTUR(sets[i%len(sets)])
+	}
+}
+
+// BenchmarkContract measures ContractProgram, the dominant cost of a
+// bottom-up transition with children present.
+func BenchmarkContract(b *testing.B) {
+	u := Universe{NumIDB: 30, NumEDB: 8}
+	rng := rand.New(rand.NewSource(2))
+	s := NewSolver(u)
+	progs := make([]*Program, 64)
+	for i := range progs {
+		progs[i] = s.LTUR(randomBenchRules(rng, u, 60, 4))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contract(u, progs[i%len(progs)])
+	}
+}
+
+// BenchmarkCanonKey measures state hash-consing, the per-transition
+// lookup cost once tables are warm.
+func BenchmarkCanonKey(b *testing.B) {
+	u := Universe{NumIDB: 30, NumEDB: 8}
+	rng := rand.New(rand.NewSource(3))
+	s := NewSolver(u)
+	p := s.LTUR(randomBenchRules(rng, u, 60, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Key()
+	}
+}

@@ -1,0 +1,136 @@
+package horn
+
+// Contract implements the ContractProgram operation of Section 4.1: rules
+// r1 and r2 are unfolded whenever head(r2) occurs in body(r1) and head(r2)
+// is a superscripted predicate (unfolding replaces head(r2) in body(r1) by
+// body(r2)); this is repeated until no new rules can be derived, and then
+// all rules still containing a superscripted predicate are removed. The
+// surviving rules mention only local predicates: they are exactly the
+// constraints among the node's own IDB predicates that the subtree below
+// the node induces.
+//
+// Rather than unfolding every superscripted body atom of every rule, the
+// implementation resolves each rule only on a *selected* atom (its largest
+// superscripted body atom). Unfoldings on distinct body atoms commute, so
+// a fixed selection still derives every rule whose body is free of
+// superscripts — this is the standard completeness argument for selection-
+// based SLD resolution on Horn clauses — while generating far fewer
+// intermediate rules.
+//
+// The input must be EDB-free (an LTUR residual). The result is canonical
+// and minimised.
+func Contract(u Universe, p *Program) *Program {
+	c := contractor{
+		u:          u,
+		seen:       make(map[string]struct{}),
+		byHead:     make(map[Atom][]int32),
+		bySelected: make(map[Atom][]int32),
+	}
+	for _, r := range p.Rules {
+		c.add(r)
+	}
+	for len(c.work) > 0 {
+		ri := c.work[len(c.work)-1]
+		c.work = c.work[:len(c.work)-1]
+		c.process(ri)
+	}
+	out := &Program{}
+	for _, r := range c.rules {
+		if !u.IsLocal(r.Head) {
+			continue
+		}
+		ok := true
+		for _, a := range r.Body {
+			if !u.IsLocal(a) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Rules = append(out.Rules, r)
+		}
+	}
+	out.Canon()
+	minimize(out)
+	return out
+}
+
+type contractor struct {
+	u     Universe
+	rules []Rule
+	seen  map[string]struct{}
+	// byHead indexes rules by superscripted head; bySelected indexes rules
+	// by their selected (largest) superscripted body atom.
+	byHead     map[Atom][]int32
+	bySelected map[Atom][]int32
+	work       []int32
+	keyBuf     []byte
+}
+
+func (c *contractor) ruleKey(r Rule) string {
+	b := c.keyBuf[:0]
+	b = appendUvarint(b, uint64(r.Head))
+	for _, a := range r.Body {
+		b = appendUvarint(b, uint64(a)+1)
+	}
+	c.keyBuf = b
+	return string(b)
+}
+
+// selected returns the largest superscripted body atom, or -1.
+func (c *contractor) selected(r Rule) Atom {
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		if c.u.IsSuper(r.Body[i]) {
+			return r.Body[i]
+		}
+	}
+	return -1
+}
+
+// add registers a rule if new and queues it for processing.
+func (c *contractor) add(r Rule) {
+	if r.isTautology() {
+		return
+	}
+	k := c.ruleKey(r)
+	if _, ok := c.seen[k]; ok {
+		return
+	}
+	c.seen[k] = struct{}{}
+	ri := int32(len(c.rules))
+	c.rules = append(c.rules, r)
+	c.work = append(c.work, ri)
+}
+
+// process wires rule ri into the indexes and performs all unfoldings it
+// enables, in both directions: as the rule being unfolded (on its selected
+// atom) and as the definition unfolded into others (via its head).
+func (c *contractor) process(ri int32) {
+	r := c.rules[ri]
+	if sel := c.selected(r); sel >= 0 {
+		c.bySelected[sel] = append(c.bySelected[sel], ri)
+		defs := c.byHead[sel]
+		for _, di := range defs {
+			c.unfold(r, c.rules[di], sel)
+		}
+	}
+	if c.u.IsSuper(r.Head) {
+		c.byHead[r.Head] = append(c.byHead[r.Head], ri)
+		users := append([]int32(nil), c.bySelected[r.Head]...)
+		for _, ui := range users {
+			c.unfold(c.rules[ui], r, r.Head)
+		}
+	}
+}
+
+// unfold replaces atom sel in body(r1) by body(r2), where head(r2) == sel.
+func (c *contractor) unfold(r1, r2 Rule, sel Atom) {
+	body := make([]Atom, 0, len(r1.Body)-1+len(r2.Body))
+	for _, a := range r1.Body {
+		if a != sel {
+			body = append(body, a)
+		}
+	}
+	body = append(body, r2.Body...)
+	c.add(NewRule(r1.Head, body...))
+}

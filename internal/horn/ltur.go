@@ -1,0 +1,224 @@
+package horn
+
+// Solver bundles the reusable scratch state for LTUR runs over a fixed
+// Universe. The two-phase engine calls LTUR once per lazily computed
+// automaton transition, so allocations are kept proportional to the
+// (small) program sizes, not the universe.
+type Solver struct {
+	u Universe
+
+	// scratch, reused across calls; indexed by atom
+	truth   []bool
+	touched []Atom // atoms whose truth was set, for O(program) reset
+	occ     [][]int32
+	occSet  []Atom // atoms whose occ list was filled
+	queue   []Atom
+	counter []int32
+}
+
+// NewSolver returns a solver for the given universe.
+func NewSolver(u Universe) *Solver {
+	n := u.Size()
+	return &Solver{
+		u:     u,
+		truth: make([]bool, n),
+		occ:   make([][]int32, n),
+	}
+}
+
+// Universe returns the solver's atom universe.
+func (s *Solver) Universe() Universe { return s.u }
+
+func (s *Solver) reset() {
+	for _, a := range s.touched {
+		s.truth[a] = false
+	}
+	s.touched = s.touched[:0]
+	for _, a := range s.occSet {
+		s.occ[a] = s.occ[a][:0]
+	}
+	s.occSet = s.occSet[:0]
+	s.queue = s.queue[:0]
+	s.counter = s.counter[:0]
+}
+
+func (s *Solver) setTrue(a Atom) {
+	if !s.truth[a] {
+		s.truth[a] = true
+		s.touched = append(s.touched, a)
+		s.queue = append(s.queue, a)
+	}
+}
+
+// LTUR runs Minoux's linear-time unit resolution over the given rules and
+// returns the residual program of Section 4.1:
+//
+//  1. compute the set M of all derivable predicates,
+//  2. drop rules whose head is in M or whose body contains an EDB
+//     predicate not in M (EDB truth is fully determined by the input
+//     facts, so such rules can never fire),
+//  3. remove body predicates that are in M from the remaining rules,
+//  4. insert a fact for each IDB predicate in M.
+//
+// The result is canonical, minimised (no tautologies, no subsumed rules)
+// and free of EDB predicates.
+func (s *Solver) LTUR(rules []Rule) *Program {
+	s.reset()
+
+	// Build occurrence lists and unsatisfied-body counters; seed facts.
+	if cap(s.counter) < len(rules) {
+		s.counter = make([]int32, len(rules))
+	} else {
+		s.counter = s.counter[:len(rules)]
+	}
+	for i, r := range rules {
+		s.counter[i] = int32(len(r.Body))
+		if len(r.Body) == 0 {
+			s.setTrue(r.Head)
+			continue
+		}
+		for _, a := range r.Body {
+			if len(s.occ[a]) == 0 {
+				s.occSet = append(s.occSet, a)
+			}
+			s.occ[a] = append(s.occ[a], int32(i))
+		}
+	}
+
+	// Unit propagation.
+	for len(s.queue) > 0 {
+		a := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		for _, ri := range s.occ[a] {
+			s.counter[ri]--
+			if s.counter[ri] == 0 {
+				s.setTrue(rules[ri].Head)
+			}
+		}
+	}
+
+	// Residual construction.
+	res := &Program{}
+	for _, r := range rules {
+		if len(r.Body) == 0 || s.truth[r.Head] {
+			continue
+		}
+		keep := true
+		var body []Atom
+		for _, a := range r.Body {
+			if s.truth[a] {
+				continue
+			}
+			if s.u.IsEDB(a) {
+				keep = false
+				break
+			}
+			body = append(body, a)
+		}
+		if !keep {
+			continue
+		}
+		nr := NewRule(r.Head, body...)
+		if nr.isTautology() {
+			continue
+		}
+		res.Rules = append(res.Rules, nr)
+	}
+	for _, a := range s.touched {
+		if !s.u.IsEDB(a) {
+			res.Rules = append(res.Rules, Rule{Head: a})
+		}
+	}
+	res.Canon()
+	minimize(res)
+	return res
+}
+
+// Derivable runs plain unit propagation and returns the set of derivable
+// atoms M in ascending order, without building a residual. Used by the
+// top-down phase (ComputeTruePreds needs only TruePreds(LTUR(P))) and by
+// tests.
+func (s *Solver) Derivable(rules []Rule) []Atom {
+	s.reset()
+	if cap(s.counter) < len(rules) {
+		s.counter = make([]int32, len(rules))
+	} else {
+		s.counter = s.counter[:len(rules)]
+	}
+	for i, r := range rules {
+		s.counter[i] = int32(len(r.Body))
+		if len(r.Body) == 0 {
+			s.setTrue(r.Head)
+			continue
+		}
+		for _, a := range r.Body {
+			if len(s.occ[a]) == 0 {
+				s.occSet = append(s.occSet, a)
+			}
+			s.occ[a] = append(s.occ[a], int32(i))
+		}
+	}
+	for len(s.queue) > 0 {
+		a := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		for _, ri := range s.occ[a] {
+			s.counter[ri]--
+			if s.counter[ri] == 0 {
+				s.setTrue(rules[ri].Head)
+			}
+		}
+	}
+	out := append([]Atom(nil), s.touched...)
+	sortAtoms(out)
+	return out
+}
+
+// minimize removes tautologies and subsumed rules in place; p must be
+// canonical on entry and remains canonical.
+func minimize(p *Program) {
+	// Group by head; within a group, canonical order sorts shorter bodies
+	// first, so a linear scan with subset checks against kept rules works.
+	kept := p.Rules[:0]
+	groupStart := 0
+	for i := 0; i <= len(p.Rules); i++ {
+		if i < len(p.Rules) && (i == groupStart || p.Rules[i].Head == p.Rules[groupStart].Head) {
+			continue
+		}
+		// group [groupStart, i)
+		first := len(kept)
+		for j := groupStart; j < i; j++ {
+			r := p.Rules[j]
+			if r.isTautology() {
+				continue
+			}
+			subsumed := false
+			for _, k := range kept[first:] {
+				if isSubsetSorted(k.Body, r.Body) {
+					subsumed = true
+					break
+				}
+			}
+			if !subsumed {
+				kept = append(kept, r)
+			}
+		}
+		groupStart = i
+	}
+	p.Rules = kept
+}
+
+// isSubsetSorted reports whether sorted slice a is a subset of sorted
+// slice b.
+func isSubsetSorted(a, b []Atom) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"arb/internal/testutil"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// chainTree builds a root with n children labeled by the given tags.
+func chainTree(tags ...string) *tree.Tree {
+	t := tree.New(nil)
+	root := t.AddNode(t.Names().MustIntern("r"))
+	prev := tree.None
+	for _, tag := range tags {
+		n := t.AddNode(t.Names().MustIntern(tag))
+		if prev == tree.None {
+			t.SetFirst(root, n)
+		} else {
+			t.SetSecond(prev, n)
+		}
+		prev = n
+	}
+	return t
+}
+
+// TestExample22 runs the paper's Example 2.2 program (even number of
+// leaves labeled "a" per subtree) on sibling chains of varying length.
+func TestExample22(t *testing.T) {
+	src := `
+Even :- Leaf, -Label[a];
+Odd  :- Leaf, Label[a];
+SFREven :- Even, LastSibling;
+SFROdd  :- Odd, LastSibling;
+FSEven :- SFREven.invNextSibling;
+FSOdd  :- SFROdd.invNextSibling;
+SFREven :- FSEven, Even;
+SFROdd  :- FSEven, Odd;
+SFROdd  :- FSOdd, Even;
+SFREven :- FSOdd, Odd;
+Even :- SFREven.invFirstChild;
+Odd  :- SFROdd.invFirstChild;
+`
+	for _, tc := range []struct {
+		tags []string
+		even bool
+	}{
+		{[]string{"a"}, false},
+		{[]string{"a", "a"}, true},
+		{[]string{"a", "b", "a"}, true},
+		{[]string{"a", "b", "a", "a"}, false},
+		{[]string{"b", "b"}, true},
+	} {
+		prog := tmnf.MustParse(src)
+		if err := prog.SetQueries("Even", "Odd"); err != nil {
+			t.Fatal(err)
+		}
+		tr := chainTree(tc.tags...)
+		res := Evaluate(tr, prog)
+		even, _ := prog.Pred("Even")
+		odd, _ := prog.Pred("Odd")
+		if res.Holds(even, 0) != tc.even {
+			t.Errorf("%v: Even(root) = %v, want %v", tc.tags, res.Holds(even, 0), tc.even)
+		}
+		if res.Holds(odd, 0) == tc.even {
+			t.Errorf("%v: Odd(root) = %v, want %v", tc.tags, res.Holds(odd, 0), !tc.even)
+		}
+	}
+}
+
+func TestMultipleQueries(t *testing.T) {
+	prog := tmnf.MustParse(`
+A :- Label[a];
+B :- Label[b];
+`)
+	if err := prog.SetQueries("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	tr := chainTree("a", "b", "a")
+	res := Evaluate(tr, prog)
+	a, _ := prog.Pred("A")
+	b, _ := prog.Pred("B")
+	if res.Count(a) != 2 || res.Count(b) != 1 {
+		t.Fatalf("counts: A=%d B=%d", res.Count(a), res.Count(b))
+	}
+	sel := res.Selected(a)
+	if len(sel) != 2 || sel[0] != 1 || sel[1] != 3 {
+		t.Fatalf("Selected(A) = %v", sel)
+	}
+}
+
+// TestFixpointMonotone checks that evaluation is a fixpoint: re-deriving
+// any rule adds nothing.
+func TestFixpointMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 30; iter++ {
+		tr := testutil.RandomTree(rng, 40)
+		prog := testutil.RandomProgramParsed(rng, 4, 10)
+		res := Evaluate(tr, prog)
+		parent, kind := tr.Parents()
+		for _, r := range prog.Rules() {
+			for v := 0; v < tr.Len(); v++ {
+				id := tree.NodeID(v)
+				switch r.Kind {
+				case tmnf.RuleMove:
+					// Head at the child if From at the parent.
+					if p := parent[v]; p != tree.None && int(kind[v]) == int(r.Rel) {
+						if res.Holds(r.From, p) && !res.Holds(r.Head, id) {
+							t.Fatalf("iter %d: move rule not closed at %d", iter, v)
+						}
+					}
+				case tmnf.RuleInvMove:
+					var c tree.NodeID
+					if r.Rel == tmnf.RelFirst {
+						c = tr.First(id)
+					} else {
+						c = tr.Second(id)
+					}
+					if c != tree.None && res.Holds(r.From, c) && !res.Holds(r.Head, id) {
+						t.Fatalf("iter %d: inverse move rule not closed at %d", iter, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyProgramAndSingleNode(t *testing.T) {
+	tr := tree.New(nil)
+	tr.AddNode(tr.Names().MustIntern("a"))
+	prog := tmnf.MustParse(`QUERY :- Root;`)
+	res := Evaluate(tr, prog)
+	if !res.Holds(prog.Queries()[0], 0) {
+		t.Fatal("Root not derived at the root")
+	}
+}

@@ -1,0 +1,297 @@
+// Package parallel evaluates TMNF programs over in-memory trees with
+// multiple workers, exploiting the intrinsic parallelism of tree automata
+// the paper points out in Sections 6.2 and 7: runs on disjoint subtrees
+// are completely independent, so both evaluation phases parallelise by
+// splitting the tree at a frontier of subtrees.
+//
+// The binary-tree preorder layout makes the decomposition trivial — every
+// subtree is a contiguous index range — and the two automata are shared
+// through core.SharedEngine, so states computed by one worker are reused
+// by all. On balanced trees (the ACGT-infix model; see the paper's
+// discussion of parallel regular expression matching) phase work divides
+// evenly; on degenerate right-deep trees (ACGT-flat) the frontier
+// collapses to a few huge chains and parallelism yields nothing — which
+// is exactly why the paper restructures sequences into balanced infix
+// trees.
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"arb/internal/core"
+	"arb/internal/edb"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// Result holds the selected nodes per query predicate.
+type Result struct {
+	queries []tmnf.Pred
+	sel     [][]bool
+}
+
+// Queries returns the program's query predicates.
+func (r *Result) Queries() []tmnf.Pred { return r.queries }
+
+// Holds reports whether query predicate q selected node v.
+func (r *Result) Holds(q tmnf.Pred, v tree.NodeID) bool {
+	for i, p := range r.queries {
+		if p == q {
+			return r.sel[i][v]
+		}
+	}
+	return false
+}
+
+// Count returns the number of nodes selected by q.
+func (r *Result) Count(q tmnf.Pred) int64 {
+	var n int64
+	for i, p := range r.queries {
+		if p == q {
+			for _, ok := range r.sel[i] {
+				if ok {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// task is one frontier subtree: the contiguous preorder range
+// [root, root+size).
+type task struct {
+	root tree.NodeID
+	size int32
+}
+
+// Run evaluates the engine's compiled program over t using the given
+// number of workers (0 = GOMAXPROCS). The result is identical to
+// (*core.Engine).Run — the decomposition only changes the evaluation
+// order within each phase, never the transition functions.
+func Run(e *core.Engine, t *tree.Tree, workers int) (*Result, error) {
+	n := t.Len()
+	if n == 0 {
+		return nil, errors.New("parallel: empty tree")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := e.Share()
+	prog := e.Compiled().Prog
+	res := &Result{queries: prog.Queries()}
+	res.sel = make([][]bool, len(res.queries))
+	for i := range res.sel {
+		res.sel[i] = make([]bool, n)
+	}
+
+	// Subtree sizes; size[v] spans v's entire binary subtree.
+	size := make([]int32, n)
+	for v := n - 1; v >= 0; v-- {
+		size[v] = 1
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			size[v] += size[c]
+		}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			size[v] += size[c]
+		}
+	}
+
+	// Frontier: maximal subtrees no larger than the per-task target.
+	target := int32(n/(workers*4) + 1)
+	if target < 256 {
+		target = 256
+	}
+	var tasks []task
+	inTask := make([]bool, n) // v begins a frontier subtree
+	// Iterative cut: an explicit stack, since degenerate (right-deep)
+	// trees would overflow the goroutine stack with recursion.
+	stack := []tree.NodeID{t.Root()}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if size[v] <= target {
+			tasks = append(tasks, task{root: v, size: size[v]})
+			inTask[v] = true
+			continue
+		}
+		if c := t.Second(v); c != tree.None {
+			stack = append(stack, c)
+		}
+		if c := t.First(v); c != tree.None {
+			stack = append(stack, c)
+		}
+	}
+
+	// Top nodes: everything not inside a frontier subtree, in preorder.
+	var top []tree.NodeID
+	{
+		i := tree.NodeID(0)
+		for i < tree.NodeID(n) {
+			if inTask[i] {
+				i += tree.NodeID(size[i])
+				continue
+			}
+			top = append(top, i)
+			i++
+		}
+	}
+
+	bu := make([]core.StateID, n)
+	td := make([]core.StateID, n)
+
+	// Phase 1: workers fold their subtrees bottom-up; ranges are
+	// disjoint, so bu writes need no synchronisation. Each worker keeps
+	// a private transition cache in front of the shared engine, so the
+	// warm steady state takes no locks at all.
+	runTasks(workers, tasks, func() func(task) {
+		cache := newWorkerCache(s)
+		return func(tk task) {
+			for v := tk.root + tree.NodeID(tk.size) - 1; v >= tk.root; v-- {
+				bu[v] = cache.buStep(t, bu, v)
+			}
+		}
+	})
+	// Then the top part sequentially (its children are either top nodes
+	// or frontier roots, all computed).
+	topCache := newWorkerCache(s)
+	for i := len(top) - 1; i >= 0; i-- {
+		v := top[i]
+		bu[v] = topCache.buStep(t, bu, v)
+	}
+
+	// Phase 2: top part first (assigning the top-down states of frontier
+	// roots), then workers descend into their subtrees.
+	mark := func(wc *workerCache, v tree.NodeID) {
+		if mask := wc.queryMask(td[v]); mask != 0 {
+			for i := range res.queries {
+				if mask&(1<<uint(i)) != 0 {
+					res.sel[i][v] = true
+				}
+			}
+		}
+	}
+	td[0] = s.RootTrueSet(bu[0])
+	for _, v := range top {
+		mark(topCache, v)
+		if c := t.First(v); c != tree.None {
+			td[c] = topCache.truePreds(td[v], bu[c], 1)
+		}
+		if c := t.Second(v); c != tree.None {
+			td[c] = topCache.truePreds(td[v], bu[c], 2)
+		}
+	}
+	runTasks(workers, tasks, func() func(task) {
+		cache := newWorkerCache(s)
+		return func(tk task) {
+			for v := tk.root; v < tk.root+tree.NodeID(tk.size); v++ {
+				mark(cache, v)
+				if c := t.First(v); c != tree.None {
+					td[c] = cache.truePreds(td[v], bu[c], 1)
+				}
+				if c := t.Second(v); c != tree.None {
+					td[c] = cache.truePreds(td[v], bu[c], 2)
+				}
+			}
+		}
+	})
+	return res, nil
+}
+
+// workerCache is a private, lock-free cache of automaton transitions in
+// front of the shared engine. States are engine-global ids, so caching
+// them locally is sound; the shared maps are only consulted on local
+// misses.
+type workerCache struct {
+	s     *core.SharedEngine
+	bu    map[buKey]core.StateID
+	td    map[tdKey]core.StateID
+	masks map[core.StateID]uint64
+}
+
+type buKey struct {
+	left, right core.StateID
+	sig         edb.NodeSig
+}
+
+type tdKey struct {
+	parent, resid core.StateID
+	k             uint8
+}
+
+func newWorkerCache(s *core.SharedEngine) *workerCache {
+	return &workerCache{
+		s:     s,
+		bu:    map[buKey]core.StateID{},
+		td:    map[tdKey]core.StateID{},
+		masks: map[core.StateID]uint64{},
+	}
+}
+
+// queryMask caches the query bitmask per top-down state.
+func (wc *workerCache) queryMask(td core.StateID) uint64 {
+	if m, ok := wc.masks[td]; ok {
+		return m
+	}
+	m := wc.s.QueryMask(td)
+	wc.masks[td] = m
+	return m
+}
+
+// buStep computes one bottom-up transition.
+func (wc *workerCache) buStep(t *tree.Tree, bu []core.StateID, v tree.NodeID) core.StateID {
+	left, right := core.NoState, core.NoState
+	if c := t.First(v); c != tree.None {
+		left = bu[c]
+	}
+	if c := t.Second(v); c != tree.None {
+		right = bu[c]
+	}
+	key := buKey{left, right, edb.SigOf(t, v)}
+	if id, ok := wc.bu[key]; ok {
+		return id
+	}
+	id := wc.s.ReachableStates(left, right, key.sig)
+	wc.bu[key] = id
+	return id
+}
+
+func (wc *workerCache) truePreds(parent, resid core.StateID, k int) core.StateID {
+	key := tdKey{parent, resid, uint8(k)}
+	if id, ok := wc.td[key]; ok {
+		return id
+	}
+	id := wc.s.TruePreds(parent, resid, k)
+	wc.td[key] = id
+	return id
+}
+
+// runTasks fans the tasks out over the workers; makeWorker builds one
+// closure (with private caches) per worker goroutine.
+func runTasks(workers int, tasks []task, makeWorker func() func(task)) {
+	if len(tasks) == 0 {
+		return
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	ch := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := makeWorker()
+			for tk := range ch {
+				f(tk)
+			}
+		}()
+	}
+	for _, tk := range tasks {
+		ch <- tk
+	}
+	close(ch)
+	wg.Wait()
+}

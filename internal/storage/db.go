@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"arb/internal/tree"
+)
+
+// DB is an open .arb database.
+type DB struct {
+	Base  string
+	N     int64 // number of nodes
+	Names *tree.Names
+
+	arb *os.File
+}
+
+// Open opens base.arb and base.lab.
+func Open(base string) (*DB, error) {
+	arbF, err := os.Open(base + ".arb")
+	if err != nil {
+		return nil, err
+	}
+	st, err := arbF.Stat()
+	if err != nil {
+		arbF.Close()
+		return nil, err
+	}
+	if st.Size()%NodeSize != 0 {
+		arbF.Close()
+		return nil, fmt.Errorf("storage: %s.arb has size %d, not a multiple of %d", base, st.Size(), NodeSize)
+	}
+	names := tree.NewNames()
+	labF, err := os.Open(base + ".lab")
+	if err == nil {
+		names, err = tree.ReadNames(labF)
+		labF.Close()
+		if err != nil {
+			arbF.Close()
+			return nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		arbF.Close()
+		return nil, err
+	}
+	return &DB{Base: base, N: st.Size() / NodeSize, Names: names, arb: arbF}, nil
+}
+
+// Close releases the database's file handle.
+func (db *DB) Close() error { return db.arb.Close() }
+
+// ScanStats reports the cost profile of one linear scan, used to verify
+// Proposition 5.1 (stack bounded by the document depth).
+type ScanStats struct {
+	Nodes    int64
+	MaxStack int
+}
+
+// FoldBottomUp traverses the database bottom-up in one backward linear
+// scan of the .arb file (Proposition 5.1), combining child results into
+// parent results. combine is called exactly once per node, in reverse
+// preorder, with the results of the node's first and second child (nil
+// for absent children) and the node's record and preorder index. It
+// returns the root's result.
+func FoldBottomUp[S any](db *DB, combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
+	var zero S
+	var stats ScanStats
+	br, err := NewBackwardReader(db.arb, db.N*NodeSize, NodeSize)
+	if err != nil {
+		return zero, stats, err
+	}
+	// Reading preorder backwards, a node is reached after its entire
+	// second subtree (pushed first) and first subtree (pushed second, so
+	// popped first).
+	var stack []S
+	for v := db.N - 1; v >= 0; v-- {
+		b, err := br.Next()
+		if err != nil {
+			return zero, stats, fmt.Errorf("storage: backward scan: %w", err)
+		}
+		rec := DecodeRecord(binary.BigEndian.Uint16(b))
+		var first, second *S
+		if rec.HasFirst {
+			if len(stack) == 0 {
+				return zero, stats, fmt.Errorf("storage: malformed .arb: missing first subtree at node %d", v)
+			}
+			first = &stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		}
+		if rec.HasSecond {
+			if len(stack) == 0 {
+				return zero, stats, fmt.Errorf("storage: malformed .arb: missing second subtree at node %d", v)
+			}
+			second = &stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		}
+		s := combine(first, second, rec, v)
+		stack = append(stack, s)
+		if len(stack) > stats.MaxStack {
+			stats.MaxStack = len(stack)
+		}
+		stats.Nodes++
+	}
+	if len(stack) != 1 {
+		return zero, stats, fmt.Errorf("storage: malformed .arb: %d roots", len(stack))
+	}
+	return stack[0], stats, nil
+}
+
+// ScanTopDown traverses the database top-down in one forward linear scan
+// of the .arb file (Proposition 5.1). visit is called exactly once per
+// node in preorder; for the root, parent is nil and k is 0; otherwise
+// parent is the value visit returned for the node's parent and k tells
+// whether the node is the first (1) or second (2) child. The stack holds
+// one entry per ancestor whose second subtree is still pending.
+func ScanTopDown[S any](db *DB, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
+	var stats ScanStats
+	if _, err := db.arb.Seek(0, io.SeekStart); err != nil {
+		return stats, err
+	}
+	r := bufio.NewReaderSize(db.arb, defaultBufSize)
+	var buf [NodeSize]byte
+
+	var pending []S // nodes awaiting their second subtree
+	var parent *S
+	k := 0
+	var parentVal S
+	for v := int64(0); v < db.N; v++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return stats, fmt.Errorf("storage: forward scan: %w", err)
+		}
+		rec := DecodeRecord(binary.BigEndian.Uint16(buf[:]))
+		s, err := visit(v, rec, parent, k)
+		if err != nil {
+			return stats, err
+		}
+		stats.Nodes++
+		if rec.HasSecond {
+			pending = append(pending, s)
+			if len(pending) > stats.MaxStack {
+				stats.MaxStack = len(pending)
+			}
+		}
+		if rec.HasFirst {
+			parentVal = s
+			parent = &parentVal
+			k = 1
+		} else if len(pending) > 0 {
+			parentVal = pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+			parent = &parentVal
+			k = 2
+		} else {
+			parent = nil
+			k = 0
+			// Only legal if this was the last node.
+			if v != db.N-1 {
+				return stats, fmt.Errorf("storage: malformed .arb: scan ended at node %d of %d", v, db.N)
+			}
+		}
+	}
+	if parent != nil || len(pending) > 0 {
+		return stats, fmt.Errorf("storage: malformed .arb: %d announced subtrees missing at end of file", len(pending)+1)
+	}
+	return stats, nil
+}
+
+// ReadTree materialises the whole database as an in-memory tree. Intended
+// for tests and small databases.
+func (db *DB) ReadTree() (*tree.Tree, error) {
+	t := tree.New(db.Names)
+	type ctx struct {
+		parent tree.NodeID
+		k      int
+	}
+	_, err := ScanTopDown(db, func(v int64, rec Record, parent *ctx, k int) (ctx, error) {
+		id := t.AddNode(tree.Label(rec.Label))
+		if parent != nil {
+			if k == 1 {
+				t.SetFirst(parent.parent, id)
+			} else {
+				t.SetSecond(parent.parent, id)
+			}
+		}
+		return ctx{parent: id}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,40 @@
+package stream_test
+
+import (
+	"testing"
+
+	"arb/internal/stream"
+	"arb/internal/tree"
+	"arb/internal/workload"
+)
+
+// BenchmarkMatchTreebank measures the one-pass matcher's per-node cost
+// on a Treebank-like document — the [12] baseline's steady state.
+func BenchmarkMatchTreebank(b *testing.B) {
+	t, err := workload.TreebankTree(workload.TreebankConfig{Seed: 1, Sentences: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := stream.Compile(stream.Query{Regex: "S.VP.(NP.PP)*.NP", AnyPrefix: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(t.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := m.NewCountingSession()
+		if err := tree.Emit(t, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures query compilation (Glushkov construction;
+// the DFA itself is lazy).
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := stream.Compile(stream.Query{Regex: "S.VP.(NP.PP)*.(NP|S).VP?"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package stream
+
+import "fmt"
+
+// Regular-expression AST over tag-name symbols. The syntax matches the
+// path fragments of the paper's Section 6.2 queries, e.g.
+// "S.VP.(NP.PP)*.NP": '.' concatenates, '|' alternates, '*', '+', '?'
+// repeat, parentheses group, '_' is the any-tag wildcard.
+type rkind uint8
+
+const (
+	rSym rkind = iota
+	rCat
+	rAlt
+	rStar
+	rPlus
+	rOpt
+)
+
+type rnode struct {
+	kind rkind
+	sym  string
+	pos  int
+	l, r *rnode
+}
+
+type rparser struct {
+	src string
+	i   int
+}
+
+func parseRegex(src string) (*rnode, error) {
+	p := &rparser{src: src}
+	n, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.i != len(p.src) {
+		return nil, fmt.Errorf("stream: trailing input at offset %d in %q", p.i, src)
+	}
+	if n == nil {
+		return nil, fmt.Errorf("stream: empty regex")
+	}
+	return n, nil
+}
+
+func (p *rparser) ws() {
+	for p.i < len(p.src) && (p.src[p.i] == ' ' || p.src[p.i] == '\t' || p.src[p.i] == '\n') {
+		p.i++
+	}
+}
+
+func (p *rparser) alt() (*rnode, error) {
+	l, err := p.cat()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	for p.i < len(p.src) && p.src[p.i] == '|' {
+		p.i++
+		r, err := p.cat()
+		if err != nil {
+			return nil, err
+		}
+		if l == nil || r == nil {
+			return nil, fmt.Errorf("stream: empty alternative at offset %d", p.i)
+		}
+		l = &rnode{kind: rAlt, l: l, r: r}
+		p.ws()
+	}
+	return l, nil
+}
+
+func (p *rparser) cat() (*rnode, error) {
+	var l *rnode
+	for {
+		p.ws()
+		if p.i >= len(p.src) || p.src[p.i] == '|' || p.src[p.i] == ')' {
+			return l, nil
+		}
+		if p.src[p.i] == '.' {
+			p.i++
+			continue
+		}
+		f, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		if l == nil {
+			l = f
+		} else {
+			l = &rnode{kind: rCat, l: l, r: f}
+		}
+	}
+}
+
+func (p *rparser) factor() (*rnode, error) {
+	base, err := p.base()
+	if err != nil {
+		return nil, err
+	}
+	for p.i < len(p.src) {
+		switch p.src[p.i] {
+		case '*':
+			base = &rnode{kind: rStar, l: base}
+			p.i++
+		case '+':
+			base = &rnode{kind: rPlus, l: base}
+			p.i++
+		case '?':
+			base = &rnode{kind: rOpt, l: base}
+			p.i++
+		default:
+			return base, nil
+		}
+	}
+	return base, nil
+}
+
+func (p *rparser) base() (*rnode, error) {
+	p.ws()
+	if p.i >= len(p.src) {
+		return nil, fmt.Errorf("stream: unexpected end of regex")
+	}
+	if p.src[p.i] == '(' {
+		p.i++
+		n, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if p.i >= len(p.src) || p.src[p.i] != ')' {
+			return nil, fmt.Errorf("stream: missing ')' at offset %d", p.i)
+		}
+		p.i++
+		if n == nil {
+			return nil, fmt.Errorf("stream: empty group at offset %d", p.i)
+		}
+		return n, nil
+	}
+	start := p.i
+	for p.i < len(p.src) && isSymByte(p.src[p.i]) {
+		p.i++
+	}
+	if p.i == start {
+		return nil, fmt.Errorf("stream: unexpected %q at offset %d", p.src[p.i], p.i)
+	}
+	return &rnode{kind: rSym, sym: p.src[start:p.i]}, nil
+}
+
+func isSymByte(c byte) bool {
+	return c == '_' || c == '-' || c == '@' ||
+		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}

@@ -1,0 +1,74 @@
+package stream
+
+// Session runs a compiled matcher over one document event stream. It
+// implements the xmlparse.Handler event surface (Begin/Text/End), so it
+// can be fed directly from an XML parser, a tree walk, or a database
+// scan. Memory use is one DFA state per open element — the stack of [12].
+type Session struct {
+	m        *Matcher
+	stack    []int
+	node     int64 // document-order node id (elements and characters)
+	maxDepth int
+
+	matches []int64
+	count   int64
+	keepIDs bool
+}
+
+// NewSession starts a run that records the document-order ids of matched
+// element nodes.
+func (m *Matcher) NewSession() *Session {
+	return &Session{m: m, keepIDs: true}
+}
+
+// NewCountingSession starts a run that only counts matches (no per-match
+// allocation; used by benchmarks on huge streams).
+func (m *Matcher) NewCountingSession() *Session {
+	return &Session{m: m}
+}
+
+// Begin consumes an element-open event.
+func (s *Session) Begin(name string) error {
+	var state int
+	if len(s.stack) == 0 {
+		state = s.m.startState()
+	} else {
+		state = s.stack[len(s.stack)-1]
+	}
+	next := s.m.step(state, name)
+	s.stack = append(s.stack, next)
+	if len(s.stack) > s.maxDepth {
+		s.maxDepth = len(s.stack)
+	}
+	if s.m.accepting(next) {
+		s.count++
+		if s.keepIDs {
+			s.matches = append(s.matches, s.node)
+		}
+	}
+	s.node++
+	return nil
+}
+
+// Text consumes a text event; character nodes advance the node counter
+// but never match a tag-path query.
+func (s *Session) Text(b []byte) error {
+	s.node += int64(len(b))
+	return nil
+}
+
+// End consumes an element-close event.
+func (s *Session) End() error {
+	s.stack = s.stack[:len(s.stack)-1]
+	return nil
+}
+
+// Matches returns the document-order ids of the matched element nodes.
+func (s *Session) Matches() []int64 { return s.matches }
+
+// Count returns the number of matched element nodes.
+func (s *Session) Count() int64 { return s.count }
+
+// MaxDepth returns the peak stack depth observed — by construction the
+// document depth, the paper's memory bound for stream processing.
+func (s *Session) MaxDepth() int { return s.maxDepth }

@@ -1,0 +1,253 @@
+// Package stream implements the one-pass streaming query class the paper
+// contrasts itself with (Section 1, [12]): simple downward path queries
+// matched by a deterministic word automaton over root-to-node label paths,
+// maintained with a stack of automaton states during a single forward scan
+// of the document events.
+//
+// A matcher selects element nodes whose root path matches a regular
+// expression over tag names. This is strictly less expressive than the
+// engine's MSO fragment — no upward or sideways moves, no conditions on
+// what follows in the stream — but needs only one pass and no temporary
+// storage; the benchmark harness uses it to quantify the cost of the
+// second pass on queries both systems can express.
+//
+// The DFA is computed lazily by the subset construction over a Glushkov
+// position NFA, mirroring how the two-phase engine computes its tree
+// automata lazily.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query is a root-path query: a regular expression over tag-name symbols
+// (syntax: names, '.', '|', '*', '+', '?', parentheses; '_' matches any
+// element tag). With AnyPrefix, the match may start at any depth
+// (a leading //), i.e. the regex is matched against a suffix of the path.
+type Query struct {
+	Regex     string
+	AnyPrefix bool
+}
+
+// Matcher is a compiled query. It is stateless and safe to share; each
+// document run needs its own Session.
+type Matcher struct {
+	q        Query
+	symbols  map[string]int // tag name -> symbol id; wildcard excluded
+	follow   [][]int        // Glushkov follow sets per position
+	posSym   []int          // symbol of each position; -1 = wildcard
+	first    []int
+	lastSet  map[int]bool
+	nullable bool
+
+	// lazy DFA
+	dfa     map[dfaKey]int
+	states  []posSet
+	index   map[string]int
+	accepts []bool
+}
+
+type dfaKey struct {
+	state int
+	sym   int
+}
+
+// posSet is a DFA state: the candidate positions for the next symbol,
+// plus whether the symbol that led here completed a match (Glushkov
+// states track positions already consumed, so acceptance is a property of
+// the transition taken, recorded in the target state).
+type posSet struct {
+	set      []int
+	accepted bool
+}
+
+func (s posSet) key() string {
+	var b strings.Builder
+	if s.accepted {
+		b.WriteByte('!')
+	}
+	for _, p := range s.set {
+		fmt.Fprintf(&b, "%d,", p)
+	}
+	return b.String()
+}
+
+// Compile parses and compiles the query.
+func Compile(q Query) (*Matcher, error) {
+	ast, err := parseRegex(q.Regex)
+	if err != nil {
+		return nil, err
+	}
+	m := &Matcher{
+		q:       q,
+		symbols: map[string]int{},
+		dfa:     map[dfaKey]int{},
+		index:   map[string]int{},
+		lastSet: map[int]bool{},
+	}
+	m.build(ast)
+	return m, nil
+}
+
+// build runs the Glushkov position construction.
+func (m *Matcher) build(ast *rnode) {
+	var number func(n *rnode)
+	number = func(n *rnode) {
+		switch n.kind {
+		case rSym:
+			n.pos = len(m.posSym)
+			if n.sym == "_" {
+				m.posSym = append(m.posSym, -1)
+			} else {
+				id, ok := m.symbols[n.sym]
+				if !ok {
+					id = len(m.symbols)
+					m.symbols[n.sym] = id
+				}
+				m.posSym = append(m.posSym, id)
+			}
+		case rCat, rAlt:
+			number(n.l)
+			number(n.r)
+		case rStar, rOpt, rPlus:
+			number(n.l)
+		}
+	}
+	number(ast)
+	m.follow = make([][]int, len(m.posSym))
+
+	var analyse func(n *rnode) (nullable bool, first, last []int)
+	analyse = func(n *rnode) (bool, []int, []int) {
+		switch n.kind {
+		case rSym:
+			return false, []int{n.pos}, []int{n.pos}
+		case rCat:
+			ln, lf, ll := analyse(n.l)
+			rn, rf, rl := analyse(n.r)
+			for _, p := range ll {
+				m.follow[p] = appendUnique(m.follow[p], rf)
+			}
+			first := lf
+			if ln {
+				first = appendUnique(append([]int(nil), lf...), rf)
+			}
+			last := rl
+			if rn {
+				last = appendUnique(append([]int(nil), rl...), ll)
+			}
+			return ln && rn, first, last
+		case rAlt:
+			ln, lf, ll := analyse(n.l)
+			rn, rf, rl := analyse(n.r)
+			return ln || rn, appendUnique(append([]int(nil), lf...), rf), appendUnique(append([]int(nil), ll...), rl)
+		case rStar, rPlus:
+			ln, lf, ll := analyse(n.l)
+			for _, p := range ll {
+				m.follow[p] = appendUnique(m.follow[p], lf)
+			}
+			return ln || n.kind == rStar, lf, ll
+		case rOpt:
+			_, lf, ll := analyse(n.l)
+			return true, lf, ll
+		}
+		panic("unreachable")
+	}
+	nullable, first, last := analyse(ast)
+	m.nullable = nullable
+	m.first = first
+	for _, p := range last {
+		m.lastSet[p] = true
+	}
+}
+
+func appendUnique(dst, src []int) []int {
+	for _, x := range src {
+		found := false
+		for _, y := range dst {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// internState canonicalises and interns a DFA state.
+func (m *Matcher) internState(ps []int, accepted bool) int {
+	sort.Ints(ps)
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p != ps[i-1] {
+			out = append(out, p)
+		}
+	}
+	set := posSet{set: out, accepted: accepted}
+	k := set.key()
+	if id, ok := m.index[k]; ok {
+		return id
+	}
+	id := len(m.states)
+	m.states = append(m.states, set)
+	m.index[k] = id
+	m.accepts = append(m.accepts, accepted)
+	return id
+}
+
+// startState is the DFA state before any symbol is read. For a
+// root-anchored query it "accepts" iff the regex is nullable, but the
+// start state is never a node's state, so this only matters to the empty
+// path.
+func (m *Matcher) startState() int {
+	return m.internState(append([]int(nil), m.first...), m.nullable)
+}
+
+// step advances the DFA by one tag symbol, computing the transition
+// lazily. Unknown tags map to a shared out-of-alphabet symbol that only
+// wildcard positions can consume.
+func (m *Matcher) step(state int, tag string) int {
+	sym, ok := m.symbols[tag]
+	if !ok {
+		sym = len(m.symbols) // out-of-alphabet
+	}
+	key := dfaKey{state, sym}
+	if next, ok := m.dfa[key]; ok {
+		return next
+	}
+	var ps []int
+	accepted := false
+	for _, p := range m.states[state].set {
+		if m.posSym[p] == sym || m.posSym[p] == -1 {
+			ps = append(ps, m.follow[p]...)
+			if m.lastSet[p] {
+				accepted = true
+			}
+		}
+	}
+	if m.q.AnyPrefix {
+		// Restart the match at every depth: a path suffix may begin here.
+		ps = append(ps, m.first...)
+		if m.nullable {
+			// The empty suffix ends at every node.
+			accepted = true
+		}
+	}
+	next := m.internState(ps, accepted)
+	m.dfa[key] = next
+	return next
+}
+
+// matchesAt reports whether the state reached after consuming a path is
+// accepting (for the empty path, whether the regex is nullable).
+func (m *Matcher) accepting(state int) bool { return m.accepts[state] }
+
+// NumDFAStates reports the number of DFA states computed so far (lazy).
+func (m *Matcher) NumDFAStates() int { return len(m.states) }
+
+// NumTransitions reports the number of DFA transitions computed so far.
+func (m *Matcher) NumTransitions() int { return len(m.dfa) }

@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"arb/internal/testutil"
+	"arb/internal/tree"
+	"arb/internal/xmlparse"
+)
+
+func runOn(t *testing.T, q Query, src string) *Session {
+	t.Helper()
+	m, err := Compile(q)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", q.Regex, err)
+	}
+	s := m.NewSession()
+	if err := xmlparse.Parse(strings.NewReader(src), s, xmlparse.Opts{}); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestMatchRootAnchored(t *testing.T) {
+	// Document order: r=0, a=1, b=2, a=3, c=4.
+	src := `<r><a><b/></a><a><c/></a></r>`
+	cases := []struct {
+		regex string
+		want  []int64
+	}{
+		{"r", []int64{0}},
+		{"r.a", []int64{1, 3}},
+		{"r.a.b", []int64{2}},
+		{"r.a.(b|c)", []int64{2, 4}},
+		{"r.a.c", []int64{4}},
+		{"a", nil},
+		{"r._._", []int64{2, 4}},
+		{"r.a*.b", []int64{2}},
+		{"r.a+.b", []int64{2}},
+		{"r.b", nil},
+	}
+	for _, c := range cases {
+		s := runOn(t, Query{Regex: c.regex}, src)
+		if fmt.Sprint(s.Matches()) != fmt.Sprint(c.want) {
+			t.Errorf("%q: matches %v, want %v", c.regex, s.Matches(), c.want)
+		}
+	}
+}
+
+func TestMatchAnyPrefix(t *testing.T) {
+	src := `<r><a><b/></a><a><c/></a></r>`
+	cases := []struct {
+		regex string
+		want  []int64
+	}{
+		{"a", []int64{1, 3}},
+		{"b", []int64{2}},
+		{"a.b", []int64{2}},
+		{"r.a.b", []int64{2}},
+		{"b.c", nil},
+	}
+	for _, c := range cases {
+		s := runOn(t, Query{Regex: c.regex, AnyPrefix: true}, src)
+		if fmt.Sprint(s.Matches()) != fmt.Sprint(c.want) {
+			t.Errorf("//%q: matches %v, want %v", c.regex, s.Matches(), c.want)
+		}
+	}
+}
+
+func TestCharNodesAdvanceIDs(t *testing.T) {
+	// r=0, 'h'=1, 'i'=2, a=3.
+	s := runOn(t, Query{Regex: "r.a"}, `<r>hi<a/></r>`)
+	if fmt.Sprint(s.Matches()) != fmt.Sprint([]int64{3}) {
+		t.Fatalf("matches %v, want [3]", s.Matches())
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	s := runOn(t, Query{Regex: "r"}, `<r><a><b><c/></b></a><a/></r>`)
+	if s.MaxDepth() != 4 {
+		t.Fatalf("MaxDepth = %d, want 4", s.MaxDepth())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "a|", "(a", "a)", "*", "a..b |", "(|a)"} {
+		if _, err := Compile(Query{Regex: bad}); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestLazyDFAGrowth(t *testing.T) {
+	m, err := Compile(Query{Regex: "r.(a.b)*.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTransitions() != 0 {
+		t.Fatalf("transitions computed eagerly: %d", m.NumTransitions())
+	}
+	s := m.NewSession()
+	if err := xmlparse.Parse(strings.NewReader(`<r><a><b><c/></b></a></r>`), s, xmlparse.Opts{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTransitions() == 0 || m.NumDFAStates() == 0 {
+		t.Fatal("lazy DFA did not grow during the run")
+	}
+}
+
+// randomPathRegex builds a random regex over single-letter tags and the
+// same regex in Go regexp syntax (one char per tag), the independent
+// matching oracle.
+func randomPathRegex(rng *rand.Rand) (ours, gore string) {
+	tags := []string{"a", "b", "c"}
+	var gen func(depth int) (string, string)
+	gen = func(depth int) (string, string) {
+		if depth > 2 || rng.Intn(3) == 0 {
+			t := tags[rng.Intn(len(tags))]
+			return t, t
+		}
+		switch rng.Intn(4) {
+		case 0:
+			o1, g1 := gen(depth + 1)
+			o2, g2 := gen(depth + 1)
+			return o1 + "." + o2, g1 + g2
+		case 1:
+			o1, g1 := gen(depth + 1)
+			o2, g2 := gen(depth + 1)
+			return "(" + o1 + "|" + o2 + ")", "(" + g1 + "|" + g2 + ")"
+		case 2:
+			o, g := gen(depth + 1)
+			return "(" + o + ")*", "(" + g + ")*"
+		default:
+			o, g := gen(depth + 1)
+			return "(" + o + ")?", "(" + g + ")?"
+		}
+	}
+	return gen(0)
+}
+
+// TestDifferentialAgainstRegexp matches random path regexes on random
+// trees and compares against direct root-path matching with the standard
+// library's regexp on the tag-character path strings.
+func TestDifferentialAgainstRegexp(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 200; iter++ {
+		tr := testutil.RandomTree(rng, 30)
+		ours, gore := randomPathRegex(rng)
+		anyPrefix := rng.Intn(2) == 0
+
+		var re *regexp.Regexp
+		if anyPrefix {
+			re = regexp.MustCompile("(" + gore + ")$")
+		} else {
+			re = regexp.MustCompile("^(" + gore + ")$")
+		}
+
+		m, err := Compile(Query{Regex: ours, AnyPrefix: anyPrefix})
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", ours, err)
+		}
+		s := m.NewSession()
+		if err := tree.Emit(tr, s); err != nil {
+			t.Fatal(err)
+		}
+		got := map[int64]bool{}
+		for _, id := range s.Matches() {
+			got[id] = true
+		}
+
+		// Oracle: compute each element node's root path string.
+		paths := rootPaths(tr)
+		for v := 0; v < tr.Len(); v++ {
+			if tr.Label(tree.NodeID(v)).IsChar() {
+				if got[int64(v)] {
+					t.Fatalf("iter %d: matched character node %d", iter, v)
+				}
+				continue
+			}
+			want := re.MatchString(paths[v])
+			if got[int64(v)] != want {
+				t.Fatalf("iter %d: regex %q (prefix=%v) node %d path %q: got %v, want %v",
+					iter, ours, anyPrefix, v, paths[v], got[int64(v)], want)
+			}
+		}
+	}
+}
+
+// rootPaths returns, per node, the document root path as a string of tag
+// characters (single-letter tags assumed; character nodes get empty
+// strings).
+func rootPaths(t *tree.Tree) []string {
+	n := t.Len()
+	paths := make([]string, n)
+	// Document parent: first child's doc parent is the node; second
+	// child's doc parent is the node's doc parent.
+	docParent := make([]tree.NodeID, n)
+	docParent[0] = tree.None
+	for v := 0; v < n; v++ {
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			docParent[c] = tree.NodeID(v)
+		}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			docParent[c] = docParent[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		l := t.Label(tree.NodeID(v))
+		if l.IsChar() {
+			continue
+		}
+		name, _ := t.Names().TagName(l)
+		if p := docParent[v]; p == tree.None {
+			paths[v] = name
+		} else {
+			paths[v] = paths[p] + name
+		}
+	}
+	return paths
+}

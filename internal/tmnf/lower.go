@@ -1,0 +1,218 @@
+package tmnf
+
+// Lowering of extended rule bodies (caterpillar expressions) to TMNF.
+//
+// A conjunct is a regular expression over an alphabet of IDB-predicate
+// tests, unary-relation tests and binary-relation moves. Its meaning is
+// the set of nodes y such that some node x reaches y along a path whose
+// symbol sequence is in the language of the expression: tests stay at the
+// current node and must hold there; moves follow (or, inverted, go
+// against) a FirstChild/SecondChild edge.
+//
+// The lowering is the Glushkov position construction: one fresh IDB
+// predicate per symbol occurrence, a rule per (implicit-start -> first
+// position) and (position -> follow position) transition, and a rule per
+// accepting position into the rule head. This translates programs with
+// caterpillar expressions into strict TMNF in linear time (paper Section
+// 2.2, citing [9]).
+
+// lowerRule lowers one parsed rule: each conjunct becomes a local atom
+// (plain predicates and unary tests directly; complex expressions through
+// a fresh predicate), and the head is defined by a single local rule over
+// those atoms — except for the simple shapes of the paper's strict
+// syntax, which are emitted verbatim as single rules.
+func (p *parser) lowerRule(head Pred, conjuncts []*rxNode) error {
+	prog := p.prog
+	// The paper's strict move rules: Head :- P.FirstChild; etc.
+	if len(conjuncts) == 1 {
+		e := conjuncts[0]
+		if kind, from, rel, ok := strictMove(e); ok {
+			prog.AddRule(Rule{Kind: kind, Head: head, From: from, Rel: rel})
+			return nil
+		}
+		if e.op == rxSym && e.sym.kind == symPred {
+			prog.AddRule(Rule{Kind: RuleLocal, Head: head, Body: []LocalAtom{PredAtom(e.sym.pred)}})
+			return nil
+		}
+		if e.op == rxSym && e.sym.kind == symUnary {
+			prog.AddRule(Rule{Kind: RuleLocal, Head: head,
+				Body: []LocalAtom{UnaryAtom(prog.InternUnary(e.sym.unary))}})
+			return nil
+		}
+		lowerGlushkov(prog, head, e)
+		return nil
+	}
+	body := make([]LocalAtom, 0, len(conjuncts))
+	for _, e := range conjuncts {
+		switch {
+		case e.op == rxSym && e.sym.kind == symPred:
+			body = append(body, PredAtom(e.sym.pred))
+		case e.op == rxSym && e.sym.kind == symUnary:
+			body = append(body, UnaryAtom(prog.InternUnary(e.sym.unary)))
+		default:
+			v := prog.Fresh("c")
+			if kind, from, rel, ok := strictMove(e); ok {
+				prog.AddRule(Rule{Kind: kind, Head: v, From: from, Rel: rel})
+			} else {
+				lowerGlushkov(prog, v, e)
+			}
+			body = append(body, PredAtom(v))
+		}
+	}
+	prog.AddRule(Rule{Kind: RuleLocal, Head: head, Body: body})
+	return nil
+}
+
+// strictMove recognises the exact two-symbol shape P.B / P.invB of the
+// paper's strict syntax.
+func strictMove(e *rxNode) (RuleKind, Pred, Rel, bool) {
+	if e.op != rxCat || e.a.op != rxSym || e.b.op != rxSym {
+		return 0, 0, 0, false
+	}
+	if e.a.sym.kind != symPred {
+		return 0, 0, 0, false
+	}
+	switch e.b.sym.kind {
+	case symMove:
+		return RuleMove, e.a.sym.pred, e.b.sym.rel, true
+	case symInvMove:
+		return RuleInvMove, e.a.sym.pred, e.b.sym.rel, true
+	}
+	return 0, 0, 0, false
+}
+
+// glushkov holds the position sets of the construction.
+type glushkov struct {
+	positions []symbol
+	nullable  bool
+	first     []int
+	last      []int
+	follow    [][]int
+}
+
+// analyse computes nullable/first/last/follow bottom-up.
+func (g *glushkov) analyse(e *rxNode) (nullable bool, first, last []int) {
+	switch e.op {
+	case rxSym:
+		p := len(g.positions)
+		g.positions = append(g.positions, e.sym)
+		g.follow = append(g.follow, nil)
+		return false, []int{p}, []int{p}
+	case rxCat:
+		na, fa, la := g.analyse(e.a)
+		nb, fb, lb := g.analyse(e.b)
+		for _, x := range la {
+			g.follow[x] = appendUnique(g.follow[x], fb)
+		}
+		first = fa
+		if na {
+			first = appendUnique(first, fb)
+		}
+		last = lb
+		if nb {
+			last = appendUnique(last, la)
+		}
+		return na && nb, first, last
+	case rxAlt:
+		na, fa, la := g.analyse(e.a)
+		nb, fb, lb := g.analyse(e.b)
+		return na || nb, appendUnique(fa, fb), appendUnique(la, lb)
+	case rxStar, rxPlus, rxOpt:
+		na, fa, la := g.analyse(e.a)
+		if e.op != rxOpt {
+			for _, x := range la {
+				g.follow[x] = appendUnique(g.follow[x], fa)
+			}
+		}
+		nullable = na || e.op != rxPlus
+		return nullable, fa, la
+	}
+	panic("tmnf: bad regex node")
+}
+
+func appendUnique(dst, src []int) []int {
+	for _, x := range src {
+		found := false
+		for _, y := range dst {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// lowerGlushkov emits TMNF rules defining target as the endpoint set of
+// expression e.
+func lowerGlushkov(prog *Program, target Pred, e *rxNode) {
+	g := &glushkov{}
+	g.nullable, g.first, g.last = g.analyse(e)
+
+	state := make([]Pred, len(g.positions))
+	for i := range state {
+		state[i] = prog.Fresh("q")
+	}
+	// allPred: nodes where a path may start (every node). Materialised
+	// lazily; only needed when a first position is a move.
+	var allPred Pred = -1
+	all := func() Pred {
+		if allPred < 0 {
+			allPred = prog.Fresh("any")
+			prog.AddRule(Rule{Kind: RuleLocal, Head: allPred,
+				Body: []LocalAtom{UnaryAtom(prog.InternUnary(Unary{Kind: UAll}))}})
+		}
+		return allPred
+	}
+
+	// emitInto defines dst as "src-state extended by the symbol at
+	// position q". src < 0 denotes the implicit start state (all nodes).
+	emitInto := func(dst Pred, src Pred, q int) {
+		sym := g.positions[q]
+		switch sym.kind {
+		case symPred:
+			body := []LocalAtom{PredAtom(sym.pred)}
+			if src >= 0 {
+				body = append(body, PredAtom(src))
+			}
+			prog.AddRule(Rule{Kind: RuleLocal, Head: dst, Body: body})
+		case symUnary:
+			body := []LocalAtom{UnaryAtom(prog.InternUnary(sym.unary))}
+			if src >= 0 {
+				body = append(body, PredAtom(src))
+			}
+			prog.AddRule(Rule{Kind: RuleLocal, Head: dst, Body: body})
+		case symMove:
+			from := src
+			if from < 0 {
+				from = all()
+			}
+			prog.AddRule(Rule{Kind: RuleMove, Head: dst, From: from, Rel: sym.rel})
+		case symInvMove:
+			from := src
+			if from < 0 {
+				from = all()
+			}
+			prog.AddRule(Rule{Kind: RuleInvMove, Head: dst, From: from, Rel: sym.rel})
+		}
+	}
+
+	for _, q := range g.first {
+		emitInto(state[q], -1, q)
+	}
+	for p := range g.positions {
+		for _, q := range g.follow[p] {
+			emitInto(state[q], state[p], q)
+		}
+	}
+	for _, q := range g.last {
+		prog.AddRule(Rule{Kind: RuleLocal, Head: target, Body: []LocalAtom{PredAtom(state[q])}})
+	}
+	if g.nullable {
+		prog.AddRule(Rule{Kind: RuleLocal, Head: target,
+			Body: []LocalAtom{UnaryAtom(prog.InternUnary(Unary{Kind: UAll}))}})
+	}
+}

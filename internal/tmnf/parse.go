@@ -1,0 +1,521 @@
+package tmnf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a program in the Arb surface syntax.
+//
+// The strict syntax of the paper is accepted verbatim:
+//
+//	P :- U;                  unary EDB relation (possibly -negated)
+//	P :- P0.FirstChild;      type-2 move (also NextSibling/SecondChild)
+//	P :- P0.invFirstChild;   type-3 move
+//	P :- P1, P2;             conjunction
+//
+// As in the Arb system, rule bodies are more liberal than strict TMNF and
+// are lowered to it: a body is a comma-separated list of conjuncts, and
+// each conjunct is a caterpillar expression — a regular expression over
+// IDB predicates, unary relations (as tests) and binary relations and
+// their inverses (as moves), written with '.' for concatenation, '|' for
+// alternation, '*', '+', '?' for repetition and parentheses for grouping.
+// For example (Section 6.2 of the paper):
+//
+//	QUERY :- V.Label[S].R.Label[VP].(R.Label[NP].R.Label[PP])*.R.Label[NP];
+//
+// where R abbreviates FirstChild.NextSibling*. '#' and '//' start comments.
+//
+// Unary relation names are matched case-insensitively: V, Root,
+// HasFirstChild, HasSecondChild, Leaf (= -HasFirstChild), LastSibling
+// (= -HasSecondChild), Text (any character node), Label[tag], Char[c].
+// Binary relations: FirstChild, SecondChild, NextSibling (= SecondChild),
+// each optionally prefixed with "inv". Everything else is an IDB
+// predicate name (case-sensitive).
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src), prog: NewProgram()}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	// Default query predicate convention.
+	if len(p.prog.queries) == 0 {
+		for _, n := range []string{"QUERY", "Query"} {
+			if q, ok := p.prog.Pred(n); ok {
+				p.prog.AddQuery(q)
+				break
+			}
+		}
+	}
+	return p.prog, nil
+}
+
+// MustParse is Parse, panicking on error; for tests and fixed queries.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokDefine // :-
+	tokComma
+	tokSemi
+	tokDot
+	tokLParen
+	tokRParen
+	tokPipe
+	tokStar
+	tokPlus
+	tokQuest
+	tokMinus
+	tokLBracket
+	tokRBracket
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("tmnf: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#' || (c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/'):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	mk := func(k tokenKind, n int) (token, error) {
+		t := token{kind: k, text: l.src[start : start+n], pos: start, line: l.line}
+		l.pos += n
+		return t, nil
+	}
+	switch c {
+	case ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			return mk(tokDefine, 2)
+		}
+		return token{}, l.errf("unexpected ':'")
+	case ',':
+		return mk(tokComma, 1)
+	case ';':
+		return mk(tokSemi, 1)
+	case '.':
+		return mk(tokDot, 1)
+	case '(':
+		return mk(tokLParen, 1)
+	case ')':
+		return mk(tokRParen, 1)
+	case '|':
+		return mk(tokPipe, 1)
+	case '*':
+		return mk(tokStar, 1)
+	case '+':
+		return mk(tokPlus, 1)
+	case '?':
+		return mk(tokQuest, 1)
+	case '-':
+		return mk(tokMinus, 1)
+	case '[':
+		return mk(tokLBracket, 1)
+	case ']':
+		return mk(tokRBracket, 1)
+	}
+	if isIdentByte(c) {
+		n := 0
+		for l.pos+n < len(l.src) && isIdentByte(l.src[l.pos+n]) {
+			n++
+		}
+		return mk(tokIdent, n)
+	}
+	return token{}, l.errf("unexpected character %q", c)
+}
+
+// bracketContent reads raw content up to the closing ']' (used for
+// Label[...] and Char[...], whose contents are not ordinary tokens).
+func (l *lexer) bracketContent() (string, error) {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != ']' {
+		if l.src[l.pos] == '\n' {
+			return "", l.errf("unterminated '['")
+		}
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return "", l.errf("unterminated '['")
+	}
+	s := l.src[start:l.pos]
+	l.pos++ // consume ']'
+	return s, nil
+}
+
+type parser struct {
+	lex    *lexer
+	prog   *Program
+	tok    token
+	peeked bool
+}
+
+func (p *parser) next() (token, error) {
+	if p.peeked {
+		p.peeked = false
+		return p.tok, nil
+	}
+	return p.lex.next()
+}
+
+func (p *parser) peek() (token, error) {
+	if !p.peeked {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.tok, p.peeked = t, true
+	}
+	return p.tok, nil
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t, err := p.next()
+	if err != nil {
+		return token{}, err
+	}
+	if t.kind != k {
+		return token{}, fmt.Errorf("tmnf: line %d: expected %s, got %q", t.line, what, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseProgram() error {
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.kind == tokEOF {
+			return nil
+		}
+		if err := p.parseRule(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseRule() error {
+	ht, err := p.expect(tokIdent, "rule head predicate")
+	if err != nil {
+		return err
+	}
+	if isBuiltinName(ht.text) {
+		return fmt.Errorf("tmnf: line %d: %q is a built-in relation and cannot be a rule head", ht.line, ht.text)
+	}
+	head := p.prog.Intern(ht.text)
+	if _, err := p.expect(tokDefine, "':-'"); err != nil {
+		return err
+	}
+	var conjuncts []*rxNode
+	for {
+		e, err := p.parseRegex()
+		if err != nil {
+			return err
+		}
+		conjuncts = append(conjuncts, e)
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		if t.kind == tokSemi {
+			break
+		}
+		if t.kind != tokComma {
+			return fmt.Errorf("tmnf: line %d: expected ',' or ';', got %q", t.line, t.text)
+		}
+	}
+	return p.lowerRule(head, conjuncts)
+}
+
+// Regex AST for caterpillar expressions.
+type rxOp uint8
+
+const (
+	rxSym  rxOp = iota // leaf symbol
+	rxCat              // concatenation
+	rxAlt              // alternation
+	rxStar             // zero or more
+	rxPlus             // one or more
+	rxOpt              // zero or one
+)
+
+type rxNode struct {
+	op   rxOp
+	a, b *rxNode // children for cat/alt; a for star/plus/opt
+	sym  symbol  // for rxSym
+}
+
+type symKind uint8
+
+const (
+	symPred    symKind = iota // IDB predicate test
+	symUnary                  // unary EDB test
+	symMove                   // downward move along rel
+	symInvMove                // upward move along rel
+)
+
+type symbol struct {
+	kind  symKind
+	pred  Pred
+	unary Unary
+	rel   Rel
+}
+
+// parseRegex parses alternation (lowest precedence).
+func (p *parser) parseRegex() (*rxNode, error) {
+	left, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind != tokPipe {
+			return left, nil
+		}
+		p.peeked = false
+		right, err := p.parseCat()
+		if err != nil {
+			return nil, err
+		}
+		left = &rxNode{op: rxAlt, a: left, b: right}
+	}
+}
+
+// parseCat parses '.'-separated concatenation.
+func (p *parser) parseCat() (*rxNode, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind != tokDot {
+			return left, nil
+		}
+		p.peeked = false
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &rxNode{op: rxCat, a: left, b: right}
+	}
+}
+
+// parseFactor parses a base with postfix repetition operators.
+func (p *parser) parseFactor() (*rxNode, error) {
+	base, err := p.parseBase()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch t.kind {
+		case tokStar:
+			p.peeked = false
+			base = &rxNode{op: rxStar, a: base}
+		case tokPlus:
+			p.peeked = false
+			base = &rxNode{op: rxPlus, a: base}
+		case tokQuest:
+			p.peeked = false
+			base = &rxNode{op: rxOpt, a: base}
+		default:
+			return base, nil
+		}
+	}
+}
+
+func (p *parser) parseBase() (*rxNode, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch t.kind {
+	case tokLParen:
+		e, err := p.parseRegex()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokMinus:
+		u, err := p.parseUnaryAfterMinus()
+		if err != nil {
+			return nil, err
+		}
+		return &rxNode{op: rxSym, sym: symbol{kind: symUnary, unary: u}}, nil
+	case tokIdent:
+		return p.parseSymbolIdent(t)
+	default:
+		return nil, fmt.Errorf("tmnf: line %d: unexpected %q in expression", t.line, t.text)
+	}
+}
+
+func (p *parser) parseUnaryAfterMinus() (Unary, error) {
+	t, err := p.expect(tokIdent, "unary relation after '-'")
+	if err != nil {
+		return Unary{}, err
+	}
+	u, ok, err := p.parseUnaryName(t)
+	if err != nil {
+		return Unary{}, err
+	}
+	if !ok {
+		return Unary{}, fmt.Errorf("tmnf: line %d: %q is not a unary relation ('-' applies only to unary relations)", t.line, t.text)
+	}
+	return u.Negate(), nil
+}
+
+// builtinUnaries maps lowercase names to descriptors; Leaf and LastSibling
+// are the paper's aliases for the complements.
+var builtinUnaries = map[string]Unary{
+	"v":              {Kind: UAll},
+	"root":           {Kind: URoot},
+	"hasfirstchild":  {Kind: UHasFirstChild},
+	"hassecondchild": {Kind: UHasSecondChild},
+	"leaf":           {Kind: UHasFirstChild, Neg: true},
+	"lastsibling":    {Kind: UHasSecondChild, Neg: true},
+	"text":           {Kind: UText},
+}
+
+var builtinRels = map[string]Rel{
+	"firstchild":  RelFirst,
+	"secondchild": RelSecond,
+	"nextsibling": RelSecond,
+}
+
+func isBuiltinName(name string) bool {
+	lc := strings.ToLower(name)
+	if _, ok := builtinUnaries[lc]; ok {
+		return true
+	}
+	if _, ok := builtinRels[lc]; ok {
+		return true
+	}
+	if lc == "label" || lc == "char" || lc == "aux" {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(lc, "inv"); ok {
+		_, ok := builtinRels[rest]
+		return ok
+	}
+	return false
+}
+
+// parseUnaryName recognises a unary relation (consuming a [..] argument for
+// Label/Char). ok=false means the identifier is not a unary relation.
+func (p *parser) parseUnaryName(t token) (Unary, bool, error) {
+	lc := strings.ToLower(t.text)
+	if u, ok := builtinUnaries[lc]; ok {
+		return u, true, nil
+	}
+	if lc == "label" || lc == "char" || lc == "aux" {
+		if _, err := p.expect(tokLBracket, "'[' after Label/Char/Aux"); err != nil {
+			return Unary{}, false, err
+		}
+		content, err := p.lex.bracketContent()
+		if err != nil {
+			return Unary{}, false, err
+		}
+		if lc == "aux" {
+			k, err := strconv.Atoi(content)
+			if err != nil || k < 0 || k > 15 {
+				return Unary{}, false, fmt.Errorf("tmnf: line %d: Aux[..] takes an index 0..15, got %q", t.line, content)
+			}
+			return Unary{Kind: UAux, Aux: uint8(k)}, true, nil
+		}
+		if lc == "char" {
+			if len(content) != 1 {
+				return Unary{}, false, fmt.Errorf("tmnf: line %d: Char[..] takes a single character, got %q", t.line, content)
+			}
+			return Unary{Kind: UChar, Char: content[0]}, true, nil
+		}
+		if content == "" {
+			return Unary{}, false, fmt.Errorf("tmnf: line %d: empty Label[]", t.line)
+		}
+		return Unary{Kind: ULabel, Name: content}, true, nil
+	}
+	return Unary{}, false, nil
+}
+
+// parseSymbolIdent classifies an identifier token into a regex symbol.
+func (p *parser) parseSymbolIdent(t token) (*rxNode, error) {
+	lc := strings.ToLower(t.text)
+	if rel, ok := builtinRels[lc]; ok {
+		return &rxNode{op: rxSym, sym: symbol{kind: symMove, rel: rel}}, nil
+	}
+	if rest, ok := strings.CutPrefix(lc, "inv"); ok {
+		if rel, ok := builtinRels[rest]; ok {
+			return &rxNode{op: rxSym, sym: symbol{kind: symInvMove, rel: rel}}, nil
+		}
+	}
+	u, isUnary, err := p.parseUnaryName(t)
+	if err != nil {
+		return nil, err
+	}
+	if isUnary {
+		return &rxNode{op: rxSym, sym: symbol{kind: symUnary, unary: u}}, nil
+	}
+	return &rxNode{op: rxSym, sym: symbol{kind: symPred, pred: p.prog.Intern(t.text)}}, nil
+}

@@ -1,0 +1,278 @@
+// Package tmnf implements TMNF (tree-marking normal form), the query
+// language of Section 2.2 of the paper: monadic datalog over the binary
+// tree model restricted to four rule templates,
+//
+//	P(x)  <- U(x).                   (type 1)
+//	P(x)  <- P0(x0) /\ B(x0, x).     (type 2)
+//	P(x0) <- P0(x)  /\ B(x0, x).     (type 3)
+//	P(x)  <- P1(x)  /\ P2(x).        (type 4)
+//
+// where U is a unary and B a binary input relation. TMNF captures exactly
+// the unary MSO queries over trees and is the internal formalism of the
+// engine; richer surface languages (caterpillar expressions, regular path
+// queries, Core XPath) are translated into it.
+//
+// The package provides the strict rule representation, a parser for the
+// Arb surface syntax (P :- U; P :- P0.B; P :- P0.invB; P :- P1, P2;)
+// extended with caterpillar expressions — arbitrary regular expressions
+// over the input relations and their inverses, lowered to strict TMNF in
+// linear time via the Glushkov position construction — and program
+// manipulation helpers.
+package tmnf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pred identifies an IDB predicate of a Program.
+type Pred int32
+
+// UnaryKind enumerates the unary EDB relations of the binary tree model
+// (Section 2.1), including the aliases the paper introduces (Leaf for
+// -HasFirstChild, LastSibling for -HasSecondChild).
+type UnaryKind uint8
+
+const (
+	UAll            UnaryKind = iota // V: every node
+	URoot                            // Root
+	UHasFirstChild                   // HasFirstChild
+	UHasSecondChild                  // HasSecondChild
+	ULabel                           // Label[name]: named label (tag), resolved against the database
+	UChar                            // Char[c]: character label
+	UText                            // Text: any character node (label < 256)
+	UAux                             // Aux[k]: the k-th auxiliary per-node predicate (precomputed input, Section 7)
+)
+
+// Unary is a (possibly complemented) unary EDB predicate.
+type Unary struct {
+	Kind UnaryKind
+	Name string // ULabel: tag name
+	Char byte   // UChar: character
+	Aux  uint8  // UAux: auxiliary predicate index (0..15)
+	Neg  bool   // complement -U
+}
+
+// Negate returns the complemented predicate.
+func (u Unary) Negate() Unary { u.Neg = !u.Neg; return u }
+
+func (u Unary) String() string {
+	var s string
+	switch u.Kind {
+	case UAll:
+		s = "V"
+	case URoot:
+		s = "Root"
+	case UHasFirstChild:
+		s = "HasFirstChild"
+	case UHasSecondChild:
+		s = "HasSecondChild"
+	case ULabel:
+		s = fmt.Sprintf("Label[%s]", u.Name)
+	case UChar:
+		s = fmt.Sprintf("Char[%c]", u.Char)
+	case UText:
+		s = "Text"
+	case UAux:
+		s = fmt.Sprintf("Aux[%d]", u.Aux)
+	}
+	if u.Neg {
+		return "-" + s
+	}
+	return s
+}
+
+// Rel is a binary EDB relation of the binary tree model. SecondChild is
+// also known as NextSibling.
+type Rel uint8
+
+const (
+	RelFirst  Rel = 1 // FirstChild
+	RelSecond Rel = 2 // SecondChild / NextSibling
+)
+
+func (r Rel) String() string {
+	if r == RelFirst {
+		return "FirstChild"
+	}
+	return "NextSibling"
+}
+
+// RuleKind classifies TMNF rules. RuleLocal covers the paper's rule types
+// 1 and 4 (and, as in the Arb system itself, any conjunction of IDB
+// predicates and unary EDB relations at a single node — the propositional
+// translation of Definition 4.2 handles such "local rules" uniformly).
+// RuleMove and RuleInvMove are the paper's types 2 and 3.
+type RuleKind uint8
+
+const (
+	RuleLocal   RuleKind = iota // Head :- A1, ..., An;   (types 1 and 4)
+	RuleMove                    // Head :- From.Rel;      (type 2: From at the parent end of Rel, Head at the child end)
+	RuleInvMove                 // Head :- From.invRel;   (type 3: From at the child end, Head at the parent end)
+)
+
+// LocalAtom is one conjunct of a local rule's body: either an IDB
+// predicate or a unary EDB relation (an index into Program.Unaries()).
+type LocalAtom struct {
+	IsUnary bool
+	Pred    Pred // !IsUnary
+	U       int  // IsUnary
+}
+
+// PredAtom returns a LocalAtom for an IDB predicate.
+func PredAtom(p Pred) LocalAtom { return LocalAtom{Pred: p} }
+
+// UnaryAtom returns a LocalAtom for an interned unary relation.
+func UnaryAtom(u int) LocalAtom { return LocalAtom{IsUnary: true, U: u} }
+
+// Rule is a TMNF rule.
+type Rule struct {
+	Kind RuleKind
+	Head Pred
+	Body []LocalAtom // RuleLocal
+	From Pred        // RuleMove, RuleInvMove
+	Rel  Rel         // RuleMove, RuleInvMove
+}
+
+// Program is a strict TMNF program: a predicate symbol table, a rule list,
+// and a set of distinguished query predicates. TMNF programs may define
+// several node-selecting queries at once (one per query predicate); by
+// convention the parser marks a predicate named "QUERY" or "Query" as a
+// query predicate if none is set explicitly.
+type Program struct {
+	preds    []string
+	predIdx  map[string]Pred
+	unaries  []Unary
+	unaryIdx map[Unary]int
+	rules    []Rule
+	queries  []Pred
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{
+		predIdx:  make(map[string]Pred),
+		unaryIdx: make(map[Unary]int),
+	}
+}
+
+// Intern returns the predicate with the given name, creating it if needed.
+func (p *Program) Intern(name string) Pred {
+	if i, ok := p.predIdx[name]; ok {
+		return i
+	}
+	i := Pred(len(p.preds))
+	p.preds = append(p.preds, name)
+	p.predIdx[name] = i
+	return i
+}
+
+// Fresh creates a new predicate with a unique name derived from prefix.
+func (p *Program) Fresh(prefix string) Pred {
+	for i := len(p.preds); ; i++ {
+		name := fmt.Sprintf("%s~%d", prefix, i)
+		if _, ok := p.predIdx[name]; !ok {
+			return p.Intern(name)
+		}
+	}
+}
+
+// Pred looks up a predicate by name.
+func (p *Program) Pred(name string) (Pred, bool) {
+	i, ok := p.predIdx[name]
+	return i, ok
+}
+
+// PredName returns the name of predicate i.
+func (p *Program) PredName(i Pred) string { return p.preds[i] }
+
+// NumPreds returns the number of IDB predicates.
+func (p *Program) NumPreds() int { return len(p.preds) }
+
+// InternUnary returns the index of the unary EDB descriptor, interning it.
+func (p *Program) InternUnary(u Unary) int {
+	if i, ok := p.unaryIdx[u]; ok {
+		return i
+	}
+	i := len(p.unaries)
+	p.unaries = append(p.unaries, u)
+	p.unaryIdx[u] = i
+	return i
+}
+
+// Unaries returns the interned unary EDB descriptors; Rule.U indexes this
+// slice.
+func (p *Program) Unaries() []Unary { return p.unaries }
+
+// AddRule appends a rule.
+func (p *Program) AddRule(r Rule) { p.rules = append(p.rules, r) }
+
+// Rules returns the rule list.
+func (p *Program) Rules() []Rule { return p.rules }
+
+// Queries returns the distinguished query predicates.
+func (p *Program) Queries() []Pred { return p.queries }
+
+// SetQueries marks the named predicates as the program's queries.
+func (p *Program) SetQueries(names ...string) error {
+	p.queries = p.queries[:0]
+	for _, n := range names {
+		i, ok := p.predIdx[n]
+		if !ok {
+			return fmt.Errorf("tmnf: unknown query predicate %q", n)
+		}
+		p.queries = append(p.queries, i)
+	}
+	return nil
+}
+
+// AddQuery marks an existing predicate as a query predicate.
+func (p *Program) AddQuery(q Pred) {
+	for _, e := range p.queries {
+		if e == q {
+			return
+		}
+	}
+	p.queries = append(p.queries, q)
+}
+
+// String renders the program in Arb surface syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.rules {
+		b.WriteString(p.FormatRule(r))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatRule renders one rule in Arb surface syntax.
+func (p *Program) FormatRule(r Rule) string {
+	head := p.preds[r.Head]
+	switch r.Kind {
+	case RuleMove:
+		return fmt.Sprintf("%s :- %s.%s;", head, p.preds[r.From], r.Rel)
+	case RuleInvMove:
+		return fmt.Sprintf("%s :- %s.inv%s;", head, p.preds[r.From], r.Rel)
+	default:
+		parts := make([]string, len(r.Body))
+		for i, a := range r.Body {
+			if a.IsUnary {
+				parts[i] = p.unaries[a.U].String()
+			} else {
+				parts[i] = p.preds[a.Pred]
+			}
+		}
+		return fmt.Sprintf("%s :- %s;", head, strings.Join(parts, ", "))
+	}
+}
+
+// Stats summarises a program for reporting (columns (2) and (3) of the
+// paper's Figure 6 are exactly these numbers).
+type Stats struct {
+	NumIDB  int
+	NumRule int
+}
+
+// Stats returns the program size statistics.
+func (p *Program) Stats() Stats { return Stats{NumIDB: len(p.preds), NumRule: len(p.rules)} }

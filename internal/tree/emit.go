@@ -1,0 +1,99 @@
+package tree
+
+import "fmt"
+
+// EventHandler consumes a document event stream; it is structurally
+// identical to xmlparse.Handler (tree cannot import xmlparse, which
+// depends on this package).
+type EventHandler interface {
+	Begin(name string) error
+	Text(s []byte) error
+	End() error
+}
+
+// Emit replays t as a document event stream: one Begin/End pair per
+// element node, runs of character siblings coalesced into Text events.
+// Nodes are visited in document order (= preorder), so event consumers
+// observe the same node numbering as the tree. The traversal is iterative
+// with a stack bounded by the document depth.
+func Emit(t *Tree, h EventHandler) error {
+	if t.Len() == 0 {
+		return nil
+	}
+	type frame struct {
+		next NodeID // next sibling to process, None when done
+	}
+	root := t.Root()
+	if t.Label(root).IsChar() {
+		return fmt.Errorf("tree: root is a character node")
+	}
+	name, ok := t.names.TagName(t.Label(root))
+	if !ok {
+		return fmt.Errorf("tree: unnamed label %d at root", t.Label(root))
+	}
+	if err := h.Begin(name); err != nil {
+		return err
+	}
+	stack := []frame{{next: t.First(root)}}
+	var text []byte
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		v := top.next
+		if v != None && t.Label(v).IsChar() {
+			// Coalesce a run of character siblings.
+			text = text[:0]
+			for v != None && t.Label(v).IsChar() {
+				text = append(text, t.Label(v).Char())
+				v = t.Second(v)
+			}
+			top.next = v
+			if err := h.Text(text); err != nil {
+				return err
+			}
+			continue
+		}
+		if v == None {
+			stack = stack[:len(stack)-1]
+			if err := h.End(); err != nil {
+				return err
+			}
+			continue
+		}
+		name, ok := t.names.TagName(t.Label(v))
+		if !ok {
+			return fmt.Errorf("tree: unnamed label %d at node %d", t.Label(v), v)
+		}
+		if err := h.Begin(name); err != nil {
+			return err
+		}
+		top.next = t.Second(v)
+		stack = append(stack, frame{next: t.First(v)})
+	}
+	return nil
+}
+
+// DocDepth returns the maximum document depth of t (the root has depth 1),
+// computed from the binary encoding: following a first-child edge
+// descends one level, following a second-child (next-sibling) edge stays.
+func DocDepth(t *Tree) int {
+	maxDepth := 0
+	n := t.Len()
+	if n == 0 {
+		return 0
+	}
+	depth := make([]int32, n)
+	depth[0] = 1
+	for v := 0; v < n; v++ {
+		d := depth[v]
+		if int(d) > maxDepth {
+			maxDepth = int(d)
+		}
+		if c := t.First(NodeID(v)); c != None {
+			depth[c] = d + 1
+		}
+		if c := t.Second(NodeID(v)); c != None {
+			depth[c] = d
+		}
+	}
+	return maxDepth
+}

@@ -1,0 +1,140 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// recordingHandler captures events as a canonical string.
+type recordingHandler struct {
+	b     strings.Builder
+	depth int
+}
+
+func (h *recordingHandler) Begin(name string) error {
+	fmt.Fprintf(&h.b, "<%s>", name)
+	h.depth++
+	return nil
+}
+
+func (h *recordingHandler) Text(s []byte) error {
+	h.b.Write(s)
+	return nil
+}
+
+func (h *recordingHandler) End() error {
+	h.depth--
+	h.b.WriteString("</>")
+	return nil
+}
+
+func TestEmitRoundTrip(t *testing.T) {
+	// Building a tree from events and emitting it back must produce the
+	// same event stream.
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 40; iter++ {
+		var ref recordingHandler
+		b := NewBuilder(nil)
+		emitBoth := func(f func(h EventHandler) error) {
+			if err := f(&ref); err != nil {
+				t.Fatal(err)
+			}
+			if err := f(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var gen func(depth int)
+		gen = func(depth int) {
+			tag := []string{"a", "b", "c"}[rng.Intn(3)]
+			emitBoth(func(h EventHandler) error { return h.Begin(tag) })
+			for depth < 6 && rng.Intn(3) > 0 {
+				if rng.Intn(3) == 0 {
+					text := []byte("hello"[:1+rng.Intn(4)])
+					emitBoth(func(h EventHandler) error { return h.Text(text) })
+				} else {
+					gen(depth + 1)
+				}
+			}
+			emitBoth(func(h EventHandler) error { return h.End() })
+		}
+		gen(0)
+		tr, err := b.Tree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got recordingHandler
+		if err := Emit(tr, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.b.String() != ref.b.String() {
+			t.Fatalf("iter %d:\n got %s\nwant %s", iter, got.b.String(), ref.b.String())
+		}
+	}
+}
+
+func TestEmitCoalescesText(t *testing.T) {
+	// Adjacent character siblings arrive as one Text event.
+	tr := New(nil)
+	a := tr.Names().MustIntern("a")
+	root := tr.AddNode(a)
+	prev := None
+	for _, c := range []byte("hi") {
+		n := tr.AddNode(Label(c))
+		if prev == None {
+			tr.SetFirst(root, n)
+		} else {
+			tr.SetSecond(prev, n)
+		}
+		prev = n
+	}
+	var h recordingHandler
+	if err := Emit(tr, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.b.String() != "<a>hi</>" {
+		t.Fatalf("emitted %q", h.b.String())
+	}
+}
+
+func TestEmitRejectsCharRoot(t *testing.T) {
+	tr := New(nil)
+	tr.AddNode(Label('x'))
+	var h recordingHandler
+	if err := Emit(tr, &h); err == nil {
+		t.Fatal("Emit accepted a character root")
+	}
+}
+
+func TestEmitEmptyTree(t *testing.T) {
+	var h recordingHandler
+	if err := Emit(New(nil), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.b.Len() != 0 {
+		t.Fatalf("emitted %q from an empty tree", h.b.String())
+	}
+}
+
+func TestDocDepth(t *testing.T) {
+	b := NewBuilder(nil)
+	for _, ev := range []string{"a", "b", "c", "/", "/", "b", "/", "/"} {
+		var err error
+		if ev == "/" {
+			err = b.End()
+		} else {
+			err = b.Begin(ev)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := b.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DocDepth(tr); d != 3 {
+		t.Fatalf("DocDepth = %d, want 3", d)
+	}
+}

@@ -1,0 +1,177 @@
+// Package tree implements the binary (first-child/next-sibling) tree model
+// of XML documents used throughout the paper (Section 2.1).
+//
+// XML documents are modelled as node-labeled ordered trees in which text is
+// part of the tree: every text character is its own leaf node. Unranked XML
+// trees are interpreted as binary trees by taking the first child of a node
+// as the left (first) child and the next sibling as the right (second)
+// child. Nodes are stored in preorder, which for this encoding coincides
+// with XML document order.
+package tree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Label is a node label index. Indices 0..255 are reserved for text
+// characters (the byte value is the label); indices >= 256 denote named
+// labels (XML tags) resolved through a Names table. This matches the .arb
+// storage model, where the label field is 14 bits wide.
+type Label uint16
+
+// MaxLabel is the largest representable label index (14 bits).
+const MaxLabel Label = 1<<14 - 1
+
+// FirstNamedLabel is the smallest label index that denotes a named label
+// (tag) rather than a text character.
+const FirstNamedLabel Label = 256
+
+// IsChar reports whether l denotes a text character node.
+func (l Label) IsChar() bool { return l < FirstNamedLabel }
+
+// Char returns the text character denoted by l. It panics if l is a named
+// label.
+func (l Label) Char() byte {
+	if !l.IsChar() {
+		panic(fmt.Sprintf("tree: label %d is not a character", l))
+	}
+	return byte(l)
+}
+
+// Names maps named labels (indices >= 256) to their string names, mirroring
+// the contents of a .lab file: the name of label index i is the (i-255)th
+// whitespace-separated entry.
+type Names struct {
+	names []string       // names[i] is the name of label 256+i
+	index map[string]int // name -> offset into names
+}
+
+// NewNames returns an empty label-name table.
+func NewNames() *Names {
+	return &Names{index: make(map[string]int)}
+}
+
+// Intern returns the label index for name, assigning a fresh index if the
+// name has not been seen before. It returns an error if the 14-bit label
+// space is exhausted.
+func (ns *Names) Intern(name string) (Label, error) {
+	if i, ok := ns.index[name]; ok {
+		return FirstNamedLabel + Label(i), nil
+	}
+	i := len(ns.names)
+	if Label(i) > MaxLabel-FirstNamedLabel {
+		return 0, fmt.Errorf("tree: label space exhausted (%d named labels max)", MaxLabel-FirstNamedLabel+1)
+	}
+	ns.names = append(ns.names, name)
+	ns.index[name] = i
+	return FirstNamedLabel + Label(i), nil
+}
+
+// MustIntern is Intern, panicking on label-space exhaustion. Intended for
+// tests and generators with known-small alphabets.
+func (ns *Names) MustIntern(name string) Label {
+	l, err := ns.Intern(name)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Lookup returns the label index of name, if known.
+func (ns *Names) Lookup(name string) (Label, bool) {
+	i, ok := ns.index[name]
+	if !ok {
+		return 0, false
+	}
+	return FirstNamedLabel + Label(i), true
+}
+
+// Name returns a printable form of label l: the interned name for named
+// labels, or a quoted character for text labels.
+func (ns *Names) Name(l Label) string {
+	if l.IsChar() {
+		return fmt.Sprintf("%q", string(rune(l)))
+	}
+	i := int(l - FirstNamedLabel)
+	if i >= len(ns.names) {
+		return fmt.Sprintf("label#%d", l)
+	}
+	return ns.names[i]
+}
+
+// TagName returns the tag name of a named label l, and false for character
+// or unknown labels.
+func (ns *Names) TagName(l Label) (string, bool) {
+	if l.IsChar() {
+		return "", false
+	}
+	i := int(l - FirstNamedLabel)
+	if i >= len(ns.names) {
+		return "", false
+	}
+	return ns.names[i], true
+}
+
+// Len returns the number of named labels in the table.
+func (ns *Names) Len() int { return len(ns.names) }
+
+// All returns the named labels in index order.
+func (ns *Names) All() []string {
+	out := make([]string, len(ns.names))
+	copy(out, ns.names)
+	return out
+}
+
+// WriteTo serialises the table in .lab format: whitespace-separated names in
+// index order. Names must not contain whitespace; Intern does not enforce
+// this because XML tag names cannot contain whitespace anyway.
+func (ns *Names) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for i, name := range ns.names {
+		sep := ""
+		if i > 0 {
+			sep = "\n"
+		}
+		m, err := fmt.Fprintf(w, "%s%s", sep, name)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadNames parses a .lab file: the (i+1)th whitespace-separated entry names
+// label index 256+i.
+func ReadNames(r io.Reader) (*Names, error) {
+	ns := NewNames()
+	sc := bufio.NewScanner(r)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		if _, err := ns.Intern(sc.Text()); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ns, nil
+}
+
+// String renders the table for debugging.
+func (ns *Names) String() string {
+	var b strings.Builder
+	keys := make([]string, 0, len(ns.index))
+	for k := range ns.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return ns.index[keys[i]] < ns.index[keys[j]] })
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d=%s ", FirstNamedLabel+Label(ns.index[k]), k)
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,223 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a node of a Tree: its preorder index. Nodes of the
+// binary tree are stored in preorder, where a node precedes its entire first
+// subtree, which precedes its entire second subtree. For the first-child/
+// next-sibling encoding of an XML document, this preorder coincides with XML
+// document order.
+type NodeID int32
+
+// None is the absent-node sentinel.
+const None NodeID = -1
+
+// Tree is an in-memory binary tree in the model of Section 2.1 of the
+// paper: each node carries a label and up to two children (first child =
+// first child of the XML node; second child = next sibling of the XML
+// node). The zero node (if the tree is non-empty) is the root.
+//
+// Tree is the in-memory counterpart of a .arb database and is used by the
+// in-memory evaluation drivers, the oracle evaluators and the tests. Huge
+// databases are processed directly from disk by internal/storage without
+// materialising a Tree.
+type Tree struct {
+	label  []Label
+	first  []NodeID
+	second []NodeID
+	names  *Names
+}
+
+// New returns an empty tree using the given label-name table. A nil table
+// is replaced by a fresh one.
+func New(names *Names) *Tree {
+	if names == nil {
+		names = NewNames()
+	}
+	return &Tree{names: names}
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.label) }
+
+// Names returns the label-name table of the tree.
+func (t *Tree) Names() *Names { return t.names }
+
+// Root returns the root node, or None for an empty tree.
+func (t *Tree) Root() NodeID {
+	if len(t.label) == 0 {
+		return None
+	}
+	return 0
+}
+
+// Label returns the label of node v.
+func (t *Tree) Label(v NodeID) Label { return t.label[v] }
+
+// First returns the first (left) child of v, or None.
+func (t *Tree) First(v NodeID) NodeID { return t.first[v] }
+
+// Second returns the second (right) child of v — the next sibling in the
+// unranked view — or None.
+func (t *Tree) Second(v NodeID) NodeID { return t.second[v] }
+
+// HasFirst reports whether v has a first child.
+func (t *Tree) HasFirst(v NodeID) bool { return t.first[v] != None }
+
+// HasSecond reports whether v has a second child.
+func (t *Tree) HasSecond(v NodeID) bool { return t.second[v] != None }
+
+// IsRoot reports whether v is the root.
+func (t *Tree) IsRoot(v NodeID) bool { return v == 0 }
+
+// AddNode appends a node with the given label and no children and returns
+// its id. Children must be attached with SetFirst/SetSecond; to keep the
+// preorder invariant, callers must attach a node only to an earlier node,
+// first subtrees before second subtrees. Builder (see build.go) maintains
+// the invariant automatically.
+func (t *Tree) AddNode(l Label) NodeID {
+	id := NodeID(len(t.label))
+	t.label = append(t.label, l)
+	t.first = append(t.first, None)
+	t.second = append(t.second, None)
+	return id
+}
+
+// SetFirst makes c the first child of v.
+func (t *Tree) SetFirst(v, c NodeID) { t.first[v] = c }
+
+// SetSecond makes c the second child of v.
+func (t *Tree) SetSecond(v, c NodeID) { t.second[v] = c }
+
+// Parents computes, for every node, its binary-tree parent and which child
+// it is (1 or 2). The root has parent None and kind 0. This inverse view is
+// needed by the naive fixpoint evaluator for invFirstChild/invSecondChild
+// moves; the automata engines never need it.
+func (t *Tree) Parents() (parent []NodeID, kind []uint8) {
+	n := t.Len()
+	parent = make([]NodeID, n)
+	kind = make([]uint8, n)
+	for i := range parent {
+		parent[i] = None
+	}
+	for v := 0; v < n; v++ {
+		if c := t.first[v]; c != None {
+			parent[c] = NodeID(v)
+			kind[c] = 1
+		}
+		if c := t.second[v]; c != None {
+			parent[c] = NodeID(v)
+			kind[c] = 2
+		}
+	}
+	return parent, kind
+}
+
+// CheckPreorder verifies the structural invariants: node 0 is the root,
+// every node's first child is the next preorder index, and every node's
+// second child immediately follows its first subtree. It returns an error
+// describing the first violation found.
+func (t *Tree) CheckPreorder() error {
+	n := NodeID(t.Len())
+	if n == 0 {
+		return nil
+	}
+	// end[v] = preorder index one past the binary subtree of v.
+	var check func(v NodeID) (NodeID, error)
+	check = func(v NodeID) (NodeID, error) {
+		end := v + 1
+		if c := t.first[v]; c != None {
+			if c != end {
+				return 0, fmt.Errorf("tree: node %d: first child %d, want %d", v, c, end)
+			}
+			var err error
+			end, err = check(c)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if c := t.second[v]; c != None {
+			if c != end {
+				return 0, fmt.Errorf("tree: node %d: second child %d, want %d", v, c, end)
+			}
+			var err error
+			end, err = check(c)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return end, nil
+	}
+	end, err := check(0)
+	if err != nil {
+		return err
+	}
+	if end != n {
+		return fmt.Errorf("tree: root subtree covers %d of %d nodes", end, n)
+	}
+	return nil
+}
+
+// Depth returns the depth of the binary tree (number of nodes on the
+// longest root-to-leaf path); 0 for an empty tree. Computed iteratively so
+// right-deep trees (long sibling chains) do not overflow the goroutine
+// stack.
+func (t *Tree) Depth() int {
+	if t.Len() == 0 {
+		return 0
+	}
+	type frame struct {
+		v NodeID
+		d int
+	}
+	max := 0
+	stack := []frame{{0, 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.d > max {
+			max = f.d
+		}
+		if c := t.second[f.v]; c != None {
+			stack = append(stack, frame{c, f.d + 1})
+		}
+		if c := t.first[f.v]; c != None {
+			stack = append(stack, frame{c, f.d + 1})
+		}
+	}
+	return max
+}
+
+// DocDepth returns the depth of the node in the *unranked* (XML document)
+// view for every node: the root has document depth 1, element children and
+// character children one more than their parent. Second-child (sibling)
+// edges do not increase document depth.
+func (t *Tree) DocDepth() []int32 {
+	n := t.Len()
+	d := make([]int32, n)
+	if n == 0 {
+		return d
+	}
+	d[0] = 1
+	for v := 0; v < n; v++ {
+		if c := t.first[v]; c != None {
+			d[c] = d[v] + 1
+		}
+		if c := t.second[v]; c != None {
+			d[c] = d[v]
+		}
+	}
+	return d
+}
+
+// String renders small trees for test failure messages, one node per line.
+func (t *Tree) String() string {
+	var b strings.Builder
+	for v := 0; v < t.Len(); v++ {
+		fmt.Fprintf(&b, "%d: %s first=%d second=%d\n", v, t.names.Name(t.label[v]), t.first[v], t.second[v])
+	}
+	return b.String()
+}

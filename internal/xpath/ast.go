@@ -1,0 +1,178 @@
+// Package xpath implements a Core XPath frontend for the engine: the
+// navigational XPath fragment of [10] (all axes, name/*/text() node
+// tests, and predicates combined with and/or/not), parsed, translatable
+// to TMNF in linear time, and evaluable either directly (a reference
+// interpreter used as the test oracle) or through the two-phase automata
+// engine.
+//
+// Positive queries translate to a single TMNF program. not(..)
+// subconditions are handled by multi-pass evaluation: each negated
+// condition becomes its own program whose result is fed back to later
+// passes as an auxiliary node predicate (Aux[k]) — the paper's Section 7
+// mechanism of exposing precomputed information through the labeling.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis enumerates the Core XPath axes.
+type Axis uint8
+
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisSelf
+	AxisParent
+	AxisAncestor
+	AxisAncestorOrSelf
+	AxisFollowingSibling
+	AxisPrecedingSibling
+	AxisFollowing
+	AxisPreceding
+)
+
+var axisNames = map[Axis]string{
+	AxisChild:            "child",
+	AxisDescendant:       "descendant",
+	AxisDescendantOrSelf: "descendant-or-self",
+	AxisSelf:             "self",
+	AxisParent:           "parent",
+	AxisAncestor:         "ancestor",
+	AxisAncestorOrSelf:   "ancestor-or-self",
+	AxisFollowingSibling: "following-sibling",
+	AxisPrecedingSibling: "preceding-sibling",
+	AxisFollowing:        "following",
+	AxisPreceding:        "preceding",
+}
+
+func (a Axis) String() string { return axisNames[a] }
+
+// Inverse returns the converse axis: y in a(x) iff x in a.Inverse()(y).
+// Qualifier translation propagates match sets backwards through it.
+func (a Axis) Inverse() Axis {
+	switch a {
+	case AxisChild:
+		return AxisParent
+	case AxisParent:
+		return AxisChild
+	case AxisDescendant:
+		return AxisAncestor
+	case AxisAncestor:
+		return AxisDescendant
+	case AxisDescendantOrSelf:
+		return AxisAncestorOrSelf
+	case AxisAncestorOrSelf:
+		return AxisDescendantOrSelf
+	case AxisFollowingSibling:
+		return AxisPrecedingSibling
+	case AxisPrecedingSibling:
+		return AxisFollowingSibling
+	case AxisFollowing:
+		return AxisPreceding
+	case AxisPreceding:
+		return AxisFollowing
+	case AxisSelf:
+		return AxisSelf
+	}
+	panic("xpath: unknown axis")
+}
+
+// TestKind classifies node tests.
+type TestKind uint8
+
+const (
+	TestName TestKind = iota // a tag name
+	TestStar                 // *: any element
+	TestText                 // text(): any character node
+	TestNode                 // node(): any node
+)
+
+// NodeTest is a step's node test.
+type NodeTest struct {
+	Kind TestKind
+	Name string // TestName
+}
+
+func (nt NodeTest) String() string {
+	switch nt.Kind {
+	case TestName:
+		return nt.Name
+	case TestStar:
+		return "*"
+	case TestText:
+		return "text()"
+	}
+	return "node()"
+}
+
+// Step is one location step: axis::test[q1][q2]...
+type Step struct {
+	Axis  Axis
+	Test  NodeTest
+	Quals []*Cond
+}
+
+func (s Step) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s::%s", s.Axis, s.Test)
+	for _, q := range s.Quals {
+		fmt.Fprintf(&b, "[%s]", q)
+	}
+	return b.String()
+}
+
+// Path is a location path. Absolute paths start at the root; relative
+// paths start at the context node (only meaningful inside qualifiers —
+// a top-level query is implicitly absolute).
+type Path struct {
+	Absolute bool
+	Steps    []Step
+}
+
+func (p *Path) String() string {
+	var b strings.Builder
+	if p.Absolute {
+		b.WriteString("/")
+	}
+	for i, s := range p.Steps {
+		if i > 0 {
+			b.WriteString("/")
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// CondKind classifies qualifier conditions.
+type CondKind uint8
+
+const (
+	CondPath CondKind = iota // existential path
+	CondAnd
+	CondOr
+	CondNot
+)
+
+// Cond is a qualifier condition tree.
+type Cond struct {
+	Kind CondKind
+	L, R *Cond // CondAnd, CondOr; CondNot uses L
+	Path *Path // CondPath
+}
+
+func (c *Cond) String() string {
+	switch c.Kind {
+	case CondPath:
+		return c.Path.String()
+	case CondAnd:
+		return fmt.Sprintf("(%s and %s)", c.L, c.R)
+	case CondOr:
+		return fmt.Sprintf("(%s or %s)", c.L, c.R)
+	case CondNot:
+		return fmt.Sprintf("not(%s)", c.L)
+	}
+	return "?"
+}

@@ -1,0 +1,92 @@
+package xpath
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"arb/internal/core"
+	"arb/internal/storage"
+	"arb/internal/tree"
+)
+
+// Eval evaluates the compiled query over an in-memory tree with the
+// two-phase automata engine, running the auxiliary passes in order (each
+// feeding its result into the Aux labeling of later passes) and returning
+// the main pass's selected nodes as a truth vector over preorder ids.
+func (q *Query) Eval(t *tree.Tree) ([]bool, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("xpath: empty tree")
+	}
+	aux := make([]uint16, t.Len())
+	auxFn := func(v tree.NodeID) uint16 { return aux[v] }
+
+	for k, pass := range q.Passes {
+		c, err := core.Compile(pass)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: pass %d: %w", k, err)
+		}
+		e := core.NewEngine(c, t.Names())
+		res, err := e.Run(t, core.RunOpts{Aux: auxFn})
+		if err != nil {
+			return nil, fmt.Errorf("xpath: pass %d: %w", k, err)
+		}
+		bit := uint16(1) << uint(k)
+		res.Walk(pass.Queries()[0], func(v tree.NodeID) bool {
+			aux[v] |= bit
+			return true
+		})
+	}
+
+	c, err := core.Compile(q.Main)
+	if err != nil {
+		return nil, err
+	}
+	e := core.NewEngine(c, t.Names())
+	res, err := e.Run(t, core.RunOpts{Aux: auxFn})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, t.Len())
+	res.Walk(q.Main.Queries()[0], func(v tree.NodeID) bool {
+		out[v] = true
+		return true
+	})
+	return out, nil
+}
+
+// EvalDisk evaluates the compiled query over a .arb database entirely in
+// secondary storage: each auxiliary pass runs as two linear scans whose
+// phase 2 streams an updated 2-byte-per-node aux-mask sidecar file, which
+// the next pass reads alongside the database. dir holds the temporary
+// aux files (the database directory is a natural choice). The result is
+// the main pass's selected nodes.
+func (q *Query) EvalDisk(db *storage.DB, dir string) (*core.Result, error) {
+	var auxIn string
+	for k, pass := range q.Passes {
+		c, err := core.Compile(pass)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: pass %d: %w", k, err)
+		}
+		e := core.NewEngine(c, db.Names)
+		auxOut := filepath.Join(dir, fmt.Sprintf("pass%d.aux", k))
+		defer os.Remove(auxOut)
+		_, _, err = e.RunDisk(db, core.DiskOpts{
+			AuxIn:     auxIn,
+			AuxOut:    auxOut,
+			AuxOutBit: uint8(k),
+			// Each pass has exactly one query predicate, index 0.
+		})
+		if err != nil {
+			return nil, fmt.Errorf("xpath: pass %d: %w", k, err)
+		}
+		auxIn = auxOut
+	}
+	c, err := core.Compile(q.Main)
+	if err != nil {
+		return nil, err
+	}
+	e := core.NewEngine(c, db.Names)
+	res, _, err := e.RunDisk(db, core.DiskOpts{AuxIn: auxIn})
+	return res, err
+}

@@ -1,0 +1,232 @@
+package xpath
+
+import (
+	"arb/internal/tree"
+)
+
+// Interp is the reference interpreter: a direct, set-at-a-time evaluator
+// of Core XPath over an in-memory tree. It is the oracle the translation
+// to TMNF is tested against, and a baseline representing conventional
+// in-memory XPath evaluation (multiple visits per node, whole tree
+// resident).
+type Interp struct {
+	t *tree.Tree
+	// Document structure derived from the binary encoding.
+	docParent []tree.NodeID
+	// order/size give document-order intervals for descendant checks; in
+	// this representation preorder id already is document order.
+}
+
+// NewInterp prepares an interpreter for t.
+func NewInterp(t *tree.Tree) *Interp {
+	n := t.Len()
+	in := &Interp{t: t, docParent: make([]tree.NodeID, n)}
+	if n > 0 {
+		in.docParent[0] = tree.None
+	}
+	for v := 0; v < n; v++ {
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			in.docParent[c] = tree.NodeID(v)
+		}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			in.docParent[c] = in.docParent[v]
+		}
+	}
+	return in
+}
+
+// set is a node set as a truth vector.
+type set []bool
+
+func (in *Interp) newSet() set { return make(set, in.t.Len()) }
+
+// Eval evaluates an absolute path and returns the selected nodes as a
+// truth vector over preorder ids.
+func (in *Interp) Eval(p *Path) []bool {
+	if in.t.Len() == 0 {
+		return nil
+	}
+	ctx := in.newSet()
+	ctx[0] = true // absolute: context is the root
+	return in.evalPath(ctx, p)
+}
+
+func (in *Interp) evalPath(ctx set, p *Path) set {
+	// Absolute paths start at the virtual document node above the root
+	// element: its only child is node 0, its descendants are all nodes,
+	// and no other axis leads anywhere from it. The virtual node stays
+	// in the context through self::node() and descendant-or-self::node()
+	// steps (so //* reaches the root element).
+	virtual := p.Absolute
+	if p.Absolute {
+		ctx = in.newSet()
+	}
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		out := in.axis(ctx, st.Axis)
+		if virtual {
+			switch st.Axis {
+			case AxisChild:
+				if len(out) > 0 {
+					out[0] = true
+				}
+			case AxisDescendant, AxisDescendantOrSelf:
+				for v := range out {
+					out[v] = true
+				}
+			}
+		}
+		virtual = virtual && len(st.Quals) == 0 && st.Test.Kind == TestNode &&
+			(st.Axis == AxisSelf || st.Axis == AxisDescendantOrSelf)
+		ctx = in.filterStep(out, st)
+	}
+	return ctx
+}
+
+// filterStep applies a step's node test and qualifiers to an
+// already-moved set.
+func (in *Interp) filterStep(out set, st *Step) set {
+	for v := range out {
+		if !out[v] {
+			continue
+		}
+		if !in.test(tree.NodeID(v), st.Test) {
+			out[v] = false
+			continue
+		}
+		for _, q := range st.Quals {
+			if !in.holds(tree.NodeID(v), q) {
+				out[v] = false
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (in *Interp) evalStep(ctx set, st *Step) set {
+	return in.filterStep(in.axis(ctx, st.Axis), st)
+}
+
+func (in *Interp) test(v tree.NodeID, nt NodeTest) bool {
+	l := in.t.Label(v)
+	switch nt.Kind {
+	case TestName:
+		if l.IsChar() {
+			return false
+		}
+		name, _ := in.t.Names().TagName(l)
+		return name == nt.Name
+	case TestStar:
+		return !l.IsChar()
+	case TestText:
+		return l.IsChar()
+	}
+	return true
+}
+
+func (in *Interp) holds(v tree.NodeID, c *Cond) bool {
+	switch c.Kind {
+	case CondAnd:
+		return in.holds(v, c.L) && in.holds(v, c.R)
+	case CondOr:
+		return in.holds(v, c.L) || in.holds(v, c.R)
+	case CondNot:
+		return !in.holds(v, c.L)
+	}
+	ctx := in.newSet()
+	ctx[v] = true
+	res := in.evalPath(ctx, c.Path)
+	for _, ok := range res {
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// axis applies an axis to a context set.
+func (in *Interp) axis(ctx set, a Axis) set {
+	t := in.t
+	out := in.newSet()
+	switch a {
+	case AxisSelf:
+		copy(out, ctx)
+	case AxisChild:
+		for v := range ctx {
+			if !ctx[v] {
+				continue
+			}
+			for c := t.First(tree.NodeID(v)); c != tree.None; c = t.Second(c) {
+				out[c] = true
+			}
+		}
+	case AxisParent:
+		for v := range ctx {
+			if ctx[v] && in.docParent[v] != tree.None {
+				out[in.docParent[v]] = true
+			}
+		}
+	case AxisDescendant, AxisDescendantOrSelf:
+		// Propagate forward in preorder: v is a descendant iff its doc
+		// parent is marked or a descendant.
+		for v := range ctx {
+			if ctx[v] {
+				if a == AxisDescendantOrSelf {
+					out[v] = true
+				}
+				if p := in.docParent[v]; p != tree.None && out[p] {
+					out[v] = true // already implied; kept for clarity
+				}
+			}
+			if p := in.docParent[v]; p != tree.None && (ctx[p] || out[p]) {
+				out[v] = true
+			}
+		}
+	case AxisAncestor, AxisAncestorOrSelf:
+		for v := range ctx {
+			if !ctx[v] {
+				continue
+			}
+			if a == AxisAncestorOrSelf {
+				out[v] = true
+			}
+			for p := in.docParent[v]; p != tree.None; p = in.docParent[p] {
+				out[p] = true
+			}
+		}
+	case AxisFollowingSibling:
+		for v := range ctx {
+			if !ctx[v] {
+				continue
+			}
+			for s := t.Second(tree.NodeID(v)); s != tree.None; s = t.Second(s) {
+				out[s] = true
+			}
+		}
+	case AxisPrecedingSibling:
+		// Mark forward: w is a preceding sibling of v iff v is a
+		// following sibling of w.
+		for v := range ctx {
+			if !ctx[v] {
+				continue
+			}
+			// Walk from the first sibling to v.
+			start := tree.NodeID(v)
+			if p := in.docParent[v]; p != tree.None {
+				start = t.First(p)
+			} else {
+				continue // the root has no siblings
+			}
+			for s := start; s != tree.None && s != tree.NodeID(v); s = t.Second(s) {
+				out[s] = true
+			}
+		}
+	case AxisFollowing:
+		// following = descendant-or-self(following-sibling(ancestor-or-self)).
+		out = in.axis(in.axis(in.axis(ctx, AxisAncestorOrSelf), AxisFollowingSibling), AxisDescendantOrSelf)
+	case AxisPreceding:
+		out = in.axis(in.axis(in.axis(ctx, AxisAncestorOrSelf), AxisPrecedingSibling), AxisDescendantOrSelf)
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a Core XPath query. Both full axis syntax
+// (child::a/descendant::b[child::c]) and the abbreviations
+// a//b[c], '.', '..', leading / and // are accepted. Top-level queries
+// are absolute (a missing leading / is implied, as users typically write
+// //a-style queries; a leading relative step means /descendant-or-self
+// context is NOT assumed — "a/b" selects b-children of a root labeled a).
+func Parse(src string) (*Path, error) {
+	p := &xparser{src: src}
+	path, err := p.path(true)
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.i != len(p.src) {
+		return nil, fmt.Errorf("xpath: trailing input at offset %d in %q", p.i, src)
+	}
+	path.Absolute = true
+	return path, nil
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(src string) *Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type xparser struct {
+	src string
+	i   int
+}
+
+func (p *xparser) ws() {
+	for p.i < len(p.src) && (p.src[p.i] == ' ' || p.src[p.i] == '\t' || p.src[p.i] == '\n') {
+		p.i++
+	}
+}
+
+func (p *xparser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("xpath: offset %d: %s", p.i, fmt.Sprintf(format, args...))
+}
+
+// path parses a location path. top selects the top-level rule, where a
+// leading '/' or '//' is optional.
+func (p *xparser) path(top bool) (*Path, error) {
+	path := &Path{}
+	p.ws()
+	if strings.HasPrefix(p.src[p.i:], "//") {
+		p.i += 2
+		path.Absolute = true
+		path.Steps = append(path.Steps, Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode}})
+	} else if p.i < len(p.src) && p.src[p.i] == '/' {
+		p.i++
+		path.Absolute = true
+		p.ws()
+		if p.i == len(p.src) || p.src[p.i] == ']' || isBoolOpAt(p.src, p.i) {
+			// Bare "/": the root element (child::node() of the virtual
+			// document node above it).
+			path.Steps = append(path.Steps, Step{Axis: AxisChild, Test: NodeTest{Kind: TestNode}})
+			return path, nil
+		}
+	}
+	for {
+		st, err := p.step()
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, st)
+		p.ws()
+		if strings.HasPrefix(p.src[p.i:], "//") {
+			p.i += 2
+			path.Steps = append(path.Steps, Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode}})
+			continue
+		}
+		if p.i < len(p.src) && p.src[p.i] == '/' {
+			p.i++
+			continue
+		}
+		return path, nil
+	}
+}
+
+func isBoolOpAt(s string, i int) bool {
+	rest := s[i:]
+	return strings.HasPrefix(rest, "and ") || strings.HasPrefix(rest, "or ") || strings.HasPrefix(rest, ")")
+}
+
+// step parses one location step.
+func (p *xparser) step() (Step, error) {
+	p.ws()
+	if strings.HasPrefix(p.src[p.i:], "..") {
+		p.i += 2
+		return p.quals(Step{Axis: AxisParent, Test: NodeTest{Kind: TestNode}})
+	}
+	if p.i < len(p.src) && p.src[p.i] == '.' {
+		p.i++
+		return p.quals(Step{Axis: AxisSelf, Test: NodeTest{Kind: TestNode}})
+	}
+	axis := AxisChild
+	name := p.ident()
+	p.ws()
+	if strings.HasPrefix(p.src[p.i:], "::") {
+		a, ok := axisByName(name)
+		if !ok {
+			return Step{}, p.errf("unknown axis %q", name)
+		}
+		axis = a
+		p.i += 2
+		p.ws()
+		name = p.ident()
+	}
+	test, err := p.nodeTest(name)
+	if err != nil {
+		return Step{}, err
+	}
+	return p.quals(Step{Axis: axis, Test: test})
+}
+
+func (p *xparser) nodeTest(name string) (NodeTest, error) {
+	p.ws()
+	if name == "" {
+		if p.i < len(p.src) && p.src[p.i] == '*' {
+			p.i++
+			return NodeTest{Kind: TestStar}, nil
+		}
+		return NodeTest{}, p.errf("expected a node test")
+	}
+	if strings.HasPrefix(p.src[p.i:], "()") {
+		switch name {
+		case "text":
+			p.i += 2
+			return NodeTest{Kind: TestText}, nil
+		case "node":
+			p.i += 2
+			return NodeTest{Kind: TestNode}, nil
+		default:
+			return NodeTest{}, p.errf("unknown node-test function %q", name)
+		}
+	}
+	return NodeTest{Kind: TestName, Name: name}, nil
+}
+
+func (p *xparser) quals(st Step) (Step, error) {
+	for {
+		p.ws()
+		if p.i >= len(p.src) || p.src[p.i] != '[' {
+			return st, nil
+		}
+		p.i++
+		c, err := p.orCond()
+		if err != nil {
+			return Step{}, err
+		}
+		p.ws()
+		if p.i >= len(p.src) || p.src[p.i] != ']' {
+			return Step{}, p.errf("missing ']'")
+		}
+		p.i++
+		st.Quals = append(st.Quals, c)
+	}
+}
+
+func (p *xparser) orCond() (*Cond, error) {
+	l, err := p.andCond()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if !p.keyword("or") {
+			return l, nil
+		}
+		r, err := p.andCond()
+		if err != nil {
+			return nil, err
+		}
+		l = &Cond{Kind: CondOr, L: l, R: r}
+	}
+}
+
+func (p *xparser) andCond() (*Cond, error) {
+	l, err := p.unaryCond()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if !p.keyword("and") {
+			return l, nil
+		}
+		r, err := p.unaryCond()
+		if err != nil {
+			return nil, err
+		}
+		l = &Cond{Kind: CondAnd, L: l, R: r}
+	}
+}
+
+func (p *xparser) unaryCond() (*Cond, error) {
+	p.ws()
+	if p.keyword("not") {
+		p.ws()
+		if p.i >= len(p.src) || p.src[p.i] != '(' {
+			return nil, p.errf("expected '(' after not")
+		}
+		p.i++
+		inner, err := p.orCond()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if p.i >= len(p.src) || p.src[p.i] != ')' {
+			return nil, p.errf("missing ')' after not(..)")
+		}
+		p.i++
+		return &Cond{Kind: CondNot, L: inner}, nil
+	}
+	if p.i < len(p.src) && p.src[p.i] == '(' {
+		p.i++
+		inner, err := p.orCond()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if p.i >= len(p.src) || p.src[p.i] != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.i++
+		return inner, nil
+	}
+	path, err := p.path(false)
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Kind: CondPath, Path: path}, nil
+}
+
+// keyword consumes an identifier keyword if it is next (not a prefix of a
+// longer name).
+func (p *xparser) keyword(kw string) bool {
+	if !strings.HasPrefix(p.src[p.i:], kw) {
+		return false
+	}
+	after := p.i + len(kw)
+	if after < len(p.src) && isIdentByte(p.src[after]) {
+		return false
+	}
+	p.i = after
+	return true
+}
+
+func (p *xparser) ident() string {
+	start := p.i
+	for p.i < len(p.src) && isIdentByte(p.src[p.i]) {
+		p.i++
+	}
+	return p.src[start:p.i]
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '-' || c == '@' ||
+		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+func axisByName(name string) (Axis, bool) {
+	for a, n := range axisNames {
+		if n == name {
+			return a, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,349 @@
+package xpath
+
+import (
+	"fmt"
+
+	"arb/internal/tmnf"
+)
+
+// Query is a Core XPath query compiled to TMNF. Positive queries compile
+// to a single program; each not(..) subcondition adds one earlier pass
+// whose selected nodes are fed to later passes as the auxiliary predicate
+// Aux[k]. Passes are evaluated in order; Main is last.
+type Query struct {
+	Path   *Path
+	Passes []*tmnf.Program // pass k computes Aux[k]
+	Main   *tmnf.Program
+}
+
+// maxPasses is the number of auxiliary predicate slots (the Aux bitmask
+// is 16 bits wide).
+const maxPasses = 16
+
+// Translate compiles a parsed Core XPath query to TMNF. The translation
+// is linear in the size of the query: every step contributes a constant
+// number of rules (following/preceding contribute the rules of their
+// three-axis decomposition).
+func Translate(p *Path) (*Query, error) {
+	q := &Query{Path: p}
+	tr := &translator{q: q}
+	main, err := tr.pathProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	q.Main = main
+	return q, nil
+}
+
+// Compile parses and translates src.
+func Compile(src string) (*Query, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Translate(p)
+}
+
+type translator struct {
+	q *Query
+}
+
+// pathProgram builds one complete program that selects the result of the
+// absolute path p, marking its query predicate.
+func (tr *translator) pathProgram(p *Path) (*tmnf.Program, error) {
+	prog := tmnf.NewProgram()
+	result, err := tr.path(prog, p, tmnf.Pred(-1))
+	if err != nil {
+		return nil, err
+	}
+	prog.AddQuery(result)
+	return prog, nil
+}
+
+// local adds Head :- body to prog.
+func local(prog *tmnf.Program, head tmnf.Pred, body ...tmnf.LocalAtom) {
+	prog.AddRule(tmnf.Rule{Kind: tmnf.RuleLocal, Head: head, Body: body})
+}
+
+// move adds Head :- From.Rel (type 2).
+func move(prog *tmnf.Program, head, from tmnf.Pred, rel tmnf.Rel) {
+	prog.AddRule(tmnf.Rule{Kind: tmnf.RuleMove, Head: head, From: from, Rel: rel})
+}
+
+// invMove adds Head :- From.invRel (type 3).
+func invMove(prog *tmnf.Program, head, from tmnf.Pred, rel tmnf.Rel) {
+	prog.AddRule(tmnf.Rule{Kind: tmnf.RuleInvMove, Head: head, From: from, Rel: rel})
+}
+
+func unaryAtom(prog *tmnf.Program, u tmnf.Unary) tmnf.LocalAtom {
+	return tmnf.UnaryAtom(prog.InternUnary(u))
+}
+
+// path translates a path evaluated from context predicate ctx (-1 = no
+// context yet; only legal for absolute paths) and returns the predicate
+// holding at the result nodes. Absolute paths start at the virtual
+// document node above the root element: only its child (node 0) and
+// descendant axes lead anywhere.
+func (tr *translator) path(prog *tmnf.Program, p *Path, ctx tmnf.Pred) (tmnf.Pred, error) {
+	virtual := false
+	if p.Absolute || ctx == tmnf.Pred(-1) {
+		if !p.Absolute && ctx == tmnf.Pred(-1) {
+			return 0, fmt.Errorf("xpath: relative path %s without context", p)
+		}
+		ctx = prog.Fresh("Empty") // no real node is in the initial context
+		virtual = true
+	}
+	var err error
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		moved := tr.axis(prog, st.Axis, ctx)
+		if virtual {
+			// Contributions of the virtual document node: its child is
+			// the root element, its descendants are all nodes. For the
+			// self axis, axis() returned ctx itself, which is fine: the
+			// virtual node contributes no real node there.
+			switch st.Axis {
+			case AxisChild:
+				local(prog, moved, unaryAtom(prog, tmnf.Unary{Kind: tmnf.URoot}))
+			case AxisDescendant, AxisDescendantOrSelf:
+				local(prog, moved, unaryAtom(prog, tmnf.Unary{Kind: tmnf.UAll}))
+			}
+		}
+		virtual = virtual && len(st.Quals) == 0 && st.Test.Kind == TestNode &&
+			(st.Axis == AxisSelf || st.Axis == AxisDescendantOrSelf)
+		ctx, err = tr.filterStep(prog, st, moved)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return ctx, nil
+}
+
+// filterStep applies a step's node test and qualifiers to the moved
+// predicate.
+func (tr *translator) filterStep(prog *tmnf.Program, st *Step, moved tmnf.Pred) (tmnf.Pred, error) {
+	body := []tmnf.LocalAtom{tmnf.PredAtom(moved)}
+	body = append(body, testAtoms(prog, st.Test)...)
+	for _, qc := range st.Quals {
+		qp, err := tr.cond(prog, qc)
+		if err != nil {
+			return 0, err
+		}
+		body = append(body, qp)
+	}
+	out := prog.Fresh("Step")
+	local(prog, out, body...)
+	return out, nil
+}
+
+// testAtoms renders a node test as unary EDB atoms. A name test requires
+// both the label and element-ness: single-character names would otherwise
+// also resolve to character labels (the paper's model does not
+// distinguish them lexically).
+func testAtoms(prog *tmnf.Program, nt NodeTest) []tmnf.LocalAtom {
+	notText := unaryAtom(prog, tmnf.Unary{Kind: tmnf.UText, Neg: true})
+	switch nt.Kind {
+	case TestName:
+		return []tmnf.LocalAtom{unaryAtom(prog, tmnf.Unary{Kind: tmnf.ULabel, Name: nt.Name}), notText}
+	case TestStar:
+		return []tmnf.LocalAtom{notText}
+	case TestText:
+		return []tmnf.LocalAtom{unaryAtom(prog, tmnf.Unary{Kind: tmnf.UText})}
+	}
+	return nil
+}
+
+// axis adds the rules moving a set along an axis in the binary
+// (first-child/next-sibling) encoding and returns the predicate holding
+// at the axis image. Each case is a constant number of TMNF rules.
+func (tr *translator) axis(prog *tmnf.Program, a Axis, src tmnf.Pred) tmnf.Pred {
+	switch a {
+	case AxisSelf:
+		return src
+
+	case AxisChild:
+		// Children of x: FirstChild(x), then its NextSibling closure.
+		out := prog.Fresh("Child")
+		move(prog, out, src, tmnf.RelFirst)
+		move(prog, out, out, tmnf.RelSecond)
+		return out
+
+	case AxisParent:
+		// Walk left to the first sibling, then up.
+		up := prog.Fresh("Up")
+		local(prog, up, tmnf.PredAtom(src))
+		invMove(prog, up, up, tmnf.RelSecond)
+		out := prog.Fresh("Parent")
+		invMove(prog, out, up, tmnf.RelFirst)
+		return out
+
+	case AxisDescendant:
+		// The document descendants of x are the binary subtree of
+		// FirstChild(x).
+		out := prog.Fresh("Desc")
+		move(prog, out, src, tmnf.RelFirst)
+		move(prog, out, out, tmnf.RelFirst)
+		move(prog, out, out, tmnf.RelSecond)
+		return out
+
+	case AxisDescendantOrSelf:
+		out := prog.Fresh("DescSelf")
+		local(prog, out, tmnf.PredAtom(src))
+		d := tr.axis(prog, AxisDescendant, src)
+		local(prog, out, tmnf.PredAtom(d))
+		return out
+
+	case AxisAncestor:
+		// Repeat the parent walk: Up climbs sibling lists, each
+		// invFirstChild step reaches an ancestor, which climbs further.
+		up := prog.Fresh("AncUp")
+		local(prog, up, tmnf.PredAtom(src))
+		invMove(prog, up, up, tmnf.RelSecond)
+		out := prog.Fresh("Anc")
+		invMove(prog, out, up, tmnf.RelFirst)
+		local(prog, up, tmnf.PredAtom(out))
+		return out
+
+	case AxisAncestorOrSelf:
+		out := prog.Fresh("AncSelf")
+		local(prog, out, tmnf.PredAtom(src))
+		an := tr.axis(prog, AxisAncestor, src)
+		local(prog, out, tmnf.PredAtom(an))
+		return out
+
+	case AxisFollowingSibling:
+		out := prog.Fresh("FollSib")
+		move(prog, out, src, tmnf.RelSecond)
+		move(prog, out, out, tmnf.RelSecond)
+		return out
+
+	case AxisPrecedingSibling:
+		out := prog.Fresh("PrecSib")
+		invMove(prog, out, src, tmnf.RelSecond)
+		invMove(prog, out, out, tmnf.RelSecond)
+		return out
+
+	case AxisFollowing:
+		return tr.axis(prog, AxisDescendantOrSelf,
+			tr.axis(prog, AxisFollowingSibling,
+				tr.axis(prog, AxisAncestorOrSelf, src)))
+
+	case AxisPreceding:
+		return tr.axis(prog, AxisDescendantOrSelf,
+			tr.axis(prog, AxisPrecedingSibling,
+				tr.axis(prog, AxisAncestorOrSelf, src)))
+	}
+	panic("xpath: unknown axis")
+}
+
+// cond translates a qualifier condition into a LocalAtom that holds at
+// exactly the nodes satisfying it.
+func (tr *translator) cond(prog *tmnf.Program, c *Cond) (tmnf.LocalAtom, error) {
+	switch c.Kind {
+	case CondAnd:
+		l, err := tr.cond(prog, c.L)
+		if err != nil {
+			return tmnf.LocalAtom{}, err
+		}
+		r, err := tr.cond(prog, c.R)
+		if err != nil {
+			return tmnf.LocalAtom{}, err
+		}
+		out := prog.Fresh("And")
+		local(prog, out, l, r)
+		return tmnf.PredAtom(out), nil
+
+	case CondOr:
+		l, err := tr.cond(prog, c.L)
+		if err != nil {
+			return tmnf.LocalAtom{}, err
+		}
+		r, err := tr.cond(prog, c.R)
+		if err != nil {
+			return tmnf.LocalAtom{}, err
+		}
+		out := prog.Fresh("Or")
+		local(prog, out, l)
+		local(prog, out, r)
+		return tmnf.PredAtom(out), nil
+
+	case CondNot:
+		// Compile the inner condition as its own pass; later passes see
+		// its result as Aux[k] and we use the complement. The inner pass
+		// must mark every node satisfying the condition, so it is
+		// compiled as a full program whose query predicate is the
+		// condition itself evaluated at all nodes.
+		// Recurse first: passes for nested not(..) conditions are
+		// appended during the recursion and so get lower indices —
+		// passes run in index order and may only reference earlier
+		// passes' Aux slots.
+		inner := tmnf.NewProgram()
+		atom, err := tr.cond(inner, c.L)
+		if err != nil {
+			return tmnf.LocalAtom{}, err
+		}
+		head := inner.Fresh("NotInner")
+		local(inner, head, atom)
+		inner.AddQuery(head)
+		if len(tr.q.Passes) == maxPasses {
+			return tmnf.LocalAtom{}, fmt.Errorf("xpath: more than %d not(..) conditions", maxPasses)
+		}
+		k := len(tr.q.Passes)
+		tr.q.Passes = append(tr.q.Passes, inner)
+		return unaryAtom(prog, tmnf.Unary{Kind: tmnf.UAux, Aux: uint8(k), Neg: true}), nil
+	}
+
+	// Existential path: propagate backwards with inverse axes from the
+	// nodes matching the full path to the nodes having such a match.
+	return tr.existsPath(prog, c.Path)
+}
+
+// existsPath translates the condition "this node has a (possibly
+// absolute) path match" into a predicate.
+func (tr *translator) existsPath(prog *tmnf.Program, p *Path) (tmnf.LocalAtom, error) {
+	if p.Absolute {
+		// Node-independent: the path has a match somewhere iff its
+		// result set is nonempty. Propagate the result to the root and
+		// broadcast back down.
+		res, err := tr.path(prog, p, tmnf.Pred(-1))
+		if err != nil {
+			return tmnf.LocalAtom{}, err
+		}
+		anc := tr.axis(prog, AxisAncestorOrSelf, res)
+		atRoot := prog.Fresh("NonEmpty")
+		local(prog, atRoot, tmnf.PredAtom(anc), unaryAtom(prog, tmnf.Unary{Kind: tmnf.URoot}))
+		all := prog.Fresh("Bcast")
+		local(prog, all, tmnf.PredAtom(atRoot))
+		move(prog, all, all, tmnf.RelFirst)
+		move(prog, all, all, tmnf.RelSecond)
+		return tmnf.PredAtom(all), nil
+	}
+
+	// Relative: compute match sets right-to-left. cur marks nodes
+	// matching the path suffix starting at step i; stepping back through
+	// the inverse axis yields nodes with an axis-successor matching the
+	// suffix.
+	cur := tmnf.Pred(-1)
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		st := &p.Steps[i]
+		body := []tmnf.LocalAtom{}
+		body = append(body, testAtoms(prog, st.Test)...)
+		for _, qc := range st.Quals {
+			qp, err := tr.cond(prog, qc)
+			if err != nil {
+				return tmnf.LocalAtom{}, err
+			}
+			body = append(body, qp)
+		}
+		if cur != tmnf.Pred(-1) {
+			body = append(body, tmnf.PredAtom(cur))
+		}
+		if len(body) == 0 {
+			body = append(body, unaryAtom(prog, tmnf.Unary{Kind: tmnf.UAll}))
+		}
+		matched := prog.Fresh("Match")
+		local(prog, matched, body...)
+		cur = tr.axis(prog, st.Axis.Inverse(), matched)
+	}
+	return tmnf.PredAtom(cur), nil
+}

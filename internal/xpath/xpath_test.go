@@ -1,0 +1,351 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arb/internal/core"
+	"arb/internal/storage"
+	"arb/internal/testutil"
+	"arb/internal/tree"
+	"arb/internal/xmlparse"
+)
+
+func parseDoc(t *testing.T, src string) *tree.Tree {
+	t.Helper()
+	tr, err := xmlparse.ParseTree(strings.NewReader(src), xmlparse.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func selected(sel []bool) []int {
+	var out []int
+	for v, ok := range sel {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := map[string]string{
+		"/a/b":                         "/child::a/child::b",
+		"a//b":                         "/child::a/descendant-or-self::node()/child::b",
+		"//a":                          "/descendant-or-self::node()/child::a",
+		"/a/*":                         "/child::a/child::*",
+		"a/text()":                     "/child::a/child::text()",
+		"a[b]":                         "/child::a[child::b]",
+		"a[b and not(c)]":              "/child::a[(child::b and not(child::c))]",
+		"a[b or c]/d":                  "/child::a[(child::b or child::c)]/child::d",
+		"a/..":                         "/child::a/parent::node()",
+		"a/.":                          "/child::a/self::node()",
+		"ancestor::a":                  "/ancestor::a",
+		"following-sibling::*":         "/following-sibling::*",
+		"a[descendant::b[c]]":          "/child::a[descendant::b[child::c]]",
+		"a[preceding::b]/following::c": "/child::a[preceding::b]/following::c",
+	}
+	for src, want := range cases {
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if got := p.String(); got != want {
+			t.Errorf("Parse(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "a[", "a]", "a[b", "a[not b]", "bogus::a", "a b", "a[()]",
+		"a/", "//", "a[foo()]",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestInterpBasics(t *testing.T) {
+	// ids: doc=0 a=1 b=2 'x'=3 c=4 a=5 b=6
+	doc := `<doc><a><b>x</b><c/></a><a><b/></a></doc>`
+	tr := parseDoc(t, doc)
+	in := NewInterp(tr)
+	cases := []struct {
+		q    string
+		want []int
+	}{
+		{"/doc", []int{0}},
+		{"/doc/a", []int{1, 5}},
+		{"//b", []int{2, 6}},
+		{"//text()", []int{3}},
+		{"//*", []int{0, 1, 2, 4, 5, 6}},
+		{"//b/..", []int{1, 5}},
+		{"//a[c]", []int{1}},
+		{"//a[not(c)]", []int{5}},
+		{"//a[b and c]", []int{1}},
+		{"//a[b or c]", []int{1, 5}},
+		{"//c/preceding-sibling::b", []int{2}},
+		{"//b/following-sibling::c", []int{4}},
+		{"//c/following::b", []int{6}},
+		{"//b[text()]", []int{2}},
+		{"//b/ancestor::a", []int{1, 5}},
+		{"//a[descendant::text()]", []int{1}},
+		{"/doc/a[following-sibling::a]", []int{1}},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.q, err)
+		}
+		got := selected(in.Eval(p))
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("%s: got %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestTranslateMatchesInterp is the main differential: the TMNF
+// translation evaluated by the two-phase engine must agree with the
+// direct interpreter, on handwritten queries covering every axis and
+// condition form.
+func TestTranslateMatchesInterp(t *testing.T) {
+	docs := []string{
+		`<doc><a><b>x</b><c/></a><a><b/></a></doc>`,
+		`<r><a><a><b/></a></a><b><a/></b>t</r>`,
+		`<r><x/><y><x><y/></x></y><z/></r>`,
+	}
+	queries := []string{
+		"/doc", "//a", "//a/b", "//b/..", "//a[c]", "//a[not(c)]",
+		"//a[b and c]", "//a[b or c]", "//a[not(b) and not(c)]",
+		"//*[text()]", "//a/descendant::b", "//b/ancestor::a",
+		"//b/ancestor-or-self::*", "//a/following-sibling::*",
+		"//a/preceding-sibling::*", "//a/following::*", "//a/preceding::*",
+		"//a[descendant::b]", "//a[ancestor::a]", "//a[not(ancestor::a)]",
+		"//a[following::b]", "//x[/r/z]", "//x[not(/r/q)]",
+		"//a[not(b[not(c)])]", "//*[self::a or self::b]",
+		"/descendant::a[preceding::x]",
+	}
+	for _, doc := range docs {
+		tr := parseDoc(t, doc)
+		in := NewInterp(tr)
+		for _, qs := range queries {
+			p, err := Parse(qs)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", qs, err)
+			}
+			want := selected(in.Eval(p))
+			q, err := Translate(p)
+			if err != nil {
+				t.Fatalf("Translate(%q): %v", qs, err)
+			}
+			sel, err := q.Eval(tr)
+			if err != nil {
+				t.Fatalf("Eval(%q): %v", qs, err)
+			}
+			if got := selected(sel); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("doc %s\nquery %s: engine %v, interpreter %v", doc, qs, got, want)
+			}
+		}
+	}
+}
+
+// randomXPath generates a random positive-or-negated Core XPath query.
+func randomXPath(rng *rand.Rand, depth int) string {
+	axes := []string{"child", "descendant", "self", "parent", "ancestor",
+		"descendant-or-self", "ancestor-or-self",
+		"following-sibling", "preceding-sibling", "following", "preceding"}
+	tests := []string{"a", "b", "c", "*", "node()", "text()"}
+	var step func(d int) string
+	step = func(d int) string {
+		s := axes[rng.Intn(len(axes))] + "::" + tests[rng.Intn(len(tests))]
+		if d < 2 && rng.Intn(3) == 0 {
+			inner := step(d + 1)
+			if rng.Intn(3) == 0 {
+				inner = "not(" + inner + ")"
+			}
+			if rng.Intn(3) == 0 {
+				op := " and "
+				if rng.Intn(2) == 0 {
+					op = " or "
+				}
+				inner += op + step(d+1)
+			}
+			s += "[" + inner + "]"
+		}
+		return s
+	}
+	n := 1 + rng.Intn(3)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = step(depth)
+	}
+	return "//" + strings.Join(parts, "/")
+}
+
+func TestTranslateMatchesInterpRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 150; iter++ {
+		tr := testutil.RandomTree(rng, 30)
+		qs := randomXPath(rng, 0)
+		p, err := Parse(qs)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", qs, err)
+		}
+		in := NewInterp(tr)
+		want := selected(in.Eval(p))
+		q, err := Translate(p)
+		if err != nil {
+			t.Fatalf("Translate(%q): %v", qs, err)
+		}
+		sel, err := q.Eval(tr)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", qs, err)
+		}
+		if got := selected(sel); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("iter %d: query %s\nengine      %v\ninterpreter %v\ntree:\n%s",
+				iter, qs, got, want, tr)
+		}
+	}
+}
+
+func TestNestedNegationPasses(t *testing.T) {
+	q, err := Compile("//a[not(b[not(c)])]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Passes) != 2 {
+		t.Fatalf("got %d passes, want 2", len(q.Passes))
+	}
+	// The inner not(c) pass must come first.
+	if !strings.Contains(q.Passes[1].String(), "Aux[0]") {
+		t.Fatalf("outer pass does not reference Aux[0]:\n%s", q.Passes[1])
+	}
+}
+
+func TestTooManyNegations(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("//a")
+	for i := 0; i < 17; i++ {
+		b.WriteString("[not(b)]")
+	}
+	if _, err := Compile(b.String()); err == nil {
+		t.Fatal("Compile accepted 17 not(..) conditions")
+	}
+}
+
+// TestPositiveFragmentOnDisk runs a single-program (negation-free) XPath
+// query through the secondary-storage driver and compares with the
+// interpreter.
+func TestPositiveFragmentOnDisk(t *testing.T) {
+	tr := parseDoc(t, `<doc><a><b>x</b><c/></a><a><b/></a></doc>`)
+	base := filepath.Join(t.TempDir(), "db")
+	db, err := storage.CreateFromTree(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for _, qs := range []string{"//a[c]", "//b/ancestor::a", "//a/following::*", "/doc/a/b"} {
+		q, err := Compile(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Passes) != 0 {
+			t.Fatalf("%s: unexpected passes", qs)
+		}
+		c, err := core.Compile(q.Main)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := core.NewEngine(c, db.Names)
+		res, _, err := e.RunDisk(db, core.DiskOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := selected(NewInterp(tr).Eval(MustParse(qs)))
+		var got []int
+		res.Walk(q.Main.Queries()[0], func(v tree.NodeID) bool {
+			got = append(got, int(v))
+			return true
+		})
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%s: disk %v, interpreter %v", qs, got, want)
+		}
+	}
+}
+
+// TestXPathParserRobustness throws random byte soup at the parser.
+func TestXPathParserRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	chars := []byte("abc:/[]()*@.|! ndorst")
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(50)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = chars[rng.Intn(len(chars))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", b, r)
+				}
+			}()
+			if p, err := Parse(string(b)); err == nil {
+				// Whatever parses must also translate and print.
+				_ = p.String()
+				if _, err := Translate(p); err != nil && !strings.Contains(err.Error(), "not(") {
+					t.Fatalf("Translate(%q): %v", b, err)
+				}
+			}
+		}()
+	}
+}
+
+// TestEvalDiskMatchesEval runs multi-pass (negated) queries entirely in
+// secondary storage and compares with the in-memory evaluator and the
+// interpreter.
+func TestEvalDiskMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 40; iter++ {
+		tr := testutil.RandomTree(rng, 40)
+		dir := t.TempDir()
+		db, err := storage.CreateFromTree(filepath.Join(dir, "db"), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := randomXPath(rng, 0)
+		q, err := Compile(qs)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", qs, err)
+		}
+		mem, err := q.Eval(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := q.EvalDisk(db, dir)
+		if err != nil {
+			t.Fatalf("EvalDisk(%q): %v", qs, err)
+		}
+		want := selected(NewInterp(tr).Eval(q.Path))
+		var gotDisk []int
+		res.Walk(q.Main.Queries()[0], func(v tree.NodeID) bool {
+			gotDisk = append(gotDisk, int(v))
+			return true
+		})
+		if fmt.Sprint(gotDisk) != fmt.Sprint(want) {
+			t.Fatalf("iter %d: query %s\ndisk        %v\ninterpreter %v", iter, qs, gotDisk, want)
+		}
+		if fmt.Sprint(selected(mem)) != fmt.Sprint(want) {
+			t.Fatalf("iter %d: query %s: memory %v, interpreter %v", iter, qs, selected(mem), want)
+		}
+		db.Close()
+	}
+}
