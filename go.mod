@@ -1,0 +1,3 @@
+module arb
+
+go 1.22
