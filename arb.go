@@ -14,7 +14,11 @@
 //
 // # Quick start
 //
-//	db, _, err := arb.CreateDB("mydb", xmlReader)     // mydb.arb + mydb.lab
+// The repository is the single Go module "arb"; import the root package
+// as `import "arb"` (the command-line tools live under cmd/arb, cmd/arbgen
+// and cmd/arbbench, runnable with `go run arb/cmd/arb`).
+//
+//	db, _, err := arb.CreateDB("mydb", xmlReader)     // mydb.arb + mydb.lab (+ mydb.idx)
 //	prog, err := arb.ParseProgram(
 //		`QUERY :- V.Label[gene].FirstChild.NextSibling*.Label[sequence];`)
 //	eng, err := arb.NewEngine(prog, db.Names)
@@ -25,6 +29,32 @@
 // enter through ParseXPath. The subpackages under internal implement the
 // pieces (storage model, Horn solver, automata, frontends, workloads);
 // this package is the supported public surface.
+//
+// # Parallel evaluation
+//
+// Tree automata evaluate independently on disjoint subtrees (the paper's
+// Sections 6.2 and 7), and the preorder storage layout makes every
+// subtree one contiguous byte range of the .arb file. Engine.RunDiskParallel
+// exploits both: the database's subtree index (the .idx sidecar, rebuilt
+// transparently for databases that lack one) cuts the file into a
+// frontier of chunks, a worker pool streams each chunk through its own
+// buffered reader for both evaluation phases, and the lazily-computed
+// automata are shared so transitions computed by one worker serve all.
+// The aggregate I/O stays at two linear scans' worth, memory per worker
+// stays bounded by the document depth, and the selected nodes are
+// bit-identical to RunDisk's. The arb CLI exposes this as `arb query -j N`.
+//
+//	res, stats, err := eng.RunDiskParallel(db, 4, arb.DiskOpts{})
+//
+// Parallelism pays off on large documents whose trees are reasonably
+// balanced — the ACGT-infix sequence encoding is the paper's showcase —
+// because balanced trees cut into evenly-sized chunks. On degenerate
+// right-deep trees (long sibling chains, e.g. ACGT-flat) the frontier
+// collapses into one huge chain and evaluation degrades toward
+// sequential; that asymmetry is exactly why the paper restructures
+// sequences into balanced infix trees. In-memory trees parallelise the
+// same way through RunParallel; `arbbench -experiment speedup` measures
+// the disk-path speedup per worker count.
 package arb
 
 import (

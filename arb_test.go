@@ -151,7 +151,7 @@ func TestDiskOptsFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := q.EvalDisk(db, filepath.Dir(base))
+	res, err := q.EvalDisk(db, filepath.Dir(base), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

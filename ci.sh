@@ -1,0 +1,18 @@
+#!/bin/sh
+# CI entry point: formatting, vet, build, and the full test suite under
+# the race detector (the tier-1 gate plus race coverage of the parallel
+# in-memory and parallel secondary-storage paths).
+set -eu
+
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...

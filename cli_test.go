@@ -56,6 +56,19 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("query output: %s", out)
 	}
 
+	// -j routes through the parallel disk evaluator (which falls back to
+	// the sequential scans on a document this small) with identical
+	// results.
+	out = runCLI(t, bin, "query", base, "-j", "4", "-q", "QUERY :- Label[author];")
+	if !strings.Contains(out, "3 nodes selected") {
+		t.Fatalf("parallel query output: %s", out)
+	}
+
+	out = runCLI(t, bin, "query", base, "-j", "0", "-xpath", "//book[not(author/following-sibling::author)]/title")
+	if !strings.Contains(out, "1 nodes selected") {
+		t.Fatalf("parallel negated xpath output: %s", out)
+	}
+
 	out = runCLI(t, bin, "query", base, "-xpath", "//book/title")
 	if !strings.Contains(out, "2 nodes selected") {
 		t.Fatalf("xpath output: %s", out)

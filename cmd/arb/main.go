@@ -14,6 +14,12 @@
 // predicate (default); -ids prints the selected preorder node ids; -mark
 // re-emits the document with selected nodes wrapped in <arb:selected>
 // markup (the system's default output mode described in Section 6.3).
+//
+// -j N evaluates with N parallel workers (0 = all CPUs): the database's
+// subtree index cuts the .arb file into a frontier of chunk byte ranges
+// that workers stream independently, still two linear scans' worth of
+// I/O in aggregate. It pays off on large, balanced documents; -mark
+// output is inherently sequential and ignores -j.
 package main
 
 import (
@@ -53,7 +59,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   arb create <base> [file.xml]
-  arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark]
+  arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N]
   arb cat    <base>
   arb stats  <base>
 `)
@@ -94,6 +100,7 @@ func query(args []string) error {
 	ids := fs.Bool("ids", false, "print selected node ids")
 	mark := fs.Bool("mark", false, "emit the document with selected nodes marked up")
 	verbose := fs.Bool("v", false, "print engine statistics")
+	jobs := fs.Int("j", 1, "parallel workers (0 = all CPUs, 1 = sequential)")
 	if len(args) < 1 {
 		usage()
 	}
@@ -132,7 +139,7 @@ func query(args []string) error {
 		if len(q.Passes) > 0 {
 			// Multi-pass (negation): chain the passes through aux-mask
 			// sidecar files, still entirely in secondary storage.
-			return queryXPathMultiPass(db, q, base, *ids, *mark)
+			return queryXPathMultiPass(db, q, base, *ids, *mark, *jobs)
 		}
 		prog = q.Main
 	default:
@@ -147,14 +154,27 @@ func query(args []string) error {
 		return err
 	}
 	opts := arb.DiskOpts{}
+	var markOut *bufio.Writer
 	if *mark {
 		// The marked document streams out during phase 2 itself
 		// (Section 6.3) — still exactly two scans.
-		opts.MarkTo = os.Stdout
+		markOut = bufio.NewWriterSize(os.Stdout, 1<<16)
+		opts.MarkTo = markOut
 	}
-	res, ds, err := eng.RunDisk(db, opts)
+	var res *arb.Result
+	var ds *arb.DiskStats
+	if *jobs != 1 {
+		res, ds, err = eng.RunDiskParallel(db, *jobs, opts)
+	} else {
+		res, ds, err = eng.RunDisk(db, opts)
+	}
 	if err != nil {
 		return err
+	}
+	if markOut != nil {
+		if err := markOut.Flush(); err != nil {
+			return err
+		}
 	}
 	if *verbose {
 		st := eng.Stats()
@@ -166,10 +186,7 @@ func query(args []string) error {
 	case *mark:
 		return nil
 	case *ids:
-		res.Walk(q, func(v arb.NodeID) bool {
-			fmt.Println(v)
-			return true
-		})
+		return printIDs(res, q)
 	default:
 		for _, q := range prog.Queries() {
 			fmt.Printf("%s: %d nodes selected\n", prog.PredName(q), res.Count(q))
@@ -178,24 +195,42 @@ func query(args []string) error {
 	return nil
 }
 
+// printIDs streams the selected preorder ids to stdout, surfacing write
+// errors (a closed pipe must fail the command, not silently truncate).
+func printIDs(res *arb.Result, q arb.Pred) error {
+	w := bufio.NewWriterSize(os.Stdout, 1<<16)
+	var werr error
+	res.Walk(q, func(v arb.NodeID) bool {
+		if _, err := fmt.Fprintln(w, v); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return w.Flush()
+}
+
 // queryXPathMultiPass evaluates a negated XPath query on disk, chaining
-// the auxiliary passes through sidecar files next to the database.
-func queryXPathMultiPass(db *arb.DB, q *arb.XPathQuery, base string, ids, mark bool) error {
-	res, err := q.EvalDisk(db, filepath.Dir(base))
+// the auxiliary passes through sidecar files next to the database; each
+// pass runs with the requested number of workers.
+func queryXPathMultiPass(db *arb.DB, q *arb.XPathQuery, base string, ids, mark bool, jobs int) error {
+	res, err := q.EvalDisk(db, filepath.Dir(base), jobs)
 	if err != nil {
 		return err
 	}
 	qp := q.Main.Queries()[0]
 	switch {
 	case mark:
-		w := bufio.NewWriter(os.Stdout)
-		defer w.Flush()
-		return arb.EmitXML(db, w, func(v int64) bool { return res.Holds(qp, arb.NodeID(v)) })
+		w := bufio.NewWriterSize(os.Stdout, 1<<16)
+		if err := arb.EmitXML(db, w, func(v int64) bool { return res.Holds(qp, arb.NodeID(v)) }); err != nil {
+			return err
+		}
+		return w.Flush()
 	case ids:
-		res.Walk(qp, func(v arb.NodeID) bool {
-			fmt.Println(v)
-			return true
-		})
+		return printIDs(res, qp)
 	default:
 		fmt.Printf("%s: %d nodes selected\n", q.Path, res.Count(qp))
 	}
@@ -211,9 +246,11 @@ func cat(args []string) error {
 		return err
 	}
 	defer db.Close()
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	return arb.EmitXML(db, w, nil)
+	w := bufio.NewWriterSize(os.Stdout, 1<<16)
+	if err := arb.EmitXML(db, w, nil); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 func stats(args []string) error {

@@ -4,19 +4,26 @@
 //
 //	arbbench -experiment fig5  [-scale f] [-dir d]
 //	arbbench -experiment fig6  [-thread treebank|acgt-flat|acgt-infix|all]
-//	         [-scale f] [-sizes 5-15] [-queries 25] [-dir d] [-mem]
+//	         [-scale f] [-sizes 5-15] [-queries 25] [-dir d] [-mem] [-workers n]
 //	arbbench -experiment stream [-scale f] [-sizes 5-15] [-queries 25] [-dir d]
+//	arbbench -experiment speedup [-thread acgt-infix] [-workers n]
+//	         [-scale f] [-queries 5] [-dir d]
 //
 // fig5 prints the database-creation statistics table (Figure 5); fig6
-// prints the query benchmark table for the chosen thread (Figure 6);
-// stream prints the one-pass-vs-two-pass ablation. Databases are created
-// under -dir (a temporary directory by default) and reused within a run.
+// prints the query benchmark table for the chosen thread (Figure 6),
+// evaluating with -workers parallel workers when n > 1; stream prints
+// the one-pass-vs-two-pass ablation; speedup sweeps worker counts 1, 2,
+// 4, ... up to -workers over the chosen thread (ACGT-infix by default —
+// the balanced tree where the frontier divides evenly) and reports the
+// parallel-disk speedup per count. Databases are created under -dir (a
+// temporary directory by default) and reused within a run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -24,22 +31,23 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig6", "fig5, fig6, or stream")
-	thread := flag.String("thread", "all", "fig6 thread: treebank, acgt-flat, acgt-infix, or all")
+	experiment := flag.String("experiment", "fig6", "fig5, fig6, stream, or speedup")
+	thread := flag.String("thread", "", "thread: treebank, acgt-flat, acgt-infix, or all (default: all for fig6, acgt-infix for speedup)")
 	scale := flag.Float64("scale", bench.DefaultScale, "fraction of the paper's dataset sizes (1.0 = full)")
 	sizesFlag := flag.String("sizes", "5-15", "query sizes, e.g. 5-15 or 5,8,12")
-	queries := flag.Int("queries", 25, "random queries per size")
+	queries := flag.Int("queries", 0, "random queries per size (default: 25 for fig6, 5 for speedup)")
 	dir := flag.String("dir", "", "directory for databases (default: temporary)")
 	inMemory := flag.Bool("mem", false, "evaluate in memory instead of on disk")
+	workers := flag.Int("workers", 0, "parallel workers: fig6 evaluates with this many; speedup sweeps 1,2,4,.. up to it (0 = all CPUs for speedup, sequential for fig6)")
 	flag.Parse()
 
-	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory); err != nil {
+	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "arbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool) error {
+func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int) error {
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "arbbench")
@@ -54,6 +62,41 @@ func run(experiment, thread string, scale float64, sizesFlag string, queries int
 	}
 
 	switch experiment {
+	case "speedup":
+		if thread == "" || thread == "all" {
+			thread = "acgt-infix"
+		}
+		threads, err := threadsFor(thread)
+		if err != nil {
+			return err
+		}
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		counts := []int{1}
+		for w := 2; w <= workers; w *= 2 {
+			counts = append(counts, w)
+		}
+		if last := counts[len(counts)-1]; last != workers {
+			counts = append(counts, workers)
+		}
+		if queries == 0 {
+			queries = 5
+		}
+		fmt.Printf("Parallel disk speedup, %d queries per worker count (scale %.4g).\n",
+			queries, scale)
+		for _, th := range threads {
+			rows, err := bench.Speedup(th, counts, bench.SpeedupOpts{
+				Queries: queries, Scale: scale, Dir: dir,
+			})
+			if err != nil {
+				return err
+			}
+			bench.WriteSpeedup(os.Stdout, th, rows)
+			fmt.Println()
+		}
+		return nil
+
 	case "fig5":
 		rows, _, err := bench.Fig5(dir, scale)
 		if err != nil {
@@ -64,15 +107,22 @@ func run(experiment, thread string, scale float64, sizesFlag string, queries int
 		return nil
 
 	case "fig6":
+		if thread == "" {
+			thread = "all"
+		}
 		threads, err := threadsFor(thread)
 		if err != nil {
 			return err
 		}
+		if queries == 0 {
+			queries = 25
+		}
 		fmt.Printf("Figure 6: benchmark results, %d random queries per size (scale %.4g, %s).\n",
-			queries, scale, evalMode(inMemory))
+			queries, scale, evalMode(inMemory, workers))
 		for _, th := range threads {
 			rows, err := bench.Fig6(th, bench.Fig6Opts{
 				Sizes: sizes, Queries: queries, Scale: scale, Dir: dir, InMemory: inMemory,
+				Workers: workers,
 			})
 			if err != nil {
 				return err
@@ -83,6 +133,9 @@ func run(experiment, thread string, scale float64, sizesFlag string, queries int
 		return nil
 
 	case "stream":
+		if queries == 0 {
+			queries = 25
+		}
 		base := dir + "/Treebank"
 		if _, err := os.Stat(base + ".arb"); err != nil {
 			if _, err := bench.Fig6(bench.Treebank, bench.Fig6Opts{
@@ -101,11 +154,15 @@ func run(experiment, thread string, scale float64, sizesFlag string, queries int
 	return fmt.Errorf("unknown experiment %q", experiment)
 }
 
-func evalMode(inMemory bool) string {
+func evalMode(inMemory bool, workers int) string {
+	mode := "on disk, two linear scans"
 	if inMemory {
-		return "in memory"
+		mode = "in memory"
 	}
-	return "on disk, two linear scans"
+	if workers > 1 {
+		mode = fmt.Sprintf("%s, %d workers", mode, workers)
+	}
+	return mode
 }
 
 func threadsFor(name string) ([]bench.Thread, error) {

@@ -26,7 +26,9 @@ import (
 	"time"
 
 	"arb/internal/core"
+	"arb/internal/parallel"
 	"arb/internal/storage"
+	"arb/internal/tmnf"
 	"arb/internal/workload"
 )
 
@@ -222,6 +224,10 @@ type Fig6Opts struct {
 	// on disk (the paper's runs are on disk; in-memory is for quick
 	// checks and ablation).
 	InMemory bool
+	// Workers evaluates each query with that many parallel workers
+	// (0 or 1 = sequential): RunDiskParallel on disk, parallel.Run in
+	// memory. The selected counts are identical either way.
+	Workers int
 	// Base reuses an existing database (from Fig5) instead of creating
 	// one under Dir.
 	Base string
@@ -288,23 +294,9 @@ func Fig6(th Thread, opts Fig6Opts) ([]Fig6Row, error) {
 			runtime.ReadMemStats(&m0)
 
 			start := time.Now()
-			var selected int64
-			if opts.InMemory {
-				t, err := db.ReadTree()
-				if err != nil {
-					return nil, err
-				}
-				res, err := e.Run(t, core.RunOpts{})
-				if err != nil {
-					return nil, err
-				}
-				selected = res.Count(prog.Queries()[0])
-			} else {
-				res, _, err := e.RunDisk(db, core.DiskOpts{})
-				if err != nil {
-					return nil, err
-				}
-				selected = res.Count(prog.Queries()[0])
+			selected, err := evalQuery(e, db, prog.Queries()[0], opts)
+			if err != nil {
+				return nil, err
 			}
 			total := time.Since(start)
 
@@ -337,6 +329,42 @@ func Fig6(th Thread, opts Fig6Opts) ([]Fig6Row, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// evalQuery runs one compiled query in the mode opts selects (in memory
+// or on disk, sequential or with opts.Workers workers) and returns the
+// selected count for query q — identical in every mode.
+func evalQuery(e *core.Engine, db *storage.DB, q tmnf.Pred, opts Fig6Opts) (int64, error) {
+	if opts.InMemory {
+		t, err := db.ReadTree()
+		if err != nil {
+			return 0, err
+		}
+		if opts.Workers > 1 {
+			res, err := parallel.Run(e, t, opts.Workers)
+			if err != nil {
+				return 0, err
+			}
+			return res.Count(q), nil
+		}
+		res, err := e.Run(t, core.RunOpts{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Count(q), nil
+	}
+	if opts.Workers > 1 {
+		res, _, err := e.RunDiskParallel(db, opts.Workers, core.DiskOpts{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Count(q), nil
+	}
+	res, _, err := e.RunDisk(db, core.DiskOpts{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Count(q), nil
 }
 
 // createThreadDB builds the database a thread runs against.

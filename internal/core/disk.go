@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"arb/internal/edb"
@@ -16,12 +17,16 @@ import (
 
 // DiskOpts configures a secondary-storage evaluation run.
 type DiskOpts struct {
-	// StatePath overrides the path of the temporary state file (default
-	// base.sta next to the database). The file holds one 4-byte state id
-	// per node, written in reverse preorder by phase 1 and read backwards
-	// (i.e. in preorder) by phase 2 — the paper's footnote 12.
+	// StatePath overrides the path of the temporary state file. The file
+	// holds one 4-byte state id per node, written in reverse preorder by
+	// phase 1 and read backwards (i.e. in preorder) by phase 2 — the
+	// paper's footnote 12. When empty, the run uses a unique temporary
+	// file next to the database (so concurrent runs over one database
+	// never collide), except that KeepStateFile without a StatePath uses
+	// the discoverable name base.sta.
 	StatePath string
-	// KeepStateFile retains the state file after the run.
+	// KeepStateFile retains the state file after a successful run; a
+	// failed run always removes the file it created.
 	KeepStateFile bool
 
 	// AuxIn optionally names a sidecar file holding one 2-byte
@@ -76,10 +81,6 @@ func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, er
 		// database with a different name table would silently misresolve.
 		return nil, nil, errors.New("core: engine name table does not match database")
 	}
-	statePath := opts.StatePath
-	if statePath == "" {
-		statePath = db.Base + ".sta"
-	}
 	res := newResult(e.c.Prog, db.N)
 	ds := &DiskStats{StateBytes: db.N * stateIDSize}
 	e.stats.Nodes += db.N
@@ -112,13 +113,14 @@ func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, er
 	// Phase 1: backward scan of .arb; combine child states through the
 	// lazy transition function of A and stream every node's state id.
 	start := time.Now()
-	stateF, err := os.Create(statePath)
+	stateF, statePath, err := createStateFile(db, opts)
 	if err != nil {
 		return nil, nil, err
 	}
+	succeeded := false
 	defer func() {
 		stateF.Close()
-		if !opts.KeepStateFile {
+		if !opts.KeepStateFile || !succeeded {
 			os.Remove(statePath)
 		}
 	}()
@@ -261,7 +263,31 @@ func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, er
 	}
 	ds.Phase2 = scan2
 	e.stats.Phase2Time += time.Since(start)
+	succeeded = true
 	return res, ds, nil
+}
+
+// createStateFile opens the phase-1 state file for a run: opts.StatePath
+// if set; base.sta when KeepStateFile asks for a discoverable name;
+// otherwise a unique temporary file next to the database, so two
+// concurrent runs sharing a database directory never clobber each other's
+// state.
+func createStateFile(db *storage.DB, opts DiskOpts) (*os.File, string, error) {
+	switch {
+	case opts.StatePath != "":
+		f, err := os.Create(opts.StatePath)
+		return f, opts.StatePath, err
+	case opts.KeepStateFile:
+		p := db.Base + ".sta"
+		f, err := os.Create(p)
+		return f, p, err
+	default:
+		f, err := os.CreateTemp(filepath.Dir(db.Base), filepath.Base(db.Base)+"-*.sta")
+		if err != nil {
+			return nil, "", err
+		}
+		return f, f.Name(), nil
+	}
 }
 
 // auxMaskSize is the on-disk size of one auxiliary predicate mask.

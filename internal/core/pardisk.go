@@ -1,0 +1,580 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"arb/internal/edb"
+	"arb/internal/storage"
+	"arb/internal/tree"
+)
+
+// Tuning knobs for the parallel frontier cut. Variables (not constants)
+// so the package tests can exercise the full parallel machinery on small
+// trees.
+var (
+	// parMinNodes is the database size below which RunDiskParallel
+	// delegates to the sequential scans — coordination would cost more
+	// than it buys.
+	parMinNodes int64 = 1 << 15
+	// parMinTask is the smallest subtree worth dispatching as its own
+	// chunk; smaller subtrees stay in the leader's glue scan.
+	parMinTask int64 = 1 << 12
+	// parTasksPerWorker oversizes the frontier so the pool stays busy
+	// when chunks finish at different speeds.
+	parTasksPerWorker int64 = 4
+)
+
+// RunDiskParallel evaluates the engine's program over a .arb database in
+// secondary storage with a pool of workers, preserving RunDisk's
+// structure and invariants: phase 1 is one backward scan's worth of I/O
+// streaming every node's bottom-up state to the state file, phase 2 one
+// forward scan's worth computing the true predicates; memory per worker
+// stays bounded by the document depth (plus the shared automata); and the
+// selected-node results are identical to RunDisk's.
+//
+// Parallelism comes from the preorder layout (Sections 6.2/7 of the
+// paper): every subtree is one contiguous byte range, so the database's
+// subtree index cuts the file into a frontier of chunks that workers
+// stream independently — each through its own buffered reader, writing
+// its slice of the state file at its own offset — while the leader scans
+// the glue between chunks. The lazily-computed automata are shared
+// through the engine's SharedEngine, so transitions computed by one
+// worker are reused by all; on balanced trees (ACGT-infix) the phases
+// divide evenly, while on degenerate right-deep trees (ACGT-flat) the
+// frontier collapses and evaluation degrades toward sequential.
+//
+// workers <= 0 uses GOMAXPROCS. Runs that stream marked XML (MarkTo) are
+// inherently order-dependent and fall back to the sequential path, as do
+// databases too small to be worth coordinating.
+func (e *Engine) RunDiskParallel(db *storage.DB, workers int, opts DiskOpts) (*Result, *DiskStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || db.N < parMinNodes || opts.MarkTo != nil {
+		return e.RunDisk(db, opts)
+	}
+	if db.N == 0 {
+		return nil, nil, errors.New("core: empty database")
+	}
+	if e.names != db.Names {
+		return nil, nil, errors.New("core: engine name table does not match database")
+	}
+	idx, err := db.Index(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	target := db.N / (int64(workers) * parTasksPerWorker)
+	tasks := idx.Cut(target, parMinTask)
+	if len(tasks) == 0 {
+		return e.RunDisk(db, opts)
+	}
+	res, ds, err := e.runDiskChunked(db, workers, opts, tasks)
+	if err != nil && errors.Is(err, storage.ErrBadExtent) {
+		// A stale or foreign .idx sidecar (e.g. the .arb was replaced
+		// out-of-band by one of equal size) cut extents that don't match
+		// the data. Rebuild the index from the file and retry once; a
+		// genuinely malformed database fails the rebuild scan instead.
+		idx, rerr := db.RebuildIndex(0)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		tasks = idx.Cut(target, parMinTask)
+		if len(tasks) == 0 {
+			return e.RunDisk(db, opts)
+		}
+		return e.runDiskChunked(db, workers, opts, tasks)
+	}
+	return res, ds, err
+}
+
+// runDiskChunked is one attempt at chunk-parallel evaluation over a
+// frontier cut; RunDiskParallel wraps it with the stale-index retry.
+func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, tasks []storage.Extent) (*Result, *DiskStats, error) {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	gaps := gapsOf(db.N, tasks)
+
+	res := newResult(e.c.Prog, db.N)
+	ds := &DiskStats{StateBytes: db.N * stateIDSize}
+	e.stats.Nodes += db.N
+	s := e.Share()
+
+	var err error
+	var auxF *os.File
+	if opts.AuxIn != "" {
+		auxF, err = os.Open(opts.AuxIn)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer auxF.Close()
+		st, err := auxF.Stat()
+		if err != nil {
+			return nil, nil, err
+		}
+		if st.Size() != db.N*auxMaskSize {
+			return nil, nil, fmt.Errorf("core: aux file %s has %d bytes for %d nodes", opts.AuxIn, st.Size(), db.N)
+		}
+	}
+
+	stateF, statePath, err := createStateFile(db, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	succeeded := false
+	defer func() {
+		stateF.Close()
+		if !opts.KeepStateFile || !succeeded {
+			os.Remove(statePath)
+		}
+	}()
+
+	// Per-worker transition caches, reused across both phases.
+	caches := make([]*TxCache, workers)
+	for i := range caches {
+		caches[i] = s.NewCache()
+	}
+	leaderCache := s.NewCache()
+
+	// Phase 1: workers fold their chunks bottom-up — each streaming its
+	// own byte range backwards and pwriting its slice of the state file —
+	// then the leader folds the glue, consuming chunk root states.
+	start := time.Now()
+	rootStates := make([]StateID, len(tasks))
+	var statsMu sync.Mutex
+	var phase1 storage.ScanStats
+	err = RunPool(workers, len(tasks), func(worker, i int) error {
+		x := tasks[i]
+		cache := caches[worker]
+		sw := bufio.NewWriterSize(io.NewOffsetWriter(stateF, (db.N-x.End())*stateIDSize), 1<<16)
+		var auxBack *storage.BackwardReader
+		if auxF != nil {
+			var err error
+			auxBack, err = storage.NewBackwardSectionReader(auxF, x.Root*auxMaskSize, x.End()*auxMaskSize, auxMaskSize)
+			if err != nil {
+				return err
+			}
+		}
+		var werr error
+		rootState, st, err := storage.FoldBottomUpRange(db, x, func(first, second *StateID, rec storage.Record, v int64) StateID {
+			id := buStep(cache, first, second, rec, v, auxBack, &werr)
+			var buf [stateIDSize]byte
+			binary.BigEndian.PutUint32(buf[:], uint32(id))
+			if _, err := sw.Write(buf[:]); err != nil && werr == nil {
+				werr = err
+			}
+			return id
+		})
+		if err != nil {
+			return err
+		}
+		if werr == nil {
+			werr = sw.Flush()
+		}
+		if werr != nil {
+			return fmt.Errorf("core: chunk [%d,%d): %w", x.Root, x.End(), werr)
+		}
+		rootStates[i] = rootState
+		statsMu.Lock()
+		if st.MaxStack > phase1.MaxStack {
+			phase1.MaxStack = st.MaxStack
+		}
+		statsMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Leader glue scan: reverse preorder over everything outside the
+	// chunks, with each chunk standing in as one already-folded subtree.
+	lw := &runWriter{f: stateF}
+	gi := len(gaps) - 1
+	var auxBack *storage.BackwardReader
+	ti := len(tasks) - 1
+	var werr error
+	rootState, scan1, err := storage.FoldBottomUpSkipping(db, tasks,
+		func(x storage.Extent) (StateID, error) {
+			st := rootStates[ti]
+			ti--
+			return st, nil
+		},
+		func(first, second *StateID, rec storage.Record, v int64) StateID {
+			if auxF != nil {
+				for gi >= 0 && v < gaps[gi].Root {
+					gi--
+				}
+				if gi < 0 {
+					if werr == nil {
+						werr = fmt.Errorf("core: glue scan lost its gap at node %d", v)
+					}
+				} else if g := gaps[gi]; v == g.End()-1 {
+					// First (highest) node of a new gap: open its slice
+					// of the aux file.
+					var err error
+					auxBack, err = storage.NewBackwardSectionReader(auxF, g.Root*auxMaskSize, g.End()*auxMaskSize, auxMaskSize)
+					if err != nil && werr == nil {
+						werr = err
+					}
+				}
+			}
+			id := buStep(leaderCache, first, second, rec, v, auxBack, &werr)
+			var buf [stateIDSize]byte
+			binary.BigEndian.PutUint32(buf[:], uint32(id))
+			lw.writeAt(buf[:], (db.N-1-v)*stateIDSize)
+			return id
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	if werr == nil {
+		werr = lw.flush()
+	}
+	if werr != nil {
+		return nil, nil, fmt.Errorf("core: writing state file: %w", werr)
+	}
+	scan1.Merge(phase1)
+	ds.Phase1 = scan1
+	e.stats.Phase1Time += time.Since(start)
+
+	// Phase 2, leader first: forward over the glue, reading the state
+	// file backwards per gap (which yields the glue's phase-1 states in
+	// preorder), assigning each chunk root its top-down entry state.
+	start = time.Now()
+	var auxOutF *os.File
+	if opts.AuxOut != "" {
+		auxOutF, err = os.Create(opts.AuxOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer auxOutF.Close()
+	}
+	outBit := uint16(1) << opts.AuxOutBit
+	queryBit := uint64(1) << uint(opts.AuxOutQuery)
+
+	tdRoots := make([]StateID, len(tasks))
+	ti = 0
+	gi = 0
+	var stateBack *storage.BackwardReader
+	var auxFwd *bufio.Reader
+	auxOut := &runWriter{f: auxOutF}
+	newGapReaders := func(v int64) error {
+		for gi < len(gaps) && v >= gaps[gi].End() {
+			gi++
+		}
+		if gi >= len(gaps) || v != gaps[gi].Root {
+			return fmt.Errorf("core: glue scan lost its gap at node %d", v)
+		}
+		g := gaps[gi]
+		var err error
+		stateBack, err = storage.NewBackwardSectionReader(stateF, (db.N-g.End())*stateIDSize, (db.N-g.Root)*stateIDSize, stateIDSize)
+		if err != nil {
+			return err
+		}
+		if auxF != nil {
+			auxFwd = bufio.NewReaderSize(io.NewSectionReader(auxF, g.Root*auxMaskSize, g.Size*auxMaskSize), 1<<16)
+		}
+		return nil
+	}
+	nextGapNode := int64(-1) // first unvisited node of the current gap
+	scan2, err := storage.ScanTopDownSkipping(db, tasks,
+		func(x storage.Extent, parent *StateID, k int) error {
+			bu := rootStates[ti]
+			var td StateID
+			if parent == nil {
+				if x.Root != 0 {
+					return fmt.Errorf("core: parentless chunk at node %d", x.Root)
+				}
+				td = leaderCache.RootTrueSet(bu)
+			} else {
+				td = leaderCache.TruePreds(*parent, bu, k)
+			}
+			tdRoots[ti] = td
+			ti++
+			return nil
+		},
+		func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
+			if v != nextGapNode {
+				if err := newGapReaders(v); err != nil {
+					return NoState, err
+				}
+			}
+			nextGapNode = v + 1
+			b, err := stateBack.Next()
+			if err != nil {
+				return NoState, fmt.Errorf("core: reading state file: %w", err)
+			}
+			bu := StateID(binary.BigEndian.Uint32(b))
+			var td StateID
+			if parent == nil {
+				if v != 0 {
+					return NoState, fmt.Errorf("core: parentless node %d", v)
+				}
+				if bu != rootState {
+					return NoState, fmt.Errorf("core: state file corrupt: root state %d, phase 1 computed %d", bu, rootState)
+				}
+				td = leaderCache.RootTrueSet(bu)
+			} else {
+				td = leaderCache.TruePreds(*parent, bu, k)
+			}
+			mask := leaderCache.QueryMask(td)
+			if mask != 0 {
+				// Workers are not running yet: marking needs no lock.
+				res.markMask(mask, v)
+			}
+			if auxOutF != nil {
+				var cur uint16
+				if auxFwd != nil {
+					var ab [auxMaskSize]byte
+					if _, err := io.ReadFull(auxFwd, ab[:]); err != nil {
+						return NoState, fmt.Errorf("core: reading aux file: %w", err)
+					}
+					cur = binary.BigEndian.Uint16(ab[:])
+				}
+				if mask&queryBit != 0 {
+					cur |= outBit
+				}
+				var ab [auxMaskSize]byte
+				binary.BigEndian.PutUint16(ab[:], cur)
+				auxOut.writeAt(ab[:], v*auxMaskSize)
+			}
+			return td, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 2, workers: descend into the chunks from their entry states,
+	// reading each chunk's state-file slice backwards and accumulating
+	// marks in private per-chunk bitsets merged under the result's lock.
+	nq := len(res.queries)
+	err = RunPool(workers, len(tasks), func(worker, i int) error {
+		x := tasks[i]
+		cache := caches[worker]
+		stateBack, err := storage.NewBackwardSectionReader(stateF, (db.N-x.End())*stateIDSize, (db.N-x.Root)*stateIDSize, stateIDSize)
+		if err != nil {
+			return err
+		}
+		var auxFwd *bufio.Reader
+		if auxF != nil {
+			auxFwd = bufio.NewReaderSize(io.NewSectionReader(auxF, x.Root*auxMaskSize, x.Size*auxMaskSize), 1<<16)
+		}
+		var auxOut *bufio.Writer
+		if auxOutF != nil {
+			auxOut = bufio.NewWriterSize(io.NewOffsetWriter(auxOutF, x.Root*auxMaskSize), 1<<16)
+		}
+		w0 := x.Root / 64
+		local := make([][]uint64, nq)
+		words := (x.End()-1)/64 - w0 + 1
+		for qi := range local {
+			local[qi] = make([]uint64, words)
+		}
+		st, err := storage.ScanTopDownRange(db, x, func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
+			b, err := stateBack.Next()
+			if err != nil {
+				return NoState, fmt.Errorf("core: reading state file: %w", err)
+			}
+			bu := StateID(binary.BigEndian.Uint32(b))
+			var td StateID
+			if parent == nil {
+				// Chunk root: phase 1 of this very chunk computed its
+				// state, so a mismatch means the file changed under us.
+				if bu != rootStates[i] {
+					return NoState, fmt.Errorf("core: state file corrupt: chunk root state %d, phase 1 computed %d", bu, rootStates[i])
+				}
+				td = tdRoots[i]
+			} else {
+				td = cache.TruePreds(*parent, bu, k)
+			}
+			mask := cache.QueryMask(td)
+			for m, qi := mask, 0; m != 0; qi++ {
+				if m&1 != 0 {
+					local[qi][v/64-w0] |= 1 << uint(v%64)
+				}
+				m >>= 1
+			}
+			if auxOut != nil {
+				var cur uint16
+				if auxFwd != nil {
+					var ab [auxMaskSize]byte
+					if _, err := io.ReadFull(auxFwd, ab[:]); err != nil {
+						return NoState, fmt.Errorf("core: reading aux file: %w", err)
+					}
+					cur = binary.BigEndian.Uint16(ab[:])
+				}
+				if mask&queryBit != 0 {
+					cur |= outBit
+				}
+				var ab [auxMaskSize]byte
+				binary.BigEndian.PutUint16(ab[:], cur)
+				if _, err := auxOut.Write(ab[:]); err != nil {
+					return NoState, err
+				}
+			}
+			return td, nil
+		})
+		if err != nil {
+			return err
+		}
+		if auxOut != nil {
+			if err := auxOut.Flush(); err != nil {
+				return err
+			}
+		}
+		for qi := range local {
+			res.mergeWords(qi, w0, local[qi])
+		}
+		statsMu.Lock()
+		if st.MaxStack > scan2.MaxStack {
+			scan2.MaxStack = st.MaxStack
+		}
+		statsMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if werr := auxOut.flush(); werr != nil {
+		return nil, nil, werr
+	}
+	if auxOutF != nil {
+		if err := auxOutF.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	ds.Phase2 = scan2
+	e.stats.Phase2Time += time.Since(start)
+	succeeded = true
+	return res, ds, nil
+}
+
+// buStep performs one bottom-up transition from a scan record, optionally
+// consuming one auxiliary mask from auxBack.
+func buStep(cache *TxCache, first, second *StateID, rec storage.Record, v int64, auxBack *storage.BackwardReader, werr *error) StateID {
+	left, right := NoState, NoState
+	if first != nil {
+		left = *first
+	}
+	if second != nil {
+		right = *second
+	}
+	sig := edb.NodeSig{
+		Label:     tree.Label(rec.Label),
+		HasFirst:  rec.HasFirst,
+		HasSecond: rec.HasSecond,
+		IsRoot:    v == 0,
+	}
+	if auxBack != nil {
+		b, err := auxBack.Next()
+		if err != nil && *werr == nil {
+			*werr = fmt.Errorf("core: reading aux file: %w", err)
+		} else if err == nil {
+			sig.Extra = binary.BigEndian.Uint16(b)
+		}
+	}
+	return cache.ReachableStates(left, right, sig)
+}
+
+// gapsOf returns the complement of the (sorted, disjoint) task extents
+// within [0, n) — the glue the leader scans itself.
+func gapsOf(n int64, tasks []storage.Extent) []storage.Extent {
+	var gaps []storage.Extent
+	cur := int64(0)
+	for _, t := range tasks {
+		if t.Root > cur {
+			gaps = append(gaps, storage.Extent{Root: cur, Size: t.Root - cur})
+		}
+		cur = t.End()
+	}
+	if cur < n {
+		gaps = append(gaps, storage.Extent{Root: cur, Size: n - cur})
+	}
+	return gaps
+}
+
+// RunPool fans n task indices out over a worker pool, stopping at the
+// first error. run receives the worker id so callers can give each
+// goroutine private caches; it is shared with internal/parallel.
+func RunPool(workers, n int, run func(worker, i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range ch {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				if err := run(worker, i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// runWriter buffers WriteAt output that arrives in ascending runs with
+// occasional jumps (the leader's scattered glue writes): contiguous bytes
+// are batched through one buffered writer, and a jump flushes and
+// restarts at the new offset. A nil file makes it a no-op sink.
+type runWriter struct {
+	f    *os.File
+	w    *bufio.Writer
+	next int64
+	err  error
+}
+
+func (rw *runWriter) writeAt(p []byte, off int64) {
+	if rw.f == nil || rw.err != nil {
+		return
+	}
+	if rw.w == nil || off != rw.next {
+		if rw.w != nil {
+			if err := rw.w.Flush(); err != nil {
+				rw.err = err
+				return
+			}
+		}
+		rw.w = bufio.NewWriterSize(io.NewOffsetWriter(rw.f, off), 1<<16)
+		rw.next = off
+	}
+	if _, err := rw.w.Write(p); err != nil {
+		rw.err = err
+		return
+	}
+	rw.next = off + int64(len(p))
+}
+
+func (rw *runWriter) flush() error {
+	if rw.err == nil && rw.w != nil {
+		rw.err = rw.w.Flush()
+	}
+	return rw.err
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"arb/internal/naive"
+	"arb/internal/storage"
+	"arb/internal/testutil"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+	"arb/internal/workload"
+)
+
+// lowerParallelKnobs makes RunDiskParallel take the real parallel path on
+// tiny trees so the property tests exercise the chunked machinery.
+func lowerParallelKnobs(t *testing.T) {
+	t.Helper()
+	minNodes, minTask := parMinNodes, parMinTask
+	parMinNodes, parMinTask = 1, 1
+	t.Cleanup(func() { parMinNodes, parMinTask = minNodes, minTask })
+}
+
+// sameResults asserts two results select bit-identical node sets for
+// every query of prog.
+func sameResults(t *testing.T, prog *tmnf.Program, n int, got, want *Result, label string) {
+	t.Helper()
+	for _, q := range prog.Queries() {
+		if got.Count(q) != want.Count(q) {
+			t.Fatalf("%s: %s selected %d nodes, want %d\nprogram:\n%s",
+				label, prog.PredName(q), got.Count(q), want.Count(q), prog)
+		}
+		for v := 0; v < n; v++ {
+			id := tree.NodeID(v)
+			if g, w := got.Holds(q, id), want.Holds(q, id); g != w {
+				t.Fatalf("%s: %s(%d)=%v, want %v\nprogram:\n%s", label, prog.PredName(q), v, g, w, prog)
+			}
+		}
+	}
+}
+
+func TestRunDiskParallelMatchesSequentialAndNaive(t *testing.T) {
+	lowerParallelKnobs(t)
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 30; iter++ {
+		tr := testutil.RandomTree(rng, 300)
+		prog := testutil.RandomProgramParsed(rng, 4, 8)
+		base := filepath.Join(t.TempDir(), "db")
+		db, err := storage.CreateFromTree(base, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		seq, _, err := NewEngine(c, db.Names).RunDisk(db, DiskOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			par, ds, err := NewEngine(c, db.Names).RunDiskParallel(db, workers, DiskOpts{})
+			if err != nil {
+				t.Fatalf("iter %d workers %d: %v", iter, workers, err)
+			}
+			if ds.Phase1.Nodes != db.N || ds.Phase2.Nodes != db.N {
+				t.Fatalf("iter %d workers %d: scans visited %d/%d nodes, want %d each",
+					iter, workers, ds.Phase1.Nodes, ds.Phase2.Nodes, db.N)
+			}
+			sameResults(t, prog, tr.Len(), par, seq, "parallel vs sequential")
+		}
+
+		want := naive.Evaluate(tr, prog)
+		par, _, err := NewEngine(c, db.Names).RunDiskParallel(db, 4, DiskOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range prog.Queries() {
+			for v := 0; v < tr.Len(); v++ {
+				id := tree.NodeID(v)
+				if g, w := par.Holds(q, id), want.Holds(q, id); g != w {
+					t.Fatalf("iter %d: parallel %s(%d)=%v, naive %v\nprogram:\n%s\ntree:\n%s",
+						iter, prog.PredName(q), v, g, w, prog, tr)
+				}
+			}
+		}
+		db.Close()
+	}
+}
+
+func TestRunDiskParallelRightDeepChain(t *testing.T) {
+	// Degenerate sibling chain: the frontier collapses toward tiny
+	// first-child leaves and one big tail; results must still match.
+	lowerParallelKnobs(t)
+	tr := tree.New(nil)
+	root := tr.AddNode(tr.Names().MustIntern("r"))
+	prev := tree.None
+	for i := 0; i < 2000; i++ {
+		n := tr.AddNode(tr.Names().MustIntern([]string{"a", "b"}[i%2]))
+		if prev == tree.None {
+			tr.SetFirst(root, n)
+		} else {
+			tr.SetSecond(prev, n)
+		}
+		prev = n
+	}
+	prog := tmnf.MustParse(`QUERY :- Label[a], LastSibling; OTHER :- Label[b]; QUERY2 :- OTHER.NextSibling;`)
+	if err := prog.SetQueries("QUERY", "QUERY2"); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "db")
+	db, err := storage.CreateFromTree(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := NewEngine(c, db.Names).RunDisk(db, DiskOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := NewEngine(c, db.Names).RunDiskParallel(db, 4, DiskOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, prog, tr.Len(), par, seq, "chain")
+}
+
+func TestRunDiskParallelLargeBalancedDefaults(t *testing.T) {
+	// A balanced infix tree big enough to clear the default thresholds:
+	// the headline case where chunks divide evenly.
+	if testing.Short() {
+		t.Skip("builds a 128k-node database")
+	}
+	tr := workload.InfixTree(workload.Sequence(4, 1<<17-1))
+	base := filepath.Join(t.TempDir(), "infix")
+	db, err := storage.CreateFromTree(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rx := workload.PathRegex{W1: []string{"A", "C"}, W2: []string{"G"}, W3: []string{"T", "A"}}
+	prog, err := rx.Program(workload.RInfix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := NewEngine(c, db.Names).RunDisk(db, DiskOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, ds, err := NewEngine(c, db.Names).RunDiskParallel(db, 4, DiskOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Phase1.Nodes != db.N || ds.Phase2.Nodes != db.N {
+		t.Fatalf("scans visited %d/%d nodes, want %d each", ds.Phase1.Nodes, ds.Phase2.Nodes, db.N)
+	}
+	sameResults(t, prog, tr.Len(), par, seq, "infix")
+}
+
+func TestRunDiskParallelAuxFiles(t *testing.T) {
+	// The aux sidecar pipeline (XPath negation's disk path) must produce
+	// byte-identical aux output under parallel evaluation.
+	lowerParallelKnobs(t)
+	rng := rand.New(rand.NewSource(73))
+	for iter := 0; iter < 10; iter++ {
+		tr := testutil.RandomTree(rng, 200)
+		dir := t.TempDir()
+		base := filepath.Join(dir, "db")
+		db, err := storage.CreateFromTree(base, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random input masks over 2 aux bits.
+		auxIn := filepath.Join(dir, "in.aux")
+		masks := make([]byte, 2*tr.Len())
+		for v := 0; v < tr.Len(); v++ {
+			binary.BigEndian.PutUint16(masks[2*v:], uint16(rng.Intn(4)))
+		}
+		if err := os.WriteFile(auxIn, masks, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		prog := tmnf.MustParse(`QUERY :- Aux[0]; P :- Aux[1]; QUERY2 :- P.FirstChild;`)
+		if err := prog.SetQueries("QUERY", "QUERY2"); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := func(out string) DiskOpts {
+			return DiskOpts{AuxIn: auxIn, AuxOut: out, AuxOutBit: 3, AuxOutQuery: 1}
+		}
+		seq, _, err := NewEngine(c, db.Names).RunDisk(db, opts(filepath.Join(dir, "seq.aux")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, _, err := NewEngine(c, db.Names).RunDiskParallel(db, 3, opts(filepath.Join(dir, "par.aux")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, prog, tr.Len(), par, seq, "aux")
+		seqOut, err := os.ReadFile(filepath.Join(dir, "seq.aux"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parOut, err := os.ReadFile(filepath.Join(dir, "par.aux"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seqOut, parOut) {
+			t.Fatalf("iter %d: parallel aux output differs from sequential", iter)
+		}
+		db.Close()
+	}
+}
+
+func TestRunDiskConcurrentRunsShareDatabase(t *testing.T) {
+	// Two concurrent default-option runs over one database must not
+	// clobber each other's state files (the old default was a shared
+	// base.sta).
+	lowerParallelKnobs(t)
+	rng := rand.New(rand.NewSource(79))
+	tr := testutil.RandomTree(rng, 400)
+	prog := testutil.RandomProgramParsed(rng, 4, 8)
+	base := filepath.Join(t.TempDir(), "db")
+	db, err := storage.CreateFromTree(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := NewEngine(c, db.Names).RunDisk(db, DiskOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	results := make([]*Result, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := NewEngine(c, db.Names)
+			if i%2 == 0 {
+				results[i], _, errs[i] = e.RunDisk(db, DiskOpts{})
+			} else {
+				results[i], _, errs[i] = e.RunDiskParallel(db, 3, DiskOpts{})
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		sameResults(t, prog, tr.Len(), results[i], want, "concurrent")
+	}
+	// No stray state files left next to the database.
+	entries, err := os.ReadDir(filepath.Dir(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".sta") {
+			t.Fatalf("stray state file %s left behind", ent.Name())
+		}
+	}
+}
+
+func TestRunDiskParallelRecoversFromForeignIndex(t *testing.T) {
+	// Swap the .arb underneath a same-node-count index (so the N check
+	// cannot catch it): the run must detect the extent mismatch, rebuild
+	// the index, and still return results identical to RunDisk.
+	lowerParallelKnobs(t)
+	names := tree.NewNames()
+	balanced := workload.InfixTree(workload.Sequence(5, 1<<10-1))
+	chain := tree.New(names)
+	prev := tree.None
+	for i := 0; i < balanced.Len(); i++ {
+		n := chain.AddNode(chain.Names().MustIntern([]string{"l", "i", "p"}[i%3]))
+		if prev == tree.None {
+			prev = n
+		} else {
+			chain.SetSecond(prev, n)
+			prev = n
+		}
+	}
+	dir := t.TempDir()
+	if _, err := storage.CreateFromTree(filepath.Join(dir, "bal"), balanced); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.CreateFromTree(filepath.Join(dir, "db"), chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	// The chain database keeps its .lab and node count, but its .arb and
+	// .idx now disagree: the .arb is the balanced tree's.
+	bal, err := os.ReadFile(filepath.Join(dir, "bal.arb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "db.arb"), bal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	balLab, err := os.ReadFile(filepath.Join(dir, "bal.lab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "db.lab"), balLab, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err = storage.Open(filepath.Join(dir, "db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	prog := tmnf.MustParse(`QUERY :- Label[A];`)
+	c, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := NewEngine(c, db.Names).RunDisk(db, DiskOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := NewEngine(c, db.Names).RunDiskParallel(db, 4, DiskOpts{})
+	if err != nil {
+		t.Fatalf("parallel run did not recover from the stale index: %v", err)
+	}
+	sameResults(t, prog, balanced.Len(), par, seq, "foreign index")
+	// The recovery must have rebuilt and re-persisted the sidecar: the
+	// chain index had FirstSize 0 at the root, the balanced tree does not.
+	ix, err := storage.ReadIndexFile(filepath.Join(dir, "db.idx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := ix.Lookup(0); !ok || e.FirstSize == 0 {
+		t.Fatalf("index was not rebuilt from the swapped data: root entry %+v, ok=%v", e, ok)
+	}
+}
+
+func TestRunDiskParallelFallsBackForMarkedOutput(t *testing.T) {
+	// MarkTo is order-dependent streaming output: the parallel entry
+	// point must still produce it (via the sequential path).
+	lowerParallelKnobs(t)
+	rng := rand.New(rand.NewSource(83))
+	tr := testutil.RandomTree(rng, 80)
+	prog := testutil.RandomProgramParsed(rng, 3, 6)
+	base := filepath.Join(t.TempDir(), "db")
+	db, err := storage.CreateFromTree(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqXML, parXML bytes.Buffer
+	if _, _, err := NewEngine(c, db.Names).RunDisk(db, DiskOpts{MarkTo: &seqXML}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewEngine(c, db.Names).RunDiskParallel(db, 4, DiskOpts{MarkTo: &parXML}); err != nil {
+		t.Fatal(err)
+	}
+	if seqXML.String() != parXML.String() {
+		t.Fatalf("marked output differs:\nseq: %s\npar: %s", seqXML.String(), parXML.String())
+	}
+}

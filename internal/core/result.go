@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/bits"
+	"sync"
 
 	"arb/internal/tmnf"
 	"arb/internal/tree"
@@ -19,6 +20,9 @@ type Result struct {
 	// counts[qi] is the number of selected nodes, maintained eagerly so
 	// huge runs can report counts without rescanning bitsets.
 	counts []int64
+	// mu serialises concurrent mergeWords calls from parallel workers;
+	// single-threaded marking does not take it.
+	mu sync.Mutex
 
 	// Optional per-node states (in-memory runs with KeepStates).
 	BUStateOf []StateID
@@ -57,6 +61,26 @@ func (r *Result) markMask(mask uint64, v int64) {
 			r.mark(qi, v)
 		}
 		mask >>= 1
+	}
+}
+
+// mergeWords ORs a bitset fragment for query qi — words starting at word
+// index w0 — into the result under the result's lock, keeping counts in
+// step. Parallel workers accumulate marks into private per-chunk bitsets
+// and merge them here, so chunk boundaries sharing a word never race.
+func (r *Result) mergeWords(qi int, w0 int64, words []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dst := r.sel[qi][w0 : w0+int64(len(words))]
+	for i, w := range words {
+		if w == 0 {
+			continue
+		}
+		old := dst[i]
+		if nw := old | w; nw != old {
+			dst[i] = nw
+			r.counts[qi] += int64(bits.OnesCount64(nw) - bits.OnesCount64(old))
+		}
 	}
 }
 

@@ -72,3 +72,67 @@ func (s *SharedEngine) QueryMask(td StateID) uint64 {
 	defer s.mu.RUnlock()
 	return s.e.queryMask(td)
 }
+
+// TxCache is a per-worker, lock-free cache of automaton transitions in
+// front of a SharedEngine, shared by the in-memory parallel evaluator
+// (internal/parallel) and the parallel disk evaluator (RunDiskParallel).
+// States are engine-global ids, so caching them locally is sound; the
+// shared tables are only consulted on local misses, which makes the warm
+// steady state take no locks at all.
+type TxCache struct {
+	s     *SharedEngine
+	bu    map[txBuKey]StateID
+	td    map[tdKey]StateID
+	masks map[StateID]uint64
+}
+
+type txBuKey struct {
+	left, right StateID
+	sig         edb.NodeSig
+}
+
+// NewCache returns a fresh private transition cache for one worker.
+func (s *SharedEngine) NewCache() *TxCache {
+	return &TxCache{
+		s:     s,
+		bu:    map[txBuKey]StateID{},
+		td:    map[tdKey]StateID{},
+		masks: map[StateID]uint64{},
+	}
+}
+
+// ReachableStates is the cached concurrent δA.
+func (c *TxCache) ReachableStates(left, right StateID, sig edb.NodeSig) StateID {
+	key := txBuKey{left, right, sig}
+	if id, ok := c.bu[key]; ok {
+		return id
+	}
+	id := c.s.ReachableStates(left, right, sig)
+	c.bu[key] = id
+	return id
+}
+
+// RootTrueSet is the concurrent step 2 of Algorithm 4.6 (uncached: it
+// runs once per evaluation).
+func (c *TxCache) RootTrueSet(rootState StateID) StateID { return c.s.RootTrueSet(rootState) }
+
+// TruePreds is the cached concurrent δB.
+func (c *TxCache) TruePreds(parent, resid StateID, k int) StateID {
+	key := tdKey{parent, resid, uint8(k)}
+	if id, ok := c.td[key]; ok {
+		return id
+	}
+	id := c.s.TruePreds(parent, resid, k)
+	c.td[key] = id
+	return id
+}
+
+// QueryMask caches the query bitmask per top-down state.
+func (c *TxCache) QueryMask(td StateID) uint64 {
+	if m, ok := c.masks[td]; ok {
+		return m
+	}
+	m := c.s.QueryMask(td)
+	c.masks[td] = m
+	return m
+}

@@ -5,9 +5,13 @@
 // splitting the tree at a frontier of subtrees.
 //
 // The binary-tree preorder layout makes the decomposition trivial — every
-// subtree is a contiguous index range — and the two automata are shared
-// through core.SharedEngine, so states computed by one worker are reused
-// by all. On balanced trees (the ACGT-infix model; see the paper's
+// subtree is a contiguous index range, expressed as storage.Extent so the
+// same frontier vocabulary covers in-memory node ranges and on-disk byte
+// ranges (core.Engine.RunDiskParallel is the secondary-storage
+// counterpart, cutting its frontier from the database's subtree index).
+// The two automata are shared through core.SharedEngine with a private
+// core.TxCache per worker, so states computed by one worker are reused by
+// all. On balanced trees (the ACGT-infix model; see the paper's
 // discussion of parallel regular expression matching) phase work divides
 // evenly; on degenerate right-deep trees (ACGT-flat) the frontier
 // collapses to a few huge chains and parallelism yields nothing — which
@@ -18,10 +22,10 @@ package parallel
 import (
 	"errors"
 	"runtime"
-	"sync"
 
 	"arb/internal/core"
 	"arb/internal/edb"
+	"arb/internal/storage"
 	"arb/internal/tmnf"
 	"arb/internal/tree"
 )
@@ -60,11 +64,50 @@ func (r *Result) Count(q tmnf.Pred) int64 {
 	return n
 }
 
-// task is one frontier subtree: the contiguous preorder range
-// [root, root+size).
-type task struct {
-	root tree.NodeID
-	size int32
+// SubtreeSizes returns, for every node of t, the size of its binary
+// subtree — the length of its contiguous preorder extent.
+func SubtreeSizes(t *tree.Tree) []int32 {
+	n := t.Len()
+	size := make([]int32, n)
+	for v := n - 1; v >= 0; v-- {
+		size[v] = 1
+		if c := t.First(tree.NodeID(v)); c != tree.None {
+			size[v] += size[c]
+		}
+		if c := t.Second(tree.NodeID(v)); c != tree.None {
+			size[v] += size[c]
+		}
+	}
+	return size
+}
+
+// Frontier cuts the tree into maximal subtrees no larger than target
+// nodes, returned as contiguous preorder extents (the same byte-range
+// form the disk evaluator's storage.SubtreeIndex.Cut produces). Nodes not
+// covered by an extent are the top region gluing the frontier together.
+func Frontier(t *tree.Tree, size []int32, target int32) []storage.Extent {
+	if target < 1 {
+		target = 1
+	}
+	var tasks []storage.Extent
+	// Iterative cut: an explicit stack, since degenerate (right-deep)
+	// trees would overflow the goroutine stack with recursion.
+	stack := []tree.NodeID{t.Root()}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if size[v] <= target {
+			tasks = append(tasks, storage.Extent{Root: int64(v), Size: int64(size[v])})
+			continue
+		}
+		if c := t.Second(v); c != tree.None {
+			stack = append(stack, c)
+		}
+		if c := t.First(v); c != tree.None {
+			stack = append(stack, c)
+		}
+	}
+	return tasks
 }
 
 // Run evaluates the engine's compiled program over t using the given
@@ -87,42 +130,17 @@ func Run(e *core.Engine, t *tree.Tree, workers int) (*Result, error) {
 		res.sel[i] = make([]bool, n)
 	}
 
-	// Subtree sizes; size[v] spans v's entire binary subtree.
-	size := make([]int32, n)
-	for v := n - 1; v >= 0; v-- {
-		size[v] = 1
-		if c := t.First(tree.NodeID(v)); c != tree.None {
-			size[v] += size[c]
-		}
-		if c := t.Second(tree.NodeID(v)); c != tree.None {
-			size[v] += size[c]
-		}
-	}
+	size := SubtreeSizes(t)
 
 	// Frontier: maximal subtrees no larger than the per-task target.
 	target := int32(n/(workers*4) + 1)
 	if target < 256 {
 		target = 256
 	}
-	var tasks []task
+	tasks := Frontier(t, size, target)
 	inTask := make([]bool, n) // v begins a frontier subtree
-	// Iterative cut: an explicit stack, since degenerate (right-deep)
-	// trees would overflow the goroutine stack with recursion.
-	stack := []tree.NodeID{t.Root()}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if size[v] <= target {
-			tasks = append(tasks, task{root: v, size: size[v]})
-			inTask[v] = true
-			continue
-		}
-		if c := t.Second(v); c != tree.None {
-			stack = append(stack, c)
-		}
-		if c := t.First(v); c != tree.None {
-			stack = append(stack, c)
-		}
+	for _, x := range tasks {
+		inTask[x.Root] = true
 	}
 
 	// Top nodes: everything not inside a frontier subtree, in preorder.
@@ -142,30 +160,37 @@ func Run(e *core.Engine, t *tree.Tree, workers int) (*Result, error) {
 	bu := make([]core.StateID, n)
 	td := make([]core.StateID, n)
 
+	// Per-worker transition caches in front of the shared engine, so the
+	// warm steady state takes no locks at all; reused across both phases.
+	poolWorkers := workers
+	if poolWorkers > len(tasks) {
+		poolWorkers = len(tasks)
+	}
+	caches := make([]*core.TxCache, poolWorkers)
+	for i := range caches {
+		caches[i] = s.NewCache()
+	}
+
 	// Phase 1: workers fold their subtrees bottom-up; ranges are
-	// disjoint, so bu writes need no synchronisation. Each worker keeps
-	// a private transition cache in front of the shared engine, so the
-	// warm steady state takes no locks at all.
-	runTasks(workers, tasks, func() func(task) {
-		cache := newWorkerCache(s)
-		return func(tk task) {
-			for v := tk.root + tree.NodeID(tk.size) - 1; v >= tk.root; v-- {
-				bu[v] = cache.buStep(t, bu, v)
-			}
+	// disjoint, so bu writes need no synchronisation.
+	runTasks(poolWorkers, tasks, func(worker int, x storage.Extent) {
+		cache := caches[worker]
+		for v := tree.NodeID(x.End()) - 1; v >= tree.NodeID(x.Root); v-- {
+			bu[v] = buStep(cache, t, bu, v)
 		}
 	})
 	// Then the top part sequentially (its children are either top nodes
 	// or frontier roots, all computed).
-	topCache := newWorkerCache(s)
+	topCache := s.NewCache()
 	for i := len(top) - 1; i >= 0; i-- {
 		v := top[i]
-		bu[v] = topCache.buStep(t, bu, v)
+		bu[v] = buStep(topCache, t, bu, v)
 	}
 
 	// Phase 2: top part first (assigning the top-down states of frontier
 	// roots), then workers descend into their subtrees.
-	mark := func(wc *workerCache, v tree.NodeID) {
-		if mask := wc.queryMask(td[v]); mask != 0 {
+	mark := func(wc *core.TxCache, v tree.NodeID) {
+		if mask := wc.QueryMask(td[v]); mask != 0 {
 			for i := range res.queries {
 				if mask&(1<<uint(i)) != 0 {
 					res.sel[i][v] = true
@@ -177,71 +202,29 @@ func Run(e *core.Engine, t *tree.Tree, workers int) (*Result, error) {
 	for _, v := range top {
 		mark(topCache, v)
 		if c := t.First(v); c != tree.None {
-			td[c] = topCache.truePreds(td[v], bu[c], 1)
+			td[c] = topCache.TruePreds(td[v], bu[c], 1)
 		}
 		if c := t.Second(v); c != tree.None {
-			td[c] = topCache.truePreds(td[v], bu[c], 2)
+			td[c] = topCache.TruePreds(td[v], bu[c], 2)
 		}
 	}
-	runTasks(workers, tasks, func() func(task) {
-		cache := newWorkerCache(s)
-		return func(tk task) {
-			for v := tk.root; v < tk.root+tree.NodeID(tk.size); v++ {
-				mark(cache, v)
-				if c := t.First(v); c != tree.None {
-					td[c] = cache.truePreds(td[v], bu[c], 1)
-				}
-				if c := t.Second(v); c != tree.None {
-					td[c] = cache.truePreds(td[v], bu[c], 2)
-				}
+	runTasks(poolWorkers, tasks, func(worker int, x storage.Extent) {
+		cache := caches[worker]
+		for v := tree.NodeID(x.Root); v < tree.NodeID(x.End()); v++ {
+			mark(cache, v)
+			if c := t.First(v); c != tree.None {
+				td[c] = cache.TruePreds(td[v], bu[c], 1)
+			}
+			if c := t.Second(v); c != tree.None {
+				td[c] = cache.TruePreds(td[v], bu[c], 2)
 			}
 		}
 	})
 	return res, nil
 }
 
-// workerCache is a private, lock-free cache of automaton transitions in
-// front of the shared engine. States are engine-global ids, so caching
-// them locally is sound; the shared maps are only consulted on local
-// misses.
-type workerCache struct {
-	s     *core.SharedEngine
-	bu    map[buKey]core.StateID
-	td    map[tdKey]core.StateID
-	masks map[core.StateID]uint64
-}
-
-type buKey struct {
-	left, right core.StateID
-	sig         edb.NodeSig
-}
-
-type tdKey struct {
-	parent, resid core.StateID
-	k             uint8
-}
-
-func newWorkerCache(s *core.SharedEngine) *workerCache {
-	return &workerCache{
-		s:     s,
-		bu:    map[buKey]core.StateID{},
-		td:    map[tdKey]core.StateID{},
-		masks: map[core.StateID]uint64{},
-	}
-}
-
-// queryMask caches the query bitmask per top-down state.
-func (wc *workerCache) queryMask(td core.StateID) uint64 {
-	if m, ok := wc.masks[td]; ok {
-		return m
-	}
-	m := wc.s.QueryMask(td)
-	wc.masks[td] = m
-	return m
-}
-
-// buStep computes one bottom-up transition.
-func (wc *workerCache) buStep(t *tree.Tree, bu []core.StateID, v tree.NodeID) core.StateID {
+// buStep computes one bottom-up transition through the worker's cache.
+func buStep(cache *core.TxCache, t *tree.Tree, bu []core.StateID, v tree.NodeID) core.StateID {
 	left, right := core.NoState, core.NoState
 	if c := t.First(v); c != tree.None {
 		left = bu[c]
@@ -249,49 +232,17 @@ func (wc *workerCache) buStep(t *tree.Tree, bu []core.StateID, v tree.NodeID) co
 	if c := t.Second(v); c != tree.None {
 		right = bu[c]
 	}
-	key := buKey{left, right, edb.SigOf(t, v)}
-	if id, ok := wc.bu[key]; ok {
-		return id
-	}
-	id := wc.s.ReachableStates(left, right, key.sig)
-	wc.bu[key] = id
-	return id
+	return cache.ReachableStates(left, right, edb.SigOf(t, v))
 }
 
-func (wc *workerCache) truePreds(parent, resid core.StateID, k int) core.StateID {
-	key := tdKey{parent, resid, uint8(k)}
-	if id, ok := wc.td[key]; ok {
-		return id
-	}
-	id := wc.s.TruePreds(parent, resid, k)
-	wc.td[key] = id
-	return id
-}
-
-// runTasks fans the tasks out over the workers; makeWorker builds one
-// closure (with private caches) per worker goroutine.
-func runTasks(workers int, tasks []task, makeWorker func() func(task)) {
+// runTasks fans the extents out over core.RunPool's worker pool; run
+// receives the worker id so each goroutine can use its private cache.
+func runTasks(workers int, tasks []storage.Extent, run func(worker int, x storage.Extent)) {
 	if len(tasks) == 0 {
 		return
 	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	ch := make(chan task)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			f := makeWorker()
-			for tk := range ch {
-				f(tk)
-			}
-		}()
-	}
-	for _, tk := range tasks {
-		ch <- tk
-	}
-	close(ch)
-	wg.Wait()
+	core.RunPool(workers, len(tasks), func(worker, i int) error {
+		run(worker, tasks[i])
+		return nil
+	})
 }

@@ -11,12 +11,16 @@ import (
 // disk still sees (reverse-)sequential access patterns.
 const defaultBufSize = 1 << 18
 
-// BackwardReader reads a file's contents from the end towards the start
+// BackwardReader reads a section of a file from its end towards its start
 // in fixed-size units, buffering chunk-wise. It is used for the bottom-up
 // .arb scan, for reading the event file backwards during database
-// creation, and for reading the phase-1 state file in preorder.
+// creation, and for reading the phase-1 state file in preorder. Because it
+// uses ReadAt exclusively, any number of BackwardReaders may share one
+// file handle concurrently — the parallel disk evaluator gives each
+// worker its own reader over its own chunk.
 type BackwardReader struct {
-	f        *os.File
+	f        io.ReaderAt
+	start    int64 // lower bound of the section (inclusive)
 	pos      int64 // file offset of the start of buf's valid region
 	buf      []byte
 	have     int // number of valid bytes at the end of buf region
@@ -24,27 +28,37 @@ type BackwardReader struct {
 }
 
 // NewBackwardReader returns a reader over f positioned at offset end,
-// yielding units of unitSize bytes from the end backwards. end must be a
-// multiple of unitSize.
-func NewBackwardReader(f *os.File, end int64, unitSize int) (*BackwardReader, error) {
-	if end%int64(unitSize) != 0 {
-		return nil, fmt.Errorf("storage: file size %d not a multiple of unit size %d", end, unitSize)
+// yielding units of unitSize bytes from the end backwards to offset 0.
+// end must be a multiple of unitSize.
+func NewBackwardReader(f io.ReaderAt, end int64, unitSize int) (*BackwardReader, error) {
+	return NewBackwardSectionReader(f, 0, end, unitSize)
+}
+
+// NewBackwardSectionReader returns a reader yielding the units of
+// f[start:end] from the end backwards; Next returns io.EOF once start is
+// reached. end-start must be a multiple of unitSize.
+func NewBackwardSectionReader(f io.ReaderAt, start, end int64, unitSize int) (*BackwardReader, error) {
+	if start < 0 || end < start {
+		return nil, fmt.Errorf("storage: bad backward section [%d, %d)", start, end)
 	}
-	return &BackwardReader{f: f, pos: end, unitSize: unitSize,
+	if (end-start)%int64(unitSize) != 0 {
+		return nil, fmt.Errorf("storage: section size %d not a multiple of unit size %d", end-start, unitSize)
+	}
+	return &BackwardReader{f: f, start: start, pos: end, unitSize: unitSize,
 		buf: make([]byte, defaultBufSize/unitSize*unitSize)}, nil
 }
 
 // Next returns the next unit (moving backwards), or io.EOF when the start
-// of the file has been reached. The returned slice is valid until the
+// of the section has been reached. The returned slice is valid until the
 // following call.
 func (r *BackwardReader) Next() ([]byte, error) {
 	if r.have == 0 {
-		if r.pos == 0 {
+		if r.pos == r.start {
 			return nil, io.EOF
 		}
 		n := int64(len(r.buf))
-		if n > r.pos {
-			n = r.pos
+		if n > r.pos-r.start {
+			n = r.pos - r.start
 		}
 		r.pos -= n
 		if _, err := r.f.ReadAt(r.buf[:n], r.pos); err != nil {

@@ -111,5 +111,13 @@ func CreateBinary(base string, names *tree.Names, feed func(emit RecordSink) err
 	if err := labF.Close(); err != nil {
 		return nil, err
 	}
-	return Open(base)
+	db, err := Open(base)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.WriteIndex(0); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
 }

@@ -169,12 +169,17 @@ func Create(base string, feed func(*EventWriter) error, opts CreateOpts) (*DB, *
 			return nil, nil, err
 		}
 	}
-	stats.Duration = time.Since(start)
-
 	db, err := Open(base)
 	if err != nil {
 		return nil, nil, err
 	}
+	// Persist the subtree chunk index so parallel evaluation never needs
+	// an extra scan (one backward pass over the fresh, cached .arb).
+	if err := db.WriteIndex(0); err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	stats.Duration = time.Since(start)
 	return db, &stats, nil
 }
 
@@ -274,5 +279,13 @@ func CreateFromTree(base string, t *tree.Tree) (*DB, error) {
 	if err := labF.Close(); err != nil {
 		return nil, err
 	}
-	return Open(base)
+	db, err := Open(base)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.WriteIndex(0); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
 }

@@ -3,20 +3,32 @@ package storage
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"arb/internal/tree"
 )
 
-// DB is an open .arb database.
+// ErrBadExtent reports that a claimed subtree extent does not match the
+// database's structure — the symptom of a stale or foreign chunk index
+// (say, a .arb file swapped underneath its .idx sidecar). Callers can
+// rebuild the index and retry.
+var ErrBadExtent = errors.New("storage: extent does not match the database structure")
+
+// DB is an open .arb database. All read paths use offset-addressed I/O
+// (ReadAt), so one handle can serve any number of concurrent scans.
 type DB struct {
 	Base  string
 	N     int64 // number of nodes
 	Names *tree.Names
 
 	arb *os.File
+
+	idxMu sync.Mutex
+	idx   *SubtreeIndex
 }
 
 // Open opens base.arb and base.lab.
@@ -60,6 +72,71 @@ type ScanStats struct {
 	MaxStack int
 }
 
+// Merge folds the stats of a concurrent scanner into the aggregate: node
+// counts add up, the stack bound is the maximum over scanners.
+func (s *ScanStats) Merge(o ScanStats) {
+	s.Nodes += o.Nodes
+	if o.MaxStack > s.MaxStack {
+		s.MaxStack = o.MaxStack
+	}
+}
+
+// backFold is the shared inner loop of the backward (bottom-up) scans: a
+// stack of subtree results driven by one record at a time, in reverse
+// preorder.
+type backFold[S any] struct {
+	combine func(first, second *S, rec Record, v int64) S
+	stack   []S
+	stats   ScanStats
+}
+
+func (f *backFold[S]) push(s S) {
+	f.stack = append(f.stack, s)
+	if len(f.stack) > f.stats.MaxStack {
+		f.stats.MaxStack = len(f.stack)
+	}
+}
+
+func (f *backFold[S]) node(rec Record, v int64) error {
+	var first, second *S
+	if rec.HasFirst {
+		if len(f.stack) == 0 {
+			return fmt.Errorf("storage: malformed .arb: missing first subtree at node %d", v)
+		}
+		first = &f.stack[len(f.stack)-1]
+		f.stack = f.stack[:len(f.stack)-1]
+	}
+	if rec.HasSecond {
+		if len(f.stack) == 0 {
+			return fmt.Errorf("storage: malformed .arb: missing second subtree at node %d", v)
+		}
+		second = &f.stack[len(f.stack)-1]
+		f.stack = f.stack[:len(f.stack)-1]
+	}
+	f.push(f.combine(first, second, rec, v))
+	f.stats.Nodes++
+	return nil
+}
+
+// foldRegion scans the node range [lo, hi) backwards, feeding every
+// record to the fold.
+func (f *backFold[S]) foldRegion(db *DB, lo, hi int64) error {
+	br, err := NewBackwardSectionReader(db.arb, lo*NodeSize, hi*NodeSize, NodeSize)
+	if err != nil {
+		return err
+	}
+	for v := hi - 1; v >= lo; v-- {
+		b, err := br.Next()
+		if err != nil {
+			return fmt.Errorf("storage: backward scan: %w", err)
+		}
+		if err := f.node(DecodeRecord(binary.BigEndian.Uint16(b)), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FoldBottomUp traverses the database bottom-up in one backward linear
 // scan of the .arb file (Proposition 5.1), combining child results into
 // parent results. combine is called exactly once per node, in reverse
@@ -67,48 +144,126 @@ type ScanStats struct {
 // for absent children) and the node's record and preorder index. It
 // returns the root's result.
 func FoldBottomUp[S any](db *DB, combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
+	return FoldBottomUpSkipping(db, nil, nil, combine)
+}
+
+// FoldBottomUpSkipping is FoldBottomUp with holes: the subtree extents in
+// skip (sorted by Root, disjoint) are not read; instead subtree is called
+// once per extent — in reverse preorder position — and its result stands
+// in for the whole subtree, exactly as if combine had folded it. This is
+// the leader scan of parallel evaluation: workers fold the extents, the
+// leader folds the glue, and in aggregate every byte is read once.
+func FoldBottomUpSkipping[S any](db *DB, skip []Extent, subtree func(Extent) (S, error), combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
 	var zero S
-	var stats ScanStats
-	br, err := NewBackwardReader(db.arb, db.N*NodeSize, NodeSize)
+	f := backFold[S]{combine: combine}
+	cur := db.N
+	for i := len(skip) - 1; i >= -1; i-- {
+		lo := int64(0)
+		var ext *Extent
+		if i >= 0 {
+			ext = &skip[i]
+			lo = ext.End()
+		}
+		if lo > cur || (ext != nil && ext.Root < 0) {
+			return zero, f.stats, fmt.Errorf("storage: skip extents unsorted, overlapping or out of range")
+		}
+		if err := f.foldRegion(db, lo, cur); err != nil {
+			return zero, f.stats, err
+		}
+		if ext != nil {
+			s, err := subtree(*ext)
+			if err != nil {
+				return zero, f.stats, err
+			}
+			f.push(s)
+			f.stats.Nodes += ext.Size
+			cur = ext.Root
+		}
+	}
+	if len(f.stack) != 1 {
+		return zero, f.stats, fmt.Errorf("storage: malformed .arb: %d roots", len(f.stack))
+	}
+	return f.stack[0], f.stats, nil
+}
+
+// FoldBottomUpRange folds one complete subtree extent bottom-up in a
+// backward scan of just its byte range. combine is called exactly once
+// per node of the extent, in reverse preorder; the subtree root's result
+// is returned. The extent must be a subtree extent (e.g. from
+// SubtreeIndex.Cut) — anything else fails the structure check.
+func FoldBottomUpRange[S any](db *DB, x Extent, combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
+	var zero S
+	f := backFold[S]{combine: combine}
+	if x.Root < 0 || x.Size <= 0 || x.End() > db.N {
+		return zero, f.stats, fmt.Errorf("%w: [%d,%d) out of range", ErrBadExtent, x.Root, x.End())
+	}
+	if err := f.foldRegion(db, x.Root, x.End()); err != nil {
+		return zero, f.stats, fmt.Errorf("%w: %v", ErrBadExtent, err)
+	}
+	if len(f.stack) != 1 {
+		return zero, f.stats, fmt.Errorf("%w: [%d,%d) folds to %d roots", ErrBadExtent, x.Root, x.End(), len(f.stack))
+	}
+	return f.stack[0], f.stats, nil
+}
+
+// topDown is the shared inner loop of the forward (top-down) scans: it
+// tracks, per node in preorder, which previously visited node is its
+// parent and whether it is a first or second child. end is the exclusive
+// node bound of the scanned region (the structure check).
+type topDown[S any] struct {
+	visit     func(v int64, rec Record, parent *S, k int) (S, error)
+	end       int64
+	pending   []S // nodes awaiting their second subtree
+	parent    *S
+	parentVal S
+	k         int
+	stats     ScanStats
+}
+
+// afterSubtree restores parent/k once the subtree preceding position next
+// has been fully consumed.
+func (t *topDown[S]) afterSubtree(next int64) error {
+	if len(t.pending) > 0 {
+		t.parentVal = t.pending[len(t.pending)-1]
+		t.pending = t.pending[:len(t.pending)-1]
+		t.parent = &t.parentVal
+		t.k = 2
+		return nil
+	}
+	t.parent = nil
+	t.k = 0
+	if next != t.end {
+		return fmt.Errorf("storage: malformed .arb: scan ended at node %d of %d", next-1, t.end)
+	}
+	return nil
+}
+
+func (t *topDown[S]) node(v int64, rec Record) error {
+	s, err := t.visit(v, rec, t.parent, t.k)
 	if err != nil {
-		return zero, stats, err
+		return err
 	}
-	// Reading preorder backwards, a node is reached after its entire
-	// second subtree (pushed first) and first subtree (pushed second, so
-	// popped first).
-	var stack []S
-	for v := db.N - 1; v >= 0; v-- {
-		b, err := br.Next()
-		if err != nil {
-			return zero, stats, fmt.Errorf("storage: backward scan: %w", err)
+	t.stats.Nodes++
+	if rec.HasSecond {
+		t.pending = append(t.pending, s)
+		if len(t.pending) > t.stats.MaxStack {
+			t.stats.MaxStack = len(t.pending)
 		}
-		rec := DecodeRecord(binary.BigEndian.Uint16(b))
-		var first, second *S
-		if rec.HasFirst {
-			if len(stack) == 0 {
-				return zero, stats, fmt.Errorf("storage: malformed .arb: missing first subtree at node %d", v)
-			}
-			first = &stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-		}
-		if rec.HasSecond {
-			if len(stack) == 0 {
-				return zero, stats, fmt.Errorf("storage: malformed .arb: missing second subtree at node %d", v)
-			}
-			second = &stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-		}
-		s := combine(first, second, rec, v)
-		stack = append(stack, s)
-		if len(stack) > stats.MaxStack {
-			stats.MaxStack = len(stack)
-		}
-		stats.Nodes++
 	}
-	if len(stack) != 1 {
-		return zero, stats, fmt.Errorf("storage: malformed .arb: %d roots", len(stack))
+	if rec.HasFirst {
+		t.parentVal = s
+		t.parent = &t.parentVal
+		t.k = 1
+		return nil
 	}
-	return stack[0], stats, nil
+	return t.afterSubtree(v + 1)
+}
+
+// sectionReader returns a buffered forward reader over the node range
+// [lo, hi) backed by ReadAt, safe to use concurrently with other readers
+// on the same handle.
+func (db *DB) sectionReader(lo, hi int64) *bufio.Reader {
+	return bufio.NewReaderSize(io.NewSectionReader(db.arb, lo*NodeSize, (hi-lo)*NodeSize), defaultBufSize)
 }
 
 // ScanTopDown traverses the database top-down in one forward linear scan
@@ -118,55 +273,83 @@ func FoldBottomUp[S any](db *DB, combine func(first, second *S, rec Record, v in
 // whether the node is the first (1) or second (2) child. The stack holds
 // one entry per ancestor whose second subtree is still pending.
 func ScanTopDown[S any](db *DB, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
-	var stats ScanStats
-	if _, err := db.arb.Seek(0, io.SeekStart); err != nil {
-		return stats, err
-	}
-	r := bufio.NewReaderSize(db.arb, defaultBufSize)
-	var buf [NodeSize]byte
+	return ScanTopDownSkipping(db, nil, nil, visit)
+}
 
-	var pending []S // nodes awaiting their second subtree
-	var parent *S
-	k := 0
-	var parentVal S
-	for v := int64(0); v < db.N; v++ {
+// ScanTopDownSkipping is ScanTopDown with holes: the subtree extents in
+// skip (sorted by Root, disjoint) are not read; instead subtree is called
+// once per extent with the parent value and child position its root would
+// have received, and the scan continues past the extent as if visit had
+// consumed it. The parallel evaluator's leader uses it to assign top-down
+// entry states to the frontier chunks without reading their bytes.
+func ScanTopDownSkipping[S any](db *DB, skip []Extent, subtree func(x Extent, parent *S, k int) error, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
+	t := topDown[S]{visit: visit, end: db.N}
+	si := 0
+	v := int64(0)
+	for v < db.N {
+		gapEnd := db.N
+		if si < len(skip) {
+			if skip[si].Root < v {
+				return t.stats, fmt.Errorf("storage: skip extents unsorted, overlapping or out of range")
+			}
+			gapEnd = skip[si].Root
+		}
+		r := db.sectionReader(v, gapEnd)
+		var buf [NodeSize]byte
+		for ; v < gapEnd; v++ {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return t.stats, fmt.Errorf("storage: forward scan: %w", err)
+			}
+			if err := t.node(v, DecodeRecord(binary.BigEndian.Uint16(buf[:]))); err != nil {
+				return t.stats, err
+			}
+		}
+		if si < len(skip) {
+			x := skip[si]
+			si++
+			if x.Size <= 0 || x.End() > db.N {
+				return t.stats, fmt.Errorf("storage: skip extent [%d,%d) out of range", x.Root, x.End())
+			}
+			if err := subtree(x, t.parent, t.k); err != nil {
+				return t.stats, err
+			}
+			t.stats.Nodes += x.Size
+			v = x.End()
+			if err := t.afterSubtree(v); err != nil {
+				return t.stats, err
+			}
+		}
+	}
+	if t.parent != nil || len(t.pending) > 0 {
+		return t.stats, fmt.Errorf("storage: malformed .arb: %d announced subtrees missing at end of file", len(t.pending)+1)
+	}
+	return t.stats, nil
+}
+
+// ScanTopDownRange scans one complete subtree extent forward. visit is
+// called exactly once per node of the extent in preorder; the extent's
+// root is visited with parent nil and k 0 — the caller supplies its real
+// top-down context through the closure (the parallel evaluator primes it
+// with the entry state the leader computed).
+func ScanTopDownRange[S any](db *DB, x Extent, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
+	t := topDown[S]{visit: visit, end: x.End()}
+	if x.Root < 0 || x.Size <= 0 || x.End() > db.N {
+		return t.stats, fmt.Errorf("%w: [%d,%d) out of range", ErrBadExtent, x.Root, x.End())
+	}
+	r := db.sectionReader(x.Root, x.End())
+	var buf [NodeSize]byte
+	for v := x.Root; v < x.End(); v++ {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return stats, fmt.Errorf("storage: forward scan: %w", err)
+			return t.stats, fmt.Errorf("storage: forward scan: %w", err)
 		}
-		rec := DecodeRecord(binary.BigEndian.Uint16(buf[:]))
-		s, err := visit(v, rec, parent, k)
-		if err != nil {
-			return stats, err
-		}
-		stats.Nodes++
-		if rec.HasSecond {
-			pending = append(pending, s)
-			if len(pending) > stats.MaxStack {
-				stats.MaxStack = len(pending)
-			}
-		}
-		if rec.HasFirst {
-			parentVal = s
-			parent = &parentVal
-			k = 1
-		} else if len(pending) > 0 {
-			parentVal = pending[len(pending)-1]
-			pending = pending[:len(pending)-1]
-			parent = &parentVal
-			k = 2
-		} else {
-			parent = nil
-			k = 0
-			// Only legal if this was the last node.
-			if v != db.N-1 {
-				return stats, fmt.Errorf("storage: malformed .arb: scan ended at node %d of %d", v, db.N)
-			}
+		if err := t.node(v, DecodeRecord(binary.BigEndian.Uint16(buf[:]))); err != nil {
+			return t.stats, err
 		}
 	}
-	if parent != nil || len(pending) > 0 {
-		return stats, fmt.Errorf("storage: malformed .arb: %d announced subtrees missing at end of file", len(pending)+1)
+	if t.parent != nil || len(t.pending) > 0 {
+		return t.stats, fmt.Errorf("%w: [%d,%d) ends with %d subtrees missing", ErrBadExtent, x.Root, x.End(), len(t.pending)+1)
 	}
-	return stats, nil
+	return t.stats, nil
 }
 
 // ReadTree materialises the whole database as an in-memory tree. Intended

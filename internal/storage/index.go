@@ -1,0 +1,332 @@
+package storage
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Extent is a contiguous preorder node range [Root, Root+Size) of the
+// .arb file — exactly the extent of one binary subtree rooted at Root.
+// The corresponding byte range of the .arb file is
+// [Root*NodeSize, (Root+Size)*NodeSize).
+type Extent struct {
+	Root int64
+	Size int64
+}
+
+// End returns the exclusive upper node bound of the extent.
+func (x Extent) End() int64 { return x.Root + x.Size }
+
+// IndexEntry records the extent of one subtree plus the split point
+// between its children: the first child (if any) spans
+// [V+1, V+1+FirstSize) and the second child the rest of [V, V+Size).
+type IndexEntry struct {
+	V         int64 // preorder index of the subtree root
+	Size      int64 // number of nodes in the subtree
+	FirstSize int64 // size of the first-child subtree (0 if absent)
+}
+
+// SubtreeIndex holds the extents of the heaviest subtrees of a database —
+// a rooted top fragment of the tree (a node's parent always has a
+// strictly larger subtree, so the k largest subtrees form a connected
+// fragment containing the root). It is the chunk index behind parallel
+// secondary-storage evaluation: Cut partitions the .arb file into a
+// frontier of contiguous subtree byte ranges without touching the data.
+//
+// The index is bounded (DefaultIndexBudget entries) regardless of
+// database size, is built in one backward linear scan with memory
+// proportional to the document depth, and can be persisted as a base.idx
+// sidecar so later runs pay no extra scan at all.
+type SubtreeIndex struct {
+	N       int64 // node count of the database the index describes
+	entries []IndexEntry
+	byV     map[int64]int
+}
+
+// DefaultIndexBudget is the default maximum number of index entries —
+// small enough that the index is a footnote next to the database (96 KB
+// on disk), large enough to cut thousands of chunks.
+const DefaultIndexBudget = 4096
+
+// entryHeap is a min-heap of index entries by subtree size.
+type entryHeap []IndexEntry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].Size < h[j].Size }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(IndexEntry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// BuildIndex scans the database backwards once (stack bounded by the
+// document depth, as in Proposition 5.1) and returns the index of its up
+// to budget largest subtrees. budget <= 0 selects DefaultIndexBudget.
+func BuildIndex(db *DB, budget int) (*SubtreeIndex, error) {
+	if budget <= 0 {
+		budget = DefaultIndexBudget
+	}
+	h := make(entryHeap, 0, budget+1)
+	_, _, err := FoldBottomUp(db, func(first, second *int64, rec Record, v int64) int64 {
+		size, firstSize := int64(1), int64(0)
+		if first != nil {
+			size += *first
+			firstSize = *first
+		}
+		if second != nil {
+			size += *second
+		}
+		heap.Push(&h, IndexEntry{V: v, Size: size, FirstSize: firstSize})
+		if len(h) > budget {
+			heap.Pop(&h)
+		}
+		return size
+	})
+	if err != nil {
+		return nil, err
+	}
+	entries := []IndexEntry(h)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].V < entries[j].V })
+	return newIndex(db.N, entries), nil
+}
+
+func newIndex(n int64, entries []IndexEntry) *SubtreeIndex {
+	byV := make(map[int64]int, len(entries))
+	for i, e := range entries {
+		byV[e.V] = i
+	}
+	return &SubtreeIndex{N: n, entries: entries, byV: byV}
+}
+
+// Len returns the number of indexed subtrees.
+func (ix *SubtreeIndex) Len() int { return len(ix.entries) }
+
+// Lookup returns the entry for the subtree rooted at v, if indexed.
+func (ix *SubtreeIndex) Lookup(v int64) (IndexEntry, bool) {
+	i, ok := ix.byV[v]
+	if !ok {
+		return IndexEntry{}, false
+	}
+	return ix.entries[i], true
+}
+
+// Cut partitions the tree into a frontier of disjoint subtree extents,
+// each a contiguous .arb byte range suitable for one worker: indexed
+// subtrees are split until they are no larger than target, and subtrees
+// smaller than minTask are left to the sequential top scan instead of
+// becoming tasks of their own. Subtrees that exceed target but fall
+// outside the index budget (deep in a degenerate tree) are emitted
+// unsplit — on right-deep trees the frontier collapses and evaluation
+// degrades toward sequential, which is the paper's reason for
+// restructuring sequences into balanced infix trees.
+//
+// The returned extents are sorted by Root. Everything not covered by an
+// extent is the "top" region that glues the frontier together.
+func (ix *SubtreeIndex) Cut(target, minTask int64) []Extent {
+	if ix.N == 0 || len(ix.entries) == 0 {
+		return nil
+	}
+	if target < minTask {
+		target = minTask
+	}
+	var tasks []Extent
+	stack := []Extent{{Root: 0, Size: ix.N}}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x.Size < minTask {
+			continue // leave to the top scan
+		}
+		e, ok := ix.Lookup(x.Root)
+		if ok && e.Size != x.Size {
+			ok = false // stale or foreign index: don't split on bad data
+		}
+		if x.Size <= target || !ok {
+			tasks = append(tasks, x)
+			continue
+		}
+		if first := (Extent{Root: x.Root + 1, Size: e.FirstSize}); first.Size > 0 {
+			stack = append(stack, first)
+		}
+		if second := (Extent{Root: x.Root + 1 + e.FirstSize, Size: x.Size - 1 - e.FirstSize}); second.Size > 0 {
+			stack = append(stack, second)
+		}
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].Root < tasks[j].Root })
+	return tasks
+}
+
+// indexMagic identifies a .idx sidecar file.
+const indexMagic = "ARBIDX1\n"
+
+// WriteIndexFile persists the index next to the database.
+func WriteIndexFile(path string, ix *SubtreeIndex) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	werr := func() error {
+		if _, err := w.WriteString(indexMagic); err != nil {
+			return err
+		}
+		var buf [8]byte
+		put := func(v int64) error {
+			binary.BigEndian.PutUint64(buf[:], uint64(v))
+			_, err := w.Write(buf[:])
+			return err
+		}
+		if err := put(ix.N); err != nil {
+			return err
+		}
+		if err := put(int64(len(ix.entries))); err != nil {
+			return err
+		}
+		for _, e := range ix.entries {
+			if err := put(e.V); err != nil {
+				return err
+			}
+			if err := put(e.Size); err != nil {
+				return err
+			}
+			if err := put(e.FirstSize); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}()
+	if err := f.Close(); werr == nil {
+		werr = err
+	}
+	if werr != nil {
+		os.Remove(path)
+	}
+	return werr
+}
+
+// ReadIndexFile loads a persisted index.
+func ReadIndexFile(path string) (*SubtreeIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != indexMagic {
+		return nil, fmt.Errorf("storage: %s is not an index file", path)
+	}
+	var buf [8]byte
+	get := func() (int64, error) {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return int64(binary.BigEndian.Uint64(buf[:])), nil
+	}
+	n, err := get()
+	if err != nil {
+		return nil, err
+	}
+	count, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if count < 0 || count > 1<<24 {
+		return nil, fmt.Errorf("storage: index %s declares %d entries", path, count)
+	}
+	entries := make([]IndexEntry, count)
+	for i := range entries {
+		if entries[i].V, err = get(); err != nil {
+			return nil, err
+		}
+		if entries[i].Size, err = get(); err != nil {
+			return nil, err
+		}
+		if entries[i].FirstSize, err = get(); err != nil {
+			return nil, err
+		}
+	}
+	ix := newIndex(n, entries)
+	if err := ix.validate(); err != nil {
+		return nil, fmt.Errorf("storage: index %s: %w", path, err)
+	}
+	return ix, nil
+}
+
+// validate rejects structurally impossible indexes (unsorted or
+// out-of-bounds entries). It cannot prove the index matches the tree —
+// a well-formed but foreign sidecar surfaces as ErrBadExtent during
+// evaluation instead, and RebuildIndex recovers from that.
+func (ix *SubtreeIndex) validate() error {
+	prev := int64(-1)
+	for _, e := range ix.entries {
+		if e.V <= prev {
+			return fmt.Errorf("entries unsorted at node %d", e.V)
+		}
+		prev = e.V
+		if e.V < 0 || e.Size < 1 || e.FirstSize < 0 || e.FirstSize > e.Size-1 || e.V+e.Size > ix.N {
+			return fmt.Errorf("entry {%d,%d,%d} out of bounds for %d nodes", e.V, e.Size, e.FirstSize, ix.N)
+		}
+	}
+	return nil
+}
+
+// Index returns the database's subtree index, loading base.idx if a
+// matching sidecar exists and otherwise building the index with one
+// backward scan. The result is cached on the handle, so with a persisted
+// index every later parallel run still performs exactly two linear scans'
+// worth of I/O in aggregate. budget <= 0 selects DefaultIndexBudget.
+func (db *DB) Index(budget int) (*SubtreeIndex, error) {
+	db.idxMu.Lock()
+	defer db.idxMu.Unlock()
+	if db.idx != nil {
+		return db.idx, nil
+	}
+	if ix, err := ReadIndexFile(db.Base + ".idx"); err == nil && ix.N == db.N {
+		db.idx = ix
+		return ix, nil
+	}
+	ix, err := BuildIndex(db, budget)
+	if err != nil {
+		return nil, err
+	}
+	db.idx = ix
+	return ix, nil
+}
+
+// WriteIndex builds (or reuses) the database's subtree index and persists
+// it as base.idx. Database creation calls this so that parallel
+// evaluation needs no extra scan, ever; for databases created before the
+// index existed, the first Index call rebuilds it transparently.
+func (db *DB) WriteIndex(budget int) error {
+	ix, err := db.Index(budget)
+	if err != nil {
+		return err
+	}
+	return WriteIndexFile(db.Base+".idx", ix)
+}
+
+// RebuildIndex discards any cached index, rebuilds from the data, and
+// best-effort refreshes the base.idx sidecar — the recovery path when a
+// stale or foreign index surfaces as ErrBadExtent during evaluation.
+func (db *DB) RebuildIndex(budget int) (*SubtreeIndex, error) {
+	ix, err := BuildIndex(db, budget)
+	if err != nil {
+		return nil, err
+	}
+	db.idxMu.Lock()
+	db.idx = ix
+	db.idxMu.Unlock()
+	// The database directory may be read-only; the in-handle cache alone
+	// then serves this process.
+	_ = WriteIndexFile(db.Base+".idx", ix)
+	return ix, nil
+}

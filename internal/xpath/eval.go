@@ -59,10 +59,31 @@ func (q *Query) Eval(t *tree.Tree) ([]bool, error) {
 // secondary storage: each auxiliary pass runs as two linear scans whose
 // phase 2 streams an updated 2-byte-per-node aux-mask sidecar file, which
 // the next pass reads alongside the database. dir holds the temporary
-// aux files (the database directory is a natural choice). The result is
-// the main pass's selected nodes.
-func (q *Query) EvalDisk(db *storage.DB, dir string) (*core.Result, error) {
+// aux files (the database directory is a natural choice). Every pass runs
+// with the given number of workers (1 = sequential, 0 = all CPUs; see
+// core.Engine.RunDiskParallel). The result is the main pass's selected
+// nodes.
+func (q *Query) EvalDisk(db *storage.DB, dir string, workers int) (*core.Result, error) {
+	runPass := func(e *core.Engine, opts core.DiskOpts) (*core.Result, error) {
+		if workers != 1 {
+			res, _, err := e.RunDiskParallel(db, workers, opts)
+			return res, err
+		}
+		res, _, err := e.RunDisk(db, opts)
+		return res, err
+	}
 	var auxIn string
+	if len(q.Passes) > 0 {
+		// A private temp directory per evaluation: concurrent queries
+		// sharing a database directory must not clobber each other's
+		// sidecar files.
+		tmp, err := os.MkdirTemp(dir, "arb-aux-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
 	for k, pass := range q.Passes {
 		c, err := core.Compile(pass)
 		if err != nil {
@@ -70,8 +91,7 @@ func (q *Query) EvalDisk(db *storage.DB, dir string) (*core.Result, error) {
 		}
 		e := core.NewEngine(c, db.Names)
 		auxOut := filepath.Join(dir, fmt.Sprintf("pass%d.aux", k))
-		defer os.Remove(auxOut)
-		_, _, err = e.RunDisk(db, core.DiskOpts{
+		_, err = runPass(e, core.DiskOpts{
 			AuxIn:     auxIn,
 			AuxOut:    auxOut,
 			AuxOutBit: uint8(k),
@@ -87,6 +107,5 @@ func (q *Query) EvalDisk(db *storage.DB, dir string) (*core.Result, error) {
 		return nil, err
 	}
 	e := core.NewEngine(c, db.Names)
-	res, _, err := e.RunDisk(db, core.DiskOpts{AuxIn: auxIn})
-	return res, err
+	return runPass(e, core.DiskOpts{AuxIn: auxIn})
 }

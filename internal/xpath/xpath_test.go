@@ -330,18 +330,20 @@ func TestEvalDiskMatchesEval(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := q.EvalDisk(db, dir)
-		if err != nil {
-			t.Fatalf("EvalDisk(%q): %v", qs, err)
-		}
 		want := selected(NewInterp(tr).Eval(q.Path))
-		var gotDisk []int
-		res.Walk(q.Main.Queries()[0], func(v tree.NodeID) bool {
-			gotDisk = append(gotDisk, int(v))
-			return true
-		})
-		if fmt.Sprint(gotDisk) != fmt.Sprint(want) {
-			t.Fatalf("iter %d: query %s\ndisk        %v\ninterpreter %v", iter, qs, gotDisk, want)
+		for _, workers := range []int{1, 3} {
+			res, err := q.EvalDisk(db, dir, workers)
+			if err != nil {
+				t.Fatalf("EvalDisk(%q, workers=%d): %v", qs, workers, err)
+			}
+			var gotDisk []int
+			res.Walk(q.Main.Queries()[0], func(v tree.NodeID) bool {
+				gotDisk = append(gotDisk, int(v))
+				return true
+			})
+			if fmt.Sprint(gotDisk) != fmt.Sprint(want) {
+				t.Fatalf("iter %d: query %s (workers=%d)\ndisk        %v\ninterpreter %v", iter, qs, workers, gotDisk, want)
+			}
 		}
 		if fmt.Sprint(selected(mem)) != fmt.Sprint(want) {
 			t.Fatalf("iter %d: query %s: memory %v, interpreter %v", iter, qs, selected(mem), want)
