@@ -18,33 +18,49 @@
 // as `import "arb"` (the command-line tools live under cmd/arb, cmd/arbgen
 // and cmd/arbbench, runnable with `go run arb/cmd/arb`).
 //
-//	db, _, err := arb.CreateDB("mydb", xmlReader)     // mydb.arb + mydb.lab (+ mydb.idx)
+// Querying is session-oriented, matching the engine's compile-once,
+// query-many design: a Session wraps one open source (an on-disk database
+// or an in-memory tree) and owns what its queries share — the label-name
+// table and, on disk, the subtree index; a PreparedQuery holds a compiled
+// program whose lazily built automata persist across executions, so a
+// warm query evaluates with two hash-table lookups per node.
+//
+//	sess, err := arb.OpenSession("mydb")              // mydb.arb + mydb.lab (+ mydb.idx)
+//	defer sess.Close()
 //	prog, err := arb.ParseProgram(
 //		`QUERY :- V.Label[gene].FirstChild.NextSibling*.Label[sequence];`)
-//	eng, err := arb.NewEngine(prog, db.Names)
-//	res, stats, err := eng.RunDisk(db, arb.DiskOpts{}) // two linear scans
-//	n := res.Count(prog.Queries()[0])
+//	pq, err := sess.Prepare(prog)
+//	res, _, err := pq.Exec(ctx, arb.ExecOpts{})       // two linear scans
+//	n := res.Count(pq.Queries()[0])
 //
-// Small documents can be queried in memory with Engine.Run; XPath queries
-// enter through ParseXPath. The subpackages under internal implement the
-// pieces (storage model, Horn solver, automata, frontends, workloads);
-// this package is the supported public surface.
+// One Exec call drives every execution strategy: the session's backend
+// picks in-memory or secondary-storage evaluation, ExecOpts.Workers picks
+// sequential or parallel, and Core XPath queries with not(..) conditions
+// (sess.PrepareXPath) transparently run their auxiliary passes first —
+// in memory or chained through aux-mask sidecar files on disk. Every
+// path returns the same unified Result with identical selected nodes,
+// and the ctx cancels long scans promptly, cleaning up temporary files.
+// In-memory sources enter through NewSession(tree); ParseXML and
+// TreeBuilder construct trees. The subpackages under internal implement
+// the pieces (storage model, Horn solver, automata, frontends,
+// workloads); this package is the supported public surface.
 //
 // # Parallel evaluation
 //
 // Tree automata evaluate independently on disjoint subtrees (the paper's
 // Sections 6.2 and 7), and the preorder storage layout makes every
-// subtree one contiguous byte range of the .arb file. Engine.RunDiskParallel
-// exploits both: the database's subtree index (the .idx sidecar, rebuilt
-// transparently for databases that lack one) cuts the file into a
-// frontier of chunks, a worker pool streams each chunk through its own
-// buffered reader for both evaluation phases, and the lazily-computed
-// automata are shared so transitions computed by one worker serve all.
-// The aggregate I/O stays at two linear scans' worth, memory per worker
-// stays bounded by the document depth, and the selected nodes are
-// bit-identical to RunDisk's. The arb CLI exposes this as `arb query -j N`.
+// subtree one contiguous byte range of the .arb file. Exec with
+// ExecOpts{Workers: n} exploits both: the database's subtree index (the
+// .idx sidecar, rebuilt transparently for databases that lack one) cuts
+// the file into a frontier of chunks, a worker pool streams each chunk
+// through its own buffered reader for both evaluation phases, and the
+// lazily-computed automata are shared so transitions computed by one
+// worker serve all. The aggregate I/O stays at two linear scans' worth,
+// memory per worker stays bounded by the document depth, and the
+// selected nodes are bit-identical to the sequential run's. The arb CLI
+// exposes this as `arb query -j N`.
 //
-//	res, stats, err := eng.RunDiskParallel(db, 4, arb.DiskOpts{})
+//	res, prof, err := pq.Exec(ctx, arb.ExecOpts{Workers: 4, Stats: true})
 //
 // Parallelism pays off on large documents whose trees are reasonably
 // balanced — the ACGT-infix sequence encoding is the paper's showcase —
@@ -52,9 +68,10 @@
 // right-deep trees (long sibling chains, e.g. ACGT-flat) the frontier
 // collapses into one huge chain and evaluation degrades toward
 // sequential; that asymmetry is exactly why the paper restructures
-// sequences into balanced infix trees. In-memory trees parallelise the
-// same way through RunParallel; `arbbench -experiment speedup` measures
-// the disk-path speedup per worker count.
+// sequences into balanced infix trees. In-memory sessions parallelise
+// the same way — workers split the tree at a frontier of subtree index
+// ranges; `arbbench -experiment speedup` measures the disk-path speedup
+// per worker count.
 package arb
 
 import (
@@ -92,14 +109,19 @@ type (
 	CreateStats = storage.CreateStats
 
 	// Engine evaluates one compiled program over trees or databases.
+	//
+	// Deprecated: prepare queries on a Session instead; PreparedQuery
+	// persists the engine across executions and supports cancellation.
 	Engine = core.Engine
 	// Result holds the selected nodes per query predicate.
 	Result = core.Result
-	// RunOpts configures in-memory runs.
+	// RunOpts configures in-memory runs of the deprecated Engine.Run.
 	RunOpts = core.RunOpts
-	// DiskOpts configures secondary-storage runs.
+	// DiskOpts configures secondary-storage runs of the deprecated
+	// Engine.RunDisk.
 	DiskOpts = core.DiskOpts
-	// DiskStats reports the scan profile of a secondary-storage run.
+	// DiskStats reports the scan profile of a secondary-storage run
+	// (Profile.Disk).
 	DiskStats = core.DiskStats
 	// Stats reports engine work (the paper's Figure 6 columns).
 	Stats = core.Stats
@@ -107,7 +129,10 @@ type (
 	// XPathQuery is a Core XPath query compiled to TMNF passes.
 	XPathQuery = xpath.Query
 
-	// ParallelResult holds the result of a multi-worker run.
+	// ParallelResult holds the result of a multi-worker run; it is the
+	// same unified type every execution path returns.
+	//
+	// Deprecated: use Result.
 	ParallelResult = parallel.Result
 )
 
@@ -127,6 +152,10 @@ func ParseXPath(src string) (*XPathQuery, error) { return xpath.Compile(src) }
 // NewEngine compiles a program and prepares an engine for evaluating it
 // against trees or databases using the given label-name table (use
 // db.Names for databases, t.Names() for trees).
+//
+// Deprecated: use Session.Prepare, which binds the engine to the
+// session's source and adds cancellation, parallel dispatch and
+// multi-pass support behind one Exec call.
 func NewEngine(p *Program, names *Names) (*Engine, error) {
 	c, err := core.Compile(p)
 	if err != nil {
@@ -174,6 +203,9 @@ func EmitXML(db *DB, w io.Writer, selected func(v int64) bool) error {
 // RunParallel evaluates the engine's program over an in-memory tree with
 // multiple workers (0 = GOMAXPROCS); see internal/parallel for the
 // frontier decomposition. Results are identical to Engine.Run.
+//
+// Deprecated: use Session.Prepare and PreparedQuery.Exec with
+// ExecOpts{Workers: n}.
 func RunParallel(e *Engine, t *Tree, workers int) (*ParallelResult, error) {
 	return parallel.Run(e, t, workers)
 }

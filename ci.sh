@@ -1,7 +1,8 @@
 #!/bin/sh
-# CI entry point: formatting, vet, build, and the full test suite under
-# the race detector (the tier-1 gate plus race coverage of the parallel
-# in-memory and parallel secondary-storage paths).
+# CI entry point: formatting, vet, build, a fast cancellation gate, a
+# library smoke test, and the full test suite under the race detector
+# (the tier-1 gate plus race coverage of the parallel in-memory and
+# parallel secondary-storage paths).
 set -eu
 
 cd "$(dirname "$0")"
@@ -15,4 +16,15 @@ fi
 
 go vet ./...
 go build ./...
+
+# Smoke: the quickstart example exercises the whole Session/PreparedQuery
+# surface (create DB, prepare TMNF and XPath queries, Exec, emit marked
+# XML) against its own tiny generated document.
+go run ./examples/quickstart > /dev/null
+
+# Fast gate: context-cancellation behaviour across storage, the engine
+# and the CLI, under the race detector.
+go test -run Cancel -race ./...
+
+# Full suite (includes the fuzz targets' seed corpora).
 go test -race ./...

@@ -104,3 +104,53 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatal("missing database accepted")
 	}
 }
+
+// TestCLITimeoutCancel checks the -timeout flag: an expired deadline
+// aborts the query with a clear message and a non-zero exit, and works
+// normally when the deadline is generous.
+func TestCLITimeoutCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	base := filepath.Join(dir, "db")
+	if err := os.WriteFile(xmlPath, []byte(libraryXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, bin, "create", base, xmlPath)
+
+	// A generous deadline: the query completes normally.
+	out := runCLI(t, bin, "query", base, "-timeout", "1m", "-q", "QUERY :- Label[author];")
+	if !strings.Contains(out, "3 nodes selected") {
+		t.Fatalf("query with timeout output: %s", out)
+	}
+
+	// An already-expired deadline: non-zero exit and a clear message,
+	// on the plain and the multi-pass XPath paths alike.
+	for _, args := range [][]string{
+		{"query", base, "-timeout", "1ns", "-q", "QUERY :- Label[author];"},
+		{"query", base, "-timeout", "1ns", "-j", "4", "-xpath", "//book[not(author)]"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			t.Fatalf("arb %s exited zero despite expired deadline\n%s", strings.Join(args, " "), out)
+		}
+		if !strings.Contains(string(out), "timed out") {
+			t.Fatalf("arb %s: message does not mention the timeout: %s", strings.Join(args, " "), out)
+		}
+	}
+	// No stray temporary files next to the database.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".arb", ".lab", ".idx", ".xml":
+		default:
+			t.Errorf("stray file after timeout: %s", e.Name())
+		}
+	}
+}

@@ -6,7 +6,7 @@
 //
 //	arb create <base> [file.xml]       build base.arb/base.lab from XML (stdin default)
 //	arb query  <base> -q <program>     evaluate a TMNF program (Arb syntax)
-//	arb query  <base> -xpath <expr>    evaluate a Core XPath query (positive fragment on disk)
+//	arb query  <base> -xpath <expr>    evaluate a Core XPath query (incl. not(..), on disk)
 //	arb cat    <base>                  write the database back as XML
 //	arb stats  <base>                  print database statistics
 //
@@ -15,20 +15,25 @@
 // re-emits the document with selected nodes wrapped in <arb:selected>
 // markup (the system's default output mode described in Section 6.3).
 //
-// -j N evaluates with N parallel workers (0 = all CPUs): the database's
+// Queries run through the library's Session/PreparedQuery API: one
+// prepared query per invocation, executed with arb.ExecOpts. -j N
+// evaluates with N parallel workers (0 = all CPUs): the database's
 // subtree index cuts the .arb file into a frontier of chunk byte ranges
 // that workers stream independently, still two linear scans' worth of
 // I/O in aggregate. It pays off on large, balanced documents; -mark
-// output is inherently sequential and ignores -j.
+// output is inherently sequential and ignores -j. -timeout bounds the
+// evaluation: when the deadline passes, the scans abort promptly, all
+// temporary files are cleaned up, and the command exits non-zero.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 
 	"arb"
 )
@@ -59,7 +64,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   arb create <base> [file.xml]
-  arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N]
+  arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N] [-timeout d]
   arb cat    <base>
   arb stats  <base>
 `)
@@ -101,6 +106,7 @@ func query(args []string) error {
 	mark := fs.Bool("mark", false, "emit the document with selected nodes marked up")
 	verbose := fs.Bool("v", false, "print engine statistics")
 	jobs := fs.Int("j", 1, "parallel workers (0 = all CPUs, 1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "abort the evaluation after this long (0 = no limit)")
 	if len(args) < 1 {
 		usage()
 	}
@@ -109,12 +115,20 @@ func query(args []string) error {
 		return err
 	}
 
-	db, err := arb.OpenDB(base)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	sess, err := arb.OpenSession(base)
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer sess.Close()
 
+	var pq *arb.PreparedQuery
 	var prog *arb.Program
 	switch {
 	case *progFile != "":
@@ -122,13 +136,11 @@ func query(args []string) error {
 		if err != nil {
 			return err
 		}
-		prog, err = arb.ParseProgram(string(b))
-		if err != nil {
+		if prog, err = arb.ParseProgram(string(b)); err != nil {
 			return err
 		}
 	case *progSrc != "":
-		prog, err = arb.ParseProgram(*progSrc)
-		if err != nil {
+		if prog, err = arb.ParseProgram(*progSrc); err != nil {
 			return err
 		}
 	case *xpathSrc != "":
@@ -136,39 +148,37 @@ func query(args []string) error {
 		if err != nil {
 			return err
 		}
-		if len(q.Passes) > 0 {
-			// Multi-pass (negation): chain the passes through aux-mask
-			// sidecar files, still entirely in secondary storage.
-			return queryXPathMultiPass(db, q, base, *ids, *mark, *jobs)
+		if pq, err = sess.PrepareXPath(q); err != nil {
+			return err
 		}
-		prog = q.Main
 	default:
 		return fmt.Errorf("one of -q, -f, -xpath is required")
 	}
-	if len(prog.Queries()) == 0 {
-		return fmt.Errorf("program defines no query predicate (name one QUERY or call it with -xpath)")
+	if pq == nil {
+		if pq, err = sess.Prepare(prog); err != nil {
+			return err
+		}
 	}
 
-	eng, err := arb.NewEngine(prog, db.Names)
-	if err != nil {
-		return err
+	// Workers: the flag speaks CLI (0 = all CPUs), ExecOpts speaks
+	// library (negative = all CPUs, 0 = sequential).
+	workers := *jobs
+	if workers == 0 {
+		workers = -1
 	}
-	opts := arb.DiskOpts{}
+	opts := arb.ExecOpts{Workers: workers, Stats: *verbose}
 	var markOut *bufio.Writer
 	if *mark {
-		// The marked document streams out during phase 2 itself
+		// The marked document streams out during the final pass itself
 		// (Section 6.3) — still exactly two scans.
 		markOut = bufio.NewWriterSize(os.Stdout, 1<<16)
 		opts.MarkTo = markOut
 	}
-	var res *arb.Result
-	var ds *arb.DiskStats
-	if *jobs != 1 {
-		res, ds, err = eng.RunDiskParallel(db, *jobs, opts)
-	} else {
-		res, ds, err = eng.RunDisk(db, opts)
-	}
+	res, prof, err := pq.Exec(ctx, opts)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("query timed out after %v (temporary files cleaned up); raise -timeout or add workers with -j", *timeout)
+		}
 		return err
 	}
 	if markOut != nil {
@@ -177,19 +187,18 @@ func query(args []string) error {
 		}
 	}
 	if *verbose {
-		st := eng.Stats()
-		fmt.Fprintf(os.Stderr, "phase 1 (bottom-up): %v, %d transitions; phase 2 (top-down): %v, %d transitions; temp %d bytes\n",
-			st.Phase1Time, st.BUTransitions, st.Phase2Time, st.TDTransitions, ds.StateBytes)
+		fmt.Fprintf(os.Stderr, "phase 1 (bottom-up): %v, %d transitions; phase 2 (top-down): %v, %d transitions; %d passes, %d workers, temp %d bytes\n",
+			prof.Engine.Phase1Time, prof.Engine.BUTransitions, prof.Engine.Phase2Time, prof.Engine.TDTransitions,
+			prof.Passes, prof.Workers, prof.Disk.StateBytes)
 	}
-	q := prog.Queries()[0]
 	switch {
 	case *mark:
 		return nil
 	case *ids:
-		return printIDs(res, q)
+		return printIDs(res, pq.Queries()[0])
 	default:
-		for _, q := range prog.Queries() {
-			fmt.Printf("%s: %d nodes selected\n", prog.PredName(q), res.Count(q))
+		for _, q := range pq.Queries() {
+			fmt.Printf("%s: %d nodes selected\n", pq.Program().PredName(q), res.Count(q))
 		}
 	}
 	return nil
@@ -211,30 +220,6 @@ func printIDs(res *arb.Result, q arb.Pred) error {
 		return werr
 	}
 	return w.Flush()
-}
-
-// queryXPathMultiPass evaluates a negated XPath query on disk, chaining
-// the auxiliary passes through sidecar files next to the database; each
-// pass runs with the requested number of workers.
-func queryXPathMultiPass(db *arb.DB, q *arb.XPathQuery, base string, ids, mark bool, jobs int) error {
-	res, err := q.EvalDisk(db, filepath.Dir(base), jobs)
-	if err != nil {
-		return err
-	}
-	qp := q.Main.Queries()[0]
-	switch {
-	case mark:
-		w := bufio.NewWriterSize(os.Stdout, 1<<16)
-		if err := arb.EmitXML(db, w, func(v int64) bool { return res.Holds(qp, arb.NodeID(v)) }); err != nil {
-			return err
-		}
-		return w.Flush()
-	case ids:
-		return printIDs(res, qp)
-	default:
-		fmt.Printf("%s: %d nodes selected\n", q.Path, res.Count(qp))
-	}
-	return nil
 }
 
 func cat(args []string) error {

@@ -1,6 +1,7 @@
 package arb_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,6 +25,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := arb.NewDBSession(db)
 	defer db.Close()
 
 	// Genes whose sequence text contains "CC": the walk descends from a
@@ -43,20 +45,78 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := arb.NewEngine(prog, db.Names)
+	pq, err := sess.Prepare(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, _, err := eng.RunDisk(db, arb.DiskOpts{})
+	res, _, err := pq.Exec(context.Background(), arb.ExecOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("matching genes:", res.Count(prog.Queries()[0]))
+	fmt.Println("matching genes:", res.Count(pq.Queries()[0]))
 	// Output: matching genes: 1
 }
 
+// ExampleSession shows the session lifecycle: open one source, prepare
+// queries once, execute them repeatedly — sequentially, in parallel, and
+// with a deadline — always through the same Exec call.
+func ExampleSession() {
+	dir, err := os.MkdirTemp("", "arb-example-session")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	doc := `<lib><book><author>X</author><author>Y</author></book><book><author>Z</author></book><book/></lib>`
+	db, _, err := arb.CreateDB(filepath.Join(dir, "lib"), strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.Close()
+
+	// A session owns the open database and everything its queries
+	// share; prepared queries keep their automata warm across Execs.
+	sess, err := arb.OpenSession(filepath.Join(dir, "lib"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	// not(..) needs an auxiliary pass; Exec chains the passes through
+	// aux-mask sidecar files, entirely in secondary storage.
+	xq, err := arb.ParseXPath(`//book[not(author)]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pq, err := sess.PrepareXPath(xq)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	res, _, err := pq.Exec(ctx, arb.ExecOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("books without authors:", res.Count(pq.Queries()[0]))
+
+	// The same prepared query, now with a deadline and parallel
+	// workers: the result is identical, and a cancelled context would
+	// abort the scans promptly with ctx.Err().
+	ctx2, cancel := context.WithTimeout(ctx, 30e9)
+	defer cancel()
+	res, prof, err := pq.Exec(ctx2, arb.ExecOpts{Workers: -1, Stats: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("again:", res.Count(pq.Queries()[0]), "passes:", prof.Passes)
+	// Output:
+	// books without authors: 1
+	// again: 1 passes: 2
+}
+
 // ExampleParseXPath evaluates a Core XPath query with a negated
-// condition through multi-pass evaluation.
+// condition through multi-pass evaluation over an in-memory tree.
 func ExampleParseXPath() {
 	doc := `<lib><book><author>X</author></book><book/></lib>`
 	t, err := arb.ParseXML(strings.NewReader(doc))
@@ -67,15 +127,13 @@ func ExampleParseXPath() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sel, err := q.Eval(t)
+	pq, err := arb.NewSession(t).PrepareXPath(q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	n := 0
-	for _, ok := range sel {
-		if ok {
-			n++
-		}
+	n, err := pq.Count(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("books without authors:", n)
 	// Output: books without authors: 1

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -108,15 +109,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("generated program: %v\n%s", err, src)
 	}
-	eng, err := arb.NewEngine(prog, db.Names)
+	sess := arb.NewDBSession(db)
+	defer sess.Close()
+	pq, err := sess.Prepare(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, _, err := eng.RunDisk(db, arb.DiskOpts{})
+	res, _, err := pq.Exec(context.Background(), arb.ExecOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	got := res.Count(prog.Queries()[0])
+	got := res.Count(pq.Queries()[0])
 	fmt.Printf("schema check in two scans: %d violating elements\n", got)
 	if got != int64(violations) {
 		log.Fatalf("engine found %d violations, generator planted %d", got, violations)

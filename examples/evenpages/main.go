@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -103,21 +104,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := arb.NewEngine(prog, db.Names)
+	sess := arb.NewDBSession(db)
+	defer sess.Close()
+	pq, err := sess.Prepare(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, _, err := eng.RunDisk(db, arb.DiskOpts{})
+	res, prof, err := pq.Exec(context.Background(), arb.ExecOpts{Stats: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	q := prog.Queries()[0]
+	q := pq.Queries()[0]
 	fmt.Printf("%d of 500 publications have an even number of pages (expected %d)\n",
 		res.Count(q), wantEven)
 	if res.Count(q) != int64(wantEven) {
 		log.Fatalf("engine disagrees with the direct count")
 	}
-	st := eng.Stats()
+	st := prof.Engine
 	fmt.Printf("two scans over %d nodes; %d + %d lazy transitions\n",
 		db.N, st.BUTransitions, st.TDTransitions)
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -111,16 +112,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	eng, err := arb.NewEngine(prog, db.Names)
+	sess := arb.NewDBSession(db)
+	defer sess.Close()
+	pq, err := sess.Prepare(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, _, err := eng.RunDisk(db, arb.DiskOpts{})
+	res, prof, err := pq.Exec(context.Background(), arb.ExecOpts{Stats: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	q := prog.Queries()[0]
-	st := eng.Stats()
+	q := pq.Queries()[0]
+	st := prof.Engine
 	fmt.Printf("selected %d gene(s) in two scans: phase 1 %v (%d transitions), phase 2 %v (%d transitions)\n",
 		res.Count(q), st.Phase1Time, st.BUTransitions, st.Phase2Time, st.TDTransitions)
 	if res.Count(q) != int64(want) {

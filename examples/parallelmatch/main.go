@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -34,37 +35,41 @@ func main() {
 	}
 	q := prog.Queries()[0]
 
-	// Sequential run.
-	eng, err := arb.NewEngine(prog, t.Names())
+	// One in-memory session; each execution strategy is just an ExecOpts
+	// away. Sequential first.
+	ctx := context.Background()
+	sess := arb.NewSession(t)
+	defer sess.Close()
+	pq, err := sess.Prepare(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	seqRes, err := eng.Run(t, arb.RunOpts{})
+	seqRes, _, err := pq.Exec(ctx, arb.ExecOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	seqTime := time.Since(start)
 	fmt.Printf("sequential: %d matches in %v\n", seqRes.Count(q), seqTime)
 
-	// Parallel runs. Cold: a fresh engine computes the lazy transition
-	// tables under the shared-engine write lock, which serialises the
-	// warm-up. Warm: with the tables populated (the steady state when an
-	// engine serves many documents or queries), workers only take read
-	// locks and the balanced tree parallelises.
+	// Parallel runs. Cold: a fresh prepared query computes the lazy
+	// transition tables under the shared-engine write lock, which
+	// serialises the warm-up. Warm: with the tables populated (the
+	// steady state when a prepared query serves many executions),
+	// workers only take read locks and the balanced tree parallelises.
 	workers := runtime.GOMAXPROCS(0)
-	eng2, err := arb.NewEngine(prog, t.Names())
+	pq2, err := sess.Prepare(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start = time.Now()
-	parRes, err := arb.RunParallel(eng2, t, workers)
+	parRes, _, err := pq2.Exec(ctx, arb.ExecOpts{Workers: workers})
 	if err != nil {
 		log.Fatal(err)
 	}
 	parCold := time.Since(start)
 	start = time.Now()
-	parRes, err = arb.RunParallel(eng2, t, workers)
+	parRes, _, err = pq2.Exec(ctx, arb.ExecOpts{Workers: workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,18 +119,20 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
-	engDisk, err := arb.NewEngine(prog, db.Names)
+	diskSess := arb.NewDBSession(db)
+	defer diskSess.Close()
+	diskPQ, err := diskSess.Prepare(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start = time.Now()
-	diskSeq, _, err := engDisk.RunDisk(db, arb.DiskOpts{})
+	diskSeq, _, err := diskPQ.Exec(ctx, arb.ExecOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	diskSeqTime := time.Since(start)
 	start = time.Now()
-	diskPar, _, err := engDisk.RunDiskParallel(db, workers, arb.DiskOpts{})
+	diskPar, _, err := diskPQ.Exec(ctx, arb.ExecOpts{Workers: workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,7 +49,15 @@ func main() {
 	fmt.Printf("database: %d element nodes, %d character nodes, %d tags\n",
 		stats.ElemNodes, stats.CharNodes, stats.Tags)
 
-	// 2. A TMNF query in the Arb surface syntax: titles of publications
+	// 2. Open a session over the database: it owns what every query on
+	// it shares (the label table and, for parallel runs, the subtree
+	// index); prepared queries keep their compiled automata warm across
+	// executions.
+	sess := arb.NewDBSession(db)
+	defer sess.Close()
+	ctx := context.Background()
+
+	// A TMNF query in the Arb surface syntax: titles of publications
 	// with more than one author. Caterpillar rules mark the node a walk
 	// ends at, so the walk finds two distinct author siblings and then
 	// returns left to the title.
@@ -59,33 +68,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := arb.NewEngine(prog, db.Names)
+	pq, err := sess.Prepare(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Evaluate on disk: one backward and one forward linear scan.
-	res, _, err := eng.RunDisk(db, arb.DiskOpts{})
+	res, _, err := pq.Exec(ctx, arb.ExecOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	q := prog.Queries()[0]
+	q := pq.Queries()[0]
 	fmt.Printf("TMNF: %d title(s) of multi-author publications\n", res.Count(q))
 
-	// 3. The same query in Core XPath.
+	// 3. The same query in Core XPath, through the same Exec call.
 	xq, err := arb.ParseXPath(`//title[following-sibling::author/following-sibling::author]`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	xeng, err := arb.NewEngine(xq.Main, db.Names)
+	xpq, err := sess.PrepareXPath(xq)
 	if err != nil {
 		log.Fatal(err)
 	}
-	xres, _, err := xeng.RunDisk(db, arb.DiskOpts{})
+	xres, _, err := xpq.Exec(ctx, arb.ExecOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("XPath: %d title(s)\n", xres.Count(xq.Main.Queries()[0]))
+	fmt.Printf("XPath: %d title(s)\n", xres.Count(xpq.Queries()[0]))
 
 	// 4. Emit the document with matches marked up (the system's default
 	// output mode).

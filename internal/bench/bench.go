@@ -17,6 +17,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -341,26 +342,26 @@ func evalQuery(e *core.Engine, db *storage.DB, q tmnf.Pred, opts Fig6Opts) (int6
 			return 0, err
 		}
 		if opts.Workers > 1 {
-			res, err := parallel.Run(e, t, opts.Workers)
+			res, err := parallel.RunContext(context.Background(), e, t, opts.Workers, core.RunOpts{})
 			if err != nil {
 				return 0, err
 			}
 			return res.Count(q), nil
 		}
-		res, err := e.Run(t, core.RunOpts{})
+		res, err := e.RunContext(context.Background(), t, core.RunOpts{})
 		if err != nil {
 			return 0, err
 		}
 		return res.Count(q), nil
 	}
 	if opts.Workers > 1 {
-		res, _, err := e.RunDiskParallel(db, opts.Workers, core.DiskOpts{})
+		res, _, err := e.RunDiskParallelContext(context.Background(), db, opts.Workers, core.DiskOpts{})
 		if err != nil {
 			return 0, err
 		}
 		return res.Count(q), nil
 	}
-	res, _, err := e.RunDisk(db, core.DiskOpts{})
+	res, _, err := e.RunDiskContext(context.Background(), db, core.DiskOpts{})
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -77,13 +78,13 @@ func Speedup(th Thread, workerCounts []int, opts SpeedupOpts) ([]SpeedupRow, err
 			start := time.Now()
 			var selected int64
 			if workers <= 1 {
-				res, _, err := e.RunDisk(db, core.DiskOpts{})
+				res, _, err := e.RunDiskContext(context.Background(), db, core.DiskOpts{})
 				if err != nil {
 					return nil, err
 				}
 				selected = res.Count(prog.Queries()[0])
 			} else {
-				res, _, err := e.RunDiskParallel(db, workers, core.DiskOpts{})
+				res, _, err := e.RunDiskParallelContext(context.Background(), db, workers, core.DiskOpts{})
 				if err != nil {
 					return nil, err
 				}

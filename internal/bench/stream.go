@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -68,7 +69,7 @@ func StreamComparison(base string, sizes []int, queries int) ([]StreamComparison
 			}
 			e := core.NewEngine(c, t.Names())
 			start = time.Now()
-			res, err := e.Run(t, core.RunOpts{})
+			res, err := e.RunContext(context.Background(), t, core.RunOpts{})
 			if err != nil {
 				return nil, err
 			}

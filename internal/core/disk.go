@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -61,18 +62,38 @@ type DiskStats struct {
 	StateBytes int64
 }
 
+// Merge folds another run's disk profile into this one (e.g. the passes
+// of one multi-pass execution): scan costs merge per phase, temporary
+// state bytes add up.
+func (d *DiskStats) Merge(o DiskStats) {
+	d.Phase1.Merge(o.Phase1)
+	d.Phase2.Merge(o.Phase2)
+	d.StateBytes += o.StateBytes
+}
+
 // stateIDSize is the on-disk size of one streamed state id.
 const stateIDSize = 4
 
-// RunDisk evaluates the engine's program over a .arb database in secondary
-// storage using Algorithm 4.6 with exactly two linear scans of the data
-// (Proposition 5.1): phase 1 is one backward scan of the .arb file that
-// streams the bottom-up state of every node to a temporary file; phase 2
-// is one forward scan of the .arb file that reads the state file backwards
-// — yielding the phase-1 states in preorder — and computes the true
-// predicates per node. Main memory holds only the two automata (computed
-// lazily) and a stack bounded by the depth of the XML document.
+// RunDisk evaluates the engine's program over a .arb database.
+//
+// Deprecated: use RunDiskContext (or the arb package's
+// Session/PreparedQuery API) so long scans can be cancelled.
 func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, error) {
+	return e.RunDiskContext(context.Background(), db, opts)
+}
+
+// RunDiskContext evaluates the engine's program over a .arb database in
+// secondary storage using Algorithm 4.6 with exactly two linear scans of
+// the data (Proposition 5.1): phase 1 is one backward scan of the .arb
+// file that streams the bottom-up state of every node to a temporary
+// file; phase 2 is one forward scan of the .arb file that reads the state
+// file backwards — yielding the phase-1 states in preorder — and computes
+// the true predicates per node. Main memory holds only the two automata
+// (computed lazily) and a stack bounded by the depth of the XML document.
+// Cancelling ctx aborts the scan in progress with ctx.Err(); a failed or
+// cancelled run removes the temporary state file and any partially
+// written AuxOut sidecar.
+func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOpts) (*Result, *DiskStats, error) {
 	if db.N == 0 {
 		return nil, nil, errors.New("core: empty database")
 	}
@@ -81,7 +102,7 @@ func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, er
 		// database with a different name table would silently misresolve.
 		return nil, nil, errors.New("core: engine name table does not match database")
 	}
-	res := newResult(e.c.Prog, db.N)
+	res := NewResult(e.c.Prog, db.N)
 	ds := &DiskStats{StateBytes: db.N * stateIDSize}
 	e.stats.Nodes += db.N
 
@@ -126,7 +147,7 @@ func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, er
 	}()
 	sw := bufio.NewWriterSize(stateF, 1<<16)
 	var werr error
-	rootState, scan1, err := storage.FoldBottomUp(db, func(first, second *StateID, rec storage.Record, v int64) StateID {
+	rootState, scan1, err := storage.FoldBottomUp(ctx, db, func(first, second *StateID, rec storage.Record, v int64) StateID {
 		left, right := NoState, NoState
 		if first != nil {
 			left = *first
@@ -188,7 +209,14 @@ func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, er
 		if err != nil {
 			return nil, nil, err
 		}
-		defer auxOutF.Close()
+		defer func() {
+			auxOutF.Close()
+			if !succeeded {
+				// A failed or cancelled run must not leave a partial
+				// sidecar behind for a later pass to trust.
+				os.Remove(opts.AuxOut)
+			}
+		}()
 		auxOut = bufio.NewWriterSize(auxOutF, 1<<16)
 	}
 	outBit := uint16(1) << opts.AuxOutBit
@@ -198,7 +226,7 @@ func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, er
 	if opts.MarkTo != nil {
 		emitter = storage.NewXMLEmitter(opts.MarkTo, db.Names)
 	}
-	scan2, err := storage.ScanTopDown(db, func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
+	scan2, err := storage.ScanTopDown(ctx, db, func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
 		b, err := br.Next()
 		if err != nil {
 			return NoState, fmt.Errorf("core: reading state file: %w", err)
@@ -218,7 +246,7 @@ func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, er
 		}
 		mask := e.queryMask(td)
 		if mask != 0 {
-			res.markMask(mask, v)
+			res.MarkMask(mask, v)
 		}
 		if emitter != nil {
 			if err := emitter.Node(v, rec, mask&markBit != 0); err != nil {

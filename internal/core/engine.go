@@ -41,6 +41,31 @@ type Stats struct {
 	Nodes         int64
 }
 
+// Add accumulates o into s (summing every column).
+func (s *Stats) Add(o Stats) {
+	s.Phase1Time += o.Phase1Time
+	s.Phase2Time += o.Phase2Time
+	s.BUTransitions += o.BUTransitions
+	s.TDTransitions += o.TDTransitions
+	s.BUStates += o.BUStates
+	s.TDStates += o.TDStates
+	s.Nodes += o.Nodes
+}
+
+// Sub returns the column-wise difference s - o; with o a snapshot taken
+// before a run, the result is the work of that run alone.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Phase1Time:    s.Phase1Time - o.Phase1Time,
+		Phase2Time:    s.Phase2Time - o.Phase2Time,
+		BUTransitions: s.BUTransitions - o.BUTransitions,
+		TDTransitions: s.TDTransitions - o.TDTransitions,
+		BUStates:      s.BUStates - o.BUStates,
+		TDStates:      s.TDStates - o.TDStates,
+		Nodes:         s.Nodes - o.Nodes,
+	}
+}
+
 // Engine evaluates one compiled TMNF program over any number of trees.
 // As in the Arb system, it maintains four hash tables: states and
 // transitions for each of the two automata; transition functions are

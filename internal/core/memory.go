@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
 	"arb/internal/edb"
+	"arb/internal/storage"
 	"arb/internal/tree"
 )
 
@@ -22,25 +24,38 @@ type RunOpts struct {
 	Aux func(v tree.NodeID) uint16
 }
 
-// Run evaluates the engine's program over an in-memory tree using
+// Run evaluates the engine's program over an in-memory tree.
+//
+// Deprecated: use RunContext (or the arb package's Session/PreparedQuery
+// API) so long evaluations can be cancelled.
+func (e *Engine) Run(t *tree.Tree, opts RunOpts) (*Result, error) {
+	return e.RunContext(context.Background(), t, opts)
+}
+
+// RunContext evaluates the engine's program over an in-memory tree using
 // Algorithm 4.6: one bottom-up pass computing the run ρA of automaton A
 // (reverse preorder — children of a node always follow it in preorder, so
 // a single descending index loop is a bottom-up traversal), then one
 // top-down pass computing the run ρB of automaton B (ascending index
 // loop). The per-node work is two hash-table lookups once the lazy
-// transition tables are warm.
-func (e *Engine) Run(t *tree.Tree, opts RunOpts) (*Result, error) {
+// transition tables are warm. Cancelling ctx aborts either pass promptly
+// with ctx.Err().
+func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*Result, error) {
 	n := t.Len()
 	if n == 0 {
 		return nil, errors.New("core: empty tree")
 	}
-	res := newResult(e.c.Prog, int64(n))
+	cancel := storage.NewCanceller(ctx)
+	res := NewResult(e.c.Prog, int64(n))
 	e.stats.Nodes += int64(n)
 
 	// Phase 1: bottom-up run of A.
 	start := time.Now()
 	bu := make([]StateID, n)
 	for v := n - 1; v >= 0; v-- {
+		if err := cancel.Step(); err != nil {
+			return nil, err
+		}
 		left, right := NoState, NoState
 		if c := t.First(tree.NodeID(v)); c != tree.None {
 			left = bu[c]
@@ -61,8 +76,11 @@ func (e *Engine) Run(t *tree.Tree, opts RunOpts) (*Result, error) {
 	td := make([]StateID, n)
 	td[0] = e.RootTrueSet(bu[0])
 	for v := 0; v < n; v++ {
+		if err := cancel.Step(); err != nil {
+			return nil, err
+		}
 		if mask := e.queryMask(td[v]); mask != 0 {
-			res.markMask(mask, int64(v))
+			res.MarkMask(mask, int64(v))
 		}
 		if c := t.First(tree.NodeID(v)); c != tree.None {
 			td[c] = e.TruePreds(td[v], bu[c], 1)

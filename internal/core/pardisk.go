@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -54,12 +55,22 @@ var (
 // workers <= 0 uses GOMAXPROCS. Runs that stream marked XML (MarkTo) are
 // inherently order-dependent and fall back to the sequential path, as do
 // databases too small to be worth coordinating.
+//
+// Deprecated: use RunDiskParallelContext (or the arb package's
+// Session/PreparedQuery API) so long scans can be cancelled.
 func (e *Engine) RunDiskParallel(db *storage.DB, workers int, opts DiskOpts) (*Result, *DiskStats, error) {
+	return e.RunDiskParallelContext(context.Background(), db, workers, opts)
+}
+
+// RunDiskParallelContext is the context-aware parallel disk evaluation;
+// cancelling ctx aborts all workers' scans with ctx.Err() and removes the
+// temporary state file and any partially written AuxOut sidecar.
+func (e *Engine) RunDiskParallelContext(ctx context.Context, db *storage.DB, workers int, opts DiskOpts) (*Result, *DiskStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || db.N < parMinNodes || opts.MarkTo != nil {
-		return e.RunDisk(db, opts)
+		return e.RunDiskContext(ctx, db, opts)
 	}
 	if db.N == 0 {
 		return nil, nil, errors.New("core: empty database")
@@ -74,9 +85,9 @@ func (e *Engine) RunDiskParallel(db *storage.DB, workers int, opts DiskOpts) (*R
 	target := db.N / (int64(workers) * parTasksPerWorker)
 	tasks := idx.Cut(target, parMinTask)
 	if len(tasks) == 0 {
-		return e.RunDisk(db, opts)
+		return e.RunDiskContext(ctx, db, opts)
 	}
-	res, ds, err := e.runDiskChunked(db, workers, opts, tasks)
+	res, ds, err := e.runDiskChunked(ctx, db, workers, opts, tasks)
 	if err != nil && errors.Is(err, storage.ErrBadExtent) {
 		// A stale or foreign .idx sidecar (e.g. the .arb was replaced
 		// out-of-band by one of equal size) cut extents that don't match
@@ -88,22 +99,22 @@ func (e *Engine) RunDiskParallel(db *storage.DB, workers int, opts DiskOpts) (*R
 		}
 		tasks = idx.Cut(target, parMinTask)
 		if len(tasks) == 0 {
-			return e.RunDisk(db, opts)
+			return e.RunDiskContext(ctx, db, opts)
 		}
-		return e.runDiskChunked(db, workers, opts, tasks)
+		return e.runDiskChunked(ctx, db, workers, opts, tasks)
 	}
 	return res, ds, err
 }
 
 // runDiskChunked is one attempt at chunk-parallel evaluation over a
 // frontier cut; RunDiskParallel wraps it with the stale-index retry.
-func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, tasks []storage.Extent) (*Result, *DiskStats, error) {
+func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int, opts DiskOpts, tasks []storage.Extent) (*Result, *DiskStats, error) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
 	gaps := gapsOf(db.N, tasks)
 
-	res := newResult(e.c.Prog, db.N)
+	res := NewResult(e.c.Prog, db.N)
 	ds := &DiskStats{StateBytes: db.N * stateIDSize}
 	e.stats.Nodes += db.N
 	s := e.Share()
@@ -151,7 +162,7 @@ func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, task
 	rootStates := make([]StateID, len(tasks))
 	var statsMu sync.Mutex
 	var phase1 storage.ScanStats
-	err = RunPool(workers, len(tasks), func(worker, i int) error {
+	err = RunPool(ctx, workers, len(tasks), func(worker, i int) error {
 		x := tasks[i]
 		cache := caches[worker]
 		sw := bufio.NewWriterSize(io.NewOffsetWriter(stateF, (db.N-x.End())*stateIDSize), 1<<16)
@@ -164,7 +175,7 @@ func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, task
 			}
 		}
 		var werr error
-		rootState, st, err := storage.FoldBottomUpRange(db, x, func(first, second *StateID, rec storage.Record, v int64) StateID {
+		rootState, st, err := storage.FoldBottomUpRange(ctx, db, x, func(first, second *StateID, rec storage.Record, v int64) StateID {
 			id := buStep(cache, first, second, rec, v, auxBack, &werr)
 			var buf [stateIDSize]byte
 			binary.BigEndian.PutUint32(buf[:], uint32(id))
@@ -201,7 +212,7 @@ func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, task
 	var auxBack *storage.BackwardReader
 	ti := len(tasks) - 1
 	var werr error
-	rootState, scan1, err := storage.FoldBottomUpSkipping(db, tasks,
+	rootState, scan1, err := storage.FoldBottomUpSkipping(ctx, db, tasks,
 		func(x storage.Extent) (StateID, error) {
 			st := rootStates[ti]
 			ti--
@@ -255,7 +266,14 @@ func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, task
 		if err != nil {
 			return nil, nil, err
 		}
-		defer auxOutF.Close()
+		defer func() {
+			auxOutF.Close()
+			if !succeeded {
+				// A failed or cancelled run must not leave a partial
+				// sidecar behind for a later pass to trust.
+				os.Remove(opts.AuxOut)
+			}
+		}()
 	}
 	outBit := uint16(1) << opts.AuxOutBit
 	queryBit := uint64(1) << uint(opts.AuxOutQuery)
@@ -285,7 +303,7 @@ func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, task
 		return nil
 	}
 	nextGapNode := int64(-1) // first unvisited node of the current gap
-	scan2, err := storage.ScanTopDownSkipping(db, tasks,
+	scan2, err := storage.ScanTopDownSkipping(ctx, db, tasks,
 		func(x storage.Extent, parent *StateID, k int) error {
 			bu := rootStates[ti]
 			var td StateID
@@ -328,7 +346,7 @@ func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, task
 			mask := leaderCache.QueryMask(td)
 			if mask != 0 {
 				// Workers are not running yet: marking needs no lock.
-				res.markMask(mask, v)
+				res.MarkMask(mask, v)
 			}
 			if auxOutF != nil {
 				var cur uint16
@@ -356,7 +374,7 @@ func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, task
 	// reading each chunk's state-file slice backwards and accumulating
 	// marks in private per-chunk bitsets merged under the result's lock.
 	nq := len(res.queries)
-	err = RunPool(workers, len(tasks), func(worker, i int) error {
+	err = RunPool(ctx, workers, len(tasks), func(worker, i int) error {
 		x := tasks[i]
 		cache := caches[worker]
 		stateBack, err := storage.NewBackwardSectionReader(stateF, (db.N-x.End())*stateIDSize, (db.N-x.Root)*stateIDSize, stateIDSize)
@@ -377,7 +395,7 @@ func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, task
 		for qi := range local {
 			local[qi] = make([]uint64, words)
 		}
-		st, err := storage.ScanTopDownRange(db, x, func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
+		st, err := storage.ScanTopDownRange(ctx, db, x, func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
 			b, err := stateBack.Next()
 			if err != nil {
 				return NoState, fmt.Errorf("core: reading state file: %w", err)
@@ -430,7 +448,7 @@ func (e *Engine) runDiskChunked(db *storage.DB, workers int, opts DiskOpts, task
 			}
 		}
 		for qi := range local {
-			res.mergeWords(qi, w0, local[qi])
+			res.MergeWords(qi, w0, local[qi])
 		}
 		statsMu.Lock()
 		if st.MaxStack > scan2.MaxStack {
@@ -501,9 +519,11 @@ func gapsOf(n int64, tasks []storage.Extent) []storage.Extent {
 }
 
 // RunPool fans n task indices out over a worker pool, stopping at the
-// first error. run receives the worker id so callers can give each
-// goroutine private caches; it is shared with internal/parallel.
-func RunPool(workers, n int, run func(worker, i int) error) error {
+// first error or when ctx is cancelled (in which case it reports
+// ctx.Err() unless a task failed first). run receives the worker id so
+// callers can give each goroutine private caches; it is shared with
+// internal/parallel.
+func RunPool(ctx context.Context, workers, n int, run func(worker, i int) error) error {
 	if workers > n {
 		workers = n
 	}
@@ -519,7 +539,7 @@ func RunPool(workers, n int, run func(worker, i int) error) error {
 				mu.Lock()
 				stop := firstErr != nil
 				mu.Unlock()
-				if stop {
+				if stop || ctx.Err() != nil {
 					continue
 				}
 				if err := run(worker, i); err != nil {
@@ -537,6 +557,9 @@ func RunPool(workers, n int, run func(worker, i int) error) error {
 	}
 	close(ch)
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
 }
 

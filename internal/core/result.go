@@ -20,7 +20,7 @@ type Result struct {
 	// counts[qi] is the number of selected nodes, maintained eagerly so
 	// huge runs can report counts without rescanning bitsets.
 	counts []int64
-	// mu serialises concurrent mergeWords calls from parallel workers;
+	// mu serialises concurrent MergeWords calls from parallel workers;
 	// single-threaded marking does not take it.
 	mu sync.Mutex
 
@@ -29,7 +29,10 @@ type Result struct {
 	TDStateOf []StateID
 }
 
-func newResult(prog *tmnf.Program, n int64) *Result {
+// NewResult returns an empty result for evaluating prog over n nodes,
+// ready for marking. Exposed so sibling evaluators (internal/parallel)
+// can produce the same unified result type as the engine itself.
+func NewResult(prog *tmnf.Program, n int64) *Result {
 	qs := prog.Queries()
 	r := &Result{
 		prog:    prog,
@@ -54,8 +57,10 @@ func (r *Result) mark(qi int, v int64) {
 	}
 }
 
-// markMask records all queries in the bitmask as selecting node v.
-func (r *Result) markMask(mask uint64, v int64) {
+// MarkMask records all queries in the bitmask (bit i = query i) as
+// selecting node v. Not safe for concurrent use; parallel markers should
+// accumulate private bitsets and MergeWords them.
+func (r *Result) MarkMask(mask uint64, v int64) {
 	for qi := 0; mask != 0; qi++ {
 		if mask&1 != 0 {
 			r.mark(qi, v)
@@ -64,11 +69,11 @@ func (r *Result) markMask(mask uint64, v int64) {
 	}
 }
 
-// mergeWords ORs a bitset fragment for query qi — words starting at word
+// MergeWords ORs a bitset fragment for query qi — words starting at word
 // index w0 — into the result under the result's lock, keeping counts in
 // step. Parallel workers accumulate marks into private per-chunk bitsets
 // and merge them here, so chunk boundaries sharing a word never race.
-func (r *Result) mergeWords(qi int, w0 int64, words []uint64) {
+func (r *Result) MergeWords(qi int, w0 int64, words []uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	dst := r.sel[qi][w0 : w0+int64(len(words))]

@@ -7,7 +7,7 @@
 // The binary-tree preorder layout makes the decomposition trivial — every
 // subtree is a contiguous index range, expressed as storage.Extent so the
 // same frontier vocabulary covers in-memory node ranges and on-disk byte
-// ranges (core.Engine.RunDiskParallel is the secondary-storage
+// ranges (core.Engine.RunDiskParallelContext is the secondary-storage
 // counterpart, cutting its frontier from the database's subtree index).
 // The two automata are shared through core.SharedEngine with a private
 // core.TxCache per worker, so states computed by one worker are reused by
@@ -20,49 +20,21 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"runtime"
 
 	"arb/internal/core"
 	"arb/internal/edb"
 	"arb/internal/storage"
-	"arb/internal/tmnf"
 	"arb/internal/tree"
 )
 
-// Result holds the selected nodes per query predicate.
-type Result struct {
-	queries []tmnf.Pred
-	sel     [][]bool
-}
-
-// Queries returns the program's query predicates.
-func (r *Result) Queries() []tmnf.Pred { return r.queries }
-
-// Holds reports whether query predicate q selected node v.
-func (r *Result) Holds(q tmnf.Pred, v tree.NodeID) bool {
-	for i, p := range r.queries {
-		if p == q {
-			return r.sel[i][v]
-		}
-	}
-	return false
-}
-
-// Count returns the number of nodes selected by q.
-func (r *Result) Count(q tmnf.Pred) int64 {
-	var n int64
-	for i, p := range r.queries {
-		if p == q {
-			for _, ok := range r.sel[i] {
-				if ok {
-					n++
-				}
-			}
-		}
-	}
-	return n
-}
+// Result is the unified result type shared with the sequential and disk
+// evaluators; the former package-private result is retired.
+//
+// Deprecated: use core.Result (arb.Result) directly.
+type Result = core.Result
 
 // SubtreeSizes returns, for every node of t, the size of its binary
 // subtree — the length of its contiguous preorder extent.
@@ -111,24 +83,37 @@ func Frontier(t *tree.Tree, size []int32, target int32) []storage.Extent {
 }
 
 // Run evaluates the engine's compiled program over t using the given
-// number of workers (0 = GOMAXPROCS). The result is identical to
-// (*core.Engine).Run — the decomposition only changes the evaluation
-// order within each phase, never the transition functions.
+// number of workers (0 = GOMAXPROCS).
+//
+// Deprecated: use RunContext (or the arb package's Session/PreparedQuery
+// API) so long evaluations can be cancelled.
 func Run(e *core.Engine, t *tree.Tree, workers int) (*Result, error) {
+	return RunContext(context.Background(), e, t, workers, core.RunOpts{})
+}
+
+// RunContext evaluates the engine's compiled program over t using the
+// given number of workers (0 = GOMAXPROCS). The result is identical to
+// (*core.Engine).RunContext with the same options — the decomposition
+// only changes the evaluation order within each phase, never the
+// transition functions. opts.Aux supplies auxiliary predicate masks (the
+// multi-pass XPath machinery); opts.KeepStates records the per-node
+// automaton states in the result. Cancelling ctx aborts all workers
+// promptly with ctx.Err().
+func RunContext(ctx context.Context, e *core.Engine, t *tree.Tree, workers int, opts core.RunOpts) (*core.Result, error) {
 	n := t.Len()
 	if n == 0 {
 		return nil, errors.New("parallel: empty tree")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := e.Share()
 	prog := e.Compiled().Prog
-	res := &Result{queries: prog.Queries()}
-	res.sel = make([][]bool, len(res.queries))
-	for i := range res.sel {
-		res.sel[i] = make([]bool, n)
-	}
+	res := core.NewResult(prog, int64(n))
+	nq := len(prog.Queries())
 
 	size := SubtreeSizes(t)
 
@@ -173,34 +158,45 @@ func Run(e *core.Engine, t *tree.Tree, workers int) (*Result, error) {
 
 	// Phase 1: workers fold their subtrees bottom-up; ranges are
 	// disjoint, so bu writes need no synchronisation.
-	runTasks(poolWorkers, tasks, func(worker int, x storage.Extent) {
+	err := runTasks(ctx, poolWorkers, tasks, func(worker int, x storage.Extent) error {
 		cache := caches[worker]
+		cancel := storage.NewCanceller(ctx)
 		for v := tree.NodeID(x.End()) - 1; v >= tree.NodeID(x.Root); v-- {
-			bu[v] = buStep(cache, t, bu, v)
+			if err := cancel.Step(); err != nil {
+				return err
+			}
+			bu[v] = buStep(cache, t, bu, v, opts.Aux)
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Then the top part sequentially (its children are either top nodes
 	// or frontier roots, all computed).
 	topCache := s.NewCache()
+	cancel := storage.NewCanceller(ctx)
 	for i := len(top) - 1; i >= 0; i-- {
+		if err := cancel.Step(); err != nil {
+			return nil, err
+		}
 		v := top[i]
-		bu[v] = buStep(topCache, t, bu, v)
+		bu[v] = buStep(topCache, t, bu, v, opts.Aux)
 	}
 
-	// Phase 2: top part first (assigning the top-down states of frontier
-	// roots), then workers descend into their subtrees.
-	mark := func(wc *core.TxCache, v tree.NodeID) {
-		if mask := wc.QueryMask(td[v]); mask != 0 {
-			for i := range res.queries {
-				if mask&(1<<uint(i)) != 0 {
-					res.sel[i][v] = true
-				}
-			}
-		}
-	}
+	// Phase 2: top part first — marking directly on the result, which is
+	// safe while no workers run — assigning the top-down states of
+	// frontier roots; then workers descend into their subtrees,
+	// accumulating marks in private per-task bitsets merged under the
+	// result's lock (task boundaries may share a bitset word).
 	td[0] = s.RootTrueSet(bu[0])
 	for _, v := range top {
-		mark(topCache, v)
+		if err := cancel.Step(); err != nil {
+			return nil, err
+		}
+		if mask := topCache.QueryMask(td[v]); mask != 0 {
+			res.MarkMask(mask, int64(v))
+		}
 		if c := t.First(v); c != tree.None {
 			td[c] = topCache.TruePreds(td[v], bu[c], 1)
 		}
@@ -208,10 +204,27 @@ func Run(e *core.Engine, t *tree.Tree, workers int) (*Result, error) {
 			td[c] = topCache.TruePreds(td[v], bu[c], 2)
 		}
 	}
-	runTasks(poolWorkers, tasks, func(worker int, x storage.Extent) {
+	err = runTasks(ctx, poolWorkers, tasks, func(worker int, x storage.Extent) error {
 		cache := caches[worker]
+		w0 := x.Root / 64
+		words := (x.End()-1)/64 - w0 + 1
+		local := make([][]uint64, nq)
+		for qi := range local {
+			local[qi] = make([]uint64, words)
+		}
+		cancel := storage.NewCanceller(ctx)
 		for v := tree.NodeID(x.Root); v < tree.NodeID(x.End()); v++ {
-			mark(cache, v)
+			if err := cancel.Step(); err != nil {
+				return err
+			}
+			if mask := cache.QueryMask(td[v]); mask != 0 {
+				for m, qi := mask, 0; m != 0; qi++ {
+					if m&1 != 0 {
+						local[qi][int64(v)/64-w0] |= 1 << uint(v%64)
+					}
+					m >>= 1
+				}
+			}
 			if c := t.First(v); c != tree.None {
 				td[c] = cache.TruePreds(td[v], bu[c], 1)
 			}
@@ -219,12 +232,23 @@ func Run(e *core.Engine, t *tree.Tree, workers int) (*Result, error) {
 				td[c] = cache.TruePreds(td[v], bu[c], 2)
 			}
 		}
+		for qi := range local {
+			res.MergeWords(qi, w0, local[qi])
+		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.KeepStates {
+		res.BUStateOf = bu
+		res.TDStateOf = td
+	}
 	return res, nil
 }
 
 // buStep computes one bottom-up transition through the worker's cache.
-func buStep(cache *core.TxCache, t *tree.Tree, bu []core.StateID, v tree.NodeID) core.StateID {
+func buStep(cache *core.TxCache, t *tree.Tree, bu []core.StateID, v tree.NodeID, aux func(tree.NodeID) uint16) core.StateID {
 	left, right := core.NoState, core.NoState
 	if c := t.First(v); c != tree.None {
 		left = bu[c]
@@ -232,17 +256,20 @@ func buStep(cache *core.TxCache, t *tree.Tree, bu []core.StateID, v tree.NodeID)
 	if c := t.Second(v); c != tree.None {
 		right = bu[c]
 	}
-	return cache.ReachableStates(left, right, edb.SigOf(t, v))
+	sig := edb.SigOf(t, v)
+	if aux != nil {
+		sig.Extra = aux(v)
+	}
+	return cache.ReachableStates(left, right, sig)
 }
 
 // runTasks fans the extents out over core.RunPool's worker pool; run
 // receives the worker id so each goroutine can use its private cache.
-func runTasks(workers int, tasks []storage.Extent, run func(worker int, x storage.Extent)) {
+func runTasks(ctx context.Context, workers int, tasks []storage.Extent, run func(worker int, x storage.Extent) error) error {
 	if len(tasks) == 0 {
-		return
-	}
-	core.RunPool(workers, len(tasks), func(worker, i int) error {
-		run(worker, tasks[i])
 		return nil
+	}
+	return core.RunPool(ctx, workers, len(tasks), func(worker, i int) error {
+		return run(worker, tasks[i])
 	})
 }

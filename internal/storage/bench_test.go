@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -44,7 +45,7 @@ func BenchmarkScanTopDown(b *testing.B) {
 	db := benchDB(b)
 	b.SetBytes(db.N * NodeSize)
 	for i := 0; i < b.N; i++ {
-		if _, err := ScanTopDown(db, func(v int64, rec Record, parent *struct{}, k int) (struct{}, error) {
+		if _, err := ScanTopDown(context.Background(), db, func(v int64, rec Record, parent *struct{}, k int) (struct{}, error) {
 			return struct{}{}, nil
 		}); err != nil {
 			b.Fatal(err)
@@ -58,7 +59,7 @@ func BenchmarkFoldBottomUp(b *testing.B) {
 	db := benchDB(b)
 	b.SetBytes(db.N * NodeSize)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := FoldBottomUp(db, func(first, second *struct{}, rec Record, v int64) struct{} {
+		if _, _, err := FoldBottomUp(context.Background(), db, func(first, second *struct{}, rec Record, v int64) struct{} {
 			return struct{}{}
 		}); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"arb/internal/testutil"
+)
+
+// TestScanCancel checks the scan primitives honour context cancellation:
+// an already-cancelled context aborts every scan shape with ctx.Err()
+// before any node is visited.
+func TestScanCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := testutil.RandomTree(rng, 500)
+	db, err := CreateFromTree(filepath.Join(t.TempDir(), "t"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	visited := 0
+	_, _, err = FoldBottomUp(ctx, db, func(first, second *struct{}, rec Record, v int64) struct{} {
+		visited++
+		return struct{}{}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("FoldBottomUp: error %v, want context.Canceled", err)
+	}
+	_, err = ScanTopDown(ctx, db, func(v int64, rec Record, parent *struct{}, k int) (struct{}, error) {
+		visited++
+		return struct{}{}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ScanTopDown: error %v, want context.Canceled", err)
+	}
+	x := Extent{Root: 0, Size: db.N}
+	_, _, err = FoldBottomUpRange(ctx, db, x, func(first, second *struct{}, rec Record, v int64) struct{} {
+		visited++
+		return struct{}{}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("FoldBottomUpRange: error %v, want context.Canceled", err)
+	}
+	_, err = ScanTopDownRange(ctx, db, x, func(v int64, rec Record, parent *struct{}, k int) (struct{}, error) {
+		visited++
+		return struct{}{}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ScanTopDownRange: error %v, want context.Canceled", err)
+	}
+	if visited != 0 {
+		t.Errorf("cancelled scans visited %d nodes, want 0", visited)
+	}
+
+	// FoldBottomUpRange must not dress a cancellation up as a bad
+	// extent: callers retry ErrBadExtent with a rebuilt index, which
+	// would turn one cancelled scan into two. Cover plain cancellation
+	// and WithCancelCause (whose Cause differs from ctx.Err()).
+	for name, cctx := range map[string]context.Context{
+		"canceled": ctx,
+		"cause": func() context.Context {
+			c, cancel := context.WithCancelCause(context.Background())
+			cancel(errors.New("operator abort"))
+			return c
+		}(),
+	} {
+		_, _, err := FoldBottomUpRange(cctx, db, x, func(first, second *struct{}, rec Record, v int64) struct{} {
+			return struct{}{}
+		})
+		if errors.Is(err, ErrBadExtent) {
+			t.Errorf("%s: FoldBottomUpRange reports ErrBadExtent on cancellation: %v", name, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error %v, want context.Canceled", name, err)
+		}
+	}
+}

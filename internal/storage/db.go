@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -81,11 +82,52 @@ func (s *ScanStats) Merge(o ScanStats) {
 	}
 }
 
+// cancelEvery is the node granularity of the context-cancellation checks
+// inside the scan loops: coarse enough that the check is invisible in the
+// per-node cost, fine enough that scans of huge databases abort promptly.
+const cancelEvery = 8192
+
+// Canceller polls ctx.Err() once per cancelEvery steps (plus once up
+// front, so an already-cancelled context never starts a loop). It is the
+// one cancellation-granularity policy every per-node evaluation loop in
+// the system shares — the scans here, the in-memory engine and parallel
+// evaluator, and the XPath mark emitter.
+type Canceller struct {
+	ctx  context.Context
+	left int
+}
+
+// NewCanceller returns a canceller for ctx; nil means Background.
+func NewCanceller(ctx context.Context) Canceller {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return Canceller{ctx: ctx}
+}
+
+// Step counts one loop iteration and returns ctx.Err() at every check
+// point (nil otherwise).
+func (c *Canceller) Step() error {
+	c.left--
+	if c.left > 0 {
+		return nil
+	}
+	c.left = cancelEvery
+	return c.ctx.Err()
+}
+
+// isCancel reports whether err is a context cancellation (ctx.Err() only
+// ever returns these two sentinels, whatever cause the context carries).
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // backFold is the shared inner loop of the backward (bottom-up) scans: a
 // stack of subtree results driven by one record at a time, in reverse
 // preorder.
 type backFold[S any] struct {
 	combine func(first, second *S, rec Record, v int64) S
+	cancel  Canceller
 	stack   []S
 	stats   ScanStats
 }
@@ -126,6 +168,9 @@ func (f *backFold[S]) foldRegion(db *DB, lo, hi int64) error {
 		return err
 	}
 	for v := hi - 1; v >= lo; v-- {
+		if err := f.cancel.Step(); err != nil {
+			return err
+		}
 		b, err := br.Next()
 		if err != nil {
 			return fmt.Errorf("storage: backward scan: %w", err)
@@ -142,9 +187,10 @@ func (f *backFold[S]) foldRegion(db *DB, lo, hi int64) error {
 // parent results. combine is called exactly once per node, in reverse
 // preorder, with the results of the node's first and second child (nil
 // for absent children) and the node's record and preorder index. It
-// returns the root's result.
-func FoldBottomUp[S any](db *DB, combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
-	return FoldBottomUpSkipping(db, nil, nil, combine)
+// returns the root's result. Cancelling ctx makes the scan return
+// ctx.Err() promptly (checked every few thousand nodes).
+func FoldBottomUp[S any](ctx context.Context, db *DB, combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
+	return FoldBottomUpSkipping(ctx, db, nil, nil, combine)
 }
 
 // FoldBottomUpSkipping is FoldBottomUp with holes: the subtree extents in
@@ -153,9 +199,9 @@ func FoldBottomUp[S any](db *DB, combine func(first, second *S, rec Record, v in
 // in for the whole subtree, exactly as if combine had folded it. This is
 // the leader scan of parallel evaluation: workers fold the extents, the
 // leader folds the glue, and in aggregate every byte is read once.
-func FoldBottomUpSkipping[S any](db *DB, skip []Extent, subtree func(Extent) (S, error), combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
+func FoldBottomUpSkipping[S any](ctx context.Context, db *DB, skip []Extent, subtree func(Extent) (S, error), combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
 	var zero S
-	f := backFold[S]{combine: combine}
+	f := backFold[S]{combine: combine, cancel: NewCanceller(ctx)}
 	cur := db.N
 	for i := len(skip) - 1; i >= -1; i-- {
 		lo := int64(0)
@@ -191,13 +237,18 @@ func FoldBottomUpSkipping[S any](db *DB, skip []Extent, subtree func(Extent) (S,
 // per node of the extent, in reverse preorder; the subtree root's result
 // is returned. The extent must be a subtree extent (e.g. from
 // SubtreeIndex.Cut) — anything else fails the structure check.
-func FoldBottomUpRange[S any](db *DB, x Extent, combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
+func FoldBottomUpRange[S any](ctx context.Context, db *DB, x Extent, combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
 	var zero S
-	f := backFold[S]{combine: combine}
+	f := backFold[S]{combine: combine, cancel: NewCanceller(ctx)}
 	if x.Root < 0 || x.Size <= 0 || x.End() > db.N {
 		return zero, f.stats, fmt.Errorf("%w: [%d,%d) out of range", ErrBadExtent, x.Root, x.End())
 	}
 	if err := f.foldRegion(db, x.Root, x.End()); err != nil {
+		if isCancel(err) {
+			// Not a structural problem: dressing a cancellation up as
+			// ErrBadExtent would send callers into an index rebuild.
+			return zero, f.stats, err
+		}
 		return zero, f.stats, fmt.Errorf("%w: %v", ErrBadExtent, err)
 	}
 	if len(f.stack) != 1 {
@@ -272,8 +323,9 @@ func (db *DB) sectionReader(lo, hi int64) *bufio.Reader {
 // parent is the value visit returned for the node's parent and k tells
 // whether the node is the first (1) or second (2) child. The stack holds
 // one entry per ancestor whose second subtree is still pending.
-func ScanTopDown[S any](db *DB, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
-	return ScanTopDownSkipping(db, nil, nil, visit)
+// Cancelling ctx makes the scan return ctx.Err() promptly.
+func ScanTopDown[S any](ctx context.Context, db *DB, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
+	return ScanTopDownSkipping(ctx, db, nil, nil, visit)
 }
 
 // ScanTopDownSkipping is ScanTopDown with holes: the subtree extents in
@@ -282,8 +334,9 @@ func ScanTopDown[S any](db *DB, visit func(v int64, rec Record, parent *S, k int
 // have received, and the scan continues past the extent as if visit had
 // consumed it. The parallel evaluator's leader uses it to assign top-down
 // entry states to the frontier chunks without reading their bytes.
-func ScanTopDownSkipping[S any](db *DB, skip []Extent, subtree func(x Extent, parent *S, k int) error, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
+func ScanTopDownSkipping[S any](ctx context.Context, db *DB, skip []Extent, subtree func(x Extent, parent *S, k int) error, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
 	t := topDown[S]{visit: visit, end: db.N}
+	cancel := NewCanceller(ctx)
 	si := 0
 	v := int64(0)
 	for v < db.N {
@@ -297,6 +350,9 @@ func ScanTopDownSkipping[S any](db *DB, skip []Extent, subtree func(x Extent, pa
 		r := db.sectionReader(v, gapEnd)
 		var buf [NodeSize]byte
 		for ; v < gapEnd; v++ {
+			if err := cancel.Step(); err != nil {
+				return t.stats, err
+			}
 			if _, err := io.ReadFull(r, buf[:]); err != nil {
 				return t.stats, fmt.Errorf("storage: forward scan: %w", err)
 			}
@@ -331,14 +387,18 @@ func ScanTopDownSkipping[S any](db *DB, skip []Extent, subtree func(x Extent, pa
 // root is visited with parent nil and k 0 — the caller supplies its real
 // top-down context through the closure (the parallel evaluator primes it
 // with the entry state the leader computed).
-func ScanTopDownRange[S any](db *DB, x Extent, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
+func ScanTopDownRange[S any](ctx context.Context, db *DB, x Extent, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
 	t := topDown[S]{visit: visit, end: x.End()}
+	cancel := NewCanceller(ctx)
 	if x.Root < 0 || x.Size <= 0 || x.End() > db.N {
 		return t.stats, fmt.Errorf("%w: [%d,%d) out of range", ErrBadExtent, x.Root, x.End())
 	}
 	r := db.sectionReader(x.Root, x.End())
 	var buf [NodeSize]byte
 	for v := x.Root; v < x.End(); v++ {
+		if err := cancel.Step(); err != nil {
+			return t.stats, err
+		}
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
 			return t.stats, fmt.Errorf("storage: forward scan: %w", err)
 		}
@@ -360,7 +420,7 @@ func (db *DB) ReadTree() (*tree.Tree, error) {
 		parent tree.NodeID
 		k      int
 	}
-	_, err := ScanTopDown(db, func(v int64, rec Record, parent *ctx, k int) (ctx, error) {
+	_, err := ScanTopDown(context.Background(), db, func(v int64, rec Record, parent *ctx, k int) (ctx, error) {
 		id := t.AddNode(tree.Label(rec.Label))
 		if parent != nil {
 			if k == 1 {

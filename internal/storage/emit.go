@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 
@@ -16,8 +17,14 @@ import (
 // marked up in the usual XML fashion"). selected may be nil for plain
 // serialisation.
 func EmitXML(db *DB, w io.Writer, selected func(v int64) bool) error {
+	return EmitXMLContext(context.Background(), db, w, selected)
+}
+
+// EmitXMLContext is EmitXML with cancellation: a cancelled ctx aborts the
+// scan and returns ctx.Err().
+func EmitXMLContext(ctx context.Context, db *DB, w io.Writer, selected func(v int64) bool) error {
 	e := NewXMLEmitter(w, db.Names)
-	_, err := ScanTopDown(db, func(v int64, rec Record, parent *struct{}, k int) (struct{}, error) {
+	_, err := ScanTopDown(ctx, db, func(v int64, rec Record, parent *struct{}, k int) (struct{}, error) {
 		return struct{}{}, e.Node(v, rec, selected != nil && selected(v))
 	})
 	if err != nil {

@@ -3,6 +3,7 @@ package storage
 import (
 	"bufio"
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -75,7 +76,7 @@ func BuildIndex(db *DB, budget int) (*SubtreeIndex, error) {
 		budget = DefaultIndexBudget
 	}
 	h := make(entryHeap, 0, budget+1)
-	_, _, err := FoldBottomUp(db, func(first, second *int64, rec Record, v int64) int64 {
+	_, _, err := FoldBottomUp(context.Background(), db, func(first, second *int64, rec Record, v int64) int64 {
 		size, firstSize := int64(1), int64(0)
 		if first != nil {
 			size += *first

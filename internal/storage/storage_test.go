@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -258,7 +259,7 @@ func TestScansAgreeWithTree(t *testing.T) {
 		// Top-down: records must arrive in preorder with correct parents.
 		type info struct{ v int64 }
 		var visited []int64
-		stats, err := ScanTopDown(db, func(v int64, rec Record, parent *info, k int) (info, error) {
+		stats, err := ScanTopDown(context.Background(), db, func(v int64, rec Record, parent *info, k int) (info, error) {
 			visited = append(visited, v)
 			if tree.Label(rec.Label) != tr.Label(tree.NodeID(v)) {
 				return info{}, fmt.Errorf("label mismatch at %d", v)
@@ -291,7 +292,7 @@ func TestScansAgreeWithTree(t *testing.T) {
 		}
 
 		// Bottom-up: fold subtree sizes.
-		size, stats2, err := FoldBottomUp(db, func(first, second *int64, rec Record, v int64) int64 {
+		size, stats2, err := FoldBottomUp(context.Background(), db, func(first, second *int64, rec Record, v int64) int64 {
 			s := int64(1)
 			if first != nil {
 				s += *first
@@ -361,12 +362,12 @@ func TestMalformedArbRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	if _, err := ScanTopDown(db, func(v int64, rec Record, parent *int, k int) (int, error) {
+	if _, err := ScanTopDown(context.Background(), db, func(v int64, rec Record, parent *int, k int) (int, error) {
 		return 0, nil
 	}); err == nil {
 		t.Fatal("forward scan accepted a truncated database")
 	}
-	if _, _, err := FoldBottomUp(db, func(first, second *int, rec Record, v int64) int {
+	if _, _, err := FoldBottomUp(context.Background(), db, func(first, second *int, rec Record, v int64) int {
 		return 0
 	}); err == nil {
 		t.Fatal("backward scan accepted a truncated database")

@@ -1,54 +1,30 @@
 package xpath
 
 import (
-	"fmt"
-	"os"
-	"path/filepath"
+	"context"
 
 	"arb/internal/core"
 	"arb/internal/storage"
 	"arb/internal/tree"
 )
 
-// Eval evaluates the compiled query over an in-memory tree with the
-// two-phase automata engine, running the auxiliary passes in order (each
-// feeding its result into the Aux labeling of later passes) and returning
-// the main pass's selected nodes as a truth vector over preorder ids.
+// Eval evaluates the compiled query over an in-memory tree, returning the
+// main pass's selected nodes as a truth vector over preorder ids.
+//
+// Deprecated: use Prepare and Prepared.ExecTree (or the arb package's
+// Session/PreparedQuery API), which persist the compiled automata across
+// executions, return the unified core.Result and support cancellation.
 func (q *Query) Eval(t *tree.Tree) ([]bool, error) {
-	if t.Len() == 0 {
-		return nil, fmt.Errorf("xpath: empty tree")
-	}
-	aux := make([]uint16, t.Len())
-	auxFn := func(v tree.NodeID) uint16 { return aux[v] }
-
-	for k, pass := range q.Passes {
-		c, err := core.Compile(pass)
-		if err != nil {
-			return nil, fmt.Errorf("xpath: pass %d: %w", k, err)
-		}
-		e := core.NewEngine(c, t.Names())
-		res, err := e.Run(t, core.RunOpts{Aux: auxFn})
-		if err != nil {
-			return nil, fmt.Errorf("xpath: pass %d: %w", k, err)
-		}
-		bit := uint16(1) << uint(k)
-		res.Walk(pass.Queries()[0], func(v tree.NodeID) bool {
-			aux[v] |= bit
-			return true
-		})
-	}
-
-	c, err := core.Compile(q.Main)
+	p, err := q.Prepare(t.Names())
 	if err != nil {
 		return nil, err
 	}
-	e := core.NewEngine(c, t.Names())
-	res, err := e.Run(t, core.RunOpts{Aux: auxFn})
+	res, _, err := p.ExecTree(context.Background(), t, ExecOpts{Workers: 1})
 	if err != nil {
 		return nil, err
 	}
 	out := make([]bool, t.Len())
-	res.Walk(q.Main.Queries()[0], func(v tree.NodeID) bool {
+	res.Walk(p.Queries()[0], func(v tree.NodeID) bool {
 		out[v] = true
 		return true
 	})
@@ -56,56 +32,20 @@ func (q *Query) Eval(t *tree.Tree) ([]bool, error) {
 }
 
 // EvalDisk evaluates the compiled query over a .arb database entirely in
-// secondary storage: each auxiliary pass runs as two linear scans whose
-// phase 2 streams an updated 2-byte-per-node aux-mask sidecar file, which
-// the next pass reads alongside the database. dir holds the temporary
-// aux files (the database directory is a natural choice). Every pass runs
-// with the given number of workers (1 = sequential, 0 = all CPUs; see
-// core.Engine.RunDiskParallel). The result is the main pass's selected
-// nodes.
+// secondary storage, with temporary aux sidecars under dir and the given
+// number of workers per pass (1 = sequential, 0 = all CPUs).
+//
+// Deprecated: use Prepare and Prepared.ExecDisk (or the arb package's
+// Session/PreparedQuery API), which persist the compiled automata across
+// executions and support cancellation.
 func (q *Query) EvalDisk(db *storage.DB, dir string, workers int) (*core.Result, error) {
-	runPass := func(e *core.Engine, opts core.DiskOpts) (*core.Result, error) {
-		if workers != 1 {
-			res, _, err := e.RunDiskParallel(db, workers, opts)
-			return res, err
-		}
-		res, _, err := e.RunDisk(db, opts)
-		return res, err
-	}
-	var auxIn string
-	if len(q.Passes) > 0 {
-		// A private temp directory per evaluation: concurrent queries
-		// sharing a database directory must not clobber each other's
-		// sidecar files.
-		tmp, err := os.MkdirTemp(dir, "arb-aux-*")
-		if err != nil {
-			return nil, err
-		}
-		defer os.RemoveAll(tmp)
-		dir = tmp
-	}
-	for k, pass := range q.Passes {
-		c, err := core.Compile(pass)
-		if err != nil {
-			return nil, fmt.Errorf("xpath: pass %d: %w", k, err)
-		}
-		e := core.NewEngine(c, db.Names)
-		auxOut := filepath.Join(dir, fmt.Sprintf("pass%d.aux", k))
-		_, err = runPass(e, core.DiskOpts{
-			AuxIn:     auxIn,
-			AuxOut:    auxOut,
-			AuxOutBit: uint8(k),
-			// Each pass has exactly one query predicate, index 0.
-		})
-		if err != nil {
-			return nil, fmt.Errorf("xpath: pass %d: %w", k, err)
-		}
-		auxIn = auxOut
-	}
-	c, err := core.Compile(q.Main)
+	p, err := q.Prepare(db.Names)
 	if err != nil {
 		return nil, err
 	}
-	e := core.NewEngine(c, db.Names)
-	return runPass(e, core.DiskOpts{AuxIn: auxIn})
+	res, _, err := p.ExecDisk(context.Background(), db, ExecOpts{Workers: ResolveWorkers(workers), AuxDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }

@@ -1,0 +1,275 @@
+package xpath
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"arb/internal/core"
+	"arb/internal/parallel"
+	"arb/internal/storage"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// Prepared is a multi-pass query bound to a label-name table, with one
+// persistent engine per pass: the lazily computed automata (states and
+// transition tables) survive across executions, so repeated queries over
+// a persistent database pay the Horn-solving cost once. A plain TMNF
+// program is the degenerate single-pass case (PrepareProgram). Prepared
+// is the execution layer behind the arb package's PreparedQuery; it is
+// not safe for concurrent use — callers serialise (arb.PreparedQuery
+// holds the lock).
+type Prepared struct {
+	aux  []*core.Engine // one engine per auxiliary pass, in pass order
+	main *core.Engine
+	prog *tmnf.Program // the main pass's program
+}
+
+// PrepareProgram compiles a TMNF program into a single-pass Prepared
+// bound to the given name table.
+func PrepareProgram(prog *tmnf.Program, names *tree.Names) (*Prepared, error) {
+	if len(prog.Queries()) == 0 {
+		return nil, fmt.Errorf("program defines no query predicate (name one QUERY)")
+	}
+	c, err := core.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{main: core.NewEngine(c, names), prog: prog}, nil
+}
+
+// Prepare binds the compiled query to a name table, compiling every pass
+// to its own engine.
+func (q *Query) Prepare(names *tree.Names) (*Prepared, error) {
+	p := &Prepared{prog: q.Main}
+	for k, pass := range q.Passes {
+		c, err := core.Compile(pass)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: pass %d: %w", k, err)
+		}
+		p.aux = append(p.aux, core.NewEngine(c, names))
+	}
+	c, err := core.Compile(q.Main)
+	if err != nil {
+		return nil, err
+	}
+	p.main = core.NewEngine(c, names)
+	return p, nil
+}
+
+// Queries returns the query predicates of the main pass.
+func (p *Prepared) Queries() []tmnf.Pred { return p.prog.Queries() }
+
+// Program returns the main pass's program (for predicate naming).
+func (p *Prepared) Program() *tmnf.Program { return p.prog }
+
+// Passes returns the number of automata passes an execution runs
+// (auxiliary passes plus the main pass).
+func (p *Prepared) Passes() int { return len(p.aux) + 1 }
+
+// ResolveWorkers maps a worker request to a concrete count: n >= 1 is
+// taken as-is, anything else (0, negative) means all CPUs.
+func ResolveWorkers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ExecOpts configures one execution of a Prepared query. Workers must be
+// resolved to a concrete count (>= 1) by the caller.
+type ExecOpts struct {
+	// Workers is the number of parallel evaluation workers; 1 runs the
+	// sequential paths.
+	Workers int
+	// KeepStates retains per-node evaluation state from the main pass:
+	// in-memory runs record the automaton states in the Result
+	// (Result.BUStateOf/TDStateOf); disk runs keep the phase-1 state
+	// file as base.sta.
+	KeepStates bool
+	// MarkTo, when non-nil, streams the document back out as XML with
+	// the nodes selected by query predicate MarkQuery marked up. On disk
+	// the marked document is produced during the main pass's second scan
+	// itself (Section 6.3); marking forces that pass sequential.
+	MarkTo    io.Writer
+	MarkQuery int
+	// AuxDir is where disk executions place the temporary aux-mask
+	// sidecar files chaining the passes; empty means next to the
+	// database. Each execution uses a private subdirectory, removed when
+	// the execution finishes, fails, or is cancelled.
+	AuxDir string
+}
+
+// ExecStats is the merged cost profile of one execution across all its
+// passes.
+type ExecStats struct {
+	Engine core.Stats     // automata work (lazy transitions, phase times)
+	Disk   core.DiskStats // scan profile; zero for in-memory executions
+	Passes int            // passes executed (aux + main)
+}
+
+// engines returns all pass engines in execution order.
+func (p *Prepared) engines() []*core.Engine {
+	return append(append([]*core.Engine{}, p.aux...), p.main)
+}
+
+// statsDelta runs f between two snapshots of the engines' cumulative
+// statistics and adds the difference — the work of this execution alone —
+// to es.
+func statsDelta(engines []*core.Engine, es *ExecStats, f func() error) error {
+	before := make([]core.Stats, len(engines))
+	for i, e := range engines {
+		before[i] = e.Stats()
+	}
+	err := f()
+	for i, e := range engines {
+		es.Engine.Add(e.Stats().Sub(before[i]))
+	}
+	return err
+}
+
+// ExecTree evaluates the prepared query over an in-memory tree: the
+// auxiliary passes run in order, each feeding its selected nodes into the
+// Aux labeling of later passes, and the main pass's unified result is
+// returned. Cancelling ctx aborts the pass in progress with ctx.Err().
+func (p *Prepared) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) (*core.Result, ExecStats, error) {
+	es := ExecStats{Passes: p.Passes()}
+	if t.Len() == 0 {
+		return nil, es, fmt.Errorf("xpath: empty tree")
+	}
+	var res *core.Result
+	err := statsDelta(p.engines(), &es, func() error {
+		var aux []uint16
+		var auxFn func(v tree.NodeID) uint16
+		if len(p.aux) > 0 {
+			aux = make([]uint16, t.Len())
+			auxFn = func(v tree.NodeID) uint16 { return aux[v] }
+		}
+		runPass := func(e *core.Engine, ro core.RunOpts) (*core.Result, error) {
+			if opts.Workers > 1 {
+				return parallel.RunContext(ctx, e, t, opts.Workers, ro)
+			}
+			return e.RunContext(ctx, t, ro)
+		}
+		for k, e := range p.aux {
+			pres, err := runPass(e, core.RunOpts{Aux: auxFn})
+			if err != nil {
+				return fmt.Errorf("xpath: pass %d: %w", k, err)
+			}
+			bit := uint16(1) << uint(k)
+			pres.Walk(pres.Queries()[0], func(v tree.NodeID) bool {
+				aux[v] |= bit
+				return true
+			})
+		}
+		var err error
+		res, err = runPass(p.main, core.RunOpts{Aux: auxFn, KeepStates: opts.KeepStates})
+		if err != nil {
+			return err
+		}
+		if opts.MarkTo != nil {
+			return emitTreeMarked(ctx, t, opts.MarkTo, func(v int64) bool {
+				return res.Holds(p.Queries()[opts.MarkQuery], tree.NodeID(v))
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, es, err
+	}
+	return res, es, nil
+}
+
+// ExecDisk evaluates the prepared query over a .arb database entirely in
+// secondary storage: each auxiliary pass runs as two linear scans whose
+// phase 2 streams an updated 2-byte-per-node aux-mask sidecar file, which
+// the next pass reads alongside the database; the main pass returns the
+// unified result. Cancelling ctx aborts the scan in progress with
+// ctx.Err() and removes every temporary sidecar the execution created.
+func (p *Prepared) ExecDisk(ctx context.Context, db *storage.DB, opts ExecOpts) (*core.Result, ExecStats, error) {
+	es := ExecStats{Passes: p.Passes()}
+	var res *core.Result
+	err := statsDelta(p.engines(), &es, func() error {
+		runPass := func(e *core.Engine, do core.DiskOpts) (*core.Result, error) {
+			var r *core.Result
+			var ds *core.DiskStats
+			var err error
+			if opts.Workers > 1 {
+				r, ds, err = e.RunDiskParallelContext(ctx, db, opts.Workers, do)
+			} else {
+				r, ds, err = e.RunDiskContext(ctx, db, do)
+			}
+			if ds != nil {
+				es.Disk.Merge(*ds)
+			}
+			return r, err
+		}
+		var auxIn string
+		if len(p.aux) > 0 {
+			// A private temp directory per execution: concurrent queries
+			// sharing a database directory must not clobber each other's
+			// sidecar files. Removing it afterwards — on success, failure
+			// and cancellation alike — is what keeps cancelled multi-pass
+			// executions from leaking sidecars.
+			dir := opts.AuxDir
+			if dir == "" {
+				dir = filepath.Dir(db.Base)
+			}
+			tmp, err := os.MkdirTemp(dir, "arb-aux-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			for k, e := range p.aux {
+				auxOut := filepath.Join(tmp, fmt.Sprintf("pass%d.aux", k))
+				_, err := runPass(e, core.DiskOpts{
+					AuxIn:     auxIn,
+					AuxOut:    auxOut,
+					AuxOutBit: uint8(k),
+					// Each pass has exactly one query predicate, index 0.
+				})
+				if err != nil {
+					return fmt.Errorf("xpath: pass %d: %w", k, err)
+				}
+				auxIn = auxOut
+			}
+		}
+		var err error
+		res, err = runPass(p.main, core.DiskOpts{
+			AuxIn:         auxIn,
+			KeepStateFile: opts.KeepStates,
+			MarkTo:        opts.MarkTo,
+			MarkQuery:     opts.MarkQuery,
+		})
+		return err
+	})
+	if err != nil {
+		return nil, es, err
+	}
+	return res, es, nil
+}
+
+// emitTreeMarked streams an in-memory tree out as XML with selected nodes
+// marked up, through the same emitter the disk path uses.
+func emitTreeMarked(ctx context.Context, t *tree.Tree, w io.Writer, selected func(v int64) bool) error {
+	em := storage.NewXMLEmitter(w, t.Names())
+	cancel := storage.NewCanceller(ctx)
+	for v := 0; v < t.Len(); v++ {
+		if err := cancel.Step(); err != nil {
+			return err
+		}
+		rec := storage.Record{
+			Label:     uint16(t.Label(tree.NodeID(v))),
+			HasFirst:  t.HasFirst(tree.NodeID(v)),
+			HasSecond: t.HasSecond(tree.NodeID(v)),
+		}
+		if err := em.Node(int64(v), rec, selected(int64(v))); err != nil {
+			return err
+		}
+	}
+	return em.Finish()
+}

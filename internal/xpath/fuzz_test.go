@@ -1,0 +1,66 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseXPath asserts the Core XPath frontend never panics: any input
+// either compiles (and the resulting pass programs are well-formed) or
+// fails with an error. Run with `go test -fuzz FuzzParseXPath ./internal/xpath`.
+func FuzzParseXPath(f *testing.F) {
+	for _, seed := range []string{
+		"/a/b",
+		"a//b",
+		"//a",
+		"/a/*",
+		"a/text()",
+		"a[b]",
+		"a[b and not(c)]",
+		"a[b or c]/d",
+		"a/..",
+		"a/.",
+		"ancestor::a",
+		"following-sibling::*",
+		"a[descendant::b[c]]",
+		"a[preceding::b]/following::c",
+		"//book[not(author/following-sibling::author)]/title",
+		"//item[not(flag)]/name",
+		"/descendant-or-self::node()/child::a",
+		"not(a)",
+		"a[not(not(b))]",
+		"self::node()",
+		"((((a))))",
+		"a[]",
+		"a[b][c][not(d)]",
+		"*//*[*]",
+		"/",
+		"",
+		"]]",
+		"a b",
+		"a[",
+		"child::",
+		"a/child::node()[not(descendant::b)]",
+		strings.Repeat("a/", 200) + "b",
+		strings.Repeat("a[not(", 20) + "b" + strings.Repeat(")]", 20),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Compile(src)
+		if err != nil {
+			return // rejecting the input is fine; panicking is not
+		}
+		if q == nil || q.Main == nil {
+			t.Fatalf("Compile(%q) returned a nil query without an error", src)
+		}
+		if len(q.Main.Queries()) != 1 {
+			t.Fatalf("Compile(%q): main pass has %d query predicates, want 1", src, len(q.Main.Queries()))
+		}
+		for k, pass := range q.Passes {
+			if len(pass.Queries()) != 1 {
+				t.Fatalf("Compile(%q): pass %d has %d query predicates, want 1", src, k, len(pass.Queries()))
+			}
+		}
+	})
+}

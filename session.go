@@ -1,0 +1,242 @@
+package arb
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"arb/internal/storage"
+	"arb/internal/tree"
+	"arb/internal/xpath"
+)
+
+// Session wraps one open query source — an in-memory Tree or an on-disk
+// DB — and is the root of everything shared between the queries prepared
+// on it: the label-name table every engine resolves Label[..] tests
+// against, and (for disk sessions) the database handle and its lazily
+// built subtree index, which the parallel evaluator cuts its chunk
+// frontier from. Queries enter through Prepare/PrepareXPath, whose
+// PreparedQuery handles persist the compiled automata across executions —
+// the compile-once, query-many shape the paper's engine is built for.
+//
+// A Session is safe for concurrent use: any number of goroutines may
+// prepare and execute queries on it at once (disk reads are
+// offset-addressed, so one file handle serves all scans; each
+// PreparedQuery serialises its own executions).
+type Session struct {
+	t     *tree.Tree
+	db    *storage.DB
+	ownDB bool
+}
+
+// NewSession opens a session over an in-memory tree.
+func NewSession(t *Tree) *Session { return &Session{t: t} }
+
+// NewDBSession opens a session over an already-open database. Closing the
+// session does not close the database; the caller keeps ownership.
+func NewDBSession(db *DB) *Session { return &Session{db: db} }
+
+// OpenSession opens the database stored at base (base.arb, base.lab) and
+// wraps it in a session that owns it: Close closes the database too.
+func OpenSession(base string) (*Session, error) {
+	db, err := storage.Open(base)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{db: db, ownDB: true}, nil
+}
+
+// Close releases the session's resources (the database handle, when the
+// session owns one).
+func (s *Session) Close() error {
+	if s.ownDB && s.db != nil {
+		return s.db.Close()
+	}
+	return nil
+}
+
+// Names returns the session's label-name table.
+func (s *Session) Names() *Names {
+	if s.db != nil {
+		return s.db.Names
+	}
+	return s.t.Names()
+}
+
+// DB returns the session's database, or nil for in-memory sessions.
+func (s *Session) DB() *DB { return s.db }
+
+// Tree returns the session's tree, or nil for disk sessions.
+func (s *Session) Tree() *Tree { return s.t }
+
+// Len returns the number of nodes of the session's document.
+func (s *Session) Len() int64 {
+	if s.db != nil {
+		return s.db.N
+	}
+	return int64(s.t.Len())
+}
+
+// Prepare compiles a TMNF program against the session: the result's
+// automata are built lazily on first execution and persist across
+// executions, so repeated queries pay the compilation and Horn-solving
+// cost once.
+func (s *Session) Prepare(prog *Program) (*PreparedQuery, error) {
+	p, err := xpath.PrepareProgram(prog, s.Names())
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{s: s, p: p}, nil
+}
+
+// PrepareXPath compiles a Core XPath query against the session. Queries
+// in the positive fragment become one pass; every not(..) condition adds
+// an auxiliary pass, chained through aux labelings in memory or aux-mask
+// sidecar files on disk — either way Exec runs all passes and returns the
+// main pass's result.
+func (s *Session) PrepareXPath(q *XPathQuery) (*PreparedQuery, error) {
+	p, err := q.Prepare(s.Names())
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{s: s, p: p}, nil
+}
+
+// ExecOpts configures one execution of a prepared query. The zero value
+// is a sequential run returning just the result.
+type ExecOpts struct {
+	// Workers is the number of parallel evaluation workers: 0 or 1 runs
+	// the sequential paths, n > 1 runs n workers over a frontier of
+	// disjoint subtrees (chunk byte ranges on disk), and any negative
+	// value uses all CPUs. Results are identical at every setting.
+	Workers int
+	// KeepStates retains per-node evaluation state from the main pass:
+	// in-memory sessions record the automaton states in the Result
+	// (Result.BUStateOf/TDStateOf); disk sessions keep the phase-1
+	// state file under the discoverable name base.sta. Because that
+	// name is fixed per database, concurrent disk executions with
+	// KeepStates set would overwrite each other's file — serialise
+	// them (executions without KeepStates use unique temp files and
+	// are free to run concurrently).
+	KeepStates bool
+	// Stats asks Exec to return a Profile of this execution's cost;
+	// when false Exec returns a nil Profile.
+	Stats bool
+	// MarkTo, when non-nil, streams the document back out as XML with
+	// the nodes selected by query predicate MarkQuery (an index into
+	// Queries()) marked up — the system's default output mode
+	// (Section 6.3). On disk the marked document is produced during the
+	// final pass's forward scan itself; marking forces that pass
+	// sequential.
+	MarkTo    io.Writer
+	MarkQuery int
+}
+
+// Profile is the merged cost profile of one Exec across all its passes:
+// the engine work (the paper's Figure 6 columns, counting only this
+// execution — a warm prepared query computes few or no new transitions)
+// and, for disk sessions, the scan profile of Figure 5's storage model.
+type Profile struct {
+	Engine Stats     // automata work: phase times, lazy transitions, states
+	Disk   DiskStats // linear-scan profile; zero for in-memory sessions
+	Passes int       // automata passes executed (auxiliary + main)
+	// Workers is the resolved worker request the execution dispatched
+	// with; databases below the parallel evaluator's coordination
+	// threshold and marked-output passes may still evaluate
+	// sequentially.
+	Workers  int
+	Duration time.Duration
+}
+
+// PreparedQuery is a query compiled against one Session, ready for
+// repeated execution. The pair of deterministic tree automata per pass is
+// computed lazily and persists across Exec calls (the paper's footnote
+// 15), so a warm query evaluates with two hash-table lookups per node.
+// Exec is safe to call from multiple goroutines; executions of one
+// PreparedQuery are serialised (prepare one handle per goroutine for
+// independent parallel queries — they share the session's source).
+type PreparedQuery struct {
+	s  *Session
+	mu sync.Mutex
+	p  *xpath.Prepared
+}
+
+// Queries returns the query predicates Exec's result reports, in the
+// program's declaration order (XPath queries have exactly one).
+func (q *PreparedQuery) Queries() []Pred { return q.p.Queries() }
+
+// Program returns the program of the query's main pass (for predicate
+// naming and inspection).
+func (q *PreparedQuery) Program() *Program { return q.p.Program() }
+
+// Exec runs the query over the session's source and returns the unified
+// result, dispatching internally to the right strategy: in-memory or
+// secondary-storage, sequential or parallel (opts.Workers), single- or
+// multi-pass — always through the same two-phase tree-automata engine, so
+// the selected nodes are identical on every path.
+//
+// Cancelling ctx aborts the scan in progress: Exec returns ctx.Err()
+// (wrapped, so errors.Is reports context.Canceled or DeadlineExceeded)
+// and every temporary file the execution created — state files and
+// aux-mask sidecars — is removed. A nil ctx means context.Background().
+func (q *PreparedQuery) Exec(ctx context.Context, opts ExecOpts) (*Result, *Profile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.MarkTo != nil {
+		if nq := len(q.Queries()); opts.MarkQuery < 0 || opts.MarkQuery >= nq {
+			return nil, nil, fmt.Errorf("arb: MarkQuery %d out of range (the query defines %d predicates)", opts.MarkQuery, nq)
+		}
+	}
+	workers := opts.Workers
+	switch {
+	case workers < 0:
+		workers = xpath.ResolveWorkers(0)
+	case workers == 0:
+		workers = 1
+	}
+	xopts := xpath.ExecOpts{
+		Workers:    workers,
+		KeepStates: opts.KeepStates,
+		MarkTo:     opts.MarkTo,
+		MarkQuery:  opts.MarkQuery,
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	start := time.Now()
+	var res *Result
+	var es xpath.ExecStats
+	var err error
+	if q.s.db != nil {
+		res, es, err = q.p.ExecDisk(ctx, q.s.db, xopts)
+	} else {
+		res, es, err = q.p.ExecTree(ctx, q.s.t, xopts)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if !opts.Stats {
+		return res, nil, nil
+	}
+	return res, &Profile{
+		Engine:   es.Engine,
+		Disk:     es.Disk,
+		Passes:   es.Passes,
+		Workers:  workers,
+		Duration: time.Since(start),
+	}, nil
+}
+
+// Count is a convenience for the common single-query case: it executes
+// the query sequentially and returns how many nodes its first query
+// predicate selected.
+func (q *PreparedQuery) Count(ctx context.Context) (int64, error) {
+	res, _, err := q.Exec(ctx, ExecOpts{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Count(q.Queries()[0]), nil
+}
