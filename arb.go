@@ -72,6 +72,30 @@
 // the same way — workers split the tree at a frontier of subtree index
 // ranges; `arbbench -experiment speedup` measures the disk-path speedup
 // per worker count.
+//
+// # Batch execution
+//
+// The two linear scans dominate the cost model and are query-independent
+// I/O, so a server fielding many concurrent queries should pay them once
+// per workload, not once per query. Session.PrepareBatch groups any mix
+// of TMNF programs and Core XPath queries into a PreparedBatch whose
+// Exec evaluates every member during a single pair of scans per round:
+// the scan iteration, the buffered readers and one widened temporary
+// state file are shared, each member keeps its own lazily built automata
+// and its own Result, and the selected nodes are bit-identical to
+// stand-alone execution on every strategy (memory, disk, parallel disk).
+// Multi-pass not(..) members piggyback too — round r runs pass r of
+// every member that still has one, so the batch's scan-pair count is the
+// deepest member's pass count rather than the sum over members.
+//
+//	pb, err := sess.PrepareBatch(prog, xq1, xq2)
+//	results, prof, err := pb.Exec(ctx, arb.ExecOpts{Stats: true})
+//	// prof.Disk.Phase1.Bytes == prof.Disk.Phase2.Bytes == database bytes:
+//	// exactly two aggregate linear scans, however many queries.
+//
+// The CLI exposes batches as `arb query <base> -f queries.txt -batch`,
+// and `arbbench -experiment batch` records the sequential-vs-batch
+// speedup and the bytes-scanned-per-query trajectory in BENCH_batch.json.
 package arb
 
 import (

@@ -19,12 +19,16 @@ go build ./...
 
 # Smoke: the quickstart example exercises the whole Session/PreparedQuery
 # surface (create DB, prepare TMNF and XPath queries, Exec, emit marked
-# XML) against its own tiny generated document.
+# XML) against its own tiny generated document; batchserve exercises the
+# shared-scan PreparedBatch surface the same way.
 go run ./examples/quickstart > /dev/null
+go run ./examples/batchserve > /dev/null
 
-# Fast gate: context-cancellation behaviour across storage, the engine
-# and the CLI, under the race detector.
+# Fast gates: context-cancellation behaviour across storage, the engine
+# and the CLI, and the shared-scan batch machinery (differential, order
+# independence, cancellation cleanup), both under the race detector.
 go test -run Cancel -race ./...
+go test -run Batch -race ./...
 
 # Full suite (includes the fuzz targets' seed corpora).
 go test -race ./...

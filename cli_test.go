@@ -105,6 +105,61 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCLIBatchMode runs a workload file through `query -f file -batch`:
+// per-query counts in input order, comments and xpath: lines handled,
+// incompatible flags rejected.
+func TestCLIBatchMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	dbDir := filepath.Join(dir, "dbdir")
+	if err := os.Mkdir(dbDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dbDir, "db")
+	if err := os.WriteFile(xmlPath, []byte(libraryXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, bin, "create", base, xmlPath)
+
+	workload := filepath.Join(dir, "queries.txt")
+	if err := os.WriteFile(workload, []byte(`# the workload
+QUERY :- Label[author];
+xpath: //book/title
+xpath: //book[not(author/following-sibling::author)]/title
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, bin, "query", base, "-f", workload, "-batch")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("batch output has %d lines, want 3:\n%s", len(lines), out)
+	}
+	for i, want := range []string{"3 nodes selected", "2 nodes selected", "1 nodes selected"} {
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("batch line %d = %q, want %q", i, lines[i], want)
+		}
+	}
+
+	// Same workload in parallel mode: identical counts.
+	if out2 := runCLI(t, bin, "query", base, "-f", workload, "-batch", "-j", "4"); out2 != out {
+		t.Fatalf("parallel batch output differs:\n%s\nvs\n%s", out2, out)
+	}
+
+	// -batch needs -f, and refuses per-query output modes.
+	if _, err := exec.Command(bin, "query", base, "-batch", "-q", "QUERY :- Root;").CombinedOutput(); err == nil {
+		t.Fatal("-batch without -f accepted")
+	}
+	if _, err := exec.Command(bin, "query", base, "-f", workload, "-batch", "-ids").CombinedOutput(); err == nil {
+		t.Fatal("-batch -ids accepted")
+	}
+	// No stray temp files next to the database.
+	assertOnlyDatabaseFiles(t, dbDir)
+}
+
 // TestCLITimeoutCancel checks the -timeout flag: an expired deadline
 // aborts the query with a clear message and a non-zero exit, and works
 // normally when the deadline is generous.

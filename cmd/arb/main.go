@@ -7,6 +7,7 @@
 //	arb create <base> [file.xml]       build base.arb/base.lab from XML (stdin default)
 //	arb query  <base> -q <program>     evaluate a TMNF program (Arb syntax)
 //	arb query  <base> -xpath <expr>    evaluate a Core XPath query (incl. not(..), on disk)
+//	arb query  <base> -f queries.txt -batch   evaluate a whole workload in shared scans
 //	arb cat    <base>                  write the database back as XML
 //	arb stats  <base>                  print database statistics
 //
@@ -24,6 +25,14 @@
 // output is inherently sequential and ignores -j. -timeout bounds the
 // evaluation: when the deadline passes, the scans abort promptly, all
 // temporary files are cleaned up, and the command exits non-zero.
+//
+// Batch mode (-f file -batch) reads one query per line — TMNF by
+// default, Core XPath with an "xpath:" prefix, blank lines and #
+// comments ignored — and evaluates the whole workload through
+// Session.PrepareBatch: every query shares one pair of linear scans per
+// round instead of paying its own, and the per-query counts print in
+// input order. -ids and -mark are per-query output modes and do not
+// combine with -batch.
 package main
 
 import (
@@ -34,6 +43,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"arb"
 )
@@ -65,6 +76,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   arb create <base> [file.xml]
   arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N] [-timeout d]
+  arb query  <base> -f <queries.txt> -batch [-j N] [-timeout d]
   arb cat    <base>
   arb stats  <base>
 `)
@@ -104,6 +116,7 @@ func query(args []string) error {
 	xpathSrc := fs.String("xpath", "", "Core XPath query")
 	ids := fs.Bool("ids", false, "print selected node ids")
 	mark := fs.Bool("mark", false, "emit the document with selected nodes marked up")
+	batch := fs.Bool("batch", false, "treat -f as a workload file (one query per line) and run it in shared scans")
 	verbose := fs.Bool("v", false, "print engine statistics")
 	jobs := fs.Int("j", 1, "parallel workers (0 = all CPUs, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "abort the evaluation after this long (0 = no limit)")
@@ -127,6 +140,26 @@ func query(args []string) error {
 		return err
 	}
 	defer sess.Close()
+
+	// Workers: the flag speaks CLI (0 = all CPUs), ExecOpts speaks
+	// library (negative = all CPUs, 0 = sequential).
+	workers := *jobs
+	if workers == 0 {
+		workers = -1
+	}
+
+	if *batch {
+		if *progFile == "" {
+			return fmt.Errorf("-batch needs a workload file (-f queries.txt)")
+		}
+		if *progSrc != "" || *xpathSrc != "" {
+			return fmt.Errorf("-batch runs the workload file only; put the -q/-xpath query on its own line in %s", *progFile)
+		}
+		if *ids || *mark {
+			return fmt.Errorf("-ids and -mark are per-query output modes; -batch prints counts")
+		}
+		return runBatch(ctx, sess, *progFile, workers, *verbose, *timeout)
+	}
 
 	var pq *arb.PreparedQuery
 	var prog *arb.Program
@@ -160,12 +193,6 @@ func query(args []string) error {
 		}
 	}
 
-	// Workers: the flag speaks CLI (0 = all CPUs), ExecOpts speaks
-	// library (negative = all CPUs, 0 = sequential).
-	workers := *jobs
-	if workers == 0 {
-		workers = -1
-	}
 	opts := arb.ExecOpts{Workers: workers, Stats: *verbose}
 	var markOut *bufio.Writer
 	if *mark {
@@ -200,6 +227,65 @@ func query(args []string) error {
 		for _, q := range pq.Queries() {
 			fmt.Printf("%s: %d nodes selected\n", pq.Program().PredName(q), res.Count(q))
 		}
+	}
+	return nil
+}
+
+// runBatch evaluates a workload file as one shared-scan batch: every
+// non-empty, non-# line is a query (TMNF by default, Core XPath with an
+// "xpath:" prefix), and all of them execute during a single pair of
+// linear scans per scheduled round.
+func runBatch(ctx context.Context, sess *arb.Session, path string, workers int, verbose bool, timeout time.Duration) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var items []any
+	var srcs []string
+	for ln, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if expr, ok := strings.CutPrefix(line, "xpath:"); ok {
+			q, err := arb.ParseXPath(strings.TrimSpace(expr))
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", path, ln+1, err)
+			}
+			items = append(items, q)
+		} else {
+			p, err := arb.ParseProgram(line)
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", path, ln+1, err)
+			}
+			items = append(items, p)
+		}
+		srcs = append(srcs, line)
+	}
+	if len(items) == 0 {
+		return fmt.Errorf("%s holds no queries", path)
+	}
+	pb, err := sess.PrepareBatch(items...)
+	if err != nil {
+		return err
+	}
+	res, prof, err := pb.Exec(ctx, arb.ExecOpts{Workers: workers, Stats: verbose})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("batch timed out after %v (temporary files cleaned up); raise -timeout or add workers with -j", timeout)
+		}
+		return err
+	}
+	for i := range res {
+		for _, q := range pb.Queries(i) {
+			fmt.Printf("%s %s: %d nodes selected\n", srcs[i], pb.Program(i).PredName(q), res[i].Count(q))
+		}
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "%d queries, %d shared scan pair(s); phase 1: %v, phase 2: %v; %d workers, temp %d bytes; %.0f bytes scanned per query\n",
+			len(items), prof.Passes, prof.Engine.Phase1Time, prof.Engine.Phase2Time,
+			prof.Workers, prof.Disk.StateBytes,
+			float64(prof.Disk.Phase1.Bytes+prof.Disk.Phase2.Bytes)/float64(len(items)))
 	}
 	return nil
 }

@@ -8,6 +8,8 @@
 //	arbbench -experiment stream [-scale f] [-sizes 5-15] [-queries 25] [-dir d]
 //	arbbench -experiment speedup [-thread acgt-infix] [-workers n]
 //	         [-scale f] [-queries 5] [-dir d]
+//	arbbench -experiment batch [-batchsizes 1,4,16] [-dbbytes n]
+//	         [-workers n] [-dir d] [-out BENCH_batch.json]
 //
 // fig5 prints the database-creation statistics table (Figure 5); fig6
 // prints the query benchmark table for the chosen thread (Figure 6),
@@ -15,8 +17,13 @@
 // the one-pass-vs-two-pass ablation; speedup sweeps worker counts 1, 2,
 // 4, ... up to -workers over the chosen thread (ACGT-infix by default —
 // the balanced tree where the frontier divides evenly) and reports the
-// parallel-disk speedup per count. Databases are created under -dir (a
-// temporary directory by default) and reused within a run.
+// parallel-disk speedup per count; batch compares N sequential
+// PreparedQuery executions against one shared-scan PreparedBatch.Exec at
+// each batch size over a generated database of at least -dbbytes bytes,
+// and with -out also records the result as machine-readable JSON
+// (queries/sec and bytes-scanned-per-query per batch size). Databases
+// are created under -dir (a temporary directory by default) and reused
+// within a run.
 package main
 
 import (
@@ -39,15 +46,18 @@ func main() {
 	dir := flag.String("dir", "", "directory for databases (default: temporary)")
 	inMemory := flag.Bool("mem", false, "evaluate in memory instead of on disk")
 	workers := flag.Int("workers", 0, "parallel workers: fig6 evaluates with this many; speedup sweeps 1,2,4,.. up to it (0 = all CPUs for speedup, sequential for fig6)")
+	batchSizes := flag.String("batchsizes", "1,4,16", "batch sizes for the batch experiment")
+	dbBytes := flag.Int64("dbbytes", 64_000_000, "minimum generated database size for the batch experiment")
+	out := flag.String("out", "", "also write the batch experiment's JSON report to this file")
 	flag.Parse()
 
-	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers); err != nil {
+	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers, *batchSizes, *dbBytes, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "arbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int) error {
+func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int, batchSizes string, dbBytes int64, out string) error {
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "arbbench")
@@ -62,6 +72,34 @@ func run(experiment, thread string, scale float64, sizesFlag string, queries int
 	}
 
 	switch experiment {
+	case "batch":
+		bsizes, err := parseList(batchSizes)
+		if err != nil {
+			return err
+		}
+		report, err := bench.Batch(bench.BatchOpts{
+			Sizes: bsizes, MinDBBytes: dbBytes, Dir: dir, Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteBatch(os.Stdout, report)
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteBatchJSON(f, report); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+		return nil
+
 	case "speedup":
 		if thread == "" || thread == "all" {
 			thread = "acgt-infix"
@@ -177,6 +215,20 @@ func threadsFor(name string) ([]bench.Thread, error) {
 		return []bench.Thread{bench.Treebank, bench.ACGTInfix, bench.ACGTFlat}, nil
 	}
 	return nil, fmt.Errorf("unknown thread %q", name)
+}
+
+// parseList parses a plain comma-separated list of positive ints (batch
+// sizes; unlike query -sizes there is no range form and 1 is allowed).
+func parseList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad batch size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -115,6 +115,50 @@ func ExampleSession() {
 	// again: 1 passes: 2
 }
 
+// ExampleSession_PrepareBatch answers a mixed workload — a TMNF program,
+// a positive XPath query and a multi-pass not(..) query — in shared
+// scans: the whole batch costs two scan pairs instead of one per pass
+// per query, and every result is identical to a stand-alone execution.
+func ExampleSession_PrepareBatch() {
+	dir, err := os.MkdirTemp("", "arb-example-batch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	doc := `<lib><book><author>X</author><author>Y</author></book><book><author>Z</author></book><book/></lib>`
+	db, _, err := arb.CreateDB(filepath.Join(dir, "lib"), strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	sess := arb.NewDBSession(db)
+	defer sess.Close()
+
+	books, err := arb.ParseProgram(`QUERY :- Label[book];`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	authors, err := arb.ParseXPath(`//book/author`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	empty, err := arb.ParseXPath(`//book[not(author)]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pb, err := sess.PrepareBatch(books, authors, empty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts, err := pb.Count(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("books:", counts[0], "authors:", counts[1], "empty:", counts[2], "rounds:", pb.Rounds())
+	// Output: books: 3 authors: 3 empty: 1 rounds: 2
+}
+
 // ExampleParseXPath evaluates a Core XPath query with a negated
 // condition through multi-pass evaluation over an in-memory tree.
 func ExampleParseXPath() {

@@ -1,0 +1,213 @@
+// Shared-scan batch experiment: how much does amortising the two linear
+// scans across a workload of concurrent queries buy? The experiment
+// generates a large database, prepares a pool of queries, and compares N
+// sequential PreparedQuery.Exec calls against one PreparedBatch.Exec at
+// several batch sizes, recording wall time, queries per second, and the
+// bytes of data scanned per query (which fall as 1/N — the paper's cost
+// model made visible).
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"arb"
+	"arb/internal/storage"
+)
+
+// BatchRow is one batch size of the shared-scan experiment.
+type BatchRow struct {
+	BatchSize            int     `json:"batch_size"`
+	SequentialSeconds    float64 `json:"sequential_seconds"`
+	BatchSeconds         float64 `json:"batch_seconds"`
+	Speedup              float64 `json:"speedup"`
+	QueriesPerSec        float64 `json:"queries_per_sec"`
+	BytesScannedPerQuery int64   `json:"bytes_scanned_per_query"`
+	SelectedTotal        int64   `json:"selected_total"`
+}
+
+// BatchReport is the machine-readable output of the batch experiment
+// (written to BENCH_batch.json by arbbench).
+type BatchReport struct {
+	Experiment string     `json:"experiment"`
+	DBBytes    int64      `json:"db_bytes"`
+	Nodes      int64      `json:"nodes"`
+	Workers    int        `json:"workers"`
+	Rows       []BatchRow `json:"rows"`
+}
+
+// BatchOpts configures the batch experiment.
+type BatchOpts struct {
+	// Sizes are the batch sizes to sweep; default 1, 4, 16.
+	Sizes []int
+	// MinDBBytes is the minimum generated database size; default 64 MB.
+	MinDBBytes int64
+	// Dir is where the database is created (reused if already present).
+	Dir string
+	// Workers per execution (sequential and batch alike); default 1.
+	Workers int
+}
+
+// batchQueryPool returns count single-pass TMNF query programs over the
+// generated full-binary tags, cycling a few structural shapes.
+func batchQueryPool(count int, tags []string) ([]*arb.Program, error) {
+	progs := make([]*arb.Program, count)
+	for i := range progs {
+		tag := func(k int) string { return tags[(i/4+k)%len(tags)] }
+		var src string
+		switch i % 4 {
+		case 0:
+			src = fmt.Sprintf(`QUERY :- Label[%s];`, tag(0))
+		case 1:
+			src = fmt.Sprintf(`QUERY :- V.Label[%s].FirstChild.Label[%s];`, tag(0), tag(1))
+		case 2:
+			src = fmt.Sprintf(`QUERY :- Leaf, Label[%s];`, tag(0))
+		case 3:
+			src = fmt.Sprintf(`QUERY :- V.Label[%s].SecondChild.HasFirstChild;`, tag(0))
+		}
+		p, err := arb.ParseProgram(src)
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = p
+	}
+	return progs, nil
+}
+
+// Batch runs the shared-scan batch experiment and returns the report.
+func Batch(opts BatchOpts) (*BatchReport, error) {
+	if len(opts.Sizes) == 0 {
+		opts.Sizes = []int{1, 4, 16}
+	}
+	if opts.MinDBBytes == 0 {
+		opts.MinDBBytes = 64_000_000
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("bench: batch experiment needs Dir")
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	maxSize := 0
+	for _, s := range opts.Sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("bench: batch size %d out of range", s)
+		}
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+
+	// Generate (or reuse) the full-binary database just past the size
+	// floor: depth d holds 2^(d+1)-1 two-byte records.
+	depth := 1
+	for (int64(2)<<depth)-1 < opts.MinDBBytes/storage.NodeSize {
+		depth++
+	}
+	tags := []string{"a", "b", "c", "d"}
+	base := filepath.Join(opts.Dir, fmt.Sprintf("batchdb-%d", depth))
+	sess, err := arb.OpenSession(base)
+	if err != nil {
+		db, err := storage.CreateFullBinary(base, depth, tags)
+		if err != nil {
+			return nil, err
+		}
+		db.Close()
+		if sess, err = arb.OpenSession(base); err != nil {
+			return nil, err
+		}
+	}
+	defer sess.Close()
+
+	progs, err := batchQueryPool(maxSize, tags)
+	if err != nil {
+		return nil, err
+	}
+	report := &BatchReport{
+		Experiment: "batch",
+		DBBytes:    sess.Len() * storage.NodeSize,
+		Nodes:      sess.Len(),
+		Workers:    workers,
+	}
+	ctx := context.Background()
+	for _, size := range opts.Sizes {
+		row := BatchRow{BatchSize: size}
+
+		// Sequential baseline: one PreparedQuery.Exec per query. Queries
+		// are prepared fresh so both sides pay the same (tiny, one-time)
+		// automata construction.
+		seqStart := time.Now()
+		var seqSelected int64
+		for i := 0; i < size; i++ {
+			pq, err := sess.Prepare(progs[i])
+			if err != nil {
+				return nil, err
+			}
+			res, _, err := pq.Exec(ctx, arb.ExecOpts{Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			seqSelected += res.Count(pq.Queries()[0])
+		}
+		row.SequentialSeconds = time.Since(seqStart).Seconds()
+
+		// The same queries as one shared-scan batch; PrepareBatch sits
+		// inside the timed region exactly as the sequential side's
+		// Prepare calls do.
+		items := make([]any, size)
+		for i := range items {
+			items[i] = progs[i]
+		}
+		batchStart := time.Now()
+		pb, err := sess.PrepareBatch(items...)
+		if err != nil {
+			return nil, err
+		}
+		res, prof, err := pb.Exec(ctx, arb.ExecOpts{Workers: workers, Stats: true})
+		if err != nil {
+			return nil, err
+		}
+		row.BatchSeconds = time.Since(batchStart).Seconds()
+		var batchSelected int64
+		for i := range res {
+			batchSelected += res[i].Count(pb.Queries(i)[0])
+		}
+		if batchSelected != seqSelected {
+			return nil, fmt.Errorf("bench: batch size %d selected %d nodes, sequential %d",
+				size, batchSelected, seqSelected)
+		}
+		row.SelectedTotal = batchSelected
+		if row.BatchSeconds > 0 {
+			row.Speedup = row.SequentialSeconds / row.BatchSeconds
+			row.QueriesPerSec = float64(size) / row.BatchSeconds
+		}
+		row.BytesScannedPerQuery = (prof.Disk.Phase1.Bytes + prof.Disk.Phase2.Bytes) / int64(size)
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+// WriteBatch renders the experiment as a table.
+func WriteBatch(w io.Writer, r *BatchReport) {
+	fmt.Fprintf(w, "Shared-scan batch execution, %d-node database (%d MB), %d worker(s).\n",
+		r.Nodes, r.DBBytes>>20, r.Workers)
+	fmt.Fprintf(w, "%6s %14s %12s %8s %10s %14s\n",
+		"batch", "sequential(s)", "batch(s)", "speedup", "queries/s", "bytes/query")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%6d %14.3f %12.3f %8.2f %10.1f %14d\n",
+			row.BatchSize, row.SequentialSeconds, row.BatchSeconds, row.Speedup,
+			row.QueriesPerSec, row.BytesScannedPerQuery)
+	}
+}
+
+// WriteBatchJSON writes the machine-readable report.
+func WriteBatchJSON(w io.Writer, r *BatchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

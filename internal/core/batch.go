@@ -1,0 +1,1255 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"arb/internal/edb"
+	"arb/internal/storage"
+	"arb/internal/tree"
+)
+
+// Batch evaluation runs N compiled programs over one document during a
+// single pair of linear scans. The scans are query-independent I/O — the
+// paper's cost model is dominated by them — so a server fielding many
+// concurrent queries amortises the passes across the whole workload: at
+// every scan position each member engine takes its own transition, the
+// phase-1 states of all members stream to one widened state file
+// (stateWidth bytes per member per node), and auxiliary predicate masks
+// travel in one widened sidecar with a slot per member. Results are
+// bit-identical to running each member alone: the decomposition only
+// shares the iteration, never the automata.
+
+// BatchMember is one query's engine inside a batch run, plus the wiring
+// of its auxiliary predicate masks (the multi-pass XPath mechanism).
+type BatchMember struct {
+	E *Engine
+
+	// Aux supplies the member's auxiliary mask for in-memory runs; nil
+	// means no auxiliary predicates.
+	Aux func(v tree.NodeID) uint16
+
+	// AuxInSlot is the member's uint16 slot in the AuxIn sidecar of disk
+	// runs; negative means no aux input.
+	AuxInSlot int
+	// AuxOutSlot, when non-negative, makes phase 2 write the member's
+	// updated mask — the input mask ORed with bit AuxOutBit for every
+	// node selected by query predicate AuxOutQuery — to that slot of the
+	// AuxOut sidecar.
+	AuxOutSlot  int
+	AuxOutBit   uint8
+	AuxOutQuery int
+}
+
+// DiskBatchOpts configures a secondary-storage batch run. The sidecar
+// paths name widened aux-mask files (storage.MaskStride bytes per node);
+// empty paths mean no aux input/output.
+type DiskBatchOpts struct {
+	AuxIn        string
+	AuxInStride  int
+	AuxOut       string
+	AuxOutStride int
+}
+
+// transSource is the narrow automata interface the batch inner loops run
+// against: an Engine in sequential runs (adapted below), a SharedEngine
+// in parallel ones.
+type transSource interface {
+	ReachableStates(left, right StateID, sig edb.NodeSig) StateID
+	TruePreds(parent, resid StateID, k int) StateID
+	RootTrueSet(rootState StateID) StateID
+	QueryMask(td StateID) uint64
+}
+
+// engineSource adapts a privately-owned Engine to the transSource shape.
+type engineSource struct{ e *Engine }
+
+func (s engineSource) ReachableStates(left, right StateID, sig edb.NodeSig) StateID {
+	return s.e.ReachableStates(left, right, s.e.SigID(sig))
+}
+func (s engineSource) TruePreds(parent, resid StateID, k int) StateID {
+	return s.e.TruePreds(parent, resid, k)
+}
+func (s engineSource) RootTrueSet(rootState StateID) StateID { return s.e.RootTrueSet(rootState) }
+func (s engineSource) QueryMask(td StateID) uint64           { return s.e.queryMask(td) }
+
+// BatchCache is a dense per-member (and, in parallel runs, per-worker)
+// transition memo for the batch inner loops. A batch pays N engine steps
+// per node instead of one, so the per-step constant matters more here
+// than anywhere else in the system: node signatures resolve straight from
+// the 2-byte record bits (an array lookup), and the two transition
+// functions from flat tables indexed by their small dense state ids.
+// Tables grow geometrically as lazy automata construction discovers
+// states; misses fall through to the underlying source, so the cache is
+// semantics-free — it can never change which state a step yields.
+type BatchCache struct {
+	src transSource
+
+	// Local signature interning. Non-root signatures without aux bits are
+	// indexed directly by their record bits; root or aux-extra signatures
+	// (rare: one root per document, aux only on multi-pass members) go
+	// through the map, keyed rec | extra<<16 | root<<32.
+	sigByRec []int32 // 1<<16 entries; 0 = unknown, else local sig id + 1
+	sigAux   map[uint64]int32
+	sigs     []edb.NodeSig // local sig id -> signature, for miss calls
+
+	// δA: bu[((l+1)*dimS + (r+1))*dimSig + sig] = state id + 1. Keys the
+	// dense table will not grow to hold (maxDenseEntries) live in buMap.
+	dimS, dimSig int32
+	bu           []StateID
+	buMap        map[buMapKey]StateID
+
+	// δB: td[(parent*dimB + child)*2 + (k-1)] = state id + 1.
+	dimP, dimB int32
+	td         []StateID
+	tdMap      map[tdMapKey]StateID
+
+	// Query-predicate masks per top-down state.
+	masks     []uint64
+	maskKnown []bool
+}
+
+type buMapKey struct {
+	l, r StateID
+	sig  int32
+}
+
+type tdMapKey struct {
+	p, b StateID
+	k    uint8
+}
+
+// maxDenseEntries bounds each dense transition table (4 MB of StateIDs):
+// automata in practice stay far below it, and pathological state or
+// signature counts degrade to hash lookups instead of huge allocations.
+const maxDenseEntries = 1 << 20
+
+func newBatchCache(src transSource) *BatchCache {
+	return &BatchCache{src: src, sigByRec: make([]int32, 1<<16), sigAux: map[uint64]int32{}}
+}
+
+// NewBatchCache returns a private dense cache in front of the shared
+// engine for one worker of a parallel batch run.
+func (s *SharedEngine) NewBatchCache() *BatchCache { return newBatchCache(s) }
+
+// SigID interns the signature given by a node's record bits (label and
+// child flags, storage.Record.Encode form), root-ness and aux mask,
+// returning a cache-local signature id for BUStep.
+func (c *BatchCache) SigID(rec uint16, root bool, extra uint16) int32 {
+	if !root && extra == 0 {
+		if s := c.sigByRec[rec]; s != 0 {
+			return s - 1
+		}
+		s := c.internSig(rec, root, extra)
+		c.sigByRec[rec] = s + 1
+		return s
+	}
+	key := uint64(rec) | uint64(extra)<<16
+	if root {
+		key |= 1 << 32
+	}
+	if s, ok := c.sigAux[key]; ok {
+		return s
+	}
+	s := c.internSig(rec, root, extra)
+	c.sigAux[key] = s
+	return s
+}
+
+func (c *BatchCache) internSig(rec uint16, root bool, extra uint16) int32 {
+	r := storage.DecodeRecord(rec)
+	c.sigs = append(c.sigs, edb.NodeSig{
+		Label:     tree.Label(r.Label),
+		HasFirst:  r.HasFirst,
+		HasSecond: r.HasSecond,
+		IsRoot:    root,
+		Extra:     extra,
+	})
+	return int32(len(c.sigs) - 1)
+}
+
+// BUStep is the cached δA on a local signature id.
+func (c *BatchCache) BUStep(left, right StateID, sig int32) StateID {
+	l1, r1 := left+1, right+1
+	if l1 < c.dimS && r1 < c.dimS && sig < c.dimSig {
+		if id := c.bu[(l1*c.dimS+r1)*c.dimSig+sig]; id != 0 {
+			return id - 1
+		}
+	} else if id, ok := c.buMap[buMapKey{left, right, sig}]; ok {
+		return id
+	}
+	id := c.src.ReachableStates(left, right, c.sigs[sig])
+	c.storeBU(left, right, sig, id)
+	return id
+}
+
+func (c *BatchCache) storeBU(left, right StateID, sig int32, id StateID) {
+	l1, r1 := left+1, right+1
+	if l1 >= c.dimS || r1 >= c.dimS || sig >= c.dimSig {
+		if !c.growBU(max32(l1, r1), sig) {
+			if c.buMap == nil {
+				c.buMap = map[buMapKey]StateID{}
+			}
+			c.buMap[buMapKey{left, right, sig}] = id
+			return
+		}
+	}
+	c.bu[(l1*c.dimS+r1)*c.dimSig+sig] = id + 1
+}
+
+// growBU widens the dense δA table to cover state needS and signature
+// needSig, reporting false when that would exceed the dense budget.
+func (c *BatchCache) growBU(needS StateID, needSig int32) bool {
+	newS, newSig := c.dimS, c.dimSig
+	if newS == 0 {
+		newS, newSig = 8, 8
+	}
+	for newS <= int32(needS) {
+		newS *= 2
+	}
+	for newSig <= needSig {
+		newSig *= 2
+	}
+	if int64(newS)*int64(newS)*int64(newSig) > maxDenseEntries {
+		return false
+	}
+	nb := make([]StateID, int(newS)*int(newS)*int(newSig))
+	for l := int32(0); l < c.dimS; l++ {
+		for r := int32(0); r < c.dimS; r++ {
+			copy(nb[(l*newS+r)*newSig:(l*newS+r)*newSig+c.dimSig],
+				c.bu[(l*c.dimS+r)*c.dimSig:(l*c.dimS+r+1)*c.dimSig])
+		}
+	}
+	c.bu, c.dimS, c.dimSig = nb, newS, newSig
+	return true
+}
+
+// TDStep is the cached δB_k.
+func (c *BatchCache) TDStep(parent, bu StateID, k int) StateID {
+	if parent < c.dimP && bu < c.dimB {
+		if id := c.td[(parent*c.dimB+bu)*2+StateID(k-1)]; id != 0 {
+			return id - 1
+		}
+	} else if id, ok := c.tdMap[tdMapKey{parent, bu, uint8(k)}]; ok {
+		return id
+	}
+	id := c.src.TruePreds(parent, bu, k)
+	c.storeTD(parent, bu, k, id)
+	return id
+}
+
+func (c *BatchCache) storeTD(parent, bu StateID, k int, id StateID) {
+	if parent >= c.dimP || bu >= c.dimB {
+		newP, newB := c.dimP, c.dimB
+		if newP == 0 {
+			newP, newB = 8, 8
+		}
+		for newP <= parent {
+			newP *= 2
+		}
+		for newB <= bu {
+			newB *= 2
+		}
+		if int64(newP)*int64(newB)*2 > maxDenseEntries {
+			if c.tdMap == nil {
+				c.tdMap = map[tdMapKey]StateID{}
+			}
+			c.tdMap[tdMapKey{parent, bu, uint8(k)}] = id
+			return
+		}
+		nt := make([]StateID, int(newP)*int(newB)*2)
+		for p := int32(0); p < c.dimP; p++ {
+			copy(nt[p*newB*2:p*newB*2+c.dimB*2], c.td[p*c.dimB*2:(p+1)*c.dimB*2])
+		}
+		c.td, c.dimP, c.dimB = nt, newP, newB
+	}
+	c.td[(parent*c.dimB+bu)*2+StateID(k-1)] = id + 1
+}
+
+// RootTrueSet is step 2 of Algorithm 4.6 (uncached: once per run).
+func (c *BatchCache) RootTrueSet(bu StateID) StateID { return c.src.RootTrueSet(bu) }
+
+// QueryMask returns the query-predicate bitmask of a top-down state.
+func (c *BatchCache) QueryMask(td StateID) uint64 {
+	if int(td) < len(c.maskKnown) && c.maskKnown[td] {
+		return c.masks[td]
+	}
+	m := c.src.QueryMask(td)
+	for int(td) >= len(c.maskKnown) {
+		c.maskKnown = append(c.maskKnown, false)
+		c.masks = append(c.masks, 0)
+	}
+	c.maskKnown[td], c.masks[td] = true, m
+	return m
+}
+
+func max32(a, b StateID) StateID {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunBatchTree evaluates every member's program over an in-memory tree in
+// one shared pair of passes: phase 1 walks the tree bottom-up once,
+// stepping all member automata per node; phase 2 top-down likewise. The
+// returned results (one per member, in member order) are identical to
+// running each member's engine alone. The aggregate Stats carries the
+// shared phase wall times; per-engine lazy-transition work lands in each
+// member engine's own Stats as usual. Cancelling ctx aborts the pass in
+// progress with ctx.Err().
+func RunBatchTree(ctx context.Context, t *tree.Tree, members []BatchMember) ([]*Result, Stats, error) {
+	var agg Stats
+	n := t.Len()
+	if n == 0 {
+		return nil, agg, errors.New("core: empty tree")
+	}
+	nm := len(members)
+	if nm == 0 {
+		return nil, agg, errors.New("core: empty batch")
+	}
+	cancel := storage.NewCanceller(ctx)
+	res := make([]*Result, nm)
+	caches := make([]*BatchCache, nm)
+	for m, bm := range members {
+		res[m] = NewResult(bm.E.c.Prog, int64(n))
+		bm.E.stats.Nodes += int64(n)
+		caches[m] = newBatchCache(engineSource{bm.E})
+	}
+
+	// Phase 1: one bottom-up pass, all members per node.
+	start := time.Now()
+	bu := make([]StateID, n*nm)
+	for v := n - 1; v >= 0; v-- {
+		if err := cancel.Step(); err != nil {
+			return nil, agg, err
+		}
+		first, second := t.First(tree.NodeID(v)), t.Second(tree.NodeID(v))
+		rec := storage.Record{
+			Label:     uint16(t.Label(tree.NodeID(v))),
+			HasFirst:  first != tree.None,
+			HasSecond: second != tree.None,
+		}.Encode()
+		root := v == 0
+		for m, bm := range members {
+			left, right := NoState, NoState
+			if first != tree.None {
+				left = bu[int(first)*nm+m]
+			}
+			if second != tree.None {
+				right = bu[int(second)*nm+m]
+			}
+			var extra uint16
+			if bm.Aux != nil {
+				extra = bm.Aux(tree.NodeID(v))
+			}
+			c := caches[m]
+			bu[v*nm+m] = c.BUStep(left, right, c.SigID(rec, root, extra))
+		}
+	}
+	agg.Phase1Time = time.Since(start)
+
+	// Phase 2: one top-down pass.
+	start = time.Now()
+	td := make([]StateID, n*nm)
+	for m := range members {
+		td[m] = caches[m].RootTrueSet(bu[m])
+	}
+	for v := 0; v < n; v++ {
+		if err := cancel.Step(); err != nil {
+			return nil, agg, err
+		}
+		first, second := t.First(tree.NodeID(v)), t.Second(tree.NodeID(v))
+		for m := range members {
+			c := caches[m]
+			tdv := td[v*nm+m]
+			if mask := c.QueryMask(tdv); mask != 0 {
+				res[m].MarkMask(mask, int64(v))
+			}
+			if first != tree.None {
+				td[int(first)*nm+m] = c.TDStep(tdv, bu[int(first)*nm+m], 1)
+			}
+			if second != tree.None {
+				td[int(second)*nm+m] = c.TDStep(tdv, bu[int(second)*nm+m], 2)
+			}
+		}
+	}
+	agg.Phase2Time = time.Since(start)
+	return res, agg, nil
+}
+
+// Widened state file: per node, one stateWidth-byte big-endian id per
+// member, in member order. The state file is the dominant temporary I/O
+// of a big batch, so runs start with the narrowest width the members'
+// automata currently fit (typical programs intern a few dozen bottom-up
+// states — one byte) and restart wider in the rare event that lazy
+// construction outgrows it mid-run.
+const (
+	stateByte   = 1
+	stateNarrow = 2
+	stateWide   = 4
+)
+
+var errStateWidth = errors.New("core: bottom-up state id exceeds the narrow on-disk width")
+
+func putState(b []byte, width int, id StateID) error {
+	switch width {
+	case stateByte:
+		if uint32(id) >= 1<<8 {
+			return errStateWidth
+		}
+		b[0] = byte(id)
+	case stateNarrow:
+		if uint32(id) >= 1<<16 {
+			return errStateWidth
+		}
+		binary.BigEndian.PutUint16(b, uint16(id))
+	default:
+		binary.BigEndian.PutUint32(b, uint32(id))
+	}
+	return nil
+}
+
+func getState(b []byte, width int) StateID {
+	switch width {
+	case stateByte:
+		return StateID(b[0])
+	case stateNarrow:
+		return StateID(binary.BigEndian.Uint16(b))
+	default:
+		return StateID(binary.BigEndian.Uint32(b))
+	}
+}
+
+// batchStateWidth picks the initial on-disk state width for the members'
+// engines, leaving headroom under each width's limit for states a run
+// interns as it goes; a mid-run overflow restarts the run at stateWide.
+func batchStateWidth(members []BatchMember) int {
+	width := stateByte
+	for _, bm := range members {
+		switch n := len(bm.E.buStates); {
+		case n >= 1<<16-256:
+			return stateWide
+		case n >= 1<<8-64:
+			width = stateNarrow
+		}
+	}
+	return width
+}
+
+// RunDiskBatch evaluates every member's program over a .arb database in
+// secondary storage with exactly two linear scans of the data for the
+// whole batch: phase 1 is one backward scan streaming every member's
+// bottom-up state per node to one widened temporary state file; phase 2
+// is one forward scan reading that file backwards and computing each
+// member's true predicates. Auxiliary masks ride in widened sidecars with
+// one slot per member (DiskBatchOpts), so multi-pass members chain their
+// passes through shared scans too. Results are identical to running each
+// member through RunDiskContext alone. Cancelling ctx aborts the scan in
+// progress; a failed or cancelled run removes the state file and any
+// partially written AuxOut sidecar.
+func RunDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, opts DiskBatchOpts) ([]*Result, Stats, *DiskStats, error) {
+	res, agg, ds, err := runDiskBatch(ctx, db, members, opts, batchStateWidth(members))
+	if errors.Is(err, errStateWidth) {
+		res, agg, ds, err = runDiskBatch(ctx, db, members, opts, stateWide)
+	}
+	return res, agg, ds, err
+}
+
+func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, opts DiskBatchOpts, width int) ([]*Result, Stats, *DiskStats, error) {
+	var agg Stats
+	nm := len(members)
+	if nm == 0 {
+		return nil, agg, nil, errors.New("core: empty batch")
+	}
+	if db.N == 0 {
+		return nil, agg, nil, errors.New("core: empty database")
+	}
+	for _, bm := range members {
+		if bm.E.names != db.Names {
+			return nil, agg, nil, errors.New("core: engine name table does not match database")
+		}
+	}
+	stride := nm * width
+	res := make([]*Result, nm)
+	caches := make([]*BatchCache, nm)
+	for m, bm := range members {
+		res[m] = NewResult(bm.E.c.Prog, db.N)
+		caches[m] = newBatchCache(engineSource{bm.E})
+	}
+	ds := &DiskStats{StateBytes: db.N * int64(stride)}
+
+	var auxF *os.File
+	if opts.AuxIn != "" {
+		var err error
+		auxF, err = storage.OpenMaskFile(opts.AuxIn, db.N, opts.AuxInStride)
+		if err != nil {
+			return nil, agg, nil, err
+		}
+		defer auxF.Close()
+	}
+
+	stateF, err := os.CreateTemp(filepath.Dir(db.Base), filepath.Base(db.Base)+"-*.stb")
+	if err != nil {
+		return nil, agg, nil, err
+	}
+	statePath := stateF.Name()
+	defer func() {
+		stateF.Close()
+		os.Remove(statePath)
+	}()
+
+	// Phase 1: one backward scan; every node steps all member automata
+	// and streams the widened state vector.
+	start := time.Now()
+	var auxBack *storage.BackwardReader
+	if auxF != nil {
+		auxBack, err = storage.MaskBackward(auxF, 0, db.N, opts.AuxInStride)
+		if err != nil {
+			return nil, agg, nil, err
+		}
+	}
+	sw := bufio.NewWriterSize(stateF, 1<<16)
+	stateBuf := make([]byte, stride)
+	var free [][]StateID
+	var werr error
+	rootVec, scan1, err := storage.FoldBottomUp(ctx, db, func(first, second *[]StateID, rec storage.Record, v int64) []StateID {
+		out := takeVec(&free, first, second, nm)
+		var auxVec []byte
+		if auxBack != nil {
+			b, err := auxBack.Next()
+			if err != nil && werr == nil {
+				werr = fmt.Errorf("core: reading aux file: %w", err)
+			} else if err == nil {
+				auxVec = b
+			}
+		}
+		recBits := rec.Encode()
+		root := v == 0
+		for m, bm := range members {
+			left, right := NoState, NoState
+			if first != nil {
+				left = (*first)[m]
+			}
+			if second != nil {
+				right = (*second)[m]
+			}
+			var extra uint16
+			if auxVec != nil && bm.AuxInSlot >= 0 {
+				extra = binary.BigEndian.Uint16(auxVec[bm.AuxInSlot*storage.MaskSize:])
+			}
+			c := caches[m]
+			id := c.BUStep(left, right, c.SigID(recBits, root, extra))
+			out[m] = id
+			if err := putState(stateBuf[m*width:], width, id); err != nil && werr == nil {
+				werr = err
+			}
+		}
+		if _, err := sw.Write(stateBuf); err != nil && werr == nil {
+			werr = err
+		}
+		return out
+	})
+	if err != nil {
+		return nil, agg, nil, err
+	}
+	if werr == nil {
+		werr = sw.Flush()
+	}
+	if werr != nil {
+		if errors.Is(werr, errStateWidth) {
+			return nil, agg, nil, werr
+		}
+		return nil, agg, nil, fmt.Errorf("core: writing state file: %w", werr)
+	}
+	ds.Phase1 = scan1
+	agg.Phase1Time = time.Since(start)
+
+	// Phase 2: one forward scan; the state file, read backwards, yields
+	// the phase-1 vectors in preorder.
+	start = time.Now()
+	br, err := storage.NewBackwardReader(stateF, db.N*int64(stride), stride)
+	if err != nil {
+		return nil, agg, nil, err
+	}
+	var auxFwd *bufio.Reader
+	if auxF != nil {
+		auxFwd = storage.MaskForward(auxF, 0, db.N, opts.AuxInStride)
+	}
+	succeeded := false
+	var auxOut *bufio.Writer
+	var auxOutF *os.File
+	if opts.AuxOut != "" {
+		auxOutF, err = os.Create(opts.AuxOut)
+		if err != nil {
+			return nil, agg, nil, err
+		}
+		defer func() {
+			auxOutF.Close()
+			if !succeeded {
+				os.Remove(opts.AuxOut)
+			}
+		}()
+		auxOut = bufio.NewWriterSize(auxOutF, 1<<16)
+	}
+	inVec := make([]byte, storage.MaskStride(opts.AuxInStride))
+	outVec := make([]byte, storage.MaskStride(opts.AuxOutStride))
+
+	// Top-down states live in a depth-indexed arena: a node's vector is
+	// only ever needed by its descendants' visits, and no two live path
+	// entries share a depth, so the scan's S value can be the depth alone.
+	var arena [][]StateID
+	atDepth := func(d int32) []StateID {
+		for int(d) >= len(arena) {
+			arena = append(arena, make([]StateID, nm))
+		}
+		return arena[d]
+	}
+	scan2, err := storage.ScanTopDown(ctx, db, func(v int64, rec storage.Record, parent *int32, k int) (int32, error) {
+		b, err := br.Next()
+		if err != nil {
+			return 0, fmt.Errorf("core: reading state file: %w", err)
+		}
+		var d int32
+		var pvec []StateID
+		if parent == nil {
+			if v != 0 {
+				return 0, fmt.Errorf("core: parentless node %d", v)
+			}
+		} else {
+			d = *parent + 1
+			pvec = arena[*parent]
+		}
+		tvec := atDepth(d)
+		if auxFwd != nil {
+			if _, err := io.ReadFull(auxFwd, inVec); err != nil {
+				return 0, fmt.Errorf("core: reading aux file: %w", err)
+			}
+		}
+		if auxOut != nil {
+			for i := range outVec {
+				outVec[i] = 0
+			}
+		}
+		for m, bm := range members {
+			bu := getState(b[m*width:], width)
+			c := caches[m]
+			var td StateID
+			if parent == nil {
+				if bu != rootVec[m] {
+					return 0, fmt.Errorf("core: state file corrupt: root state %d, phase 1 computed %d", bu, rootVec[m])
+				}
+				td = c.RootTrueSet(bu)
+			} else {
+				td = c.TDStep(pvec[m], bu, k)
+			}
+			tvec[m] = td
+			mask := c.QueryMask(td)
+			if mask != 0 {
+				res[m].MarkMask(mask, v)
+			}
+			if auxOut != nil && bm.AuxOutSlot >= 0 {
+				var cur uint16
+				if auxFwd != nil && bm.AuxInSlot >= 0 {
+					cur = binary.BigEndian.Uint16(inVec[bm.AuxInSlot*storage.MaskSize:])
+				}
+				if mask&(1<<uint(bm.AuxOutQuery)) != 0 {
+					cur |= 1 << bm.AuxOutBit
+				}
+				binary.BigEndian.PutUint16(outVec[bm.AuxOutSlot*storage.MaskSize:], cur)
+			}
+		}
+		if auxOut != nil {
+			if _, err := auxOut.Write(outVec); err != nil {
+				return 0, err
+			}
+		}
+		return d, nil
+	})
+	if err != nil {
+		return nil, agg, nil, err
+	}
+	if auxOut != nil {
+		if err := auxOut.Flush(); err != nil {
+			return nil, agg, nil, err
+		}
+		if err := auxOutF.Close(); err != nil {
+			return nil, agg, nil, err
+		}
+	}
+	ds.Phase2 = scan2
+	agg.Phase2Time = time.Since(start)
+	// Count node visits only on success: a narrow-width restart re-enters
+	// this function and must not double-count the aborted attempt.
+	for _, bm := range members {
+		bm.E.stats.Nodes += db.N
+	}
+	succeeded = true
+	return res, agg, ds, nil
+}
+
+// RunDiskBatchParallel is RunDiskBatch with a pool of workers streaming
+// disjoint chunk byte ranges, preserving the aggregate two-linear-scans
+// I/O bound exactly as RunDiskParallelContext does for one query: the
+// database's subtree index cuts a frontier of chunks, each worker runs
+// every member engine over its chunk through private dense caches backed
+// by the members' shared automata, and the leader scans the glue.
+// workers <= 0 uses GOMAXPROCS; small databases and single-worker
+// requests delegate to the sequential batch.
+func RunDiskBatchParallel(ctx context.Context, db *storage.DB, workers int, members []BatchMember, opts DiskBatchOpts) ([]*Result, Stats, *DiskStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || db.N < parMinNodes {
+		return RunDiskBatch(ctx, db, members, opts)
+	}
+	if db.N == 0 {
+		return nil, Stats{}, nil, errors.New("core: empty database")
+	}
+	for _, bm := range members {
+		if bm.E.names != db.Names {
+			return nil, Stats{}, nil, errors.New("core: engine name table does not match database")
+		}
+	}
+	idx, err := db.Index(0)
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	target := db.N / (int64(workers) * parTasksPerWorker)
+	tasks := idx.Cut(target, parMinTask)
+	if len(tasks) == 0 {
+		return RunDiskBatch(ctx, db, members, opts)
+	}
+	run := func(tasks []storage.Extent) ([]*Result, Stats, *DiskStats, error) {
+		res, agg, ds, err := runDiskBatchChunked(ctx, db, workers, members, opts, tasks, batchStateWidth(members))
+		if errors.Is(err, errStateWidth) {
+			res, agg, ds, err = runDiskBatchChunked(ctx, db, workers, members, opts, tasks, stateWide)
+		}
+		return res, agg, ds, err
+	}
+	res, agg, ds, err := run(tasks)
+	if err != nil && errors.Is(err, storage.ErrBadExtent) {
+		// Stale or foreign .idx sidecar: rebuild and retry once, exactly
+		// like the single-query parallel evaluator.
+		idx, rerr := db.RebuildIndex(0)
+		if rerr != nil {
+			return nil, Stats{}, nil, rerr
+		}
+		tasks = idx.Cut(target, parMinTask)
+		if len(tasks) == 0 {
+			return RunDiskBatch(ctx, db, members, opts)
+		}
+		return run(tasks)
+	}
+	return res, agg, ds, err
+}
+
+// runDiskBatchChunked is one attempt at chunk-parallel batch evaluation
+// over a frontier cut.
+func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, members []BatchMember, opts DiskBatchOpts, tasks []storage.Extent, width int) ([]*Result, Stats, *DiskStats, error) {
+	var agg Stats
+	nm := len(members)
+	stride := nm * width
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	gaps := gapsOf(db.N, tasks)
+
+	res := make([]*Result, nm)
+	shared := make([]*SharedEngine, nm)
+	for m, bm := range members {
+		res[m] = NewResult(bm.E.c.Prog, db.N)
+		shared[m] = bm.E.Share()
+	}
+	ds := &DiskStats{StateBytes: db.N * int64(stride)}
+
+	var auxF *os.File
+	if opts.AuxIn != "" {
+		var err error
+		auxF, err = storage.OpenMaskFile(opts.AuxIn, db.N, opts.AuxInStride)
+		if err != nil {
+			return nil, agg, nil, err
+		}
+		defer auxF.Close()
+	}
+
+	stateF, err := os.CreateTemp(filepath.Dir(db.Base), filepath.Base(db.Base)+"-*.stb")
+	if err != nil {
+		return nil, agg, nil, err
+	}
+	statePath := stateF.Name()
+	defer func() {
+		stateF.Close()
+		os.Remove(statePath)
+	}()
+
+	// Per-worker, per-member dense caches backed by the shared automata,
+	// reused across both phases.
+	caches := make([][]*BatchCache, workers)
+	for w := range caches {
+		caches[w] = make([]*BatchCache, nm)
+		for m := range caches[w] {
+			caches[w][m] = newBatchCache(shared[m])
+		}
+	}
+	leader := make([]*BatchCache, nm)
+	for m := range leader {
+		leader[m] = newBatchCache(shared[m])
+	}
+
+	buVec := func(cs []*BatchCache, first, second *[]StateID, rec storage.Record, v int64, auxVec []byte, out []StateID, stateBuf []byte, werr *error) {
+		recBits := rec.Encode()
+		root := v == 0
+		for m, bm := range members {
+			left, right := NoState, NoState
+			if first != nil {
+				left = (*first)[m]
+			}
+			if second != nil {
+				right = (*second)[m]
+			}
+			var extra uint16
+			if auxVec != nil && bm.AuxInSlot >= 0 {
+				extra = binary.BigEndian.Uint16(auxVec[bm.AuxInSlot*storage.MaskSize:])
+			}
+			c := cs[m]
+			id := c.BUStep(left, right, c.SigID(recBits, root, extra))
+			out[m] = id
+			if err := putState(stateBuf[m*width:], width, id); err != nil && *werr == nil {
+				*werr = err
+			}
+		}
+	}
+
+	// Phase 1: workers fold their chunks bottom-up, each writing its
+	// slice of the widened state file at its own offset; then the leader
+	// folds the glue, consuming chunk root vectors.
+	start := time.Now()
+	rootVecs := make([][]StateID, len(tasks))
+	var statsMu sync.Mutex
+	var phase1 storage.ScanStats
+	err = RunPool(ctx, workers, len(tasks), func(worker, i int) error {
+		x := tasks[i]
+		cs := caches[worker]
+		sw := bufio.NewWriterSize(io.NewOffsetWriter(stateF, (db.N-x.End())*int64(stride)), 1<<16)
+		var auxBack *storage.BackwardReader
+		if auxF != nil {
+			var err error
+			auxBack, err = storage.MaskBackward(auxF, x.Root, x.End(), opts.AuxInStride)
+			if err != nil {
+				return err
+			}
+		}
+		stateBuf := make([]byte, stride)
+		var free [][]StateID
+		var werr error
+		rootVec, st, err := storage.FoldBottomUpRange(ctx, db, x, func(first, second *[]StateID, rec storage.Record, v int64) []StateID {
+			out := takeVec(&free, first, second, nm)
+			var auxVec []byte
+			if auxBack != nil {
+				b, err := auxBack.Next()
+				if err != nil && werr == nil {
+					werr = fmt.Errorf("core: reading aux file: %w", err)
+				} else if err == nil {
+					auxVec = b
+				}
+			}
+			buVec(cs, first, second, rec, v, auxVec, out, stateBuf, &werr)
+			if _, err := sw.Write(stateBuf); err != nil && werr == nil {
+				werr = err
+			}
+			return out
+		})
+		if err != nil {
+			return err
+		}
+		if werr == nil {
+			werr = sw.Flush()
+		}
+		if werr != nil {
+			if errors.Is(werr, errStateWidth) {
+				return werr
+			}
+			return fmt.Errorf("core: chunk [%d,%d): %w", x.Root, x.End(), werr)
+		}
+		rootVecs[i] = rootVec
+		statsMu.Lock()
+		phase1.Merge(storage.ScanStats{Bytes: st.Bytes, MaxStack: st.MaxStack})
+		statsMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, agg, nil, err
+	}
+
+	// Leader glue scan, reverse preorder over everything outside the
+	// chunks, with each chunk standing in as one already-folded subtree.
+	lw := &runWriter{f: stateF}
+	gi := len(gaps) - 1
+	var auxBack *storage.BackwardReader
+	ti := len(tasks) - 1
+	stateBuf := make([]byte, stride)
+	var free [][]StateID
+	var werr error
+	rootVec, scan1, err := storage.FoldBottomUpSkipping(ctx, db, tasks,
+		func(x storage.Extent) ([]StateID, error) {
+			// Hand the fold a copy: the original must survive for phase 2,
+			// but the fold recycles child vectors freely.
+			st := append([]StateID(nil), rootVecs[ti]...)
+			ti--
+			return st, nil
+		},
+		func(first, second *[]StateID, rec storage.Record, v int64) []StateID {
+			if auxF != nil {
+				for gi >= 0 && v < gaps[gi].Root {
+					gi--
+				}
+				if gi < 0 {
+					if werr == nil {
+						werr = fmt.Errorf("core: glue scan lost its gap at node %d", v)
+					}
+				} else if g := gaps[gi]; v == g.End()-1 {
+					var err error
+					auxBack, err = storage.MaskBackward(auxF, g.Root, g.End(), opts.AuxInStride)
+					if err != nil && werr == nil {
+						werr = err
+					}
+				}
+			}
+			out := takeVec(&free, first, second, nm)
+			var auxVec []byte
+			if auxBack != nil {
+				b, err := auxBack.Next()
+				if err != nil && werr == nil {
+					werr = fmt.Errorf("core: reading aux file: %w", err)
+				} else if err == nil {
+					auxVec = b
+				}
+			}
+			buVec(leader, first, second, rec, v, auxVec, out, stateBuf, &werr)
+			lw.writeAt(stateBuf, (db.N-1-v)*int64(stride))
+			return out
+		})
+	if err != nil {
+		return nil, agg, nil, err
+	}
+	if werr == nil {
+		werr = lw.flush()
+	}
+	if werr != nil {
+		if errors.Is(werr, errStateWidth) {
+			return nil, agg, nil, werr
+		}
+		return nil, agg, nil, fmt.Errorf("core: writing state file: %w", werr)
+	}
+	scan1.Merge(phase1)
+	ds.Phase1 = scan1
+	agg.Phase1Time = time.Since(start)
+
+	// Phase 2, leader first: forward over the glue, assigning each chunk
+	// root its top-down entry vector.
+	start = time.Now()
+	succeeded := false
+	var auxOutF *os.File
+	if opts.AuxOut != "" {
+		auxOutF, err = os.Create(opts.AuxOut)
+		if err != nil {
+			return nil, agg, nil, err
+		}
+		defer func() {
+			auxOutF.Close()
+			if !succeeded {
+				os.Remove(opts.AuxOut)
+			}
+		}()
+	}
+	strideOut := storage.MaskStride(opts.AuxOutStride)
+
+	tdRoots := make([][]StateID, len(tasks))
+	ti = 0
+	gi = 0
+	var stateBack *storage.BackwardReader
+	var auxFwd *bufio.Reader
+	auxOut := &runWriter{f: auxOutF}
+	newGapReaders := func(v int64) error {
+		for gi < len(gaps) && v >= gaps[gi].End() {
+			gi++
+		}
+		if gi >= len(gaps) || v != gaps[gi].Root {
+			return fmt.Errorf("core: glue scan lost its gap at node %d", v)
+		}
+		g := gaps[gi]
+		var err error
+		stateBack, err = storage.NewBackwardSectionReader(stateF, (db.N-g.End())*int64(stride), (db.N-g.Root)*int64(stride), stride)
+		if err != nil {
+			return err
+		}
+		if auxF != nil {
+			auxFwd = storage.MaskForward(auxF, g.Root, g.End(), opts.AuxInStride)
+		}
+		return nil
+	}
+	var arena [][]StateID
+	atDepth := func(d int32) []StateID {
+		for int(d) >= len(arena) {
+			arena = append(arena, make([]StateID, nm))
+		}
+		return arena[d]
+	}
+	inVec := make([]byte, storage.MaskStride(opts.AuxInStride))
+	outVec := make([]byte, strideOut)
+	nextGapNode := int64(-1)
+	scan2, err := storage.ScanTopDownSkipping(ctx, db, tasks,
+		func(x storage.Extent, parent *int32, k int) error {
+			entry := make([]StateID, nm)
+			for m := range members {
+				bu := rootVecs[ti][m]
+				if parent == nil {
+					if x.Root != 0 {
+						return fmt.Errorf("core: parentless chunk at node %d", x.Root)
+					}
+					entry[m] = leader[m].RootTrueSet(bu)
+				} else {
+					entry[m] = leader[m].TDStep(arena[*parent][m], bu, k)
+				}
+			}
+			tdRoots[ti] = entry
+			ti++
+			return nil
+		},
+		func(v int64, rec storage.Record, parent *int32, k int) (int32, error) {
+			if v != nextGapNode {
+				if err := newGapReaders(v); err != nil {
+					return 0, err
+				}
+			}
+			nextGapNode = v + 1
+			b, err := stateBack.Next()
+			if err != nil {
+				return 0, fmt.Errorf("core: reading state file: %w", err)
+			}
+			var d int32
+			var pvec []StateID
+			if parent == nil {
+				if v != 0 {
+					return 0, fmt.Errorf("core: parentless node %d", v)
+				}
+			} else {
+				d = *parent + 1
+				pvec = arena[*parent]
+			}
+			tvec := atDepth(d)
+			if auxFwd != nil {
+				if _, err := io.ReadFull(auxFwd, inVec); err != nil {
+					return 0, fmt.Errorf("core: reading aux file: %w", err)
+				}
+			}
+			if auxOutF != nil {
+				for i := range outVec {
+					outVec[i] = 0
+				}
+			}
+			for m, bm := range members {
+				bu := getState(b[m*width:], width)
+				c := leader[m]
+				var td StateID
+				if parent == nil {
+					if bu != rootVec[m] {
+						return 0, fmt.Errorf("core: state file corrupt: root state %d, phase 1 computed %d", bu, rootVec[m])
+					}
+					td = c.RootTrueSet(bu)
+				} else {
+					td = c.TDStep(pvec[m], bu, k)
+				}
+				tvec[m] = td
+				mask := c.QueryMask(td)
+				if mask != 0 {
+					// Workers are not running yet: marking needs no lock.
+					res[m].MarkMask(mask, v)
+				}
+				if auxOutF != nil && bm.AuxOutSlot >= 0 {
+					var cur uint16
+					if auxFwd != nil && bm.AuxInSlot >= 0 {
+						cur = binary.BigEndian.Uint16(inVec[bm.AuxInSlot*storage.MaskSize:])
+					}
+					if mask&(1<<uint(bm.AuxOutQuery)) != 0 {
+						cur |= 1 << bm.AuxOutBit
+					}
+					binary.BigEndian.PutUint16(outVec[bm.AuxOutSlot*storage.MaskSize:], cur)
+				}
+			}
+			if auxOutF != nil {
+				auxOut.writeAt(outVec, v*strideOut)
+			}
+			return d, nil
+		})
+	if err != nil {
+		return nil, agg, nil, err
+	}
+
+	// Phase 2, workers: descend into the chunks from their entry vectors,
+	// accumulating marks in private per-chunk bitsets per member.
+	err = RunPool(ctx, workers, len(tasks), func(worker, i int) error {
+		x := tasks[i]
+		cs := caches[worker]
+		stateBack, err := storage.NewBackwardSectionReader(stateF, (db.N-x.End())*int64(stride), (db.N-x.Root)*int64(stride), stride)
+		if err != nil {
+			return err
+		}
+		var auxFwd *bufio.Reader
+		if auxF != nil {
+			auxFwd = storage.MaskForward(auxF, x.Root, x.End(), opts.AuxInStride)
+		}
+		var auxOut *bufio.Writer
+		if auxOutF != nil {
+			auxOut = bufio.NewWriterSize(io.NewOffsetWriter(auxOutF, x.Root*strideOut), 1<<16)
+		}
+		w0 := x.Root / 64
+		words := (x.End()-1)/64 - w0 + 1
+		local := make([][][]uint64, nm)
+		for m := range local {
+			local[m] = make([][]uint64, len(res[m].queries))
+			for qi := range local[m] {
+				local[m][qi] = make([]uint64, words)
+			}
+		}
+		var arena [][]StateID
+		atDepth := func(d int32) []StateID {
+			for int(d) >= len(arena) {
+				arena = append(arena, make([]StateID, nm))
+			}
+			return arena[d]
+		}
+		inVec := make([]byte, storage.MaskStride(opts.AuxInStride))
+		outVec := make([]byte, strideOut)
+		st, err := storage.ScanTopDownRange(ctx, db, x, func(v int64, rec storage.Record, parent *int32, k int) (int32, error) {
+			b, err := stateBack.Next()
+			if err != nil {
+				return 0, fmt.Errorf("core: reading state file: %w", err)
+			}
+			var d int32
+			var pvec []StateID
+			if parent != nil {
+				d = *parent + 1
+				pvec = arena[*parent]
+			}
+			tvec := atDepth(d)
+			if auxFwd != nil {
+				if _, err := io.ReadFull(auxFwd, inVec); err != nil {
+					return 0, fmt.Errorf("core: reading aux file: %w", err)
+				}
+			}
+			if auxOut != nil {
+				for i := range outVec {
+					outVec[i] = 0
+				}
+			}
+			for m, bm := range members {
+				bu := getState(b[m*width:], width)
+				c := cs[m]
+				var td StateID
+				if parent == nil {
+					// Chunk root: phase 1 of this very chunk computed its
+					// state, so a mismatch means the file changed under us.
+					if bu != rootVecs[i][m] {
+						return 0, fmt.Errorf("core: state file corrupt: chunk root state %d, phase 1 computed %d", bu, rootVecs[i][m])
+					}
+					td = tdRoots[i][m]
+				} else {
+					td = c.TDStep(pvec[m], bu, k)
+				}
+				tvec[m] = td
+				mask := c.QueryMask(td)
+				for mm, qi := mask, 0; mm != 0; qi++ {
+					if mm&1 != 0 {
+						local[m][qi][v/64-w0] |= 1 << uint(v%64)
+					}
+					mm >>= 1
+				}
+				if auxOut != nil && bm.AuxOutSlot >= 0 {
+					var cur uint16
+					if auxFwd != nil && bm.AuxInSlot >= 0 {
+						cur = binary.BigEndian.Uint16(inVec[bm.AuxInSlot*storage.MaskSize:])
+					}
+					if mask&(1<<uint(bm.AuxOutQuery)) != 0 {
+						cur |= 1 << bm.AuxOutBit
+					}
+					binary.BigEndian.PutUint16(outVec[bm.AuxOutSlot*storage.MaskSize:], cur)
+				}
+			}
+			if auxOut != nil {
+				if _, err := auxOut.Write(outVec); err != nil {
+					return 0, err
+				}
+			}
+			return d, nil
+		})
+		if err != nil {
+			return err
+		}
+		if auxOut != nil {
+			if err := auxOut.Flush(); err != nil {
+				return err
+			}
+		}
+		for m := range local {
+			for qi := range local[m] {
+				res[m].MergeWords(qi, w0, local[m][qi])
+			}
+		}
+		statsMu.Lock()
+		scan2.Merge(storage.ScanStats{Bytes: st.Bytes, MaxStack: st.MaxStack})
+		statsMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, agg, nil, err
+	}
+	if werr := auxOut.flush(); werr != nil {
+		return nil, agg, nil, werr
+	}
+	if auxOutF != nil {
+		if err := auxOutF.Close(); err != nil {
+			return nil, agg, nil, err
+		}
+	}
+	ds.Phase2 = scan2
+	agg.Phase2Time = time.Since(start)
+	// Count node visits only on success: a narrow-width restart re-enters
+	// this function and must not double-count the aborted attempt.
+	for _, bm := range members {
+		bm.E.stats.Nodes += db.N
+	}
+	succeeded = true
+	return res, agg, ds, nil
+}
+
+// takeVec hands the bottom-up fold an output vector, recycling popped
+// child vectors so allocation stays bounded by the scan stack depth.
+func takeVec(free *[][]StateID, first, second *[]StateID, nm int) []StateID {
+	switch {
+	case first != nil:
+		if second != nil {
+			*free = append(*free, *second)
+		}
+		return *first
+	case second != nil:
+		return *second
+	default:
+		if k := len(*free); k > 0 {
+			out := (*free)[k-1]
+			*free = (*free)[:k-1]
+			return out
+		}
+		return make([]StateID, nm)
+	}
+}

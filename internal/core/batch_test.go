@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"arb/internal/naive"
+	"arb/internal/storage"
+	"arb/internal/testutil"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// batchEngines compiles count random programs into fresh engines plus the
+// parallel scalar results to compare against.
+func batchPrograms(t *testing.T, rng *rand.Rand, count int) []*tmnf.Program {
+	t.Helper()
+	progs := make([]*tmnf.Program, count)
+	for i := range progs {
+		progs[i] = testutil.RandomProgramParsed(rng, 3, 6)
+	}
+	return progs
+}
+
+func batchMembers(t *testing.T, progs []*tmnf.Program, names *tree.Names) []BatchMember {
+	t.Helper()
+	members := make([]BatchMember, len(progs))
+	for i, prog := range progs {
+		c, err := Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = BatchMember{E: NewEngine(c, names), AuxInSlot: -1, AuxOutSlot: -1}
+	}
+	return members
+}
+
+// TestBatchMatchesScalarAndNaive is the core-level differential test: the
+// three batch strategies select bit-identical nodes to per-program scalar
+// runs and to the naive fixpoint oracle, on random trees and programs.
+func TestBatchMatchesScalarAndNaive(t *testing.T) {
+	lowerParallelKnobs(t)
+	rng := rand.New(rand.NewSource(2024))
+	ctx := context.Background()
+	for iter := 0; iter < 12; iter++ {
+		tr := testutil.RandomTree(rng, 400)
+		progs := batchPrograms(t, rng, 3+rng.Intn(4))
+		base := filepath.Join(t.TempDir(), "db")
+		db, err := storage.CreateFromTree(base, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Scalar reference runs, one engine per program.
+		want := make([]*Result, len(progs))
+		for i, prog := range progs {
+			c, err := Compile(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i], err = NewEngine(c, db.Names).RunContext(ctx, tr, RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		memRes, _, err := RunBatchTree(ctx, tr, batchMembers(t, progs, db.Names))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diskRes, _, ds, err := RunDiskBatch(ctx, db, batchMembers(t, progs, db.Names), DiskBatchOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRes, _, pds, err := RunDiskBatchParallel(ctx, db, 4, batchMembers(t, progs, db.Names), DiskBatchOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, prog := range progs {
+			sameResults(t, prog, tr.Len(), memRes[i], want[i], "batch-memory vs scalar")
+			sameResults(t, prog, tr.Len(), diskRes[i], want[i], "batch-disk vs scalar")
+			sameResults(t, prog, tr.Len(), parRes[i], want[i], "batch-parallel-disk vs scalar")
+			oracle := naive.Evaluate(tr, prog)
+			for _, q := range prog.Queries() {
+				for v := 0; v < tr.Len(); v++ {
+					if g, w := memRes[i].Holds(q, tree.NodeID(v)), oracle.Holds(q, tree.NodeID(v)); g != w {
+						t.Fatalf("iter %d member %d: batch %s(%d)=%v, naive %v\nprogram:\n%s",
+							iter, i, prog.PredName(q), v, g, w, prog)
+					}
+				}
+			}
+		}
+
+		// One aggregate pair of linear scans for the whole batch, however
+		// many members and workers: the scans read the database size in
+		// .arb bytes exactly once per phase.
+		for name, d := range map[string]*DiskStats{"sequential": ds, "parallel": pds} {
+			if d.Phase1.Bytes != db.N*storage.NodeSize || d.Phase2.Bytes != db.N*storage.NodeSize {
+				t.Fatalf("iter %d %s: scans read %d/%d bytes, want %d each",
+					iter, name, d.Phase1.Bytes, d.Phase2.Bytes, db.N*storage.NodeSize)
+			}
+		}
+		db.Close()
+	}
+}
+
+// TestBatchWideStateFallback forces the narrow->wide state width restart
+// and checks the run still agrees with the scalar result.
+func TestBatchWideStateFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := testutil.RandomTree(rng, 300)
+	prog := testutil.RandomProgramParsed(rng, 3, 6)
+	base := filepath.Join(t.TempDir(), "db")
+	db, err := storage.CreateFromTree(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewEngine(c, db.Names).RunContext(context.Background(), tr, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(c, db.Names)
+	// An engine that already interned states near the 16-bit limit makes
+	// batchStateWidth pick the wide layout up front.
+	for len(e.buStates) < 1<<16-256 {
+		e.buStates = append(e.buStates, nil)
+	}
+	members := []BatchMember{{E: e, AuxInSlot: -1, AuxOutSlot: -1}}
+	if batchStateWidth(members) != stateWide {
+		t.Fatal("padded engine did not select the wide state layout")
+	}
+	res, _, _, err := RunDiskBatch(context.Background(), db, members, DiskBatchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, prog, tr.Len(), res[0], want, "wide-state batch vs scalar")
+}

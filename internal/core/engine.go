@@ -133,6 +133,11 @@ func (e *Engine) Stats() Stats { return e.stats }
 // caches are kept).
 func (e *Engine) ResetStats() { e.stats = Stats{} }
 
+// AddNodes records n node visits in the engine's statistics; evaluators
+// outside this package (the parallel batch runner) call it once up front
+// because they only touch the engine through its SharedEngine afterwards.
+func (e *Engine) AddNodes(n int64) { e.stats.Nodes += n }
+
 // SigID interns a node signature, collapsing signatures that satisfy the
 // same EDB facts of the program into one alphabet symbol.
 func (e *Engine) SigID(sig edb.NodeSig) int32 {

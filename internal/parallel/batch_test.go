@@ -1,0 +1,84 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"arb/internal/core"
+	"arb/internal/testutil"
+	"arb/internal/tree"
+)
+
+// TestRunBatchMatchesSequentialBatch checks the worker-pool batch against
+// core.RunBatchTree on random trees and random programs, including
+// members with auxiliary masks.
+func TestRunBatchMatchesSequentialBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ctx := context.Background()
+	for iter := 0; iter < 10; iter++ {
+		tr := testutil.RandomTree(rng, 600)
+		aux := make([]uint16, tr.Len())
+		for i := range aux {
+			aux[i] = uint16(rng.Intn(4))
+		}
+		auxFn := func(v tree.NodeID) uint16 { return aux[v] }
+		// Each program gets two engines: the sequential reference and the
+		// parallel run must not share one (Share's contract).
+		var seq, par []core.BatchMember
+		for i := 0; i < 4; i++ {
+			prog := testutil.RandomProgramParsed(rng, 3, 6)
+			c, err := core.Compile(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var auxf func(tree.NodeID) uint16
+			if i%2 == 1 {
+				auxf = auxFn
+			}
+			seq = append(seq, core.BatchMember{E: core.NewEngine(c, tr.Names()), Aux: auxf, AuxInSlot: -1, AuxOutSlot: -1})
+			par = append(par, core.BatchMember{E: core.NewEngine(c, tr.Names()), Aux: auxf, AuxInSlot: -1, AuxOutSlot: -1})
+		}
+		want, _, err := core.RunBatchTree(ctx, tr, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := RunBatchContext(ctx, tr, 4, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := range seq {
+			for _, q := range want[m].Queries() {
+				if g, w := got[m].Count(q), want[m].Count(q); g != w {
+					t.Fatalf("iter %d member %d: parallel batch selected %d nodes, sequential %d", iter, m, g, w)
+				}
+				for v := 0; v < tr.Len(); v++ {
+					if g, w := got[m].Holds(q, tree.NodeID(v)), want[m].Holds(q, tree.NodeID(v)); g != w {
+						t.Fatalf("iter %d member %d node %d: parallel %v, sequential %v", iter, m, v, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchCancel checks an already-cancelled context aborts the
+// parallel batch with ctx.Err().
+func TestRunBatchCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := testutil.RandomTree(rng, 400)
+	prog := testutil.RandomProgramParsed(rng, 3, 6)
+	c, err := core.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = RunBatchContext(ctx, tr, 3, []core.BatchMember{
+		{E: core.NewEngine(c, tr.Names()), AuxInSlot: -1, AuxOutSlot: -1},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+}

@@ -2,8 +2,11 @@ package storage
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"io"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -79,6 +82,104 @@ func TestScanCancel(t *testing.T) {
 		}
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: error %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestBatchScanCancel covers the scan shapes batch execution drives:
+// vector-state folds (one state per batch member) and widened aux-mask
+// sidecar readers. A cancelled context aborts them before any node is
+// visited, and no temporary files survive next to the database.
+func TestBatchScanCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := testutil.RandomTree(rng, 600)
+	dir := t.TempDir()
+	db, err := CreateFromTree(filepath.Join(dir, "t"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// A widened mask sidecar with one slot per member, as batch rounds
+	// write it: slot m of node v carries v+m (for positioning checks).
+	const stride = 3
+	maskPath := filepath.Join(dir, "t.auxb")
+	maskBytes := make([]byte, db.N*MaskStride(stride))
+	for v := int64(0); v < db.N; v++ {
+		for m := 0; m < stride; m++ {
+			binary.BigEndian.PutUint16(maskBytes[v*MaskStride(stride)+int64(m)*MaskSize:], uint16(v)+uint16(m))
+		}
+	}
+	if err := os.WriteFile(maskPath, maskBytes, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	maskF, err := OpenMaskFile(maskPath, db.N, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer maskF.Close()
+	if _, err := OpenMaskFile(maskPath, db.N, stride+1); err == nil {
+		t.Error("OpenMaskFile accepted a sidecar with the wrong stride")
+	}
+
+	// The stride readers yield slot vectors in step with the scans.
+	back, err := MaskBackward(maskF, 1, db.N, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := db.N - 1; v >= 1; v-- {
+		b, err := back.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.BigEndian.Uint16(b[2*MaskSize:]); got != uint16(v)+2 {
+			t.Fatalf("backward mask at node %d slot 2: %d, want %d", v, got, uint16(v)+2)
+		}
+	}
+	fwd := MaskForward(maskF, 0, db.N, stride)
+	vec := make([]byte, MaskStride(stride))
+	for v := int64(0); v < db.N; v++ {
+		if _, err := io.ReadFull(fwd, vec); err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.BigEndian.Uint16(vec); got != uint16(v) {
+			t.Fatalf("forward mask at node %d slot 0: %d, want %d", v, got, uint16(v))
+		}
+	}
+
+	// Vector-state scans (the batch shape: S = one state per member)
+	// honour cancellation before visiting a single node.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	visited := 0
+	_, _, err = FoldBottomUp(ctx, db, func(first, second *[]int32, rec Record, v int64) []int32 {
+		visited++
+		return make([]int32, stride)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("vector FoldBottomUp: error %v, want context.Canceled", err)
+	}
+	_, err = ScanTopDown(ctx, db, func(v int64, rec Record, parent *int32, k int) (int32, error) {
+		visited++
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("depth-state ScanTopDown: error %v, want context.Canceled", err)
+	}
+	if visited != 0 {
+		t.Errorf("cancelled batch-shaped scans visited %d nodes, want 0", visited)
+	}
+
+	// Nothing beyond the database files and the sidecar this test wrote.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".arb", ".lab", ".idx", ".auxb":
+		default:
+			t.Errorf("stray file after cancelled scans: %s", e.Name())
 		}
 	}
 }

@@ -239,6 +239,90 @@ func buildArbBackwards(evtF *os.File, n int64, arbPath string) error {
 	return bw.Close()
 }
 
+// CreateFullBinary writes a full binary tree of the given depth as a
+// database, streaming the records straight to disk: a node at depth d
+// carries the tag tags[d%len(tags)], inner nodes have both children. The
+// tree has 2^(depth+1)-1 nodes, so depth 24 yields a ~64 MB .arb file —
+// the generator exists to make big-database experiments (shared-scan
+// batching, parallel speedups) reproducible without materialising the
+// tree in memory.
+func CreateFullBinary(base string, depth int, tags []string) (*DB, error) {
+	if depth < 0 || depth > 40 {
+		return nil, fmt.Errorf("storage: full binary depth %d out of range", depth)
+	}
+	if len(tags) == 0 {
+		return nil, fmt.Errorf("storage: need at least one tag")
+	}
+	names := tree.NewNames()
+	labels := make([]uint16, len(tags))
+	for i, tg := range tags {
+		l, err := names.Intern(tg)
+		if err != nil {
+			return nil, err
+		}
+		labels[i] = uint16(l)
+	}
+	arbF, err := os.Create(base + ".arb")
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(arbF, defaultBufSize)
+	// Precompute the two record encodings per depth level; the preorder
+	// emission is then a plain recursion of the tree's depth.
+	inner := make([][2]byte, depth+1)
+	leaf := make([][2]byte, depth+1)
+	for d := 0; d <= depth; d++ {
+		binary.BigEndian.PutUint16(inner[d][:], Record{Label: labels[d%len(labels)], HasFirst: true, HasSecond: true}.Encode())
+		binary.BigEndian.PutUint16(leaf[d][:], Record{Label: labels[d%len(labels)]}.Encode())
+	}
+	var werr error
+	var emit func(d int)
+	emit = func(d int) {
+		if werr != nil {
+			return
+		}
+		if d == depth {
+			_, werr = w.Write(leaf[d][:])
+			return
+		}
+		if _, werr = w.Write(inner[d][:]); werr != nil {
+			return
+		}
+		emit(d + 1)
+		emit(d + 1)
+	}
+	emit(0)
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if err := arbF.Close(); werr == nil {
+		werr = err
+	}
+	if werr != nil {
+		return nil, werr
+	}
+	labF, err := os.Create(base + ".lab")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := names.WriteTo(labF); err != nil {
+		labF.Close()
+		return nil, err
+	}
+	if err := labF.Close(); err != nil {
+		return nil, err
+	}
+	db, err := Open(base)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.WriteIndex(0); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
 // CreateFromTree writes an in-memory tree as a database (forward pass; no
 // event file needed since child flags are already known). Used by tests
 // and by workload generators that build trees in memory.

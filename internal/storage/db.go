@@ -71,12 +71,19 @@ func (db *DB) Close() error { return db.arb.Close() }
 type ScanStats struct {
 	Nodes    int64
 	MaxStack int
+	// Bytes counts the .arb record bytes this scan actually read. Skipped
+	// extents (the leader's view of chunks scanned by workers) contribute
+	// to Nodes but not Bytes, so merging a parallel run's scanners yields
+	// exactly the database size per aggregate linear scan — the counter
+	// behind the "two linear scans, even batched and parallel" claim.
+	Bytes int64
 }
 
 // Merge folds the stats of a concurrent scanner into the aggregate: node
-// counts add up, the stack bound is the maximum over scanners.
+// and byte counts add up, the stack bound is the maximum over scanners.
 func (s *ScanStats) Merge(o ScanStats) {
 	s.Nodes += o.Nodes
+	s.Bytes += o.Bytes
 	if o.MaxStack > s.MaxStack {
 		s.MaxStack = o.MaxStack
 	}
@@ -175,6 +182,7 @@ func (f *backFold[S]) foldRegion(db *DB, lo, hi int64) error {
 		if err != nil {
 			return fmt.Errorf("storage: backward scan: %w", err)
 		}
+		f.stats.Bytes += NodeSize
 		if err := f.node(DecodeRecord(binary.BigEndian.Uint16(b)), v); err != nil {
 			return err
 		}
@@ -356,6 +364,7 @@ func ScanTopDownSkipping[S any](ctx context.Context, db *DB, skip []Extent, subt
 			if _, err := io.ReadFull(r, buf[:]); err != nil {
 				return t.stats, fmt.Errorf("storage: forward scan: %w", err)
 			}
+			t.stats.Bytes += NodeSize
 			if err := t.node(v, DecodeRecord(binary.BigEndian.Uint16(buf[:]))); err != nil {
 				return t.stats, err
 			}
@@ -402,6 +411,7 @@ func ScanTopDownRange[S any](ctx context.Context, db *DB, x Extent, visit func(v
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
 			return t.stats, fmt.Errorf("storage: forward scan: %w", err)
 		}
+		t.stats.Bytes += NodeSize
 		if err := t.node(v, DecodeRecord(binary.BigEndian.Uint16(buf[:]))); err != nil {
 			return t.stats, err
 		}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector; big-data tests use it to stay within CI time budgets.
+const RaceEnabled = false

@@ -1,0 +1,242 @@
+package xpath
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"arb/internal/core"
+	"arb/internal/parallel"
+	"arb/internal/storage"
+	"arb/internal/tree"
+)
+
+// Batch is a set of Prepared queries that execute together, sharing each
+// scan pair across all members. Single-pass members cost one shared pair
+// of passes for the whole batch; multi-pass members (XPath not(..)) are
+// scheduled so that round r runs pass r of every member that still has
+// one — sibling queries piggyback on each other's scans, and the total
+// number of scan pairs is the maximum pass count over the batch, not the
+// sum. Like Prepared, a Batch is not safe for concurrent use; the arb
+// package's PreparedBatch holds the lock.
+type Batch struct {
+	members []*Prepared
+}
+
+// NewBatch groups prepared queries into a batch. The members keep their
+// identity: each one's automata persist and its result slot in Exec's
+// output follows member order.
+func NewBatch(members []*Prepared) *Batch { return &Batch{members: members} }
+
+// Len returns the number of member queries.
+func (b *Batch) Len() int { return len(b.members) }
+
+// Member returns the i-th prepared query.
+func (b *Batch) Member(i int) *Prepared { return b.members[i] }
+
+// Rounds returns the number of shared scan pairs an execution runs: the
+// maximum pass count over the members.
+func (b *Batch) Rounds() int {
+	r := 0
+	for _, m := range b.members {
+		if p := m.Passes(); p > r {
+			r = p
+		}
+	}
+	return r
+}
+
+// engines returns every pass engine of every member, for stats deltas.
+func (b *Batch) engines() []*core.Engine {
+	var es []*core.Engine
+	for _, m := range b.members {
+		es = append(es, m.engines()...)
+	}
+	return es
+}
+
+// auxSlots assigns each multi-pass member its slot in the widened aux
+// sidecars of disk executions; single-pass members get -1. The returned
+// stride is the number of slots.
+func (b *Batch) auxSlots() (slots []int, stride int) {
+	slots = make([]int, len(b.members))
+	for i, m := range b.members {
+		if m.Passes() > 1 {
+			slots[i] = stride
+			stride++
+		} else {
+			slots[i] = -1
+		}
+	}
+	return slots, stride
+}
+
+// roundMembers builds the core batch members of round r. For each member
+// still holding a pass: pass r's engine, the member's aux input (bits of
+// its earlier passes) and — on every pass but its main — the instruction
+// to emit bit r of its own slot.
+func (b *Batch) roundMembers(r int, slots []int, haveAuxIn bool, auxFn func(i int) func(tree.NodeID) uint16) (bms []core.BatchMember, idx []int, anyOut bool) {
+	for i, m := range b.members {
+		if r >= m.Passes() {
+			continue
+		}
+		isMain := r == m.Passes()-1
+		e := m.main
+		if !isMain {
+			e = m.aux[r]
+		}
+		bm := core.BatchMember{E: e, AuxInSlot: -1, AuxOutSlot: -1}
+		if m.Passes() > 1 {
+			if haveAuxIn {
+				bm.AuxInSlot = slots[i]
+			}
+			if auxFn != nil {
+				bm.Aux = auxFn(i)
+			}
+			if !isMain {
+				bm.AuxOutSlot = slots[i]
+				bm.AuxOutBit = uint8(r)
+				anyOut = true
+			}
+		}
+		bms = append(bms, bm)
+		idx = append(idx, i)
+	}
+	return bms, idx, anyOut
+}
+
+// ExecTree evaluates the whole batch over an in-memory tree: each round
+// is one shared pair of passes stepping every active member's automata
+// per node (parallel over a subtree frontier when opts.Workers > 1).
+// The results are returned in member order and are identical to running
+// each member's ExecTree alone. opts.KeepStates and opts.MarkTo do not
+// apply to batches and are ignored.
+func (b *Batch) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) ([]*core.Result, ExecStats, error) {
+	rounds := b.Rounds()
+	es := ExecStats{Passes: rounds}
+	if t.Len() == 0 {
+		return nil, es, fmt.Errorf("xpath: empty tree")
+	}
+	results := make([]*core.Result, len(b.members))
+	aux := make([][]uint16, len(b.members))
+	slots, _ := b.auxSlots()
+	auxFn := func(i int) func(tree.NodeID) uint16 {
+		if aux[i] == nil {
+			aux[i] = make([]uint16, t.Len())
+		}
+		a := aux[i]
+		return func(v tree.NodeID) uint16 { return a[v] }
+	}
+	err := statsDelta(b.engines(), &es, func() error {
+		for r := 0; r < rounds; r++ {
+			bms, idx, _ := b.roundMembers(r, slots, false, auxFn)
+			var rres []*core.Result
+			var agg core.Stats
+			var err error
+			if opts.Workers > 1 {
+				rres, agg, err = parallel.RunBatchContext(ctx, t, opts.Workers, bms)
+			} else {
+				rres, agg, err = core.RunBatchTree(ctx, t, bms)
+			}
+			if err != nil {
+				return fmt.Errorf("xpath: batch round %d: %w", r, err)
+			}
+			es.Engine.Phase1Time += agg.Phase1Time
+			es.Engine.Phase2Time += agg.Phase2Time
+			for j, res := range rres {
+				i := idx[j]
+				m := b.members[i]
+				if r == m.Passes()-1 {
+					results[i] = res
+					continue
+				}
+				bit := uint16(1) << uint(r)
+				a := aux[i]
+				res.Walk(res.Queries()[0], func(v tree.NodeID) bool {
+					a[v] |= bit
+					return true
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, es, err
+	}
+	return results, es, nil
+}
+
+// ExecDisk evaluates the whole batch over a .arb database in secondary
+// storage. Every round is one shared pair of linear scans for all active
+// members: their phase-1 states interleave in one widened temporary state
+// file, and multi-pass members chain their aux masks through one widened
+// sidecar with a slot per member — so a batch of single-pass queries
+// costs exactly two linear scans of the data in aggregate, however many
+// queries it holds. Cancelling ctx aborts the scan in progress and
+// removes every temporary file. opts.KeepStates and opts.MarkTo do not
+// apply to batches and are ignored.
+func (b *Batch) ExecDisk(ctx context.Context, db *storage.DB, opts ExecOpts) ([]*core.Result, ExecStats, error) {
+	rounds := b.Rounds()
+	es := ExecStats{Passes: rounds}
+	results := make([]*core.Result, len(b.members))
+	slots, stride := b.auxSlots()
+	err := statsDelta(b.engines(), &es, func() error {
+		var tmp string
+		if stride > 0 {
+			// A private temp directory per execution, removed on success,
+			// failure and cancellation alike (cf. Prepared.ExecDisk).
+			dir := opts.AuxDir
+			if dir == "" {
+				dir = filepath.Dir(db.Base)
+			}
+			var err error
+			tmp, err = os.MkdirTemp(dir, "arb-aux-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+		}
+		auxIn := ""
+		for r := 0; r < rounds; r++ {
+			bms, idx, anyOut := b.roundMembers(r, slots, auxIn != "", nil)
+			dopts := core.DiskBatchOpts{AuxIn: auxIn}
+			if auxIn != "" {
+				dopts.AuxInStride = stride
+			}
+			if anyOut {
+				dopts.AuxOut = filepath.Join(tmp, fmt.Sprintf("round%d.aux", r))
+				dopts.AuxOutStride = stride
+			}
+			var rres []*core.Result
+			var agg core.Stats
+			var ds *core.DiskStats
+			var err error
+			if opts.Workers > 1 {
+				rres, agg, ds, err = core.RunDiskBatchParallel(ctx, db, opts.Workers, bms, dopts)
+			} else {
+				rres, agg, ds, err = core.RunDiskBatch(ctx, db, bms, dopts)
+			}
+			if err != nil {
+				return fmt.Errorf("xpath: batch round %d: %w", r, err)
+			}
+			if ds != nil {
+				es.Disk.Merge(*ds)
+			}
+			es.Engine.Phase1Time += agg.Phase1Time
+			es.Engine.Phase2Time += agg.Phase2Time
+			for j, res := range rres {
+				i := idx[j]
+				if r == b.members[i].Passes()-1 {
+					results[i] = res
+				}
+			}
+			auxIn = dopts.AuxOut
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, es, err
+	}
+	return results, es, nil
+}

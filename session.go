@@ -104,6 +104,36 @@ func (s *Session) PrepareXPath(q *XPathQuery) (*PreparedQuery, error) {
 	return &PreparedQuery{s: s, p: p}, nil
 }
 
+// PrepareBatch compiles several queries against the session for
+// shared-scan batch execution: PreparedBatch.Exec evaluates all of them
+// during a single pair of scans per round, so a workload of N single-pass
+// queries over a disk session costs two linear scans of the data in
+// aggregate instead of 2N. Each item must be a *Program (TMNF) or an
+// *XPathQuery (Core XPath, including not(..) queries, whose auxiliary
+// passes piggyback on the other members' scans). Like PreparedQuery, the
+// members' lazily built automata persist across executions.
+func (s *Session) PrepareBatch(items ...any) (*PreparedBatch, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("arb: PrepareBatch needs at least one query")
+	}
+	members := make([]*xpath.Prepared, len(items))
+	for i, item := range items {
+		var err error
+		switch q := item.(type) {
+		case *Program:
+			members[i], err = xpath.PrepareProgram(q, s.Names())
+		case *XPathQuery:
+			members[i], err = q.Prepare(s.Names())
+		default:
+			err = fmt.Errorf("unsupported type %T (want *arb.Program or *arb.XPathQuery)", item)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("arb: PrepareBatch item %d: %w", i, err)
+		}
+	}
+	return &PreparedBatch{s: s, b: xpath.NewBatch(members)}, nil
+}
+
 // ExecOpts configures one execution of a prepared query. The zero value
 // is a sequential run returning just the result.
 type ExecOpts struct {
@@ -239,4 +269,114 @@ func (q *PreparedQuery) Count(ctx context.Context) (int64, error) {
 		return 0, err
 	}
 	return res.Count(q.Queries()[0]), nil
+}
+
+// PreparedBatch is a set of queries compiled against one Session that
+// execute together: one Exec evaluates every member during a single pair
+// of linear scans per round, sharing the tree or byte-range iteration,
+// the buffered readers, and (on disk) one widened state file, while each
+// member keeps its own automata and its own result. Multi-pass members
+// are scheduled so that round r runs pass r of every member that still
+// has one — the number of scan pairs is the longest member's pass count,
+// not the sum over members.
+//
+// Exec is safe to call from multiple goroutines; executions of one
+// PreparedBatch are serialised, and the members' automata persist across
+// executions exactly as a PreparedQuery's do.
+type PreparedBatch struct {
+	s  *Session
+	mu sync.Mutex
+	b  *xpath.Batch
+}
+
+// Len returns the number of member queries.
+func (b *PreparedBatch) Len() int { return b.b.Len() }
+
+// Queries returns the query predicates of member i, in its program's
+// declaration order — the predicates to look up in Exec's i-th result.
+func (b *PreparedBatch) Queries(i int) []Pred { return b.b.Member(i).Queries() }
+
+// Program returns the program of member i's main pass (for predicate
+// naming and inspection).
+func (b *PreparedBatch) Program(i int) *Program { return b.b.Member(i).Program() }
+
+// Rounds returns the number of shared scan pairs one Exec runs: 1 for a
+// batch of single-pass queries — two linear scans in aggregate, however
+// many queries the batch holds — plus one per extra not(..) nesting level
+// of the deepest multi-pass member.
+func (b *PreparedBatch) Rounds() int { return b.b.Rounds() }
+
+// Exec evaluates every member query over the session's source during
+// shared scans and returns one Result per member, in PrepareBatch order.
+// The selected nodes are bit-identical to executing each member through
+// its own PreparedQuery. ExecOpts.Workers picks sequential or parallel
+// evaluation exactly as for a single query; ExecOpts.KeepStates and
+// ExecOpts.MarkTo do not apply to batches and are rejected. The returned
+// Profile is the merged cost of the whole batch — Profile.Passes counts
+// the scheduled rounds (scan pairs), and on disk the bytes-read counters
+// of Profile.Disk show each aggregate scan reading the database exactly
+// once per phase.
+//
+// Cancelling ctx aborts the scan in progress: Exec returns ctx.Err()
+// (wrapped) and removes every temporary file — the widened state file
+// and the aux-mask sidecars chaining multi-pass members. A nil ctx means
+// context.Background().
+func (b *PreparedBatch) Exec(ctx context.Context, opts ExecOpts) ([]*Result, *Profile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.MarkTo != nil {
+		return nil, nil, fmt.Errorf("arb: MarkTo is not supported for batch execution; mark through a single PreparedQuery")
+	}
+	if opts.KeepStates {
+		return nil, nil, fmt.Errorf("arb: KeepStates is not supported for batch execution")
+	}
+	workers := opts.Workers
+	switch {
+	case workers < 0:
+		workers = xpath.ResolveWorkers(0)
+	case workers == 0:
+		workers = 1
+	}
+	xopts := xpath.ExecOpts{Workers: workers}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	start := time.Now()
+	var res []*Result
+	var es xpath.ExecStats
+	var err error
+	if b.s.db != nil {
+		res, es, err = b.b.ExecDisk(ctx, b.s.db, xopts)
+	} else {
+		res, es, err = b.b.ExecTree(ctx, b.s.t, xopts)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if !opts.Stats {
+		return res, nil, nil
+	}
+	return res, &Profile{
+		Engine:   es.Engine,
+		Disk:     es.Disk,
+		Passes:   es.Passes,
+		Workers:  workers,
+		Duration: time.Since(start),
+	}, nil
+}
+
+// Count executes the batch sequentially and returns, per member, how
+// many nodes its first query predicate selected — the batch counterpart
+// of PreparedQuery.Count.
+func (b *PreparedBatch) Count(ctx context.Context) ([]int64, error) {
+	res, _, err := b.Exec(ctx, ExecOpts{})
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int64, len(res))
+	for i, r := range res {
+		counts[i] = r.Count(b.Queries(i)[0])
+	}
+	return counts, nil
 }

@@ -1,0 +1,185 @@
+package arb_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"arb"
+)
+
+// TestPreparedQueryCount covers Count on both backends: it must equal the
+// first query predicate's count from a full Exec.
+func TestPreparedQueryCount(t *testing.T) {
+	tr := buildCatalog(t, 300)
+	dir := t.TempDir()
+	db, err := arb.CreateDBFromTree(filepath.Join(dir, "catalog"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	prog, err := arb.ParseProgram(`QUERY :- Label[flag];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sess := range map[string]*arb.Session{
+		"memory": arb.NewSession(tr),
+		"disk":   arb.NewDBSession(db),
+	} {
+		pq, err := sess.Prepare(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := pq.Exec(context.Background(), arb.ExecOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Count(pq.Queries()[0])
+		if want != 200 {
+			t.Fatalf("%s: Exec counted %d flags, want 200", name, want)
+		}
+		got, err := pq.Count(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: Count() = %d, Exec counted %d", name, got, want)
+		}
+	}
+	assertOnlyDatabaseFiles(t, dir)
+}
+
+// TestDeprecatedEngineShims locks down the deprecated context-free entry
+// points — Engine.Run, Engine.RunDisk, Engine.RunDiskParallel and
+// arb.RunParallel — against the Session/PreparedQuery path: same selected
+// nodes everywhere.
+func TestDeprecatedEngineShims(t *testing.T) {
+	tr := buildCatalog(t, 400)
+	dir := t.TempDir()
+	db, err := arb.CreateDBFromTree(filepath.Join(dir, "catalog"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	prog, err := arb.ParseProgram(`QUERY :- V.Label[item].FirstChild.NextSibling*.Label[flag];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pq, err := arb.NewDBSession(db).Prepare(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := pq.Exec(context.Background(), arb.ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pq.Queries()[0]
+	want := res.Selected(q)
+	if len(want) == 0 {
+		t.Fatal("reference query selected nothing; the shim comparison would be vacuous")
+	}
+
+	check := func(name string, got []arb.NodeID) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s selected %d nodes, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: node %d is %d, want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	e, err := arb.NewEngine(prog, tr.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	memRes, err := e.Run(tr, arb.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Engine.Run", memRes.Selected(q))
+
+	parRes, err := arb.RunParallel(e, tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("RunParallel", parRes.Selected(q))
+
+	de, err := arb.NewEngine(prog, db.Names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskRes, ds, err := de.RunDisk(db, arb.DiskOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Phase1.Nodes != db.N || ds.Phase2.Nodes != db.N {
+		t.Fatalf("RunDisk scans visited %d/%d nodes, want %d each", ds.Phase1.Nodes, ds.Phase2.Nodes, db.N)
+	}
+	check("Engine.RunDisk", diskRes.Selected(q))
+
+	pdRes, _, err := de.RunDiskParallel(db, 4, arb.DiskOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Engine.RunDiskParallel", pdRes.Selected(q))
+
+	assertOnlyDatabaseFiles(t, dir)
+}
+
+// TestDeprecatedXPathEvalShims locks down XPathQuery.Eval and EvalDisk
+// (the pre-session multi-pass entry points) against PreparedQuery.Exec.
+func TestDeprecatedXPathEvalShims(t *testing.T) {
+	tr := buildCatalog(t, 200)
+	dir := t.TempDir()
+	db, err := arb.CreateDBFromTree(filepath.Join(dir, "catalog"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	xq, err := arb.ParseXPath(`//item[not(flag)]/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := arb.NewSession(tr).PrepareXPath(xq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := pq.Exec(context.Background(), arb.ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pq.Queries()[0]
+
+	truth, err := xq.Eval(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != tr.Len() {
+		t.Fatalf("Eval returned %d entries for %d nodes", len(truth), tr.Len())
+	}
+	for v := 0; v < tr.Len(); v++ {
+		if truth[v] != res.Holds(q, arb.NodeID(v)) {
+			t.Fatalf("Eval(%d) = %v, Exec says %v", v, truth[v], res.Holds(q, arb.NodeID(v)))
+		}
+	}
+
+	// EvalDisk returns the main pass's unified result; compare counts and
+	// membership through the shared query predicate.
+	diskRes, err := xq.EvalDisk(db, dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := diskRes.Count(q), res.Count(q); got != want {
+		t.Fatalf("EvalDisk counted %d nodes, Exec %d", got, want)
+	}
+	for v := 0; v < tr.Len(); v++ {
+		if diskRes.Holds(q, arb.NodeID(v)) != res.Holds(q, arb.NodeID(v)) {
+			t.Fatalf("EvalDisk and Exec disagree on node %d", v)
+		}
+	}
+	assertOnlyDatabaseFiles(t, dir)
+}
