@@ -90,12 +90,28 @@
 //
 //	pb, err := sess.PrepareBatch(prog, xq1, xq2)
 //	results, prof, err := pb.Exec(ctx, arb.ExecOpts{Stats: true})
-//	// prof.Disk.Phase1.Bytes == prof.Disk.Phase2.Bytes == database bytes:
-//	// exactly two aggregate linear scans, however many queries.
+//	// prof.Disk.PhaseN.Bytes + prof.Disk.PhaseN.SkippedBytes == database
+//	// bytes per phase: exactly two aggregate linear scans' worth of
+//	// coverage, however many queries.
 //
 // The CLI exposes batches as `arb query <base> -f queries.txt -batch`,
 // and `arbbench -experiment batch` records the sequential-vs-batch
 // speedup and the bytes-scanned-per-query trajectory in BENCH_batch.json.
+//
+// # Selectivity-aware scan pruning
+//
+// For selective queries most of those scanned bytes are provably
+// irrelevant: a static analysis of the compiled automata derives the set
+// of live labels (and whether whole label-disjoint subtrees can ever
+// contribute a state or a selection), and every strategy then seeks past
+// subtree extents whose label summary — carried per extent by the v2
+// .idx sidecar, or by the session's in-memory tree index — is disjoint
+// from it. Pruned execution is bit-identical to unpruned on every
+// strategy and batch member; ExecOpts.NoPrune (CLI: `arb query
+// -noprune`) disables it, and Profile reports the savings
+// (Disk.PhaseN.SkippedBytes, Engine.PrunedNodes). `arbbench -experiment
+// prune` records bytes skipped and speedup versus selectivity in
+// BENCH_prune.json.
 package arb
 
 import (

@@ -25,10 +25,13 @@ go run ./examples/quickstart > /dev/null
 go run ./examples/batchserve > /dev/null
 
 # Fast gates: context-cancellation behaviour across storage, the engine
-# and the CLI, and the shared-scan batch machinery (differential, order
-# independence, cancellation cleanup), both under the race detector.
+# and the CLI, the shared-scan batch machinery (differential, order
+# independence, cancellation cleanup), and selectivity-aware pruning
+# (analysis admission, v2 index, prune-vs-noprune differentials across
+# all strategies), each under the race detector.
 go test -run Cancel -race ./...
 go test -run Batch -race ./...
+go test -run Prune -race ./...
 
 # Full suite (includes the fuzz targets' seed corpora).
 go test -race ./...

@@ -26,6 +26,14 @@
 // evaluation: when the deadline passes, the scans abort promptly, all
 // temporary files are cleaned up, and the command exits non-zero.
 //
+// Selectivity-aware pruning is on by default: the scans seek past whole
+// subtrees whose label summary (in the .idx sidecar) proves them
+// irrelevant to the query, so selective queries read far less than two
+// full scans — bit-identical results either way. -noprune forces the
+// full scans (useful for benchmarking and for debugging a suspect
+// sidecar); -v reports how many bytes pruning skipped. Marked output
+// (-mark) reads everything regardless, since every node is re-emitted.
+//
 // Batch mode (-f file -batch) reads one query per line — TMNF by
 // default, Core XPath with an "xpath:" prefix, blank lines and #
 // comments ignored — and evaluates the whole workload through
@@ -75,8 +83,8 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   arb create <base> [file.xml]
-  arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N] [-timeout d]
-  arb query  <base> -f <queries.txt> -batch [-j N] [-timeout d]
+  arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N] [-timeout d] [-noprune]
+  arb query  <base> -f <queries.txt> -batch [-j N] [-timeout d] [-noprune]
   arb cat    <base>
   arb stats  <base>
 `)
@@ -120,6 +128,7 @@ func query(args []string) error {
 	verbose := fs.Bool("v", false, "print engine statistics")
 	jobs := fs.Int("j", 1, "parallel workers (0 = all CPUs, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "abort the evaluation after this long (0 = no limit)")
+	noprune := fs.Bool("noprune", false, "disable selectivity-aware scan pruning (read every byte even when the index proves subtrees irrelevant)")
 	if len(args) < 1 {
 		usage()
 	}
@@ -158,7 +167,7 @@ func query(args []string) error {
 		if *ids || *mark {
 			return fmt.Errorf("-ids and -mark are per-query output modes; -batch prints counts")
 		}
-		return runBatch(ctx, sess, *progFile, workers, *verbose, *timeout)
+		return runBatch(ctx, sess, *progFile, workers, *noprune, *verbose, *timeout)
 	}
 
 	var pq *arb.PreparedQuery
@@ -193,7 +202,7 @@ func query(args []string) error {
 		}
 	}
 
-	opts := arb.ExecOpts{Workers: workers, Stats: *verbose}
+	opts := arb.ExecOpts{Workers: workers, Stats: *verbose, NoPrune: *noprune}
 	var markOut *bufio.Writer
 	if *mark {
 		// The marked document streams out during the final pass itself
@@ -217,6 +226,10 @@ func query(args []string) error {
 		fmt.Fprintf(os.Stderr, "phase 1 (bottom-up): %v, %d transitions; phase 2 (top-down): %v, %d transitions; %d passes, %d workers, temp %d bytes\n",
 			prof.Engine.Phase1Time, prof.Engine.BUTransitions, prof.Engine.Phase2Time, prof.Engine.TDTransitions,
 			prof.Passes, prof.Workers, prof.Disk.StateBytes)
+		if skipped := prof.SkippedBytes(); skipped > 0 || prof.Engine.PrunedNodes > 0 {
+			fmt.Fprintf(os.Stderr, "pruning: skipped %d data bytes (%d nodes proven irrelevant); -noprune disables\n",
+				skipped, prof.Engine.PrunedNodes)
+		}
 	}
 	switch {
 	case *mark:
@@ -235,7 +248,7 @@ func query(args []string) error {
 // non-empty, non-# line is a query (TMNF by default, Core XPath with an
 // "xpath:" prefix), and all of them execute during a single pair of
 // linear scans per scheduled round.
-func runBatch(ctx context.Context, sess *arb.Session, path string, workers int, verbose bool, timeout time.Duration) error {
+func runBatch(ctx context.Context, sess *arb.Session, path string, workers int, noprune, verbose bool, timeout time.Duration) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -269,7 +282,7 @@ func runBatch(ctx context.Context, sess *arb.Session, path string, workers int, 
 	if err != nil {
 		return err
 	}
-	res, prof, err := pb.Exec(ctx, arb.ExecOpts{Workers: workers, Stats: verbose})
+	res, prof, err := pb.Exec(ctx, arb.ExecOpts{Workers: workers, Stats: verbose, NoPrune: noprune})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("batch timed out after %v (temporary files cleaned up); raise -timeout or add workers with -j", timeout)

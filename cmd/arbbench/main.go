@@ -10,6 +10,13 @@
 //	         [-scale f] [-queries 5] [-dir d]
 //	arbbench -experiment batch [-batchsizes 1,4,16] [-dbbytes n]
 //	         [-workers n] [-dir d] [-out BENCH_batch.json]
+//	arbbench -experiment prune [-dbbytes n] [-dir d] [-out BENCH_prune.json]
+//
+// prune measures selectivity-aware scan pruning on a generated
+// full-binary database of at least -dbbytes bytes: hit tags are planted
+// in 1%/10%/50% of its top-level subtrees, and each selectivity level
+// records the bytes skipped and the speedup of pruned over unpruned
+// execution (with -out as machine-readable JSON).
 //
 // fig5 prints the database-creation statistics table (Figure 5); fig6
 // prints the query benchmark table for the chosen thread (Figure 6),
@@ -72,6 +79,28 @@ func run(experiment, thread string, scale float64, sizesFlag string, queries int
 	}
 
 	switch experiment {
+	case "prune":
+		report, err := bench.Prune(bench.PruneOpts{MinDBBytes: dbBytes, Dir: dir})
+		if err != nil {
+			return err
+		}
+		bench.WritePrune(os.Stdout, report)
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := bench.WritePruneJSON(f, report); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+		return nil
+
 	case "batch":
 		bsizes, err := parseList(batchSizes)
 		if err != nil {

@@ -1,0 +1,281 @@
+// Selectivity-aware pruning experiment: how much of the two-scan cost
+// does the engine actually pay once it can seek past provably irrelevant
+// subtrees? The experiment generates a large full-binary database with a
+// distinct tag per depth, plants a "hit" tag inside a controlled
+// fraction of its top-level subtrees (the selectivity dial), rebuilds the
+// v2 label-summary index, and compares `//hit`-style execution with and
+// without pruning — recording wall time, bytes read, bytes skipped, and
+// the resulting speedup per selectivity level.
+package bench
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"time"
+
+	"arb"
+	"arb/internal/storage"
+)
+
+// PruneRow is one selectivity level of the pruning experiment.
+type PruneRow struct {
+	Selectivity     float64 `json:"selectivity"`
+	LiveSubtrees    int     `json:"live_subtrees"`
+	TotalSubtrees   int     `json:"total_subtrees"`
+	NoPruneSeconds  float64 `json:"noprune_seconds"`
+	PruneSeconds    float64 `json:"prune_seconds"`
+	Speedup         float64 `json:"speedup"`
+	BytesRead       int64   `json:"bytes_read"`
+	BytesSkipped    int64   `json:"bytes_skipped"`
+	SkippedFraction float64 `json:"skipped_fraction"`
+	Selected        int64   `json:"selected"`
+}
+
+// PruneReport is the machine-readable output of the pruning experiment
+// (written to BENCH_prune.json by arbbench).
+type PruneReport struct {
+	Experiment string     `json:"experiment"`
+	DBBytes    int64      `json:"db_bytes"`
+	Nodes      int64      `json:"nodes"`
+	Depth      int        `json:"depth"`
+	Rows       []PruneRow `json:"rows"`
+}
+
+// PruneOpts configures the pruning experiment.
+type PruneOpts struct {
+	// Selectivities are the live-subtree fractions to sweep, ascending;
+	// default 1%, 10%, 50%.
+	Selectivities []float64
+	// MinDBBytes is the minimum generated database size; default 64 MB.
+	MinDBBytes int64
+	// Dir is where the database is created.
+	Dir string
+}
+
+// pruneLiveDepth is the depth whose subtrees form the selectivity grid
+// (2^pruneLiveDepth subtrees), and pruneHitDepth the depth at which hits
+// are planted inside a live subtree — deep enough that every indexed
+// extent of a live subtree contains a hit (so live subtrees are read in
+// full and skipped bytes track selectivity), shallow enough that planting
+// stays cheap.
+const (
+	pruneLiveDepth = 7
+	pruneHitDepth  = 12
+)
+
+// fullBinarySubtreeSize returns the node count of a subtree rooted at
+// depth d of a full binary tree of the given total depth.
+func fullBinarySubtreeSize(depth, d int) int64 {
+	return (int64(1) << (depth - d + 1)) - 1
+}
+
+// nodesAtDepth returns the preorder positions (relative to a subtree
+// root at depth from) of all its descendants at depth to.
+func nodesAtDepth(depth, from, to int) []int64 {
+	var out []int64
+	var walk func(pos int64, d int)
+	walk = func(pos int64, d int) {
+		if d == to {
+			out = append(out, pos)
+			return
+		}
+		walk(pos+1, d+1)
+		walk(pos+1+fullBinarySubtreeSize(depth, d+1), d+1)
+	}
+	walk(0, from)
+	return out
+}
+
+// Prune runs the pruning experiment and returns the report.
+func Prune(opts PruneOpts) (*PruneReport, error) {
+	if len(opts.Selectivities) == 0 {
+		opts.Selectivities = []float64{0.01, 0.10, 0.50}
+	}
+	if opts.MinDBBytes == 0 {
+		opts.MinDBBytes = 64_000_000
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("bench: prune experiment needs Dir")
+	}
+	depth := 1
+	for (int64(2)<<depth)-1 < opts.MinDBBytes/storage.NodeSize {
+		depth++
+	}
+	if depth <= pruneHitDepth {
+		return nil, fmt.Errorf("bench: prune experiment needs depth > %d, got %d", pruneHitDepth, depth)
+	}
+
+	// One distinct tag per depth plus the (initially unused) hit tag the
+	// patcher plants.
+	tags := make([]string, depth+2)
+	for d := 0; d <= depth; d++ {
+		tags[d] = fmt.Sprintf("d%d", d)
+	}
+	tags[depth+1] = "hit"
+
+	// Always build fresh: the patcher mutates labels in place, so a
+	// leftover database would carry the previous run's hits.
+	base := filepath.Join(opts.Dir, fmt.Sprintf("prunedb-%d", depth))
+	for _, ext := range []string{".arb", ".lab", ".idx"} {
+		os.Remove(base + ext)
+	}
+	db, err := storage.CreateFullBinary(base, depth, tags)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	hit, ok := db.Names.Lookup("hit")
+	if !ok {
+		return nil, fmt.Errorf("bench: hit tag missing from name table")
+	}
+
+	// The selectivity grid: the 2^pruneLiveDepth top-level subtrees, in
+	// bit-reversed order so every prefix is evenly spread across the
+	// document — and later (larger) selectivities extend earlier ones, so
+	// patching is cumulative.
+	grid := 1 << pruneLiveDepth
+	order := make([]int, grid)
+	for i := range order {
+		order[i] = int(bits.Reverse8(uint8(i)) >> (8 - pruneLiveDepth))
+	}
+	liveRoots := nodesAtDepth(depth, 0, pruneLiveDepth)
+	hitOffsets := nodesAtDepth(depth, pruneLiveDepth, pruneHitDepth)
+
+	arbF, err := os.OpenFile(base+".arb", os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer arbF.Close()
+	var rec [storage.NodeSize]byte
+	binary.BigEndian.PutUint16(rec[:], storage.Record{Label: uint16(hit), HasFirst: true, HasSecond: true}.Encode())
+	patched := 0
+	patchUpTo := func(k int) error {
+		for ; patched < k && patched < grid; patched++ {
+			root := liveRoots[order[patched]]
+			for _, off := range hitOffsets {
+				if _, err := arbF.WriteAt(rec[:], (root+off)*storage.NodeSize); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	sess := arb.NewDBSession(db)
+	prog, err := arb.ParseProgram(`QUERY :- Label[hit];`)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := sess.Prepare(prog)
+	if err != nil {
+		return nil, err
+	}
+	query := pq.Queries()[0]
+
+	report := &PruneReport{
+		Experiment: "prune",
+		DBBytes:    db.N * storage.NodeSize,
+		Nodes:      db.N,
+		Depth:      depth,
+	}
+	ctx := context.Background()
+	run := func(noprune bool) (*arb.Result, *arb.Profile, float64, error) {
+		// Best of two, so a stray page-cache miss does not decide a row.
+		best := 0.0
+		var res *arb.Result
+		var prof *arb.Profile
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			r, p, err := pq.Exec(ctx, arb.ExecOpts{Stats: true, NoPrune: noprune})
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			if secs := time.Since(start).Seconds(); i == 0 || secs < best {
+				best, res, prof = secs, r, p
+			}
+		}
+		return res, prof, best, nil
+	}
+
+	prev := 0.0
+	for _, sel := range opts.Selectivities {
+		if sel < prev || sel < 0 || sel > 1 {
+			return nil, fmt.Errorf("bench: selectivities must be ascending fractions in [0,1], got %v", opts.Selectivities)
+		}
+		prev = sel
+		k := int(sel*float64(grid) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if err := patchUpTo(k); err != nil {
+			return nil, err
+		}
+		// The label summaries must reflect the planted hits, or pruning
+		// would be unsound — out-of-band edits always require a rebuild.
+		if _, err := db.RebuildIndex(0); err != nil {
+			return nil, err
+		}
+
+		// Warm the page cache and the automata before timing either mode.
+		if _, _, err := pq.Exec(ctx, arb.ExecOpts{NoPrune: true}); err != nil {
+			return nil, err
+		}
+		npRes, _, npSecs, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		pRes, pProf, pSecs, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		if pRes.Count(query) != npRes.Count(query) {
+			return nil, fmt.Errorf("bench: pruned run selected %d nodes, unpruned %d",
+				pRes.Count(query), npRes.Count(query))
+		}
+		row := PruneRow{
+			Selectivity:    sel,
+			LiveSubtrees:   k,
+			TotalSubtrees:  grid,
+			NoPruneSeconds: npSecs,
+			PruneSeconds:   pSecs,
+			BytesRead:      pProf.Disk.Phase1.Bytes + pProf.Disk.Phase2.Bytes,
+			BytesSkipped:   pProf.SkippedBytes(),
+			Selected:       pRes.Count(query),
+		}
+		if pSecs > 0 {
+			row.Speedup = npSecs / pSecs
+		}
+		if total := row.BytesRead + row.BytesSkipped; total > 0 {
+			row.SkippedFraction = float64(row.BytesSkipped) / float64(total)
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+// WritePrune renders the experiment as a table.
+func WritePrune(w io.Writer, r *PruneReport) {
+	fmt.Fprintf(w, "Selectivity-aware scan pruning, %d-node database (%d MB, depth %d).\n",
+		r.Nodes, r.DBBytes>>20, r.Depth)
+	fmt.Fprintf(w, "%12s %6s %12s %10s %8s %9s %14s %10s\n",
+		"selectivity", "live", "noprune(s)", "prune(s)", "speedup", "skipped%", "bytes skipped", "selected")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%11.0f%% %3d/%-3d %12.3f %10.3f %8.2f %8.1f%% %14d %10d\n",
+			row.Selectivity*100, row.LiveSubtrees, row.TotalSubtrees,
+			row.NoPruneSeconds, row.PruneSeconds, row.Speedup,
+			row.SkippedFraction*100, row.BytesSkipped, row.Selected)
+	}
+}
+
+// WritePruneJSON writes the machine-readable report.
+func WritePruneJSON(w io.Writer, r *PruneReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -58,6 +58,12 @@ type DiskBatchOpts struct {
 	AuxInStride  int
 	AuxOut       string
 	AuxOutStride int
+
+	// NoPrune disables selectivity-aware scan pruning for this round. A
+	// batch round prunes an extent only when every member's analysis
+	// proves it irrelevant (the scans are shared); rounds with aux input
+	// never prune.
+	NoPrune bool
 }
 
 // transSource is the narrow automata interface the batch inner loops run
@@ -299,6 +305,18 @@ func max32(a, b StateID) StateID {
 	return b
 }
 
+// TreeBatchOpts configures an in-memory batch pass.
+type TreeBatchOpts struct {
+	// Index optionally supplies a subtree index with label signatures
+	// over the tree (storage.BuildTreeIndex), enabling selectivity-aware
+	// pruning: an extent is skipped only when every member's analysis
+	// proves it irrelevant. Members with Aux set disable pruning for the
+	// whole pass.
+	Index *storage.SubtreeIndex
+	// NoPrune disables pruning even when Index is available.
+	NoPrune bool
+}
+
 // RunBatchTree evaluates every member's program over an in-memory tree in
 // one shared pair of passes: phase 1 walks the tree bottom-up once,
 // stepping all member automata per node; phase 2 top-down likewise. The
@@ -307,7 +325,7 @@ func max32(a, b StateID) StateID {
 // shared phase wall times; per-engine lazy-transition work lands in each
 // member engine's own Stats as usual. Cancelling ctx aborts the pass in
 // progress with ctx.Err().
-func RunBatchTree(ctx context.Context, t *tree.Tree, members []BatchMember) ([]*Result, Stats, error) {
+func RunBatchTree(ctx context.Context, t *tree.Tree, members []BatchMember, topts TreeBatchOpts) ([]*Result, Stats, error) {
 	var agg Stats
 	n := t.Len()
 	if n == 0 {
@@ -320,18 +338,45 @@ func RunBatchTree(ctx context.Context, t *tree.Tree, members []BatchMember) ([]*
 	cancel := storage.NewCanceller(ctx)
 	res := make([]*Result, nm)
 	caches := make([]*BatchCache, nm)
+	prunable := !topts.NoPrune
+	engines := make([]*Engine, nm)
 	for m, bm := range members {
 		res[m] = NewResult(bm.E.c.Prog, int64(n))
 		bm.E.stats.Nodes += int64(n)
 		caches[m] = newBatchCache(engineSource{bm.E})
+		engines[m] = bm.E
+		if bm.Aux != nil {
+			prunable = false
+		}
+	}
+	var prune *PrunePlan
+	if prunable {
+		prune = PlanPrune(engines, topts.Index, int64(n))
+	}
+	var exts []storage.Extent
+	if prune != nil {
+		exts = prune.Extents
+		for _, e := range engines {
+			e.stats.PrunedNodes += prune.Nodes
+		}
 	}
 
 	// Phase 1: one bottom-up pass, all members per node.
 	start := time.Now()
 	bu := make([]StateID, n*nm)
+	pe := len(exts) - 1
 	for v := n - 1; v >= 0; v-- {
 		if err := cancel.Step(); err != nil {
 			return nil, agg, err
+		}
+		if pe >= 0 && int64(v) == exts[pe].End()-1 {
+			x := exts[pe]
+			pe--
+			for m := range members {
+				bu[int(x.Root)*nm+m] = prune.Sub(m)
+			}
+			v = int(x.Root) // the loop decrement steps past the extent
+			continue
 		}
 		first, second := t.First(tree.NodeID(v)), t.Second(tree.NodeID(v))
 		rec := storage.Record{
@@ -364,9 +409,15 @@ func RunBatchTree(ctx context.Context, t *tree.Tree, members []BatchMember) ([]*
 	for m := range members {
 		td[m] = caches[m].RootTrueSet(bu[m])
 	}
+	pi := 0
 	for v := 0; v < n; v++ {
 		if err := cancel.Step(); err != nil {
 			return nil, agg, err
+		}
+		if pi < len(exts) && int64(v) == exts[pi].Root {
+			v = int(exts[pi].End()) - 1 // the loop increment steps past
+			pi++
+			continue
 		}
 		first, second := t.First(tree.NodeID(v)), t.Second(tree.NodeID(v))
 		for m := range members {
@@ -482,11 +533,26 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 	stride := nm * width
 	res := make([]*Result, nm)
 	caches := make([]*BatchCache, nm)
+	engines := make([]*Engine, nm)
 	for m, bm := range members {
 		res[m] = NewResult(bm.E.c.Prog, db.N)
 		caches[m] = newBatchCache(engineSource{bm.E})
+		engines[m] = bm.E
 	}
 	ds := &DiskStats{StateBytes: db.N * int64(stride)}
+
+	// Selectivity-aware pruning: only extents every member proves
+	// irrelevant can be skipped, since the batch shares one scan pair.
+	var prune *PrunePlan
+	if !opts.NoPrune && opts.AuxIn == "" && db.N >= PruneMinNodes {
+		if ix, ierr := db.Index(0); ierr == nil {
+			prune = PlanPrune(engines, ix, db.N)
+		}
+	}
+	var pruneExts []storage.Extent
+	if prune != nil {
+		pruneExts = prune.Extents
+	}
 
 	var auxF *os.File
 	if opts.AuxIn != "" {
@@ -518,58 +584,64 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 			return nil, agg, nil, err
 		}
 	}
-	sw := bufio.NewWriterSize(stateF, 1<<16)
+	sw := &runWriter{f: stateF}
 	stateBuf := make([]byte, stride)
 	var free [][]StateID
 	var werr error
-	rootVec, scan1, err := storage.FoldBottomUp(ctx, db, func(first, second *[]StateID, rec storage.Record, v int64) []StateID {
-		out := takeVec(&free, first, second, nm)
-		var auxVec []byte
-		if auxBack != nil {
-			b, err := auxBack.Next()
-			if err != nil && werr == nil {
-				werr = fmt.Errorf("core: reading aux file: %w", err)
-			} else if err == nil {
-				auxVec = b
+	rootVec, scan1, err := storage.FoldBottomUpSkipping(ctx, db, pruneExts,
+		func(x storage.Extent) ([]StateID, error) {
+			// Hand the fold a fresh copy: it recycles child vectors freely.
+			return prune.SubVec(), nil
+		},
+		func(first, second *[]StateID, rec storage.Record, v int64) []StateID {
+			out := takeVec(&free, first, second, nm)
+			var auxVec []byte
+			if auxBack != nil {
+				b, err := auxBack.Next()
+				if err != nil && werr == nil {
+					werr = fmt.Errorf("core: reading aux file: %w", err)
+				} else if err == nil {
+					auxVec = b
+				}
 			}
-		}
-		recBits := rec.Encode()
-		root := v == 0
-		for m, bm := range members {
-			left, right := NoState, NoState
-			if first != nil {
-				left = (*first)[m]
+			recBits := rec.Encode()
+			root := v == 0
+			for m, bm := range members {
+				left, right := NoState, NoState
+				if first != nil {
+					left = (*first)[m]
+				}
+				if second != nil {
+					right = (*second)[m]
+				}
+				var extra uint16
+				if auxVec != nil && bm.AuxInSlot >= 0 {
+					extra = binary.BigEndian.Uint16(auxVec[bm.AuxInSlot*storage.MaskSize:])
+				}
+				c := caches[m]
+				id := c.BUStep(left, right, c.SigID(recBits, root, extra))
+				out[m] = id
+				if err := putState(stateBuf[m*width:], width, id); err != nil && werr == nil {
+					werr = err
+				}
 			}
-			if second != nil {
-				right = (*second)[m]
-			}
-			var extra uint16
-			if auxVec != nil && bm.AuxInSlot >= 0 {
-				extra = binary.BigEndian.Uint16(auxVec[bm.AuxInSlot*storage.MaskSize:])
-			}
-			c := caches[m]
-			id := c.BUStep(left, right, c.SigID(recBits, root, extra))
-			out[m] = id
-			if err := putState(stateBuf[m*width:], width, id); err != nil && werr == nil {
-				werr = err
-			}
-		}
-		if _, err := sw.Write(stateBuf); err != nil && werr == nil {
-			werr = err
-		}
-		return out
-	})
+			sw.writeAt(stateBuf, (db.N-1-v)*int64(stride))
+			return out
+		})
 	if err != nil {
 		return nil, agg, nil, err
 	}
 	if werr == nil {
-		werr = sw.Flush()
+		werr = sw.flush()
 	}
 	if werr != nil {
 		if errors.Is(werr, errStateWidth) {
 			return nil, agg, nil, werr
 		}
 		return nil, agg, nil, fmt.Errorf("core: writing state file: %w", werr)
+	}
+	if prune != nil {
+		scan1.SkippedBytes += prune.Nodes * storage.NodeSize
 	}
 	ds.Phase1 = scan1
 	agg.Phase1Time = time.Since(start)
@@ -614,67 +686,81 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 		}
 		return arena[d]
 	}
-	scan2, err := storage.ScanTopDown(ctx, db, func(v int64, rec storage.Record, parent *int32, k int) (int32, error) {
-		b, err := br.Next()
-		if err != nil {
-			return 0, fmt.Errorf("core: reading state file: %w", err)
-		}
-		var d int32
-		var pvec []StateID
-		if parent == nil {
-			if v != 0 {
-				return 0, fmt.Errorf("core: parentless node %d", v)
+	scan2, err := storage.ScanTopDownSkipping(ctx, db, pruneExts,
+		func(x storage.Extent, parent *int32, k int) error {
+			if err := br.Skip(x.Size); err != nil {
+				return err
 			}
-		} else {
-			d = *parent + 1
-			pvec = arena[*parent]
-		}
-		tvec := atDepth(d)
-		if auxFwd != nil {
-			if _, err := io.ReadFull(auxFwd, inVec); err != nil {
-				return 0, fmt.Errorf("core: reading aux file: %w", err)
+			if auxOut != nil {
+				// No node of a pruned extent is selected and prunable
+				// rounds have no aux input, so its slots are all zero.
+				if err := writeZeros(auxOut, x.Size*int64(len(outVec))); err != nil {
+					return err
+				}
 			}
-		}
-		if auxOut != nil {
-			for i := range outVec {
-				outVec[i] = 0
+			return nil
+		},
+		func(v int64, rec storage.Record, parent *int32, k int) (int32, error) {
+			b, err := br.Next()
+			if err != nil {
+				return 0, fmt.Errorf("core: reading state file: %w", err)
 			}
-		}
-		for m, bm := range members {
-			bu := getState(b[m*width:], width)
-			c := caches[m]
-			var td StateID
+			var d int32
+			var pvec []StateID
 			if parent == nil {
-				if bu != rootVec[m] {
-					return 0, fmt.Errorf("core: state file corrupt: root state %d, phase 1 computed %d", bu, rootVec[m])
+				if v != 0 {
+					return 0, fmt.Errorf("core: parentless node %d", v)
 				}
-				td = c.RootTrueSet(bu)
 			} else {
-				td = c.TDStep(pvec[m], bu, k)
+				d = *parent + 1
+				pvec = arena[*parent]
 			}
-			tvec[m] = td
-			mask := c.QueryMask(td)
-			if mask != 0 {
-				res[m].MarkMask(mask, v)
-			}
-			if auxOut != nil && bm.AuxOutSlot >= 0 {
-				var cur uint16
-				if auxFwd != nil && bm.AuxInSlot >= 0 {
-					cur = binary.BigEndian.Uint16(inVec[bm.AuxInSlot*storage.MaskSize:])
+			tvec := atDepth(d)
+			if auxFwd != nil {
+				if _, err := io.ReadFull(auxFwd, inVec); err != nil {
+					return 0, fmt.Errorf("core: reading aux file: %w", err)
 				}
-				if mask&(1<<uint(bm.AuxOutQuery)) != 0 {
-					cur |= 1 << bm.AuxOutBit
+			}
+			if auxOut != nil {
+				for i := range outVec {
+					outVec[i] = 0
 				}
-				binary.BigEndian.PutUint16(outVec[bm.AuxOutSlot*storage.MaskSize:], cur)
 			}
-		}
-		if auxOut != nil {
-			if _, err := auxOut.Write(outVec); err != nil {
-				return 0, err
+			for m, bm := range members {
+				bu := getState(b[m*width:], width)
+				c := caches[m]
+				var td StateID
+				if parent == nil {
+					if bu != rootVec[m] {
+						return 0, fmt.Errorf("core: state file corrupt: root state %d, phase 1 computed %d", bu, rootVec[m])
+					}
+					td = c.RootTrueSet(bu)
+				} else {
+					td = c.TDStep(pvec[m], bu, k)
+				}
+				tvec[m] = td
+				mask := c.QueryMask(td)
+				if mask != 0 {
+					res[m].MarkMask(mask, v)
+				}
+				if auxOut != nil && bm.AuxOutSlot >= 0 {
+					var cur uint16
+					if auxFwd != nil && bm.AuxInSlot >= 0 {
+						cur = binary.BigEndian.Uint16(inVec[bm.AuxInSlot*storage.MaskSize:])
+					}
+					if mask&(1<<uint(bm.AuxOutQuery)) != 0 {
+						cur |= 1 << bm.AuxOutBit
+					}
+					binary.BigEndian.PutUint16(outVec[bm.AuxOutSlot*storage.MaskSize:], cur)
+				}
 			}
-		}
-		return d, nil
-	})
+			if auxOut != nil {
+				if _, err := auxOut.Write(outVec); err != nil {
+					return 0, err
+				}
+			}
+			return d, nil
+		})
 	if err != nil {
 		return nil, agg, nil, err
 	}
@@ -686,12 +772,18 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 			return nil, agg, nil, err
 		}
 	}
+	if prune != nil {
+		scan2.SkippedBytes += prune.Nodes * storage.NodeSize
+	}
 	ds.Phase2 = scan2
 	agg.Phase2Time = time.Since(start)
 	// Count node visits only on success: a narrow-width restart re-enters
 	// this function and must not double-count the aborted attempt.
 	for _, bm := range members {
 		bm.E.stats.Nodes += db.N
+		if prune != nil {
+			bm.E.stats.PrunedNodes += prune.Nodes
+		}
 	}
 	succeeded = true
 	return res, agg, ds, nil
@@ -725,44 +817,60 @@ func RunDiskBatchParallel(ctx context.Context, db *storage.DB, workers int, memb
 		return nil, Stats{}, nil, err
 	}
 	target := db.N / (int64(workers) * parTasksPerWorker)
-	tasks := idx.Cut(target, parMinTask)
-	if len(tasks) == 0 {
-		return RunDiskBatch(ctx, db, members, opts)
-	}
-	run := func(tasks []storage.Extent) ([]*Result, Stats, *DiskStats, error) {
-		res, agg, ds, err := runDiskBatchChunked(ctx, db, workers, members, opts, tasks, batchStateWidth(members))
-		if errors.Is(err, errStateWidth) {
-			res, agg, ds, err = runDiskBatchChunked(ctx, db, workers, members, opts, tasks, stateWide)
+	run := func(idx *storage.SubtreeIndex) ([]*Result, Stats, *DiskStats, error, bool) {
+		tasks := idx.Cut(target, parMinTask)
+		if len(tasks) == 0 {
+			res, agg, ds, err := RunDiskBatch(ctx, db, members, opts)
+			return res, agg, ds, err, false
 		}
-		return res, agg, ds, err
+		var plan *PrunePlan
+		if !opts.NoPrune && opts.AuxIn == "" {
+			engines := make([]*Engine, len(members))
+			for m, bm := range members {
+				engines[m] = bm.E
+			}
+			plan = PlanPrune(engines, idx, db.N)
+		}
+		res, agg, ds, err := runDiskBatchChunked(ctx, db, workers, members, opts, tasks, batchStateWidth(members), plan)
+		if errors.Is(err, errStateWidth) {
+			res, agg, ds, err = runDiskBatchChunked(ctx, db, workers, members, opts, tasks, stateWide, plan)
+		}
+		return res, agg, ds, err, true
 	}
-	res, agg, ds, err := run(tasks)
-	if err != nil && errors.Is(err, storage.ErrBadExtent) {
+	res, agg, ds, err, chunked := run(idx)
+	if chunked && err != nil && errors.Is(err, storage.ErrBadExtent) {
 		// Stale or foreign .idx sidecar: rebuild and retry once, exactly
 		// like the single-query parallel evaluator.
 		idx, rerr := db.RebuildIndex(0)
 		if rerr != nil {
 			return nil, Stats{}, nil, rerr
 		}
-		tasks = idx.Cut(target, parMinTask)
-		if len(tasks) == 0 {
-			return RunDiskBatch(ctx, db, members, opts)
-		}
-		return run(tasks)
+		res, agg, ds, err, _ = run(idx)
 	}
 	return res, agg, ds, err
 }
 
 // runDiskBatchChunked is one attempt at chunk-parallel batch evaluation
-// over a frontier cut.
-func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, members []BatchMember, opts DiskBatchOpts, tasks []storage.Extent, width int) ([]*Result, Stats, *DiskStats, error) {
+// over a frontier cut, pruning exactly as the single-query chunked
+// evaluator does: swallowed tasks never run, workers seek inside their
+// chunks, the leader skips the remaining pruned holes.
+func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, members []BatchMember, opts DiskBatchOpts, tasks []storage.Extent, width int, plan *PrunePlan) ([]*Result, Stats, *DiskStats, error) {
 	var agg Stats
 	nm := len(members)
 	stride := nm * width
+	var planExts []storage.Extent
+	if plan != nil {
+		planExts = plan.Extents
+	}
+	tasks, inner, outer := SplitPrune(tasks, planExts)
+	if len(tasks) == 0 {
+		return RunDiskBatch(ctx, db, members, opts)
+	}
+	leaderSkip, taskOf := mergeSkipLists(tasks, outer)
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	gaps := gapsOf(db.N, tasks)
+	gaps := gapsOf(db.N, leaderSkip)
 
 	res := make([]*Result, nm)
 	shared := make([]*SharedEngine, nm)
@@ -840,7 +948,7 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 	err = RunPool(ctx, workers, len(tasks), func(worker, i int) error {
 		x := tasks[i]
 		cs := caches[worker]
-		sw := bufio.NewWriterSize(io.NewOffsetWriter(stateF, (db.N-x.End())*int64(stride)), 1<<16)
+		sw := &runWriter{f: stateF}
 		var auxBack *storage.BackwardReader
 		if auxF != nil {
 			var err error
@@ -848,32 +956,37 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 			if err != nil {
 				return err
 			}
+			defer auxBack.Release()
 		}
 		stateBuf := make([]byte, stride)
 		var free [][]StateID
+		var skipped int64
 		var werr error
-		rootVec, st, err := storage.FoldBottomUpRange(ctx, db, x, func(first, second *[]StateID, rec storage.Record, v int64) []StateID {
-			out := takeVec(&free, first, second, nm)
-			var auxVec []byte
-			if auxBack != nil {
-				b, err := auxBack.Next()
-				if err != nil && werr == nil {
-					werr = fmt.Errorf("core: reading aux file: %w", err)
-				} else if err == nil {
-					auxVec = b
+		rootVec, st, err := storage.FoldBottomUpRangeSkipping(ctx, db, x, inner[i],
+			func(sub storage.Extent) ([]StateID, error) {
+				skipped += sub.Size * storage.NodeSize
+				return plan.SubVec(), nil
+			},
+			func(first, second *[]StateID, rec storage.Record, v int64) []StateID {
+				out := takeVec(&free, first, second, nm)
+				var auxVec []byte
+				if auxBack != nil {
+					b, err := auxBack.Next()
+					if err != nil && werr == nil {
+						werr = fmt.Errorf("core: reading aux file: %w", err)
+					} else if err == nil {
+						auxVec = b
+					}
 				}
-			}
-			buVec(cs, first, second, rec, v, auxVec, out, stateBuf, &werr)
-			if _, err := sw.Write(stateBuf); err != nil && werr == nil {
-				werr = err
-			}
-			return out
-		})
+				buVec(cs, first, second, rec, v, auxVec, out, stateBuf, &werr)
+				sw.writeAt(stateBuf, (db.N-1-v)*int64(stride))
+				return out
+			})
 		if err != nil {
 			return err
 		}
 		if werr == nil {
-			werr = sw.Flush()
+			werr = sw.flush()
 		}
 		if werr != nil {
 			if errors.Is(werr, errStateWidth) {
@@ -883,7 +996,7 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 		}
 		rootVecs[i] = rootVec
 		statsMu.Lock()
-		phase1.Merge(storage.ScanStats{Bytes: st.Bytes, MaxStack: st.MaxStack})
+		phase1.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack})
 		statsMu.Unlock()
 		return nil
 	})
@@ -896,17 +1009,22 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 	lw := &runWriter{f: stateF}
 	gi := len(gaps) - 1
 	var auxBack *storage.BackwardReader
-	ti := len(tasks) - 1
+	mi := len(leaderSkip) - 1
+	var leaderSkipped int64
 	stateBuf := make([]byte, stride)
 	var free [][]StateID
 	var werr error
-	rootVec, scan1, err := storage.FoldBottomUpSkipping(ctx, db, tasks,
+	rootVec, scan1, err := storage.FoldBottomUpSkipping(ctx, db, leaderSkip,
 		func(x storage.Extent) ([]StateID, error) {
+			ti := taskOf[mi]
+			mi--
+			if ti < 0 {
+				leaderSkipped += x.Size * storage.NodeSize
+				return plan.SubVec(), nil
+			}
 			// Hand the fold a copy: the original must survive for phase 2,
 			// but the fold recycles child vectors freely.
-			st := append([]StateID(nil), rootVecs[ti]...)
-			ti--
-			return st, nil
+			return append([]StateID(nil), rootVecs[ti]...), nil
 		},
 		func(first, second *[]StateID, rec storage.Record, v int64) []StateID {
 			if auxF != nil {
@@ -951,6 +1069,7 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 		}
 		return nil, agg, nil, fmt.Errorf("core: writing state file: %w", werr)
 	}
+	scan1.SkippedBytes += leaderSkipped
 	scan1.Merge(phase1)
 	ds.Phase1 = scan1
 	agg.Phase1Time = time.Since(start)
@@ -975,8 +1094,9 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 	strideOut := storage.MaskStride(opts.AuxOutStride)
 
 	tdRoots := make([][]StateID, len(tasks))
-	ti = 0
+	mi = 0
 	gi = 0
+	var leaderSkipped2 int64
 	var stateBack *storage.BackwardReader
 	var auxFwd *bufio.Reader
 	auxOut := &runWriter{f: auxOutF}
@@ -1008,8 +1128,19 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 	inVec := make([]byte, storage.MaskStride(opts.AuxInStride))
 	outVec := make([]byte, strideOut)
 	nextGapNode := int64(-1)
-	scan2, err := storage.ScanTopDownSkipping(ctx, db, tasks,
+	scan2, err := storage.ScanTopDownSkipping(ctx, db, leaderSkip,
 		func(x storage.Extent, parent *int32, k int) error {
+			ti := taskOf[mi]
+			mi++
+			if ti < 0 {
+				// Pruned hole: no entry vector, no state-file slice; only
+				// the (all-zero) aux slots of its nodes.
+				leaderSkipped2 += x.Size * storage.NodeSize
+				if auxOutF != nil {
+					writeZeroMasksAt(auxOut, x.Root*strideOut, x.Size*strideOut)
+				}
+				return nil
+			}
 			entry := make([]StateID, nm)
 			for m := range members {
 				bu := rootVecs[ti][m]
@@ -1023,7 +1154,6 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 				}
 			}
 			tdRoots[ti] = entry
-			ti++
 			return nil
 		},
 		func(v int64, rec storage.Record, parent *int32, k int) (int32, error) {
@@ -1131,7 +1261,19 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 		}
 		inVec := make([]byte, storage.MaskStride(opts.AuxInStride))
 		outVec := make([]byte, strideOut)
-		st, err := storage.ScanTopDownRange(ctx, db, x, func(v int64, rec storage.Record, parent *int32, k int) (int32, error) {
+		var skipped int64
+		st, err := storage.ScanTopDownRangeSkipping(ctx, db, x, inner[i], func(sub storage.Extent, parent *int32, k int) error {
+			if err := stateBack.Skip(sub.Size); err != nil {
+				return err
+			}
+			skipped += sub.Size * storage.NodeSize
+			if auxOut != nil {
+				if err := writeZeros(auxOut, sub.Size*strideOut); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, func(v int64, rec storage.Record, parent *int32, k int) (int32, error) {
 			b, err := stateBack.Next()
 			if err != nil {
 				return 0, fmt.Errorf("core: reading state file: %w", err)
@@ -1207,7 +1349,7 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 			}
 		}
 		statsMu.Lock()
-		scan2.Merge(storage.ScanStats{Bytes: st.Bytes, MaxStack: st.MaxStack})
+		scan2.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack})
 		statsMu.Unlock()
 		return nil
 	})
@@ -1222,12 +1364,16 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 			return nil, agg, nil, err
 		}
 	}
+	scan2.SkippedBytes += leaderSkipped2
 	ds.Phase2 = scan2
 	agg.Phase2Time = time.Since(start)
 	// Count node visits only on success: a narrow-width restart re-enters
 	// this function and must not double-count the aborted attempt.
 	for _, bm := range members {
 		bm.E.stats.Nodes += db.N
+		if plan != nil {
+			bm.E.stats.PrunedNodes += plan.Nodes
+		}
 	}
 	succeeded = true
 	return res, agg, ds, nil

@@ -51,6 +51,12 @@ type DiskOpts struct {
 	// (Section 6.3), produced with no pass beyond the two scans.
 	MarkTo    io.Writer
 	MarkQuery int
+
+	// NoPrune disables selectivity-aware scan pruning (prune.go) for this
+	// run. Pruning is otherwise applied automatically whenever it is
+	// provably sound; runs with aux input, marked output, or an external
+	// state-file contract (StatePath/KeepStateFile) never prune.
+	NoPrune bool
 }
 
 // DiskStats reports the per-scan cost profile of a disk run, alongside the
@@ -106,6 +112,23 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 	ds := &DiskStats{StateBytes: db.N * stateIDSize}
 	e.stats.Nodes += db.N
 
+	// Selectivity-aware pruning: seek past extents the static analysis
+	// proves irrelevant. Sound only without aux input (aux bits vary per
+	// node), without marked output (every node must be emitted), and
+	// without an external state-file contract (the pruned state file has
+	// holes where extents were skipped).
+	var prune *PrunePlan
+	if !opts.NoPrune && opts.AuxIn == "" && opts.MarkTo == nil && !opts.KeepStateFile && opts.StatePath == "" && db.N >= PruneMinNodes {
+		if ix, ierr := db.Index(0); ierr == nil {
+			prune = PlanPrune([]*Engine{e}, ix, db.N)
+		}
+	}
+	var pruneExts []storage.Extent
+	if prune != nil {
+		pruneExts = prune.Extents
+		e.stats.PrunedNodes += prune.Nodes
+	}
+
 	// Optional auxiliary mask file, read backwards in phase 1 and
 	// forwards in phase 2.
 	var auxBack *storage.BackwardReader
@@ -145,46 +168,55 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 			os.Remove(statePath)
 		}
 	}()
-	sw := bufio.NewWriterSize(stateF, 1<<16)
+	// States stream through a run-batched writer at the offset of each
+	// node's reverse-preorder slot: without pruning the offsets are one
+	// contiguous ascending run (plain sequential writes); a pruned extent
+	// is a hole the writer jumps over and the file never materialises.
+	sw := &runWriter{f: stateF}
 	var werr error
-	rootState, scan1, err := storage.FoldBottomUp(ctx, db, func(first, second *StateID, rec storage.Record, v int64) StateID {
-		left, right := NoState, NoState
-		if first != nil {
-			left = *first
-		}
-		if second != nil {
-			right = *second
-		}
-		sig := edb.NodeSig{
-			Label:     tree.Label(rec.Label),
-			HasFirst:  rec.HasFirst,
-			HasSecond: rec.HasSecond,
-			IsRoot:    v == 0,
-		}
-		if auxBack != nil {
-			b, err := auxBack.Next()
-			if err != nil && werr == nil {
-				werr = fmt.Errorf("core: reading aux file: %w", err)
-			} else if err == nil {
-				sig.Extra = binary.BigEndian.Uint16(b)
+	rootState, scan1, err := storage.FoldBottomUpSkipping(ctx, db, pruneExts,
+		func(x storage.Extent) (StateID, error) {
+			return prune.Sub(0), nil
+		},
+		func(first, second *StateID, rec storage.Record, v int64) StateID {
+			left, right := NoState, NoState
+			if first != nil {
+				left = *first
 			}
-		}
-		s := e.ReachableStates(left, right, e.SigID(sig))
-		var buf [stateIDSize]byte
-		binary.BigEndian.PutUint32(buf[:], uint32(s))
-		if _, err := sw.Write(buf[:]); err != nil && werr == nil {
-			werr = err
-		}
-		return s
-	})
+			if second != nil {
+				right = *second
+			}
+			sig := edb.NodeSig{
+				Label:     tree.Label(rec.Label),
+				HasFirst:  rec.HasFirst,
+				HasSecond: rec.HasSecond,
+				IsRoot:    v == 0,
+			}
+			if auxBack != nil {
+				b, err := auxBack.Next()
+				if err != nil && werr == nil {
+					werr = fmt.Errorf("core: reading aux file: %w", err)
+				} else if err == nil {
+					sig.Extra = binary.BigEndian.Uint16(b)
+				}
+			}
+			s := e.ReachableStates(left, right, e.SigID(sig))
+			var buf [stateIDSize]byte
+			binary.BigEndian.PutUint32(buf[:], uint32(s))
+			sw.writeAt(buf[:], (db.N-1-v)*stateIDSize)
+			return s
+		})
 	if err != nil {
 		return nil, nil, err
 	}
 	if werr == nil {
-		werr = sw.Flush()
+		werr = sw.flush()
 	}
 	if werr != nil {
 		return nil, nil, fmt.Errorf("core: writing state file: %w", werr)
+	}
+	if prune != nil {
+		scan1.SkippedBytes += prune.Nodes * storage.NodeSize
 	}
 	ds.Phase1 = scan1
 	e.stats.Phase1Time += time.Since(start)
@@ -226,53 +258,68 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 	if opts.MarkTo != nil {
 		emitter = storage.NewXMLEmitter(opts.MarkTo, db.Names)
 	}
-	scan2, err := storage.ScanTopDown(ctx, db, func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
-		b, err := br.Next()
-		if err != nil {
-			return NoState, fmt.Errorf("core: reading state file: %w", err)
-		}
-		bu := StateID(binary.BigEndian.Uint32(b))
-		var td StateID
-		if parent == nil {
-			if v != 0 {
-				return NoState, fmt.Errorf("core: parentless node %d", v)
+	scan2, err := storage.ScanTopDownSkipping(ctx, db, pruneExts,
+		func(x storage.Extent, parent *StateID, k int) error {
+			// The analysis proved no node of the extent can be selected:
+			// skip its bytes, its state-file hole, and stream zero aux
+			// masks for its slots (prunable passes have no aux input).
+			if err := br.Skip(x.Size); err != nil {
+				return err
 			}
-			if bu != rootState {
-				return NoState, fmt.Errorf("core: state file corrupt: root state %d, phase 1 computed %d", bu, rootState)
-			}
-			td = e.RootTrueSet(bu)
-		} else {
-			td = e.TruePreds(*parent, bu, k)
-		}
-		mask := e.queryMask(td)
-		if mask != 0 {
-			res.MarkMask(mask, v)
-		}
-		if emitter != nil {
-			if err := emitter.Node(v, rec, mask&markBit != 0); err != nil {
-				return NoState, err
-			}
-		}
-		if auxOut != nil {
-			var cur uint16
-			if auxFwd != nil {
-				var ab [auxMaskSize]byte
-				if _, err := io.ReadFull(auxFwd, ab[:]); err != nil {
-					return NoState, fmt.Errorf("core: reading aux file: %w", err)
+			if auxOut != nil {
+				if err := writeZeros(auxOut, x.Size*auxMaskSize); err != nil {
+					return err
 				}
-				cur = binary.BigEndian.Uint16(ab[:])
 			}
-			if mask&queryBit != 0 {
-				cur |= outBit
+			return nil
+		},
+		func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
+			b, err := br.Next()
+			if err != nil {
+				return NoState, fmt.Errorf("core: reading state file: %w", err)
 			}
-			var ab [auxMaskSize]byte
-			binary.BigEndian.PutUint16(ab[:], cur)
-			if _, err := auxOut.Write(ab[:]); err != nil {
-				return NoState, err
+			bu := StateID(binary.BigEndian.Uint32(b))
+			var td StateID
+			if parent == nil {
+				if v != 0 {
+					return NoState, fmt.Errorf("core: parentless node %d", v)
+				}
+				if bu != rootState {
+					return NoState, fmt.Errorf("core: state file corrupt: root state %d, phase 1 computed %d", bu, rootState)
+				}
+				td = e.RootTrueSet(bu)
+			} else {
+				td = e.TruePreds(*parent, bu, k)
 			}
-		}
-		return td, nil
-	})
+			mask := e.queryMask(td)
+			if mask != 0 {
+				res.MarkMask(mask, v)
+			}
+			if emitter != nil {
+				if err := emitter.Node(v, rec, mask&markBit != 0); err != nil {
+					return NoState, err
+				}
+			}
+			if auxOut != nil {
+				var cur uint16
+				if auxFwd != nil {
+					var ab [auxMaskSize]byte
+					if _, err := io.ReadFull(auxFwd, ab[:]); err != nil {
+						return NoState, fmt.Errorf("core: reading aux file: %w", err)
+					}
+					cur = binary.BigEndian.Uint16(ab[:])
+				}
+				if mask&queryBit != 0 {
+					cur |= outBit
+				}
+				var ab [auxMaskSize]byte
+				binary.BigEndian.PutUint16(ab[:], cur)
+				if _, err := auxOut.Write(ab[:]); err != nil {
+					return NoState, err
+				}
+			}
+			return td, nil
+		})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -288,6 +335,9 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 		if err := emitter.Finish(); err != nil {
 			return nil, nil, err
 		}
+	}
+	if prune != nil {
+		scan2.SkippedBytes += prune.Nodes * storage.NodeSize
 	}
 	ds.Phase2 = scan2
 	e.stats.Phase2Time += time.Since(start)

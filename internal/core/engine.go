@@ -39,6 +39,11 @@ type Stats struct {
 	BUStates      int           // residual programs interned
 	TDStates      int           // true-predicate sets interned
 	Nodes         int64
+	// PrunedNodes counts the nodes selectivity-aware pruning proved
+	// irrelevant and seeked past (they are included in Nodes): the
+	// engine's visible measure of how much of the document a query
+	// actually needed, on every strategy including in-memory runs.
+	PrunedNodes int64
 }
 
 // Add accumulates o into s (summing every column).
@@ -50,6 +55,7 @@ func (s *Stats) Add(o Stats) {
 	s.BUStates += o.BUStates
 	s.TDStates += o.TDStates
 	s.Nodes += o.Nodes
+	s.PrunedNodes += o.PrunedNodes
 }
 
 // Sub returns the column-wise difference s - o; with o a snapshot taken
@@ -63,6 +69,7 @@ func (s Stats) Sub(o Stats) Stats {
 		BUStates:      s.BUStates - o.BUStates,
 		TDStates:      s.TDStates - o.TDStates,
 		Nodes:         s.Nodes - o.Nodes,
+		PrunedNodes:   s.PrunedNodes - o.PrunedNodes,
 	}
 }
 
@@ -102,6 +109,11 @@ type Engine struct {
 
 	stats Stats
 
+	// prune caches the engine's selectivity analysis (prune.go), computed
+	// once: live labels, the dead-subtree substitute state, and whether
+	// pruning is admissible at all.
+	prune *pruneAnalysis
+
 	// scratch rule buffer reused across transition computations
 	ruleBuf []horn.Rule
 }
@@ -137,6 +149,10 @@ func (e *Engine) ResetStats() { e.stats = Stats{} }
 // outside this package (the parallel batch runner) call it once up front
 // because they only touch the engine through its SharedEngine afterwards.
 func (e *Engine) AddNodes(n int64) { e.stats.Nodes += n }
+
+// AddPrunedNodes records n pruned node visits (see Stats.PrunedNodes);
+// the external parallel evaluators call it when they apply a prune plan.
+func (e *Engine) AddPrunedNodes(n int64) { e.stats.PrunedNodes += n }
 
 // SigID interns a node signature, collapsing signatures that satisfy the
 // same EDB facts of the program into one alphabet symbol.

@@ -22,6 +22,15 @@ type RunOpts struct {
 	// the node labeling. The XPath frontend uses it for multi-pass
 	// negation. Nil means no auxiliary predicates.
 	Aux func(v tree.NodeID) uint16
+
+	// Index optionally supplies a subtree index with label signatures
+	// over the tree (storage.BuildTreeIndex; sessions cache one per
+	// tree), enabling selectivity-aware pruning for in-memory runs: both
+	// passes jump over subtrees the engine's analysis proves irrelevant.
+	Index *storage.SubtreeIndex
+	// NoPrune disables pruning even when Index is available. Runs with
+	// Aux or KeepStates never prune.
+	NoPrune bool
 }
 
 // Run evaluates the engine's program over an in-memory tree.
@@ -49,12 +58,34 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*R
 	res := NewResult(e.c.Prog, int64(n))
 	e.stats.Nodes += int64(n)
 
+	// Selectivity-aware pruning: with a tree index available, both passes
+	// jump over subtrees the static analysis proves irrelevant (the same
+	// soundness conditions as on disk; see prune.go). KeepStates runs
+	// never prune — the recorded per-node states must be complete.
+	var prune *PrunePlan
+	if !opts.NoPrune && opts.Aux == nil && !opts.KeepStates {
+		prune = PlanPrune([]*Engine{e}, opts.Index, int64(n))
+	}
+	var exts []storage.Extent
+	if prune != nil {
+		exts = prune.Extents
+		e.stats.PrunedNodes += prune.Nodes
+	}
+
 	// Phase 1: bottom-up run of A.
 	start := time.Now()
 	bu := make([]StateID, n)
+	pe := len(exts) - 1
 	for v := n - 1; v >= 0; v-- {
 		if err := cancel.Step(); err != nil {
 			return nil, err
+		}
+		if pe >= 0 && int64(v) == exts[pe].End()-1 {
+			x := exts[pe]
+			pe--
+			bu[x.Root] = prune.Sub(0)
+			v = int(x.Root) // the loop decrement steps past the extent
+			continue
 		}
 		left, right := NoState, NoState
 		if c := t.First(tree.NodeID(v)); c != tree.None {
@@ -75,9 +106,17 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*R
 	start = time.Now()
 	td := make([]StateID, n)
 	td[0] = e.RootTrueSet(bu[0])
+	pi := 0
 	for v := 0; v < n; v++ {
 		if err := cancel.Step(); err != nil {
 			return nil, err
+		}
+		if pi < len(exts) && int64(v) == exts[pi].Root {
+			// Provably selection-free: nothing to mark, nothing below
+			// needs a top-down state.
+			v = int(exts[pi].End()) - 1 // the loop increment steps past
+			pi++
+			continue
 		}
 		if mask := e.queryMask(td[v]); mask != 0 {
 			res.MarkMask(mask, int64(v))

@@ -83,12 +83,21 @@ func (e *Engine) RunDiskParallelContext(ctx context.Context, db *storage.DB, wor
 		return nil, nil, err
 	}
 	target := db.N / (int64(workers) * parTasksPerWorker)
-	tasks := idx.Cut(target, parMinTask)
-	if len(tasks) == 0 {
-		return e.RunDiskContext(ctx, db, opts)
+	attempt := func(idx *storage.SubtreeIndex) (*Result, *DiskStats, error, bool) {
+		tasks := idx.Cut(target, parMinTask)
+		if len(tasks) == 0 {
+			r, d, err := e.RunDiskContext(ctx, db, opts)
+			return r, d, err, false
+		}
+		var plan *PrunePlan
+		if !opts.NoPrune && opts.AuxIn == "" && !opts.KeepStateFile && opts.StatePath == "" {
+			plan = PlanPrune([]*Engine{e}, idx, db.N)
+		}
+		r, d, err := e.runDiskChunked(ctx, db, workers, opts, tasks, plan)
+		return r, d, err, true
 	}
-	res, ds, err := e.runDiskChunked(ctx, db, workers, opts, tasks)
-	if err != nil && errors.Is(err, storage.ErrBadExtent) {
+	res, ds, err, chunked := attempt(idx)
+	if chunked && err != nil && errors.Is(err, storage.ErrBadExtent) {
 		// A stale or foreign .idx sidecar (e.g. the .arb was replaced
 		// out-of-band by one of equal size) cut extents that don't match
 		// the data. Rebuild the index from the file and retry once; a
@@ -97,22 +106,32 @@ func (e *Engine) RunDiskParallelContext(ctx context.Context, db *storage.DB, wor
 		if rerr != nil {
 			return nil, nil, rerr
 		}
-		tasks = idx.Cut(target, parMinTask)
-		if len(tasks) == 0 {
-			return e.RunDiskContext(ctx, db, opts)
-		}
-		return e.runDiskChunked(ctx, db, workers, opts, tasks)
+		res, ds, err, _ = attempt(idx)
 	}
 	return res, ds, err
 }
 
 // runDiskChunked is one attempt at chunk-parallel evaluation over a
 // frontier cut; RunDiskParallel wraps it with the stale-index retry.
-func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int, opts DiskOpts, tasks []storage.Extent) (*Result, *DiskStats, error) {
+// When a prune plan is given, tasks swallowed by a pruned extent never
+// run, workers seek past pruned extents inside their own chunks, and the
+// leader's glue scan skips the remaining pruned holes.
+func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int, opts DiskOpts, tasks []storage.Extent, plan *PrunePlan) (*Result, *DiskStats, error) {
+	var planExts []storage.Extent
+	if plan != nil {
+		planExts = plan.Extents
+	}
+	tasks, inner, outer := SplitPrune(tasks, planExts)
+	if len(tasks) == 0 {
+		// Everything splittable was pruned away; the sequential path
+		// handles the remainder (and prunes the same extents itself).
+		return e.RunDiskContext(ctx, db, opts)
+	}
+	leaderSkip, taskOf := mergeSkipLists(tasks, outer)
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	gaps := gapsOf(db.N, tasks)
+	gaps := gapsOf(db.N, leaderSkip)
 
 	res := NewResult(e.c.Prog, db.N)
 	ds := &DiskStats{StateBytes: db.N * stateIDSize}
@@ -165,7 +184,9 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	err = RunPool(ctx, workers, len(tasks), func(worker, i int) error {
 		x := tasks[i]
 		cache := caches[worker]
-		sw := bufio.NewWriterSize(io.NewOffsetWriter(stateF, (db.N-x.End())*stateIDSize), 1<<16)
+		// Absolute reverse-preorder offsets; in-chunk pruned extents are
+		// holes the run-batched writer jumps over.
+		sw := &runWriter{f: stateF}
 		var auxBack *storage.BackwardReader
 		if auxF != nil {
 			var err error
@@ -173,31 +194,37 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 			if err != nil {
 				return err
 			}
+			defer auxBack.Release()
 		}
+		var skipped int64
 		var werr error
-		rootState, st, err := storage.FoldBottomUpRange(ctx, db, x, func(first, second *StateID, rec storage.Record, v int64) StateID {
-			id := buStep(cache, first, second, rec, v, auxBack, &werr)
-			var buf [stateIDSize]byte
-			binary.BigEndian.PutUint32(buf[:], uint32(id))
-			if _, err := sw.Write(buf[:]); err != nil && werr == nil {
-				werr = err
-			}
-			return id
-		})
+		rootState, st, err := storage.FoldBottomUpRangeSkipping(ctx, db, x, inner[i],
+			func(sub storage.Extent) (StateID, error) {
+				skipped += sub.Size * storage.NodeSize
+				return plan.Sub(0), nil
+			},
+			func(first, second *StateID, rec storage.Record, v int64) StateID {
+				id := buStep(cache, first, second, rec, v, auxBack, &werr)
+				var buf [stateIDSize]byte
+				binary.BigEndian.PutUint32(buf[:], uint32(id))
+				sw.writeAt(buf[:], (db.N-1-v)*stateIDSize)
+				return id
+			})
 		if err != nil {
 			return err
 		}
 		if werr == nil {
-			werr = sw.Flush()
+			werr = sw.flush()
 		}
 		if werr != nil {
 			return fmt.Errorf("core: chunk [%d,%d): %w", x.Root, x.End(), werr)
 		}
 		rootStates[i] = rootState
 		statsMu.Lock()
-		if st.MaxStack > phase1.MaxStack {
-			phase1.MaxStack = st.MaxStack
-		}
+		// Nodes are counted once by the leader's skipping fold (a chunk
+		// stands in as one already-folded subtree there), so workers merge
+		// only their byte and stack columns.
+		phase1.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack})
 		statsMu.Unlock()
 		return nil
 	})
@@ -206,17 +233,23 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	}
 
 	// Leader glue scan: reverse preorder over everything outside the
-	// chunks, with each chunk standing in as one already-folded subtree.
+	// chunks, with each chunk standing in as one already-folded subtree
+	// and each leader-level pruned extent as the substitute state.
 	lw := &runWriter{f: stateF}
 	gi := len(gaps) - 1
 	var auxBack *storage.BackwardReader
-	ti := len(tasks) - 1
+	mi := len(leaderSkip) - 1
+	var leaderSkipped int64
 	var werr error
-	rootState, scan1, err := storage.FoldBottomUpSkipping(ctx, db, tasks,
+	rootState, scan1, err := storage.FoldBottomUpSkipping(ctx, db, leaderSkip,
 		func(x storage.Extent) (StateID, error) {
-			st := rootStates[ti]
-			ti--
-			return st, nil
+			ti := taskOf[mi]
+			mi--
+			if ti < 0 {
+				leaderSkipped += x.Size * storage.NodeSize
+				return plan.Sub(0), nil
+			}
+			return rootStates[ti], nil
 		},
 		func(first, second *StateID, rec storage.Record, v int64) StateID {
 			if auxF != nil {
@@ -252,6 +285,7 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	if werr != nil {
 		return nil, nil, fmt.Errorf("core: writing state file: %w", werr)
 	}
+	scan1.SkippedBytes += leaderSkipped
 	scan1.Merge(phase1)
 	ds.Phase1 = scan1
 	e.stats.Phase1Time += time.Since(start)
@@ -279,8 +313,9 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	queryBit := uint64(1) << uint(opts.AuxOutQuery)
 
 	tdRoots := make([]StateID, len(tasks))
-	ti = 0
+	mi = 0
 	gi = 0
+	var leaderSkipped2 int64
 	var stateBack *storage.BackwardReader
 	var auxFwd *bufio.Reader
 	auxOut := &runWriter{f: auxOutF}
@@ -303,8 +338,20 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 		return nil
 	}
 	nextGapNode := int64(-1) // first unvisited node of the current gap
-	scan2, err := storage.ScanTopDownSkipping(ctx, db, tasks,
+	scan2, err := storage.ScanTopDownSkipping(ctx, db, leaderSkip,
 		func(x storage.Extent, parent *StateID, k int) error {
+			ti := taskOf[mi]
+			mi++
+			if ti < 0 {
+				// Pruned hole: provably selection-free, so there is no
+				// entry state to compute and no state-file slice to read —
+				// only the aux slots (zero: nothing selected, no input).
+				leaderSkipped2 += x.Size * storage.NodeSize
+				if auxOutF != nil {
+					writeZeroMasksAt(auxOut, x.Root*auxMaskSize, x.Size*auxMaskSize)
+				}
+				return nil
+			}
 			bu := rootStates[ti]
 			var td StateID
 			if parent == nil {
@@ -316,7 +363,6 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 				td = leaderCache.TruePreds(*parent, bu, k)
 			}
 			tdRoots[ti] = td
-			ti++
 			return nil
 		},
 		func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
@@ -395,7 +441,19 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 		for qi := range local {
 			local[qi] = make([]uint64, words)
 		}
-		st, err := storage.ScanTopDownRange(ctx, db, x, func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
+		var skipped int64
+		st, err := storage.ScanTopDownRangeSkipping(ctx, db, x, inner[i], func(sub storage.Extent, parent *StateID, k int) error {
+			if err := stateBack.Skip(sub.Size); err != nil {
+				return err
+			}
+			skipped += sub.Size * storage.NodeSize
+			if auxOut != nil {
+				if err := writeZeros(auxOut, sub.Size*auxMaskSize); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, func(v int64, rec storage.Record, parent *StateID, k int) (StateID, error) {
 			b, err := stateBack.Next()
 			if err != nil {
 				return NoState, fmt.Errorf("core: reading state file: %w", err)
@@ -451,9 +509,7 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 			res.MergeWords(qi, w0, local[qi])
 		}
 		statsMu.Lock()
-		if st.MaxStack > scan2.MaxStack {
-			scan2.MaxStack = st.MaxStack
-		}
+		scan2.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack})
 		statsMu.Unlock()
 		return nil
 	})
@@ -468,8 +524,14 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 			return nil, nil, err
 		}
 	}
+	scan2.SkippedBytes += leaderSkipped2
 	ds.Phase2 = scan2
 	e.stats.Phase2Time += time.Since(start)
+	// Count pruned nodes only on success: the stale-index retry re-enters
+	// this function and must not double-count the aborted attempt's plan.
+	if plan != nil {
+		e.stats.PrunedNodes += plan.Nodes
+	}
 	succeeded = true
 	return res, ds, nil
 }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"arb/internal/storage"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// TestPruneAnalysisAdmission checks which programs the static analysis
+// admits for pruning: label-selective queries (including caterpillar
+// paths) converge to a single dead-subtree state with no reachable
+// selection, while label-independent or structure-sensitive queries must
+// be refused — their answers genuinely depend on subtree shape.
+func TestPruneAnalysisAdmission(t *testing.T) {
+	names := tree.NewNames()
+	for _, n := range []string{"hit", "item", "name", "flag"} {
+		if _, err := names.Intern(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name string
+		src  string
+		ok   bool
+	}{
+		{"label", `QUERY :- Label[hit];`, true},
+		{"path", `QUERY :- V.Label[item].FirstChild.NextSibling*.Label[name];`, true},
+		{"neg-label", `QUERY :- Label[hit], -Label[flag];`, true},
+		{"all-leaves", `QUERY :- Leaf, -Text;`, false},
+		{"structural", `QUERY :- V.Label[hit].SecondChild.HasFirstChild;`, false},
+		// Selecting the root alone is prunable: extents never contain
+		// node 0, so no dead subtree can hold the selection.
+		{"root", `QUERY :- Root;`, true},
+	}
+	for _, tc := range cases {
+		p := tmnf.MustParse(tc.src)
+		c, err := Compile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		e := NewEngine(c, names)
+		a := e.pruneAnalysis()
+		if a.ok != tc.ok {
+			t.Errorf("%s: analysis ok=%v, want %v", tc.name, a.ok, tc.ok)
+		}
+		if a2 := e.pruneAnalysis(); a2 != a {
+			t.Errorf("%s: analysis not cached", tc.name)
+		}
+	}
+}
+
+// TestPruneAnalysisRootSafety: the Root unary must block pruning — the
+// analysis models extents with IsRoot false, and while the planner never
+// prunes the extent at node 0, a Root-dependent program can still select
+// everywhere (QUERY :- -Root selects every non-root node, including all
+// of any dead subtree).
+func TestPruneAnalysisNegRoot(t *testing.T) {
+	p := tmnf.MustParse(`QUERY :- -Root;`)
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(c, tree.NewNames())
+	if a := e.pruneAnalysis(); a.ok {
+		t.Fatal("analysis admitted a query that selects every non-root node")
+	}
+}
+
+// TestPruneSplit checks the distribution of plan extents over a task
+// frontier: swallowing, nesting, and leader-level holes.
+func TestPruneSplit(t *testing.T) {
+	ext := func(root, size int64) storage.Extent { return storage.Extent{Root: root, Size: size} }
+	tasks := []storage.Extent{ext(10, 20), ext(40, 10), ext(60, 30), ext(95, 5)}
+	plan := []storage.Extent{
+		ext(2, 5),   // before every task: leader hole
+		ext(15, 5),  // strictly inside task [10,30)
+		ext(35, 20), // swallows task [40,50)
+		ext(61, 9),  // inside task [60,90)
+		ext(80, 10), // inside task [60,90)
+		ext(95, 5),  // equals task [95,100): swallowed
+	}
+	kept, inner, outer := SplitPrune(tasks, plan)
+	if len(kept) != 2 || kept[0] != ext(10, 20) || kept[1] != ext(60, 30) {
+		t.Fatalf("kept = %v", kept)
+	}
+	if len(inner) != 2 || len(inner[0]) != 1 || inner[0][0] != ext(15, 5) ||
+		len(inner[1]) != 2 || inner[1][0] != ext(61, 9) || inner[1][1] != ext(80, 10) {
+		t.Fatalf("inner = %v", inner)
+	}
+	if len(outer) != 3 || outer[0] != ext(2, 5) || outer[1] != ext(35, 20) || outer[2] != ext(95, 5) {
+		t.Fatalf("outer = %v", outer)
+	}
+
+	exts, taskOf := mergeSkipLists(kept, outer)
+	wantExts := []storage.Extent{ext(2, 5), ext(10, 20), ext(35, 20), ext(60, 30), ext(95, 5)}
+	wantTask := []int{-1, 0, -1, 1, -1}
+	if len(exts) != len(wantExts) {
+		t.Fatalf("merged = %v", exts)
+	}
+	for i := range exts {
+		if exts[i] != wantExts[i] || taskOf[i] != wantTask[i] {
+			t.Fatalf("merged[%d] = %v/%d, want %v/%d", i, exts[i], taskOf[i], wantExts[i], wantTask[i])
+		}
+	}
+
+	// No plan: everything stays a task.
+	kept2, inner2, outer2 := SplitPrune(tasks, nil)
+	if len(kept2) != len(tasks) || len(outer2) != 0 {
+		t.Fatalf("nil plan changed the frontier: %v / %v", kept2, outer2)
+	}
+	for i := range inner2 {
+		if len(inner2[i]) != 0 {
+			t.Fatalf("nil plan produced inner extents: %v", inner2)
+		}
+	}
+}
+
+// TestPrunePlanSelectsMaximalDisjointExtents checks the planner picks
+// maximal label-disjoint index extents, never the root, nothing below
+// the size floor, and respects the engines' union live set.
+func TestPrunePlanSelectsMaximalDisjointExtents(t *testing.T) {
+	names := tree.NewNames()
+	for _, n := range []string{"hit", "other"} {
+		if _, err := names.Intern(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hit, _ := names.Lookup("hit")
+	other, _ := names.Lookup("other")
+
+	mk := func(src string) *Engine {
+		c, err := Compile(tmnf.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewEngine(c, names)
+	}
+	eHit := mk(`QUERY :- Label[hit];`)
+	eOther := mk(`QUERY :- Label[other];`)
+
+	sig := func(labels ...tree.Label) (s storage.LabelSig) {
+		for _, l := range labels {
+			s.Add(uint16(l))
+		}
+		return s
+	}
+	defer func(n, x int64) { PruneMinNodes, PruneMinExtent = n, x }(PruneMinNodes, PruneMinExtent)
+	PruneMinNodes, PruneMinExtent = 100, 10
+
+	// Synthetic laminar index over 1000 nodes: a dead parent with a dead
+	// child (only the parent should be picked), a live extent, a
+	// too-small dead extent, and a dead extent containing `other`.
+	entries := []storage.IndexEntry{
+		{V: 0, Size: 1000, FirstSize: 499, Labels: sig(hit, other, 400)},
+		{V: 1, Size: 400, FirstSize: 200, Labels: sig(400)},        // label 400 untested: dead for both queries
+		{V: 2, Size: 200, FirstSize: 0, Labels: sig(400)},          // nested in [1,401): must not double-count
+		{V: 500, Size: 100, FirstSize: 0, Labels: sig(hit)},        // live for eHit
+		{V: 700, Size: 5, FirstSize: 0, Labels: sig(401)},          // below the size floor
+		{V: 800, Size: 150, FirstSize: 0, Labels: sig(other, 402)}, // live for eOther only
+	}
+	ix := storage.NewIndexForTest(1000, entries)
+
+	plan := PlanPrune([]*Engine{eHit}, ix, 1000)
+	if plan == nil {
+		t.Fatal("no plan for the hit query")
+	}
+	want := []storage.Extent{{Root: 1, Size: 400}, {Root: 800, Size: 150}}
+	if len(plan.Extents) != len(want) || plan.Extents[0] != want[0] || plan.Extents[1] != want[1] {
+		t.Fatalf("hit plan extents = %v, want %v", plan.Extents, want)
+	}
+	if plan.Nodes != 550 {
+		t.Fatalf("hit plan nodes = %d, want 550", plan.Nodes)
+	}
+
+	// Batched with the other query, the union live set shrinks the plan.
+	plan2 := PlanPrune([]*Engine{eHit, eOther}, ix, 1000)
+	if plan2 == nil || len(plan2.Extents) != 1 || plan2.Extents[0] != want[0] {
+		t.Fatalf("joint plan = %+v, want just %v", plan2, want[0])
+	}
+
+	// A foreign index (wrong node count) must never produce a plan.
+	if p := PlanPrune([]*Engine{eHit}, ix, 999); p != nil {
+		t.Fatal("planner accepted a foreign index")
+	}
+}

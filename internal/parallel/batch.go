@@ -19,7 +19,7 @@ import (
 // Each worker keeps a private dense core.BatchCache per member in front
 // of the members' shared automata. Results are identical to
 // core.RunBatchTree's. Cancelling ctx aborts all workers promptly.
-func RunBatchContext(ctx context.Context, t *tree.Tree, workers int, members []core.BatchMember) ([]*core.Result, core.Stats, error) {
+func RunBatchContext(ctx context.Context, t *tree.Tree, workers int, members []core.BatchMember, topts core.TreeBatchOpts) ([]*core.Result, core.Stats, error) {
 	var agg core.Stats
 	n := t.Len()
 	if n == 0 {
@@ -36,11 +36,34 @@ func RunBatchContext(ctx context.Context, t *tree.Tree, workers int, members []c
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// Selectivity-aware pruning, planned while the member engines are
+	// still exclusively ours (before Share): an extent is skipped only
+	// when every member's analysis proves it irrelevant.
+	prunable := !topts.NoPrune
+	engines := make([]*core.Engine, nm)
+	for m, bm := range members {
+		engines[m] = bm.E
+		if bm.Aux != nil {
+			prunable = false
+		}
+	}
+	var prune *core.PrunePlan
+	if prunable {
+		prune = core.PlanPrune(engines, topts.Index, int64(n))
+	}
+	var planExts []storage.Extent
+	if prune != nil {
+		planExts = prune.Extents
+	}
+
 	res := make([]*core.Result, nm)
 	shared := make([]*core.SharedEngine, nm)
 	for m, bm := range members {
 		res[m] = core.NewResult(bm.E.Compiled().Prog, int64(n))
 		bm.E.AddNodes(int64(n))
+		if prune != nil {
+			bm.E.AddPrunedNodes(prune.Nodes)
+		}
 		shared[m] = bm.E.Share()
 	}
 
@@ -50,9 +73,14 @@ func RunBatchContext(ctx context.Context, t *tree.Tree, workers int, members []c
 		target = 256
 	}
 	tasks := Frontier(t, size, target)
+	tasks, inner, outer := core.SplitPrune(tasks, planExts)
 	inTask := make([]bool, n)
 	for _, x := range tasks {
 		inTask[x.Root] = true
+	}
+	skipAt := make(map[tree.NodeID]int64, len(outer))
+	for _, x := range outer {
+		skipAt[tree.NodeID(x.Root)] = x.Size
 	}
 	var top []tree.NodeID
 	{
@@ -62,6 +90,10 @@ func RunBatchContext(ctx context.Context, t *tree.Tree, workers int, members []c
 				i += tree.NodeID(size[i])
 				continue
 			}
+			if sz, ok := skipAt[i]; ok {
+				i += tree.NodeID(sz)
+				continue
+			}
 			top = append(top, i)
 			i++
 		}
@@ -69,6 +101,11 @@ func RunBatchContext(ctx context.Context, t *tree.Tree, workers int, members []c
 
 	bu := make([]core.StateID, n*nm)
 	td := make([]core.StateID, n*nm)
+	for _, x := range planExts {
+		for m := range members {
+			bu[int(x.Root)*nm+m] = prune.Sub(m)
+		}
+	}
 
 	poolWorkers := workers
 	if poolWorkers > len(tasks) {
@@ -112,13 +149,22 @@ func RunBatchContext(ctx context.Context, t *tree.Tree, workers int, members []c
 	}
 
 	// Phase 1: workers fold their subtrees bottom-up (disjoint ranges, no
-	// synchronisation on bu), then the leader folds the top glue.
-	err := runTasks(ctx, poolWorkers, tasks, func(worker int, x storage.Extent) error {
+	// synchronisation on bu), then the leader folds the top glue. Pruned
+	// extents inside a chunk are jumped over (their roots already carry
+	// the substitute vector).
+	err := runTasks(ctx, poolWorkers, tasks, func(worker, i int, x storage.Extent) error {
 		cs := caches[worker]
 		cancel := storage.NewCanceller(ctx)
+		in := inner[i]
+		pe := len(in) - 1
 		for v := tree.NodeID(x.End()) - 1; v >= tree.NodeID(x.Root); v-- {
 			if err := cancel.Step(); err != nil {
 				return err
+			}
+			if pe >= 0 && int64(v) == in[pe].End()-1 {
+				v = tree.NodeID(in[pe].Root) // the loop decrement steps past
+				pe--
+				continue
 			}
 			buStep(cs, v)
 		}
@@ -160,7 +206,7 @@ func RunBatchContext(ctx context.Context, t *tree.Tree, workers int, members []c
 			}
 		}
 	}
-	err = runTasks(ctx, poolWorkers, tasks, func(worker int, x storage.Extent) error {
+	err = runTasks(ctx, poolWorkers, tasks, func(worker, i int, x storage.Extent) error {
 		cs := caches[worker]
 		w0 := x.Root / 64
 		words := (x.End()-1)/64 - w0 + 1
@@ -172,9 +218,16 @@ func RunBatchContext(ctx context.Context, t *tree.Tree, workers int, members []c
 			}
 		}
 		cancel := storage.NewCanceller(ctx)
+		in := inner[i]
+		pi := 0
 		for v := tree.NodeID(x.Root); v < tree.NodeID(x.End()); v++ {
 			if err := cancel.Step(); err != nil {
 				return err
+			}
+			if pi < len(in) && int64(v) == in[pi].Root {
+				v = tree.NodeID(in[pi].End()) - 1 // the loop increment steps past
+				pi++
+				continue
 			}
 			first, second := t.First(v), t.Second(v)
 			for m := range members {

@@ -40,11 +40,11 @@ func TestRunBatchMatchesSequentialBatch(t *testing.T) {
 			seq = append(seq, core.BatchMember{E: core.NewEngine(c, tr.Names()), Aux: auxf, AuxInSlot: -1, AuxOutSlot: -1})
 			par = append(par, core.BatchMember{E: core.NewEngine(c, tr.Names()), Aux: auxf, AuxInSlot: -1, AuxOutSlot: -1})
 		}
-		want, _, err := core.RunBatchTree(ctx, tr, seq)
+		want, _, err := core.RunBatchTree(ctx, tr, seq, core.TreeBatchOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := RunBatchContext(ctx, tr, 4, par)
+		got, _, err := RunBatchContext(ctx, tr, 4, par, core.TreeBatchOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +77,7 @@ func TestRunBatchCancel(t *testing.T) {
 	cancel()
 	_, _, err = RunBatchContext(ctx, tr, 3, []core.BatchMember{
 		{E: core.NewEngine(c, tr.Names()), AuxInSlot: -1, AuxOutSlot: -1},
-	})
+	}, core.TreeBatchOpts{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("error %v, want context.Canceled", err)
 	}

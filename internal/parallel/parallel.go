@@ -110,6 +110,18 @@ func RunContext(ctx context.Context, e *core.Engine, t *tree.Tree, workers int, 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Selectivity-aware pruning (planned before the engine is shared):
+	// pruned extents vanish from the frontier, workers jump over pruned
+	// subtrees inside their chunks, and the top scan skips the rest.
+	var prune *core.PrunePlan
+	if !opts.NoPrune && opts.Aux == nil && !opts.KeepStates {
+		prune = core.PlanPrune([]*core.Engine{e}, opts.Index, int64(n))
+	}
+	var planExts []storage.Extent
+	if prune != nil {
+		planExts = prune.Extents
+		e.AddPrunedNodes(prune.Nodes)
+	}
 	s := e.Share()
 	prog := e.Compiled().Prog
 	res := core.NewResult(prog, int64(n))
@@ -123,18 +135,28 @@ func RunContext(ctx context.Context, e *core.Engine, t *tree.Tree, workers int, 
 		target = 256
 	}
 	tasks := Frontier(t, size, target)
+	tasks, inner, outer := core.SplitPrune(tasks, planExts)
 	inTask := make([]bool, n) // v begins a frontier subtree
 	for _, x := range tasks {
 		inTask[x.Root] = true
 	}
+	skipAt := make(map[tree.NodeID]int64, len(outer)) // pruned roots in the top region
+	for _, x := range outer {
+		skipAt[tree.NodeID(x.Root)] = x.Size
+	}
 
-	// Top nodes: everything not inside a frontier subtree, in preorder.
+	// Top nodes: everything not inside a frontier subtree or a pruned
+	// extent, in preorder.
 	var top []tree.NodeID
 	{
 		i := tree.NodeID(0)
 		for i < tree.NodeID(n) {
 			if inTask[i] {
 				i += tree.NodeID(size[i])
+				continue
+			}
+			if sz, ok := skipAt[i]; ok {
+				i += tree.NodeID(sz)
 				continue
 			}
 			top = append(top, i)
@@ -144,6 +166,11 @@ func RunContext(ctx context.Context, e *core.Engine, t *tree.Tree, workers int, 
 
 	bu := make([]core.StateID, n)
 	td := make([]core.StateID, n)
+	// Pruned subtree roots fold to the substitute state; parents read it,
+	// nothing below is ever touched.
+	for _, x := range planExts {
+		bu[x.Root] = prune.Sub(0)
+	}
 
 	// Per-worker transition caches in front of the shared engine, so the
 	// warm steady state takes no locks at all; reused across both phases.
@@ -157,13 +184,22 @@ func RunContext(ctx context.Context, e *core.Engine, t *tree.Tree, workers int, 
 	}
 
 	// Phase 1: workers fold their subtrees bottom-up; ranges are
-	// disjoint, so bu writes need no synchronisation.
-	err := runTasks(ctx, poolWorkers, tasks, func(worker int, x storage.Extent) error {
+	// disjoint, so bu writes need no synchronisation. Pruned extents
+	// inside a chunk are jumped over (their roots already carry the
+	// substitute state).
+	err := runTasks(ctx, poolWorkers, tasks, func(worker, i int, x storage.Extent) error {
 		cache := caches[worker]
 		cancel := storage.NewCanceller(ctx)
+		in := inner[i]
+		pe := len(in) - 1
 		for v := tree.NodeID(x.End()) - 1; v >= tree.NodeID(x.Root); v-- {
 			if err := cancel.Step(); err != nil {
 				return err
+			}
+			if pe >= 0 && int64(v) == in[pe].End()-1 {
+				v = tree.NodeID(in[pe].Root) // the loop decrement steps past
+				pe--
+				continue
 			}
 			bu[v] = buStep(cache, t, bu, v, opts.Aux)
 		}
@@ -204,7 +240,7 @@ func RunContext(ctx context.Context, e *core.Engine, t *tree.Tree, workers int, 
 			td[c] = topCache.TruePreds(td[v], bu[c], 2)
 		}
 	}
-	err = runTasks(ctx, poolWorkers, tasks, func(worker int, x storage.Extent) error {
+	err = runTasks(ctx, poolWorkers, tasks, func(worker, i int, x storage.Extent) error {
 		cache := caches[worker]
 		w0 := x.Root / 64
 		words := (x.End()-1)/64 - w0 + 1
@@ -213,9 +249,16 @@ func RunContext(ctx context.Context, e *core.Engine, t *tree.Tree, workers int, 
 			local[qi] = make([]uint64, words)
 		}
 		cancel := storage.NewCanceller(ctx)
+		in := inner[i]
+		pi := 0
 		for v := tree.NodeID(x.Root); v < tree.NodeID(x.End()); v++ {
 			if err := cancel.Step(); err != nil {
 				return err
+			}
+			if pi < len(in) && int64(v) == in[pi].Root {
+				v = tree.NodeID(in[pi].End()) - 1 // the loop increment steps past
+				pi++
+				continue
 			}
 			if mask := cache.QueryMask(td[v]); mask != 0 {
 				for m, qi := mask, 0; m != 0; qi++ {
@@ -264,12 +307,13 @@ func buStep(cache *core.TxCache, t *tree.Tree, bu []core.StateID, v tree.NodeID,
 }
 
 // runTasks fans the extents out over core.RunPool's worker pool; run
-// receives the worker id so each goroutine can use its private cache.
-func runTasks(ctx context.Context, workers int, tasks []storage.Extent, run func(worker int, x storage.Extent) error) error {
+// receives the worker id so each goroutine can use its private cache,
+// and the task index so it can find its in-chunk prune list.
+func runTasks(ctx context.Context, workers int, tasks []storage.Extent, run func(worker, i int, x storage.Extent) error) error {
 	if len(tasks) == 0 {
 		return nil
 	}
 	return core.RunPool(ctx, workers, len(tasks), func(worker, i int) error {
-		return run(worker, tasks[i])
+		return run(worker, i, tasks[i])
 	})
 }

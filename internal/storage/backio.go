@@ -4,12 +4,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // defaultBufSize is the buffer size for sequential (forward and backward)
 // I/O. Backward scans read the file in large chunks from the end so the
 // disk still sees (reverse-)sequential access patterns.
 const defaultBufSize = 1 << 18
+
+// backBufPool recycles BackwardReader buffers: the skipping scan paths
+// open one reader per region between extents, and pooling the 256 KB
+// buffers keeps allocation churn flat however many extents a frontier or
+// pruning plan has. Readers return their buffer through Release.
+var backBufPool = sync.Pool{
+	New: func() interface{} { return make([]byte, defaultBufSize) },
+}
 
 // BackwardReader reads a section of a file from its end towards its start
 // in fixed-size units, buffering chunk-wise. It is used for the bottom-up
@@ -22,6 +31,7 @@ type BackwardReader struct {
 	f        io.ReaderAt
 	start    int64 // lower bound of the section (inclusive)
 	pos      int64 // file offset of the start of buf's valid region
+	raw      []byte
 	buf      []byte
 	have     int // number of valid bytes at the end of buf region
 	unitSize int
@@ -44,8 +54,41 @@ func NewBackwardSectionReader(f io.ReaderAt, start, end int64, unitSize int) (*B
 	if (end-start)%int64(unitSize) != 0 {
 		return nil, fmt.Errorf("storage: section size %d not a multiple of unit size %d", end-start, unitSize)
 	}
-	return &BackwardReader{f: f, start: start, pos: end, unitSize: unitSize,
-		buf: make([]byte, defaultBufSize/unitSize*unitSize)}, nil
+	raw := backBufPool.Get().([]byte)
+	return &BackwardReader{f: f, start: start, pos: end, unitSize: unitSize, raw: raw,
+		buf: raw[:defaultBufSize/unitSize*unitSize]}, nil
+}
+
+// Release returns the reader's buffer to the shared pool. The reader (and
+// any slice Next returned) must not be used afterwards. Releasing is
+// optional — an unreleased buffer is simply garbage-collected.
+func (r *BackwardReader) Release() {
+	if r.raw != nil {
+		backBufPool.Put(r.raw)
+		r.raw, r.buf, r.have = nil, nil, 0
+	}
+}
+
+// Skip moves the reader backwards past units whole units without reading
+// them — the seek primitive behind selectivity-aware pruning (the skipped
+// section of a state file was never written, so it must never be read).
+func (r *BackwardReader) Skip(units int64) error {
+	n := units * int64(r.unitSize)
+	if n < 0 {
+		return fmt.Errorf("storage: negative backward skip")
+	}
+	if buffered := int64(r.have); n <= buffered {
+		r.have -= int(n)
+		return nil
+	} else {
+		n -= buffered
+		r.have = 0
+	}
+	if r.pos-n < r.start {
+		return fmt.Errorf("storage: backward skip of %d units crosses the section start", units)
+	}
+	r.pos -= n
+	return nil
 }
 
 // Next returns the next unit (moving backwards), or io.EOF when the start

@@ -77,6 +77,12 @@ type ScanStats struct {
 	// exactly the database size per aggregate linear scan — the counter
 	// behind the "two linear scans, even batched and parallel" claim.
 	Bytes int64
+	// SkippedBytes counts the .arb record bytes the scan seeked past
+	// because selectivity-aware pruning proved the extents irrelevant to
+	// the query. Pruning turns the fixed two-full-scan cost into one
+	// proportional to query selectivity; the invariant becomes
+	// Bytes + SkippedBytes == database size per aggregate linear scan.
+	SkippedBytes int64
 }
 
 // Merge folds the stats of a concurrent scanner into the aggregate: node
@@ -84,6 +90,7 @@ type ScanStats struct {
 func (s *ScanStats) Merge(o ScanStats) {
 	s.Nodes += o.Nodes
 	s.Bytes += o.Bytes
+	s.SkippedBytes += o.SkippedBytes
 	if o.MaxStack > s.MaxStack {
 		s.MaxStack = o.MaxStack
 	}
@@ -174,6 +181,7 @@ func (f *backFold[S]) foldRegion(db *DB, lo, hi int64) error {
 	if err != nil {
 		return err
 	}
+	defer br.Release()
 	for v := hi - 1; v >= lo; v-- {
 		if err := f.cancel.Step(); err != nil {
 			return err
@@ -185,6 +193,39 @@ func (f *backFold[S]) foldRegion(db *DB, lo, hi int64) error {
 		f.stats.Bytes += NodeSize
 		if err := f.node(DecodeRecord(binary.BigEndian.Uint16(b)), v); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// foldRegionSkipping runs the backward fold over [lo, hi) with holes: the
+// extents in skip (sorted by Root, disjoint, within [lo, hi)) are not
+// read; subtree supplies each one's stand-in result in reverse preorder
+// position. It is the shared engine behind FoldBottomUpSkipping (whole
+// database) and FoldBottomUpRangeSkipping (one chunk).
+func (f *backFold[S]) foldRegionSkipping(db *DB, lo, hi int64, skip []Extent, subtree func(Extent) (S, error)) error {
+	cur := hi
+	for i := len(skip) - 1; i >= -1; i-- {
+		regionLo := lo
+		var ext *Extent
+		if i >= 0 {
+			ext = &skip[i]
+			regionLo = ext.End()
+		}
+		if regionLo > cur || (ext != nil && ext.Root < lo) {
+			return fmt.Errorf("storage: skip extents unsorted, overlapping or out of range")
+		}
+		if err := f.foldRegion(db, regionLo, cur); err != nil {
+			return err
+		}
+		if ext != nil {
+			s, err := subtree(*ext)
+			if err != nil {
+				return err
+			}
+			f.push(s)
+			f.stats.Nodes += ext.Size
+			cur = ext.Root
 		}
 	}
 	return nil
@@ -210,32 +251,34 @@ func FoldBottomUp[S any](ctx context.Context, db *DB, combine func(first, second
 func FoldBottomUpSkipping[S any](ctx context.Context, db *DB, skip []Extent, subtree func(Extent) (S, error), combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
 	var zero S
 	f := backFold[S]{combine: combine, cancel: NewCanceller(ctx)}
-	cur := db.N
-	for i := len(skip) - 1; i >= -1; i-- {
-		lo := int64(0)
-		var ext *Extent
-		if i >= 0 {
-			ext = &skip[i]
-			lo = ext.End()
-		}
-		if lo > cur || (ext != nil && ext.Root < 0) {
-			return zero, f.stats, fmt.Errorf("storage: skip extents unsorted, overlapping or out of range")
-		}
-		if err := f.foldRegion(db, lo, cur); err != nil {
-			return zero, f.stats, err
-		}
-		if ext != nil {
-			s, err := subtree(*ext)
-			if err != nil {
-				return zero, f.stats, err
-			}
-			f.push(s)
-			f.stats.Nodes += ext.Size
-			cur = ext.Root
-		}
+	if err := f.foldRegionSkipping(db, 0, db.N, skip, subtree); err != nil {
+		return zero, f.stats, err
 	}
 	if len(f.stack) != 1 {
 		return zero, f.stats, fmt.Errorf("storage: malformed .arb: %d roots", len(f.stack))
+	}
+	return f.stack[0], f.stats, nil
+}
+
+// FoldBottomUpRangeSkipping is FoldBottomUpRange with holes: the subtree
+// extents in skip (sorted by Root, disjoint, strictly inside x) are not
+// read; subtree supplies each one's stand-in result. Workers of the
+// parallel evaluators use it to prune irrelevant subtrees inside their
+// own chunks.
+func FoldBottomUpRangeSkipping[S any](ctx context.Context, db *DB, x Extent, skip []Extent, subtree func(Extent) (S, error), combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
+	var zero S
+	f := backFold[S]{combine: combine, cancel: NewCanceller(ctx)}
+	if x.Root < 0 || x.Size <= 0 || x.End() > db.N {
+		return zero, f.stats, fmt.Errorf("%w: [%d,%d) out of range", ErrBadExtent, x.Root, x.End())
+	}
+	if err := f.foldRegionSkipping(db, x.Root, x.End(), skip, subtree); err != nil {
+		if isCancel(err) {
+			return zero, f.stats, err
+		}
+		return zero, f.stats, fmt.Errorf("%w: %v", ErrBadExtent, err)
+	}
+	if len(f.stack) != 1 {
+		return zero, f.stats, fmt.Errorf("%w: [%d,%d) folds to %d roots", ErrBadExtent, x.Root, x.End(), len(f.stack))
 	}
 	return f.stack[0], f.stats, nil
 }
@@ -246,23 +289,10 @@ func FoldBottomUpSkipping[S any](ctx context.Context, db *DB, skip []Extent, sub
 // is returned. The extent must be a subtree extent (e.g. from
 // SubtreeIndex.Cut) — anything else fails the structure check.
 func FoldBottomUpRange[S any](ctx context.Context, db *DB, x Extent, combine func(first, second *S, rec Record, v int64) S) (S, ScanStats, error) {
-	var zero S
-	f := backFold[S]{combine: combine, cancel: NewCanceller(ctx)}
-	if x.Root < 0 || x.Size <= 0 || x.End() > db.N {
-		return zero, f.stats, fmt.Errorf("%w: [%d,%d) out of range", ErrBadExtent, x.Root, x.End())
-	}
-	if err := f.foldRegion(db, x.Root, x.End()); err != nil {
-		if isCancel(err) {
-			// Not a structural problem: dressing a cancellation up as
-			// ErrBadExtent would send callers into an index rebuild.
-			return zero, f.stats, err
-		}
-		return zero, f.stats, fmt.Errorf("%w: %v", ErrBadExtent, err)
-	}
-	if len(f.stack) != 1 {
-		return zero, f.stats, fmt.Errorf("%w: [%d,%d) folds to %d roots", ErrBadExtent, x.Root, x.End(), len(f.stack))
-	}
-	return f.stack[0], f.stats, nil
+	// Cancellation is deliberately not dressed up as ErrBadExtent (see
+	// FoldBottomUpRangeSkipping): it would send callers into an index
+	// rebuild for a non-structural condition.
+	return FoldBottomUpRangeSkipping(ctx, db, x, nil, nil, combine)
 }
 
 // topDown is the shared inner loop of the forward (top-down) scans: it
@@ -318,11 +348,35 @@ func (t *topDown[S]) node(v int64, rec Record) error {
 	return t.afterSubtree(v + 1)
 }
 
+// sectionReaderPool recycles the buffered forward readers of the scan
+// loops: the skipping scans open one reader per gap between extents, so
+// on many-extent frontiers (parallel cuts, pruning plans) pooling the
+// 256 KB buffers cuts the allocation churn to zero in steady state.
+var sectionReaderPool = sync.Pool{
+	New: func() interface{} { return bufio.NewReaderSize(nil, defaultBufSize) },
+}
+
 // sectionReader returns a buffered forward reader over the node range
 // [lo, hi) backed by ReadAt, safe to use concurrently with other readers
-// on the same handle.
+// on the same handle. The reader comes from a pool; return it with
+// putSectionReader when the scan is done with it.
 func (db *DB) sectionReader(lo, hi int64) *bufio.Reader {
-	return bufio.NewReaderSize(io.NewSectionReader(db.arb, lo*NodeSize, (hi-lo)*NodeSize), defaultBufSize)
+	r := sectionReaderPool.Get().(*bufio.Reader)
+	r.Reset(io.NewSectionReader(db.arb, lo*NodeSize, (hi-lo)*NodeSize))
+	return r
+}
+
+// resetSectionReader repoints a pooled reader at a new node range,
+// reusing its buffer.
+func (db *DB) resetSectionReader(r *bufio.Reader, lo, hi int64) {
+	r.Reset(io.NewSectionReader(db.arb, lo*NodeSize, (hi-lo)*NodeSize))
+}
+
+// putSectionReader returns a reader obtained from sectionReader to the
+// pool, dropping its reference to the underlying file.
+func putSectionReader(r *bufio.Reader) {
+	r.Reset(nil)
+	sectionReaderPool.Put(r)
 }
 
 // ScanTopDown traverses the database top-down in one forward linear scan
@@ -344,51 +398,64 @@ func ScanTopDown[S any](ctx context.Context, db *DB, visit func(v int64, rec Rec
 // entry states to the frontier chunks without reading their bytes.
 func ScanTopDownSkipping[S any](ctx context.Context, db *DB, skip []Extent, subtree func(x Extent, parent *S, k int) error, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
 	t := topDown[S]{visit: visit, end: db.N}
-	cancel := NewCanceller(ctx)
-	si := 0
-	v := int64(0)
-	for v < db.N {
-		gapEnd := db.N
-		if si < len(skip) {
-			if skip[si].Root < v {
-				return t.stats, fmt.Errorf("storage: skip extents unsorted, overlapping or out of range")
-			}
-			gapEnd = skip[si].Root
-		}
-		r := db.sectionReader(v, gapEnd)
-		var buf [NodeSize]byte
-		for ; v < gapEnd; v++ {
-			if err := cancel.Step(); err != nil {
-				return t.stats, err
-			}
-			if _, err := io.ReadFull(r, buf[:]); err != nil {
-				return t.stats, fmt.Errorf("storage: forward scan: %w", err)
-			}
-			t.stats.Bytes += NodeSize
-			if err := t.node(v, DecodeRecord(binary.BigEndian.Uint16(buf[:]))); err != nil {
-				return t.stats, err
-			}
-		}
-		if si < len(skip) {
-			x := skip[si]
-			si++
-			if x.Size <= 0 || x.End() > db.N {
-				return t.stats, fmt.Errorf("storage: skip extent [%d,%d) out of range", x.Root, x.End())
-			}
-			if err := subtree(x, t.parent, t.k); err != nil {
-				return t.stats, err
-			}
-			t.stats.Nodes += x.Size
-			v = x.End()
-			if err := t.afterSubtree(v); err != nil {
-				return t.stats, err
-			}
-		}
+	if err := t.scanRegion(ctx, db, 0, db.N, skip, subtree); err != nil {
+		return t.stats, err
 	}
 	if t.parent != nil || len(t.pending) > 0 {
 		return t.stats, fmt.Errorf("storage: malformed .arb: %d announced subtrees missing at end of file", len(t.pending)+1)
 	}
 	return t.stats, nil
+}
+
+// scanRegion runs the forward scan over the node range [lo, hi) with
+// holes at the skip extents, reusing one pooled section reader across all
+// gaps — the shared engine behind ScanTopDownSkipping (whole database)
+// and ScanTopDownRangeSkipping (one chunk).
+func (t *topDown[S]) scanRegion(ctx context.Context, db *DB, lo, hi int64, skip []Extent, subtree func(x Extent, parent *S, k int) error) error {
+	cancel := NewCanceller(ctx)
+	si := 0
+	v := lo
+	r := db.sectionReader(v, v)
+	defer putSectionReader(r)
+	for v < hi {
+		gapEnd := hi
+		if si < len(skip) {
+			if skip[si].Root < v {
+				return fmt.Errorf("storage: skip extents unsorted, overlapping or out of range")
+			}
+			gapEnd = skip[si].Root
+		}
+		db.resetSectionReader(r, v, gapEnd)
+		var buf [NodeSize]byte
+		for ; v < gapEnd; v++ {
+			if err := cancel.Step(); err != nil {
+				return err
+			}
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return fmt.Errorf("storage: forward scan: %w", err)
+			}
+			t.stats.Bytes += NodeSize
+			if err := t.node(v, DecodeRecord(binary.BigEndian.Uint16(buf[:]))); err != nil {
+				return err
+			}
+		}
+		if si < len(skip) {
+			x := skip[si]
+			si++
+			if x.Size <= 0 || x.End() > hi {
+				return fmt.Errorf("storage: skip extent [%d,%d) out of range", x.Root, x.End())
+			}
+			if err := subtree(x, t.parent, t.k); err != nil {
+				return err
+			}
+			t.stats.Nodes += x.Size
+			v = x.End()
+			if err := t.afterSubtree(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // ScanTopDownRange scans one complete subtree extent forward. visit is
@@ -397,24 +464,25 @@ func ScanTopDownSkipping[S any](ctx context.Context, db *DB, skip []Extent, subt
 // top-down context through the closure (the parallel evaluator primes it
 // with the entry state the leader computed).
 func ScanTopDownRange[S any](ctx context.Context, db *DB, x Extent, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
+	return ScanTopDownRangeSkipping(ctx, db, x, nil, nil, visit)
+}
+
+// ScanTopDownRangeSkipping is ScanTopDownRange with holes: the subtree
+// extents in skip (sorted by Root, disjoint, strictly inside x) are not
+// read; subtree is called once per extent with the parent value and child
+// position its root would have received. Workers of the parallel
+// evaluators use it to seek past irrelevant subtrees inside their chunks.
+func ScanTopDownRangeSkipping[S any](ctx context.Context, db *DB, x Extent, skip []Extent, subtree func(x Extent, parent *S, k int) error, visit func(v int64, rec Record, parent *S, k int) (S, error)) (ScanStats, error) {
 	t := topDown[S]{visit: visit, end: x.End()}
-	cancel := NewCanceller(ctx)
 	if x.Root < 0 || x.Size <= 0 || x.End() > db.N {
 		return t.stats, fmt.Errorf("%w: [%d,%d) out of range", ErrBadExtent, x.Root, x.End())
 	}
-	r := db.sectionReader(x.Root, x.End())
-	var buf [NodeSize]byte
-	for v := x.Root; v < x.End(); v++ {
-		if err := cancel.Step(); err != nil {
-			return t.stats, err
-		}
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return t.stats, fmt.Errorf("storage: forward scan: %w", err)
-		}
-		t.stats.Bytes += NodeSize
-		if err := t.node(v, DecodeRecord(binary.BigEndian.Uint16(buf[:]))); err != nil {
-			return t.stats, err
-		}
+	// Callback and read errors pass through unwrapped: only the final
+	// structure check below is evidence of a stale extent (a mid-scan
+	// error may be the caller's own — an aux write failure, say — and
+	// dressing it as ErrBadExtent would trigger a pointless rebuild).
+	if err := t.scanRegion(ctx, db, x.Root, x.End(), skip, subtree); err != nil {
+		return t.stats, err
 	}
 	if t.parent != nil || len(t.pending) > 0 {
 		return t.stats, fmt.Errorf("%w: [%d,%d) ends with %d subtrees missing", ErrBadExtent, x.Root, x.End(), len(t.pending)+1)

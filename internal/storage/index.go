@@ -8,7 +8,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+
+	"arb/internal/tree"
 )
 
 // Extent is a contiguous preorder node range [Root, Root+Size) of the
@@ -26,10 +29,15 @@ func (x Extent) End() int64 { return x.Root + x.Size }
 // IndexEntry records the extent of one subtree plus the split point
 // between its children: the first child (if any) spans
 // [V+1, V+1+FirstSize) and the second child the rest of [V, V+Size).
+// Labels summarises the set of labels occurring anywhere in the subtree
+// (v2 sidecars; see LabelSig) — the evidence the selectivity-aware scan
+// pruning uses to prove a whole extent irrelevant to a query without
+// reading it. Size doubles as the node count of the extent.
 type IndexEntry struct {
 	V         int64 // preorder index of the subtree root
 	Size      int64 // number of nodes in the subtree
 	FirstSize int64 // size of the first-child subtree (0 if absent)
+	Labels    LabelSig
 }
 
 // SubtreeIndex holds the extents of the heaviest subtrees of a database —
@@ -68,35 +76,127 @@ func (h *entryHeap) Pop() interface{} {
 	return x
 }
 
-// BuildIndex scans the database backwards once (stack bounded by the
-// document depth, as in Proposition 5.1) and returns the index of its up
-// to budget largest subtrees. budget <= 0 selects DefaultIndexBudget.
-func BuildIndex(db *DB, budget int) (*SubtreeIndex, error) {
+// idxNode is the per-subtree fold state of index construction: the
+// subtree's node count and the signature of all labels it contains.
+type idxNode struct {
+	size int64
+	sig  LabelSig
+}
+
+// indexBuilder accumulates the budget largest subtrees of a bottom-up
+// fold, shared by the disk (BuildIndex) and in-memory (BuildTreeIndex)
+// builders.
+type indexBuilder struct {
+	h      entryHeap
+	budget int
+}
+
+func newIndexBuilder(budget int) *indexBuilder {
 	if budget <= 0 {
 		budget = DefaultIndexBudget
 	}
-	h := make(entryHeap, 0, budget+1)
-	_, _, err := FoldBottomUp(context.Background(), db, func(first, second *int64, rec Record, v int64) int64 {
-		size, firstSize := int64(1), int64(0)
-		if first != nil {
-			size += *first
-			firstSize = *first
-		}
-		if second != nil {
-			size += *second
-		}
-		heap.Push(&h, IndexEntry{V: v, Size: size, FirstSize: firstSize})
-		if len(h) > budget {
-			heap.Pop(&h)
-		}
-		return size
+	return &indexBuilder{h: make(entryHeap, 0, budget+1), budget: budget}
+}
+
+// node folds one node: first/second are the child states (nil if absent),
+// rec carries the node's label, v its preorder index.
+func (b *indexBuilder) node(first, second *idxNode, label uint16, v int64) idxNode {
+	n := idxNode{size: 1}
+	n.sig.Add(label)
+	var firstSize int64
+	if first != nil {
+		n.size += first.size
+		firstSize = first.size
+		n.sig.Or(first.sig)
+	}
+	if second != nil {
+		n.size += second.size
+		n.sig.Or(second.sig)
+	}
+	heap.Push(&b.h, IndexEntry{V: v, Size: n.size, FirstSize: firstSize, Labels: n.sig})
+	if len(b.h) > b.budget {
+		heap.Pop(&b.h)
+	}
+	return n
+}
+
+func (b *indexBuilder) finish(n int64) *SubtreeIndex {
+	entries := []IndexEntry(b.h)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].V < entries[j].V })
+	return newIndex(n, entries)
+}
+
+// BuildIndex scans the database backwards once (stack bounded by the
+// document depth, as in Proposition 5.1) and returns the index of its up
+// to budget largest subtrees, each with its label signature. budget <= 0
+// selects DefaultIndexBudget.
+func BuildIndex(db *DB, budget int) (*SubtreeIndex, error) {
+	b := newIndexBuilder(budget)
+	_, _, err := FoldBottomUp(context.Background(), db, func(first, second *idxNode, rec Record, v int64) idxNode {
+		return b.node(first, second, rec.Label, v)
 	})
 	if err != nil {
 		return nil, err
 	}
-	entries := []IndexEntry(h)
-	sort.Slice(entries, func(i, j int) bool { return entries[i].V < entries[j].V })
-	return newIndex(db.N, entries), nil
+	return b.finish(db.N), nil
+}
+
+// BuildTreeIndex builds a subtree index (with label signatures) over an
+// in-memory tree, provided the tree is laid out in preorder — node v's
+// first child, if any, is v+1, and subtrees are contiguous index ranges.
+// Trees built by the XML parser and the workload generators are always in
+// preorder; for anything else (or an empty tree) BuildTreeIndex returns
+// nil, and callers simply evaluate without pruning. budget <= 0 selects
+// DefaultIndexBudget.
+func BuildTreeIndex(t *tree.Tree, budget int) *SubtreeIndex {
+	n := t.Len()
+	if n == 0 {
+		return nil
+	}
+	b := newIndexBuilder(budget)
+	// Descending index order is reverse preorder for a preorder-laid-out
+	// tree, so a result stack bounded by the document depth suffices —
+	// the in-memory mirror of the backward disk scan. The pop discipline
+	// doubles as the layout check.
+	type frame struct {
+		root int64
+		n    idxNode
+	}
+	var stack []frame
+	for v := int64(n) - 1; v >= 0; v-- {
+		id := tree.NodeID(v)
+		// Pop order: the first child's subtree directly follows v, so its
+		// frame is on top of the stack; the second child's frame is below.
+		var first, second *idxNode
+		if c := t.First(id); c != tree.None {
+			if int64(c) != v+1 || len(stack) == 0 {
+				return nil // not preorder-contiguous
+			}
+			top := stack[len(stack)-1]
+			if int64(c) != top.root {
+				return nil
+			}
+			first = &top.n
+			stack = stack[:len(stack)-1]
+		}
+		if c := t.Second(id); c != tree.None {
+			if len(stack) == 0 {
+				return nil
+			}
+			top := stack[len(stack)-1]
+			if int64(c) != top.root {
+				return nil
+			}
+			second = &top.n
+			stack = stack[:len(stack)-1]
+		}
+		nd := b.node(first, second, uint16(t.Label(id)), v)
+		stack = append(stack, frame{root: v, n: nd})
+	}
+	if len(stack) != 1 || stack[0].root != 0 {
+		return nil
+	}
+	return b.finish(int64(n))
 }
 
 func newIndex(n int64, entries []IndexEntry) *SubtreeIndex {
@@ -165,41 +265,69 @@ func (ix *SubtreeIndex) Cut(target, minTask int64) []Extent {
 	return tasks
 }
 
-// indexMagic identifies a .idx sidecar file.
-const indexMagic = "ARBIDX1\n"
+// indexMagic identifies a v2 .idx sidecar file; indexMagicV1 is the
+// retired label-less format, rejected on read so DB.Index transparently
+// rebuilds (and replaces) stale sidecars.
+const (
+	indexMagic   = "ARBIDX2\n"
+	indexMagicV1 = "ARBIDX1\n"
+)
 
-// WriteIndexFile persists the index next to the database.
+// Entries exposes the index's entries, sorted by preorder root. The
+// returned slice is the index's own storage — callers must not modify it.
+func (ix *SubtreeIndex) Entries() []IndexEntry { return ix.entries }
+
+// NewIndexForTest builds an index from explicit entries (validated), for
+// tests that need precise synthetic extent layouts.
+func NewIndexForTest(n int64, entries []IndexEntry) *SubtreeIndex {
+	ix := newIndex(n, entries)
+	if err := ix.validate(); err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// WriteIndexFile persists the index next to the database (v2 format:
+// every entry carries its label signature). The file is written to a
+// temporary name and renamed into place, so concurrent readers never see
+// a torn sidecar.
 func WriteIndexFile(path string, ix *SubtreeIndex) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	w := bufio.NewWriterSize(f, 1<<16)
 	werr := func() error {
 		if _, err := w.WriteString(indexMagic); err != nil {
 			return err
 		}
 		var buf [8]byte
-		put := func(v int64) error {
-			binary.BigEndian.PutUint64(buf[:], uint64(v))
+		put := func(v uint64) error {
+			binary.BigEndian.PutUint64(buf[:], v)
 			_, err := w.Write(buf[:])
 			return err
 		}
-		if err := put(ix.N); err != nil {
+		if err := put(uint64(ix.N)); err != nil {
 			return err
 		}
-		if err := put(int64(len(ix.entries))); err != nil {
+		if err := put(uint64(len(ix.entries))); err != nil {
 			return err
 		}
 		for _, e := range ix.entries {
-			if err := put(e.V); err != nil {
+			if err := put(uint64(e.V)); err != nil {
 				return err
 			}
-			if err := put(e.Size); err != nil {
+			if err := put(uint64(e.Size)); err != nil {
 				return err
 			}
-			if err := put(e.FirstSize); err != nil {
+			if err := put(uint64(e.FirstSize)); err != nil {
 				return err
+			}
+			for _, word := range e.Labels {
+				if err := put(word); err != nil {
+					return err
+				}
 			}
 		}
 		return w.Flush()
@@ -207,13 +335,18 @@ func WriteIndexFile(path string, ix *SubtreeIndex) error {
 	if err := f.Close(); werr == nil {
 		werr = err
 	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
 	if werr != nil {
-		os.Remove(path)
+		os.Remove(tmp)
 	}
 	return werr
 }
 
-// ReadIndexFile loads a persisted index.
+// ReadIndexFile loads a persisted v2 index. Stale v1 sidecars (and
+// anything else that is not a well-formed v2 index) are rejected with an
+// error; DB.Index treats that as "no sidecar" and rebuilds from the data.
 func ReadIndexFile(path string) (*SubtreeIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -223,6 +356,9 @@ func ReadIndexFile(path string) (*SubtreeIndex, error) {
 	r := bufio.NewReaderSize(f, 1<<16)
 	magic := make([]byte, len(indexMagic))
 	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != indexMagic {
+		if string(magic) == indexMagicV1 {
+			return nil, fmt.Errorf("storage: %s is a stale v1 index (no label signatures); rebuild required", path)
+		}
 		return nil, fmt.Errorf("storage: %s is not an index file", path)
 	}
 	var buf [8]byte
@@ -254,6 +390,13 @@ func ReadIndexFile(path string) (*SubtreeIndex, error) {
 		if entries[i].FirstSize, err = get(); err != nil {
 			return nil, err
 		}
+		for w := range entries[i].Labels {
+			v, err := get()
+			if err != nil {
+				return nil, err
+			}
+			entries[i].Labels[w] = uint64(v)
+		}
 	}
 	ix := newIndex(n, entries)
 	if err := ix.validate(); err != nil {
@@ -262,12 +405,17 @@ func ReadIndexFile(path string) (*SubtreeIndex, error) {
 	return ix, nil
 }
 
-// validate rejects structurally impossible indexes (unsorted or
-// out-of-bounds entries). It cannot prove the index matches the tree —
-// a well-formed but foreign sidecar surfaces as ErrBadExtent during
-// evaluation instead, and RebuildIndex recovers from that.
+// validate rejects structurally impossible indexes: unsorted or
+// out-of-bounds entries, and entries that partially overlap (subtree
+// extents must form a laminar family — nested or disjoint, never
+// crossing). It cannot prove the index matches the tree — a well-formed
+// but foreign sidecar surfaces as ErrBadExtent during evaluation instead,
+// and RebuildIndex recovers from that. (Label signatures are likewise
+// trusted: the sidecar is maintained by this package alongside the .arb
+// file, and editing a database out-of-band requires RebuildIndex.)
 func (ix *SubtreeIndex) validate() error {
 	prev := int64(-1)
+	var open []int64 // ends of enclosing extents, innermost last
 	for _, e := range ix.entries {
 		if e.V <= prev {
 			return fmt.Errorf("entries unsorted at node %d", e.V)
@@ -276,6 +424,13 @@ func (ix *SubtreeIndex) validate() error {
 		if e.V < 0 || e.Size < 1 || e.FirstSize < 0 || e.FirstSize > e.Size-1 || e.V+e.Size > ix.N {
 			return fmt.Errorf("entry {%d,%d,%d} out of bounds for %d nodes", e.V, e.Size, e.FirstSize, ix.N)
 		}
+		for len(open) > 0 && open[len(open)-1] <= e.V {
+			open = open[:len(open)-1]
+		}
+		if len(open) > 0 && e.V+e.Size > open[len(open)-1] {
+			return fmt.Errorf("entry [%d,%d) overlaps an extent ending at %d", e.V, e.V+e.Size, open[len(open)-1])
+		}
+		open = append(open, e.V+e.Size)
 	}
 	return nil
 }
@@ -300,6 +455,11 @@ func (db *DB) Index(budget int) (*SubtreeIndex, error) {
 		return nil, err
 	}
 	db.idx = ix
+	// Best-effort refresh of the sidecar (it was missing, stale — e.g. a
+	// retired v1 file — or foreign): later opens then load the v2 index
+	// instead of paying the rebuild scan again. Read-only directories
+	// simply keep serving from the in-handle cache.
+	_ = WriteIndexFile(db.Base+".idx", ix)
 	return ix, nil
 }
 

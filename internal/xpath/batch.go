@@ -121,23 +121,33 @@ func (b *Batch) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) ([]*c
 	results := make([]*core.Result, len(b.members))
 	aux := make([][]uint16, len(b.members))
 	slots, _ := b.auxSlots()
-	auxFn := func(i int) func(tree.NodeID) uint16 {
+	ensureAux := func(i int) []uint16 {
 		if aux[i] == nil {
 			aux[i] = make([]uint16, t.Len())
 		}
-		a := aux[i]
+		return aux[i]
+	}
+	auxFn := func(i int) func(tree.NodeID) uint16 {
+		a := ensureAux(i)
 		return func(v tree.NodeID) uint16 { return a[v] }
 	}
 	err := statsDelta(b.engines(), &es, func() error {
 		for r := 0; r < rounds; r++ {
-			bms, idx, _ := b.roundMembers(r, slots, false, auxFn)
+			// Round 0 reads no aux bits (none have been produced yet), so
+			// its members run with Aux nil — which lets the round prune.
+			roundAux := auxFn
+			if r == 0 {
+				roundAux = nil
+			}
+			bms, idx, _ := b.roundMembers(r, slots, false, roundAux)
+			topts := core.TreeBatchOpts{Index: opts.Index, NoPrune: opts.NoPrune}
 			var rres []*core.Result
 			var agg core.Stats
 			var err error
 			if opts.Workers > 1 {
-				rres, agg, err = parallel.RunBatchContext(ctx, t, opts.Workers, bms)
+				rres, agg, err = parallel.RunBatchContext(ctx, t, opts.Workers, bms, topts)
 			} else {
-				rres, agg, err = core.RunBatchTree(ctx, t, bms)
+				rres, agg, err = core.RunBatchTree(ctx, t, bms, topts)
 			}
 			if err != nil {
 				return fmt.Errorf("xpath: batch round %d: %w", r, err)
@@ -152,7 +162,7 @@ func (b *Batch) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) ([]*c
 					continue
 				}
 				bit := uint16(1) << uint(r)
-				a := aux[i]
+				a := ensureAux(i)
 				res.Walk(res.Queries()[0], func(v tree.NodeID) bool {
 					a[v] |= bit
 					return true
@@ -200,7 +210,7 @@ func (b *Batch) ExecDisk(ctx context.Context, db *storage.DB, opts ExecOpts) ([]
 		auxIn := ""
 		for r := 0; r < rounds; r++ {
 			bms, idx, anyOut := b.roundMembers(r, slots, auxIn != "", nil)
-			dopts := core.DiskBatchOpts{AuxIn: auxIn}
+			dopts := core.DiskBatchOpts{AuxIn: auxIn, NoPrune: opts.NoPrune}
 			if auxIn != "" {
 				dopts.AuxInStride = stride
 			}

@@ -102,6 +102,13 @@ type ExecOpts struct {
 	// database. Each execution uses a private subdirectory, removed when
 	// the execution finishes, fails, or is cancelled.
 	AuxDir string
+	// Index optionally supplies a subtree index with label signatures
+	// over the in-memory tree (storage.BuildTreeIndex), enabling
+	// selectivity-aware pruning for tree executions; sessions cache one
+	// per tree. Disk executions use the database's own .idx sidecar.
+	Index *storage.SubtreeIndex
+	// NoPrune disables selectivity-aware scan pruning on every pass.
+	NoPrune bool
 }
 
 // ExecStats is the merged cost profile of one execution across all its
@@ -149,14 +156,24 @@ func (p *Prepared) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) (*
 			aux = make([]uint16, t.Len())
 			auxFn = func(v tree.NodeID) uint16 { return aux[v] }
 		}
+		// The first pass reads no aux bits (none have been produced yet),
+		// so it runs with Aux nil — which is also what lets it prune.
+		auxForPass := func(k int) func(v tree.NodeID) uint16 {
+			if k == 0 {
+				return nil
+			}
+			return auxFn
+		}
 		runPass := func(e *core.Engine, ro core.RunOpts) (*core.Result, error) {
+			ro.Index = opts.Index
+			ro.NoPrune = opts.NoPrune
 			if opts.Workers > 1 {
 				return parallel.RunContext(ctx, e, t, opts.Workers, ro)
 			}
 			return e.RunContext(ctx, t, ro)
 		}
 		for k, e := range p.aux {
-			pres, err := runPass(e, core.RunOpts{Aux: auxFn})
+			pres, err := runPass(e, core.RunOpts{Aux: auxForPass(k)})
 			if err != nil {
 				return fmt.Errorf("xpath: pass %d: %w", k, err)
 			}
@@ -167,7 +184,7 @@ func (p *Prepared) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) (*
 			})
 		}
 		var err error
-		res, err = runPass(p.main, core.RunOpts{Aux: auxFn, KeepStates: opts.KeepStates})
+		res, err = runPass(p.main, core.RunOpts{Aux: auxForPass(len(p.aux)), KeepStates: opts.KeepStates})
 		if err != nil {
 			return err
 		}
@@ -230,6 +247,7 @@ func (p *Prepared) ExecDisk(ctx context.Context, db *storage.DB, opts ExecOpts) 
 					AuxIn:     auxIn,
 					AuxOut:    auxOut,
 					AuxOutBit: uint8(k),
+					NoPrune:   opts.NoPrune,
 					// Each pass has exactly one query predicate, index 0.
 				})
 				if err != nil {
@@ -244,6 +262,7 @@ func (p *Prepared) ExecDisk(ctx context.Context, db *storage.DB, opts ExecOpts) 
 			KeepStateFile: opts.KeepStates,
 			MarkTo:        opts.MarkTo,
 			MarkQuery:     opts.MarkQuery,
+			NoPrune:       opts.NoPrune,
 		})
 		return err
 	})

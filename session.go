@@ -29,6 +29,24 @@ type Session struct {
 	t     *tree.Tree
 	db    *storage.DB
 	ownDB bool
+
+	// Lazily built subtree index (with label signatures) over the
+	// in-memory tree, shared by every query prepared on the session — the
+	// evidence base for selectivity-aware pruning. Disk sessions use the
+	// database's own .idx sidecar instead.
+	treeIdxOnce sync.Once
+	treeIdx     *storage.SubtreeIndex
+}
+
+// treeIndex returns the session's cached in-memory subtree index,
+// building it on first use (nil for disk sessions and for trees not laid
+// out in preorder, which simply evaluate without pruning).
+func (s *Session) treeIndex() *storage.SubtreeIndex {
+	if s.t == nil {
+		return nil
+	}
+	s.treeIdxOnce.Do(func() { s.treeIdx = storage.BuildTreeIndex(s.t, 0) })
+	return s.treeIdx
 }
 
 // NewSession opens a session over an in-memory tree.
@@ -162,6 +180,16 @@ type ExecOpts struct {
 	// sequential.
 	MarkTo    io.Writer
 	MarkQuery int
+	// NoPrune disables selectivity-aware scan pruning for this
+	// execution. By default every strategy seeks past whole subtrees the
+	// compiled automata provably cannot select from (using the label
+	// summaries of the database's .idx sidecar, or the session's tree
+	// index in memory), turning the two-scan cost into one proportional
+	// to query selectivity; results are bit-identical either way, and
+	// Profile reports what was skipped (Disk.PhaseN.SkippedBytes,
+	// Engine.PrunedNodes). Executions that keep per-node state, stream
+	// marked XML, or read aux masks never prune regardless of this flag.
+	NoPrune bool
 }
 
 // Profile is the merged cost profile of one Exec across all its passes:
@@ -178,6 +206,17 @@ type Profile struct {
 	// sequentially.
 	Workers  int
 	Duration time.Duration
+}
+
+// SkippedBytes returns the total .arb bytes this execution's scans
+// seeked past thanks to selectivity-aware pruning. Within each scan
+// pair, Bytes + SkippedBytes covers the database exactly once per
+// phase; the merged Profile accumulates that over the execution's
+// passes, so a P-pass execution's per-phase total is P × database
+// size. Zero for in-memory sessions, whose pruning shows up as
+// Engine.PrunedNodes instead.
+func (p *Profile) SkippedBytes() int64 {
+	return p.Disk.Phase1.SkippedBytes + p.Disk.Phase2.SkippedBytes
 }
 
 // PreparedQuery is a query compiled against one Session, ready for
@@ -232,6 +271,10 @@ func (q *PreparedQuery) Exec(ctx context.Context, opts ExecOpts) (*Result, *Prof
 		KeepStates: opts.KeepStates,
 		MarkTo:     opts.MarkTo,
 		MarkQuery:  opts.MarkQuery,
+		NoPrune:    opts.NoPrune,
+	}
+	if q.s.db == nil && !opts.NoPrune {
+		xopts.Index = q.s.treeIndex()
 	}
 
 	q.mu.Lock()
@@ -338,7 +381,10 @@ func (b *PreparedBatch) Exec(ctx context.Context, opts ExecOpts) ([]*Result, *Pr
 	case workers == 0:
 		workers = 1
 	}
-	xopts := xpath.ExecOpts{Workers: workers}
+	xopts := xpath.ExecOpts{Workers: workers, NoPrune: opts.NoPrune}
+	if b.s.db == nil && !opts.NoPrune {
+		xopts.Index = b.s.treeIndex()
+	}
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
