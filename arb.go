@@ -98,6 +98,20 @@
 // and `arbbench -experiment batch` records the sequential-vs-batch
 // speedup and the bytes-scanned-per-query trajectory in BENCH_batch.json.
 //
+// # Serving
+//
+// Prepared handles are reentrant: any number of goroutines may Exec one
+// PreparedQuery or PreparedBatch at once, overlapping freely while the
+// compiled automata stay shared and warm (engines synchronise
+// internally; only KeepStates disk runs serialise per handle, on the
+// fixed base.sta name). Session.BatchOf folds already-prepared handles
+// into a shared-scan batch without recompiling — together these are the
+// building blocks of `arb serve` (internal/server), the long-running
+// HTTP query server with an LRU plan cache over normalized query text
+// and an adaptive coalescer that gathers concurrent requests into
+// shared-scan batches; `arbbench -experiment serve` records its
+// coalesced-vs-per-request throughput in BENCH_serve.json.
+//
 // # Selectivity-aware scan pruning
 //
 // For selective queries most of those scanned bytes are provably

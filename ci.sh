@@ -20,18 +20,27 @@ go build ./...
 # Smoke: the quickstart example exercises the whole Session/PreparedQuery
 # surface (create DB, prepare TMNF and XPath queries, Exec, emit marked
 # XML) against its own tiny generated document; batchserve exercises the
-# shared-scan PreparedBatch surface the same way.
+# shared-scan PreparedBatch surface the same way; serve starts the HTTP
+# query server, queries it over the wire and drains it.
 go run ./examples/quickstart > /dev/null
 go run ./examples/batchserve > /dev/null
+go run ./examples/serve > /dev/null
+
+# arb serve smoke: the built binary starts, answers TMNF and XPath
+# queries over HTTP, serves /stats, and drains cleanly on SIGTERM.
+go test -run CLIServe ./...
 
 # Fast gates: context-cancellation behaviour across storage, the engine
 # and the CLI, the shared-scan batch machinery (differential, order
-# independence, cancellation cleanup), and selectivity-aware pruning
+# independence, cancellation cleanup), selectivity-aware pruning
 # (analysis admission, v2 index, prune-vs-noprune differentials across
-# all strategies), each under the race detector.
+# all strategies), and the concurrent query server (reentrant handles,
+# coalescing differential vs scalar execution, drain), each under the
+# race detector.
 go test -run Cancel -race ./...
 go test -run Batch -race ./...
 go test -run Prune -race ./...
+go test -run Serve -race ./...
 
 # Full suite (includes the fuzz targets' seed corpora).
 go test -race ./...

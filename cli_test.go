@@ -1,11 +1,18 @@
 package arb_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"arb/internal/storage"
 )
 
 // buildCLI compiles cmd/arb once per test run.
@@ -157,6 +164,161 @@ xpath: //book[not(author/following-sibling::author)]/title
 		t.Fatal("-batch -ids accepted")
 	}
 	// No stray temp files next to the database.
+	assertOnlyDatabaseFiles(t, dbDir)
+}
+
+// TestCLIServeSmoke is the `arb serve` smoke test: start the server,
+// query it over HTTP (TMNF and XPath, plus /stats), then send SIGTERM
+// and require a graceful drain — exit 0, "drained" on stdout, no stray
+// files next to the database.
+func TestCLIServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	dbDir := filepath.Join(dir, "dbdir")
+	if err := os.Mkdir(dbDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dbDir, "db")
+	if err := os.WriteFile(xmlPath, []byte(libraryXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, bin, "create", base, xmlPath)
+
+	cmd := exec.Command(bin, "serve", base, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The server prints "serving <base> on <addr>" once the listener is
+	// accepting; parse the address out of that line.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, " on "); strings.Contains(line, "serving") && i >= 0 {
+			addr = strings.Fields(line[i+4:])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server never announced its address: %v", sc.Err())
+	}
+	url := "http://" + addr
+
+	resp, err := http.Get(url + "/query?q=" + "QUERY%20%3A-%20Label%5Bauthor%5D%3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %v", resp.StatusCode, out)
+	}
+	if c := out["results"].([]any)[0].(map[string]any)["count"].(float64); c != 3 {
+		t.Fatalf("author count over HTTP = %v, want 3", c)
+	}
+	resp, err = http.Get(url + "/query?q=" + "xpath%3A%2F%2Fbook%2Ftitle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if c := out["results"].([]any)[0].(map[string]any)["count"].(float64); c != 2 {
+		t.Fatalf("title count over HTTP = %v, want 2", c)
+	}
+	resp, err = http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st["requests"].(float64) < 2 {
+		t.Fatalf("stats requests = %v, want >= 2", st["requests"])
+	}
+
+	// Drain: SIGTERM must exit 0 after printing the drain lines.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var tail strings.Builder
+	for sc.Scan() {
+		tail.WriteString(sc.Text())
+		tail.WriteString("\n")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve exited non-zero after SIGTERM: %v\n%s", err, tail.String())
+	}
+	if !strings.Contains(tail.String(), "drained") {
+		t.Fatalf("drain output missing: %q", tail.String())
+	}
+	assertOnlyDatabaseFiles(t, dbDir)
+}
+
+// TestCLISignalCancelQuery interrupts a long-running `arb query` with
+// SIGINT: the scan must abort promptly with a clear message and a
+// non-zero exit, and no temporary state or aux files may remain next to
+// the database.
+func TestCLISignalCancelQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary and a multi-megabyte database")
+	}
+	bin := buildCLI(t)
+	dbDir := t.TempDir()
+	base := filepath.Join(dbDir, "big")
+	// ~16M nodes (~33MB): a full unpruned scan pair takes long enough
+	// that the signal lands mid-query on any machine.
+	db, err := storage.CreateFullBinary(base, 23, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// A multi-pass negated XPath query, forced unpruned: several scan
+	// pairs of work, aux sidecars in flight when the signal arrives.
+	cmd := exec.Command(bin, "query", base, "-noprune",
+		"-xpath", "//a[not(b)]")
+	var output strings.Builder
+	cmd.Stdout = &output
+	cmd.Stderr = &output
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let it get into the scans
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("query exited zero despite SIGINT\n%s", output.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("query did not exit after SIGINT\n%s", output.String())
+	}
+	if !strings.Contains(output.String(), "interrupted") {
+		t.Fatalf("output does not mention the interruption: %q", output.String())
+	}
 	assertOnlyDatabaseFiles(t, dbDir)
 }
 

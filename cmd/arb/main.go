@@ -8,6 +8,7 @@
 //	arb query  <base> -q <program>     evaluate a TMNF program (Arb syntax)
 //	arb query  <base> -xpath <expr>    evaluate a Core XPath query (incl. not(..), on disk)
 //	arb query  <base> -f queries.txt -batch   evaluate a whole workload in shared scans
+//	arb serve  <base> [-addr :8337]    serve queries over HTTP with plan caching + coalescing
 //	arb cat    <base>                  write the database back as XML
 //	arb stats  <base>                  print database statistics
 //
@@ -41,6 +42,15 @@
 // round instead of paying its own, and the per-query counts print in
 // input order. -ids and -mark are per-query output modes and do not
 // combine with -batch.
+//
+// Serve mode (`arb serve <base>`) keeps the session open and fields
+// queries over HTTP (POST /query with {"query": "..."}; GET
+// /query?q=...; GET /stats; GET /healthz), with an LRU plan cache keyed
+// by normalized query text and an adaptive coalescer folding concurrent
+// requests into shared-scan batches — see internal/server. SIGINT and
+// SIGTERM drain the listener gracefully; the same signals interrupt a
+// running `arb query`, which then cleans up its temporary files and
+// exits non-zero.
 package main
 
 import (
@@ -50,23 +60,43 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"arb"
+	"arb/internal/server"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// One interruption contract for every subcommand: the first SIGINT or
+	// SIGTERM cancels ctx — running scans abort promptly and remove their
+	// temporary state/aux files, the server drains — and a second signal
+	// kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// Once the first signal has cancelled ctx, unregister: the second
+		// signal then terminates the process the default way instead of
+		// being swallowed while a drain or cleanup is still running.
+		<-ctx.Done()
+		stop()
+	}()
 	var err error
 	switch os.Args[1] {
 	case "create":
 		err = create(os.Args[2:])
 	case "query":
-		err = query(os.Args[2:])
+		err = query(ctx, os.Args[2:])
+	case "serve":
+		err = serve(ctx, os.Args[2:])
 	case "cat":
 		err = cat(os.Args[2:])
 	case "stats":
@@ -85,6 +115,7 @@ func usage() {
   arb create <base> [file.xml]
   arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N] [-timeout d] [-noprune]
   arb query  <base> -f <queries.txt> -batch [-j N] [-timeout d] [-noprune]
+  arb serve  <base> [-addr :8337] [-window d] [-batch K] [-inflight N] [-cache N] [-j N] [-timeout d] [-drain d] [-noprune]
   arb cat    <base>
   arb stats  <base>
 `)
@@ -117,7 +148,82 @@ func create(args []string) error {
 	return nil
 }
 
-func query(args []string) error {
+// serve runs the long-lived query server over the database at base,
+// draining gracefully when ctx is cancelled (SIGINT/SIGTERM).
+func serve(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8337", "HTTP listen address")
+	window := fs.Duration("window", 2*time.Millisecond, "coalescing gather window (0 = default)")
+	batchMax := fs.Int("batch", 16, "max distinct plans per shared-scan batch (K)")
+	inflight := fs.Int("inflight", 2, "max concurrently running executions")
+	cacheSize := fs.Int("cache", 256, "plan cache capacity (distinct queries)")
+	jobs := fs.Int("j", 1, "parallel workers per execution (0 = all CPUs, 1 = sequential)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	noprune := fs.Bool("noprune", false, "disable selectivity-aware scan pruning")
+	if len(args) < 1 {
+		usage()
+	}
+	base := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	workers := *jobs
+	if workers == 0 {
+		workers = -1
+	}
+
+	sess, err := arb.OpenSession(base)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	srv := server.New(sess, server.Config{
+		Window:      *window,
+		BatchMax:    *batchMax,
+		MaxInflight: *inflight,
+		CacheSize:   *cacheSize,
+		Workers:     workers,
+		Timeout:     *timeout,
+		NoPrune:     *noprune,
+	})
+	defer srv.Close()
+
+	// Listen before announcing, so "serving ..." means requests are
+	// accepted (smoke tests and process supervisors key off the line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("arb: serving %s on %s (batch %d, window %v, inflight %d, cache %d)\n",
+		base, ln.Addr(), *batchMax, *window, *inflight, *cacheSize)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight handlers finish their
+	// (possibly coalesced) executions, then cancel whatever remains.
+	st := srv.Snapshot()
+	fmt.Printf("arb: draining (served %d requests, %d groups, cache hit rate %.0f%%)\n",
+		st.Requests, st.Coalescer.Groups, 100*st.HitRate)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		srv.Close() // aborts the stragglers' scans
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("arb: drained")
+	return nil
+}
+
+func query(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	progSrc := fs.String("q", "", "TMNF program (Arb surface syntax)")
 	progFile := fs.String("f", "", "file containing a TMNF program")
@@ -137,7 +243,6 @@ func query(args []string) error {
 		return err
 	}
 
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -212,8 +317,11 @@ func query(args []string) error {
 	}
 	res, prof, err := pq.Exec(ctx, opts)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
 			return fmt.Errorf("query timed out after %v (temporary files cleaned up); raise -timeout or add workers with -j", *timeout)
+		case errors.Is(err, context.Canceled):
+			return fmt.Errorf("query interrupted (temporary files cleaned up)")
 		}
 		return err
 	}
@@ -284,8 +392,11 @@ func runBatch(ctx context.Context, sess *arb.Session, path string, workers int, 
 	}
 	res, prof, err := pb.Exec(ctx, arb.ExecOpts{Workers: workers, Stats: verbose, NoPrune: noprune})
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
 			return fmt.Errorf("batch timed out after %v (temporary files cleaned up); raise -timeout or add workers with -j", timeout)
+		case errors.Is(err, context.Canceled):
+			return fmt.Errorf("batch interrupted (temporary files cleaned up)")
 		}
 		return err
 	}

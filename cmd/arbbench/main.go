@@ -11,6 +11,14 @@
 //	arbbench -experiment batch [-batchsizes 1,4,16] [-dbbytes n]
 //	         [-workers n] [-dir d] [-out BENCH_batch.json]
 //	arbbench -experiment prune [-dbbytes n] [-dir d] [-out BENCH_prune.json]
+//	arbbench -experiment serve [-concurrency 1,8,32] [-coalesce 16]
+//	         [-dbbytes n] [-dir d] [-out BENCH_serve.json]
+//
+// serve measures the query server's adaptive shared-scan coalescing: at
+// each concurrency level a burst of distinct queries is fired over HTTP
+// at the internal/server engine twice — batching disabled versus batches
+// of up to -coalesce plans — and the report records the wall times, the
+// scan pairs each mode executed, and the bytes scanned per request.
 //
 // prune measures selectivity-aware scan pruning on a generated
 // full-binary database of at least -dbbytes bytes: hit tags are planted
@@ -54,17 +62,19 @@ func main() {
 	inMemory := flag.Bool("mem", false, "evaluate in memory instead of on disk")
 	workers := flag.Int("workers", 0, "parallel workers: fig6 evaluates with this many; speedup sweeps 1,2,4,.. up to it (0 = all CPUs for speedup, sequential for fig6)")
 	batchSizes := flag.String("batchsizes", "1,4,16", "batch sizes for the batch experiment")
-	dbBytes := flag.Int64("dbbytes", 64_000_000, "minimum generated database size for the batch experiment")
-	out := flag.String("out", "", "also write the batch experiment's JSON report to this file")
+	dbBytes := flag.Int64("dbbytes", 64_000_000, "minimum generated database size for the batch/prune/serve experiments")
+	concurrency := flag.String("concurrency", "1,8,32", "concurrency levels for the serve experiment")
+	coalesce := flag.Int("coalesce", 16, "max plans per shared-scan batch (K) for the serve experiment")
+	out := flag.String("out", "", "also write the experiment's JSON report to this file")
 	flag.Parse()
 
-	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers, *batchSizes, *dbBytes, *out); err != nil {
+	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers, *batchSizes, *dbBytes, *concurrency, *coalesce, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "arbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int, batchSizes string, dbBytes int64, out string) error {
+func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int, batchSizes string, dbBytes int64, concurrency string, coalesce int, out string) error {
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "arbbench")
@@ -79,6 +89,34 @@ func run(experiment, thread string, scale float64, sizesFlag string, queries int
 	}
 
 	switch experiment {
+	case "serve":
+		levels, err := parseList(concurrency)
+		if err != nil {
+			return err
+		}
+		report, err := bench.Serve(bench.ServeOpts{
+			Concurrency: levels, MinDBBytes: dbBytes, Dir: dir, BatchMax: coalesce,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteServe(os.Stdout, report)
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteServeJSON(f, report); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+		return nil
+
 	case "prune":
 		report, err := bench.Prune(bench.PruneOpts{MinDBBytes: dbBytes, Dir: dir})
 		if err != nil {

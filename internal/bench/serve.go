@@ -1,0 +1,235 @@
+// Serving experiment: what does adaptive shared-scan coalescing buy a
+// concurrent query server? The experiment generates a large database,
+// starts the internal/server engine over it twice — once with batching
+// disabled (every request pays its own scan pair) and once with the
+// coalescer on — and fires bursts of concurrent HTTP requests at both,
+// recording wall time, requests per second, scan pairs executed and data
+// bytes scanned per request. The per-request cost falling as 1/K is the
+// paper's scan-dominated cost model surfacing at the serving layer.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"arb"
+	"arb/internal/server"
+	"arb/internal/storage"
+)
+
+// serveQueryPool returns count distinct query strings over the
+// generated full-binary tags, in the /query wire form (TMNF source and
+// xpath:-prefixed Core XPath), cycling a few structural shapes.
+func serveQueryPool(count int, tags []string) []string {
+	out := make([]string, count)
+	for i := range out {
+		tag := func(k int) string { return tags[(i/4+k)%len(tags)] }
+		switch i % 4 {
+		case 0:
+			out[i] = fmt.Sprintf(`QUERY :- Label[%s];`, tag(0))
+		case 1:
+			out[i] = fmt.Sprintf(`QUERY :- V.Label[%s].FirstChild.Label[%s];`, tag(0), tag(1))
+		case 2:
+			out[i] = fmt.Sprintf(`xpath://%s/%s`, tag(0), tag(1))
+		case 3:
+			out[i] = fmt.Sprintf(`QUERY :- Leaf, Label[%s];`, tag(0))
+		}
+	}
+	return out
+}
+
+// ServeRow is one concurrency level of the serving experiment.
+type ServeRow struct {
+	Concurrency       int     `json:"concurrency"`
+	PerRequestSeconds float64 `json:"per_request_seconds"`
+	CoalescedSeconds  float64 `json:"coalesced_seconds"`
+	Speedup           float64 `json:"speedup"`
+	QueriesPerSec     float64 `json:"queries_per_sec"`
+	PerRequestScans   int64   `json:"per_request_scan_pairs"`
+	CoalescedScans    int64   `json:"coalesced_scan_pairs"`
+	BytesPerRequest   int64   `json:"bytes_scanned_per_request"`
+}
+
+// ServeReport is the machine-readable output of the serving experiment
+// (written to BENCH_serve.json by arbbench).
+type ServeReport struct {
+	Experiment string     `json:"experiment"`
+	DBBytes    int64      `json:"db_bytes"`
+	Nodes      int64      `json:"nodes"`
+	BatchMax   int        `json:"batch_max"`
+	Rows       []ServeRow `json:"rows"`
+}
+
+// ServeOpts configures the serving experiment.
+type ServeOpts struct {
+	// Concurrency levels to sweep; default 1, 8, 32.
+	Concurrency []int
+	// MinDBBytes is the minimum generated database size; default 16 MB.
+	MinDBBytes int64
+	// Dir is where the database is created (reused if already present).
+	Dir string
+	// BatchMax is the coalescer's K; default 16.
+	BatchMax int
+}
+
+// Serve runs the serving experiment and returns the report.
+func Serve(opts ServeOpts) (*ServeReport, error) {
+	if len(opts.Concurrency) == 0 {
+		opts.Concurrency = []int{1, 8, 32}
+	}
+	if opts.MinDBBytes == 0 {
+		opts.MinDBBytes = 16_000_000
+	}
+	if opts.BatchMax == 0 {
+		opts.BatchMax = 16
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("bench: serve experiment needs Dir")
+	}
+
+	depth := 1
+	for (int64(2)<<depth)-1 < opts.MinDBBytes/storage.NodeSize {
+		depth++
+	}
+	tags := []string{"a", "b", "c", "d"}
+	base := filepath.Join(opts.Dir, fmt.Sprintf("servedb-%d", depth))
+	sess, err := arb.OpenSession(base)
+	if err != nil {
+		db, err := storage.CreateFullBinary(base, depth, tags)
+		if err != nil {
+			return nil, err
+		}
+		db.Close()
+		if sess, err = arb.OpenSession(base); err != nil {
+			return nil, err
+		}
+	}
+	defer sess.Close()
+
+	maxC := 0
+	for _, c := range opts.Concurrency {
+		if c < 1 {
+			return nil, fmt.Errorf("bench: concurrency %d out of range", c)
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	queries := serveQueryPool(maxC, tags)
+
+	report := &ServeReport{
+		Experiment: "serve",
+		DBBytes:    sess.Len() * storage.NodeSize,
+		Nodes:      sess.Len(),
+		BatchMax:   opts.BatchMax,
+	}
+
+	// fire sends queries[0:n] concurrently and returns the wall time plus
+	// the server's scan-pair and byte deltas.
+	fire := func(srv *server.Server, ts *httptest.Server, n int) (time.Duration, int64, int64, error) {
+		before := srv.Snapshot()
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(queries[i]))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					body, _ := io.ReadAll(resp.Body)
+					errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+					return
+				}
+				_, errs[i] = io.Copy(io.Discard, resp.Body)
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		after := srv.Snapshot()
+		scans := after.Profile.ScanRounds - before.Profile.ScanRounds
+		bytes := (after.Profile.Phase1 + after.Profile.Phase2) - (before.Profile.Phase1 + before.Profile.Phase2)
+		return elapsed, scans, bytes, nil
+	}
+
+	run := func(cfg server.Config, n int) (time.Duration, int64, int64, error) {
+		srv := server.New(sess, cfg)
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		// Warm-up: compile every plan and prime the coalescer's arrival
+		// clock, so both modes measure scan time, not compilation.
+		if _, _, _, err := fire(srv, ts, n); err != nil {
+			return 0, 0, 0, err
+		}
+		return fire(srv, ts, n)
+	}
+
+	for _, n := range opts.Concurrency {
+		row := ServeRow{Concurrency: n}
+
+		// Baseline: coalescing off (K = 1), every request its own scans.
+		perReq, perScans, _, err := run(server.Config{
+			BatchMax: 1, Window: time.Millisecond, MaxInflight: 2,
+		}, n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: per-request mode at %d: %w", n, err)
+		}
+		row.PerRequestSeconds = perReq.Seconds()
+		row.PerRequestScans = perScans
+
+		// Coalesced: gather the burst into shared-scan batches of up to K.
+		co, coScans, coBytes, err := run(server.Config{
+			BatchMax: opts.BatchMax, Window: 25 * time.Millisecond, MaxInflight: 2,
+		}, n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: coalesced mode at %d: %w", n, err)
+		}
+		row.CoalescedSeconds = co.Seconds()
+		row.CoalescedScans = coScans
+		if co > 0 {
+			row.Speedup = perReq.Seconds() / co.Seconds()
+			row.QueriesPerSec = float64(n) / co.Seconds()
+		}
+		row.BytesPerRequest = coBytes / int64(n)
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+// WriteServe renders the experiment as a table.
+func WriteServe(w io.Writer, r *ServeReport) {
+	fmt.Fprintf(w, "Concurrent serving with shared-scan coalescing, %d-node database (%d MB), K = %d.\n",
+		r.Nodes, r.DBBytes>>20, r.BatchMax)
+	fmt.Fprintf(w, "%8s %15s %13s %8s %10s %11s %11s %13s\n",
+		"clients", "per-request(s)", "coalesced(s)", "speedup", "queries/s", "scans-before", "scans-after", "bytes/request")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8d %15.3f %13.3f %8.2f %10.1f %11d %11d %13d\n",
+			row.Concurrency, row.PerRequestSeconds, row.CoalescedSeconds, row.Speedup,
+			row.QueriesPerSec, row.PerRequestScans, row.CoalescedScans, row.BytesPerRequest)
+	}
+}
+
+// WriteServeJSON writes the machine-readable report.
+func WriteServeJSON(w io.Writer, r *ServeReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -67,26 +67,14 @@ type DiskBatchOpts struct {
 }
 
 // transSource is the narrow automata interface the batch inner loops run
-// against: an Engine in sequential runs (adapted below), a SharedEngine
-// in parallel ones.
+// against — a SharedEngine view of each member engine, so batch runs may
+// overlap each other and scalar runs of the same engines.
 type transSource interface {
 	ReachableStates(left, right StateID, sig edb.NodeSig) StateID
 	TruePreds(parent, resid StateID, k int) StateID
 	RootTrueSet(rootState StateID) StateID
 	QueryMask(td StateID) uint64
 }
-
-// engineSource adapts a privately-owned Engine to the transSource shape.
-type engineSource struct{ e *Engine }
-
-func (s engineSource) ReachableStates(left, right StateID, sig edb.NodeSig) StateID {
-	return s.e.ReachableStates(left, right, s.e.SigID(sig))
-}
-func (s engineSource) TruePreds(parent, resid StateID, k int) StateID {
-	return s.e.TruePreds(parent, resid, k)
-}
-func (s engineSource) RootTrueSet(rootState StateID) StateID { return s.e.RootTrueSet(rootState) }
-func (s engineSource) QueryMask(td StateID) uint64           { return s.e.queryMask(td) }
 
 // BatchCache is a dense per-member (and, in parallel runs, per-worker)
 // transition memo for the batch inner loops. A batch pays N engine steps
@@ -342,8 +330,8 @@ func RunBatchTree(ctx context.Context, t *tree.Tree, members []BatchMember, topt
 	engines := make([]*Engine, nm)
 	for m, bm := range members {
 		res[m] = NewResult(bm.E.c.Prog, int64(n))
-		bm.E.stats.Nodes += int64(n)
-		caches[m] = newBatchCache(engineSource{bm.E})
+		bm.E.AddNodes(int64(n))
+		caches[m] = newBatchCache(bm.E.Share())
 		engines[m] = bm.E
 		if bm.Aux != nil {
 			prunable = false
@@ -357,7 +345,7 @@ func RunBatchTree(ctx context.Context, t *tree.Tree, members []BatchMember, topt
 	if prune != nil {
 		exts = prune.Extents
 		for _, e := range engines {
-			e.stats.PrunedNodes += prune.Nodes
+			e.AddPrunedNodes(prune.Nodes)
 		}
 	}
 
@@ -487,7 +475,7 @@ func getState(b []byte, width int) StateID {
 func batchStateWidth(members []BatchMember) int {
 	width := stateByte
 	for _, bm := range members {
-		switch n := len(bm.E.buStates); {
+		switch n := bm.E.BUStateCount(); {
 		case n >= 1<<16-256:
 			return stateWide
 		case n >= 1<<8-64:
@@ -536,7 +524,7 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 	engines := make([]*Engine, nm)
 	for m, bm := range members {
 		res[m] = NewResult(bm.E.c.Prog, db.N)
-		caches[m] = newBatchCache(engineSource{bm.E})
+		caches[m] = newBatchCache(bm.E.Share())
 		engines[m] = bm.E
 	}
 	ds := &DiskStats{StateBytes: db.N * int64(stride)}
@@ -780,9 +768,9 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 	// Count node visits only on success: a narrow-width restart re-enters
 	// this function and must not double-count the aborted attempt.
 	for _, bm := range members {
-		bm.E.stats.Nodes += db.N
+		bm.E.AddNodes(db.N)
 		if prune != nil {
-			bm.E.stats.PrunedNodes += prune.Nodes
+			bm.E.AddPrunedNodes(prune.Nodes)
 		}
 	}
 	succeeded = true
@@ -1370,9 +1358,9 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 	// Count node visits only on success: a narrow-width restart re-enters
 	// this function and must not double-count the aborted attempt.
 	for _, bm := range members {
-		bm.E.stats.Nodes += db.N
+		bm.E.AddNodes(db.N)
 		if plan != nil {
-			bm.E.stats.PrunedNodes += plan.Nodes
+			bm.E.AddPrunedNodes(plan.Nodes)
 		}
 	}
 	succeeded = true

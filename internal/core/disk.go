@@ -110,7 +110,7 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 	}
 	res := NewResult(e.c.Prog, db.N)
 	ds := &DiskStats{StateBytes: db.N * stateIDSize}
-	e.stats.Nodes += db.N
+	e.AddNodes(db.N)
 
 	// Selectivity-aware pruning: seek past extents the static analysis
 	// proves irrelevant. Sound only without aux input (aux bits vary per
@@ -126,8 +126,9 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 	var pruneExts []storage.Extent
 	if prune != nil {
 		pruneExts = prune.Extents
-		e.stats.PrunedNodes += prune.Nodes
+		e.AddPrunedNodes(prune.Nodes)
 	}
+	cache := e.Share().NewCache()
 
 	// Optional auxiliary mask file, read backwards in phase 1 and
 	// forwards in phase 2.
@@ -200,7 +201,7 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 					sig.Extra = binary.BigEndian.Uint16(b)
 				}
 			}
-			s := e.ReachableStates(left, right, e.SigID(sig))
+			s := cache.ReachableStates(left, right, sig)
 			var buf [stateIDSize]byte
 			binary.BigEndian.PutUint32(buf[:], uint32(s))
 			sw.writeAt(buf[:], (db.N-1-v)*stateIDSize)
@@ -219,7 +220,7 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 		scan1.SkippedBytes += prune.Nodes * storage.NodeSize
 	}
 	ds.Phase1 = scan1
-	e.stats.Phase1Time += time.Since(start)
+	phase1 := time.Since(start)
 
 	// Phase 2: forward scan of .arb; the state file, read backwards,
 	// yields the phase-1 states in preorder.
@@ -287,11 +288,11 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 				if bu != rootState {
 					return NoState, fmt.Errorf("core: state file corrupt: root state %d, phase 1 computed %d", bu, rootState)
 				}
-				td = e.RootTrueSet(bu)
+				td = cache.RootTrueSet(bu)
 			} else {
-				td = e.TruePreds(*parent, bu, k)
+				td = cache.TruePreds(*parent, bu, k)
 			}
-			mask := e.queryMask(td)
+			mask := cache.QueryMask(td)
 			if mask != 0 {
 				res.MarkMask(mask, v)
 			}
@@ -340,7 +341,7 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 		scan2.SkippedBytes += prune.Nodes * storage.NodeSize
 	}
 	ds.Phase2 = scan2
-	e.stats.Phase2Time += time.Since(start)
+	e.addPhaseTimes(phase1, time.Since(start))
 	succeeded = true
 	return res, ds, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"arb/internal/edb"
@@ -78,7 +79,15 @@ func (s Stats) Sub(o Stats) Stats {
 // transitions for each of the two automata; transition functions are
 // computed lazily by ComputeReachableStates and ComputeTruePreds and are
 // reused across nodes and across trees (footnote 15 of the paper).
+//
+// Concurrency: the engine's caches are guarded by one RWMutex, and every
+// evaluation driver reaches them through a SharedEngine view (Share) or a
+// per-run TxCache/BatchCache in front of one — so any number of runs of
+// one engine may overlap, and transitions computed by one run serve all.
+// The raw transition methods (ReachableStates, TruePreds, ...) do not
+// lock; they are for callers that hold mu or own the engine exclusively.
 type Engine struct {
+	mu     sync.RWMutex
 	c      *Compiled
 	solver *horn.Solver
 
@@ -138,21 +147,56 @@ func NewEngine(c *Compiled, names *tree.Names) *Engine {
 // Compiled returns the engine's compiled program.
 func (e *Engine) Compiled() *Compiled { return e.c }
 
-// Stats returns the statistics accumulated so far.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the statistics accumulated so far. With
+// runs overlapping on one engine, snapshot deltas attribute any
+// concurrently computed cache work to whichever run observes it.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stats
+}
 
 // ResetStats clears the accumulated statistics (the state and transition
 // caches are kept).
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	e.stats = Stats{}
+	e.mu.Unlock()
+}
 
 // AddNodes records n node visits in the engine's statistics; evaluators
 // outside this package (the parallel batch runner) call it once up front
 // because they only touch the engine through its SharedEngine afterwards.
-func (e *Engine) AddNodes(n int64) { e.stats.Nodes += n }
+func (e *Engine) AddNodes(n int64) {
+	e.mu.Lock()
+	e.stats.Nodes += n
+	e.mu.Unlock()
+}
 
 // AddPrunedNodes records n pruned node visits (see Stats.PrunedNodes);
 // the external parallel evaluators call it when they apply a prune plan.
-func (e *Engine) AddPrunedNodes(n int64) { e.stats.PrunedNodes += n }
+func (e *Engine) AddPrunedNodes(n int64) {
+	e.mu.Lock()
+	e.stats.PrunedNodes += n
+	e.mu.Unlock()
+}
+
+// addPhaseTimes folds one run's phase wall times into the engine's
+// cumulative statistics.
+func (e *Engine) addPhaseTimes(p1, p2 time.Duration) {
+	e.mu.Lock()
+	e.stats.Phase1Time += p1
+	e.stats.Phase2Time += p2
+	e.mu.Unlock()
+}
+
+// BUStateCount returns the number of bottom-up states interned so far
+// (the batch drivers size their on-disk state width from it).
+func (e *Engine) BUStateCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.buStates)
+}
 
 // SigID interns a node signature, collapsing signatures that satisfy the
 // same EDB facts of the program into one alphabet symbol.

@@ -48,7 +48,8 @@ func (e *Engine) Run(t *tree.Tree, opts RunOpts) (*Result, error) {
 // top-down pass computing the run ρB of automaton B (ascending index
 // loop). The per-node work is two hash-table lookups once the lazy
 // transition tables are warm. Cancelling ctx aborts either pass promptly
-// with ctx.Err().
+// with ctx.Err(). Runs of one engine may overlap: the shared automata
+// tables are reached through a per-run cache over the engine's lock.
 func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*Result, error) {
 	n := t.Len()
 	if n == 0 {
@@ -56,7 +57,7 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*R
 	}
 	cancel := storage.NewCanceller(ctx)
 	res := NewResult(e.c.Prog, int64(n))
-	e.stats.Nodes += int64(n)
+	e.AddNodes(int64(n))
 
 	// Selectivity-aware pruning: with a tree index available, both passes
 	// jump over subtrees the static analysis proves irrelevant (the same
@@ -69,8 +70,9 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*R
 	var exts []storage.Extent
 	if prune != nil {
 		exts = prune.Extents
-		e.stats.PrunedNodes += prune.Nodes
+		e.AddPrunedNodes(prune.Nodes)
 	}
+	cache := e.Share().NewCache()
 
 	// Phase 1: bottom-up run of A.
 	start := time.Now()
@@ -98,14 +100,14 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*R
 		if opts.Aux != nil {
 			sig.Extra = opts.Aux(tree.NodeID(v))
 		}
-		bu[v] = e.ReachableStates(left, right, e.SigID(sig))
+		bu[v] = cache.ReachableStates(left, right, sig)
 	}
-	e.stats.Phase1Time += time.Since(start)
+	phase1 := time.Since(start)
 
 	// Phase 2: top-down run of B over the ρA-labeled tree.
 	start = time.Now()
 	td := make([]StateID, n)
-	td[0] = e.RootTrueSet(bu[0])
+	td[0] = cache.RootTrueSet(bu[0])
 	pi := 0
 	for v := 0; v < n; v++ {
 		if err := cancel.Step(); err != nil {
@@ -118,17 +120,17 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*R
 			pi++
 			continue
 		}
-		if mask := e.queryMask(td[v]); mask != 0 {
+		if mask := cache.QueryMask(td[v]); mask != 0 {
 			res.MarkMask(mask, int64(v))
 		}
 		if c := t.First(tree.NodeID(v)); c != tree.None {
-			td[c] = e.TruePreds(td[v], bu[c], 1)
+			td[c] = cache.TruePreds(td[v], bu[c], 1)
 		}
 		if c := t.Second(tree.NodeID(v)); c != tree.None {
-			td[c] = e.TruePreds(td[v], bu[c], 2)
+			td[c] = cache.TruePreds(td[v], bu[c], 2)
 		}
 	}
-	e.stats.Phase2Time += time.Since(start)
+	e.addPhaseTimes(phase1, time.Since(start))
 
 	if opts.KeepStates {
 		res.BUStateOf = bu

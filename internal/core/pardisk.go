@@ -135,7 +135,7 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 
 	res := NewResult(e.c.Prog, db.N)
 	ds := &DiskStats{StateBytes: db.N * stateIDSize}
-	e.stats.Nodes += db.N
+	e.AddNodes(db.N)
 	s := e.Share()
 
 	var err error
@@ -288,7 +288,7 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	scan1.SkippedBytes += leaderSkipped
 	scan1.Merge(phase1)
 	ds.Phase1 = scan1
-	e.stats.Phase1Time += time.Since(start)
+	phase1Time := time.Since(start)
 
 	// Phase 2, leader first: forward over the glue, reading the state
 	// file backwards per gap (which yields the glue's phase-1 states in
@@ -526,11 +526,11 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	}
 	scan2.SkippedBytes += leaderSkipped2
 	ds.Phase2 = scan2
-	e.stats.Phase2Time += time.Since(start)
+	e.addPhaseTimes(phase1Time, time.Since(start))
 	// Count pruned nodes only on success: the stale-index retry re-enters
 	// this function and must not double-count the aborted attempt's plan.
 	if plan != nil {
-		e.stats.PrunedNodes += plan.Nodes
+		e.AddPrunedNodes(plan.Nodes)
 	}
 	succeeded = true
 	return res, ds, nil

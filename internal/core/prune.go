@@ -67,10 +67,18 @@ type pruneAnalysis struct {
 	sub  StateID          // the unique dead-subtree bottom-up state s*
 }
 
+// lockedPruneAnalysis runs pruneAnalysis under the engine's write lock,
+// so plans may be computed while other runs of the engine are in flight.
+func (e *Engine) lockedPruneAnalysis() *pruneAnalysis {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pruneAnalysis()
+}
+
 // pruneAnalysis computes (and caches) the engine's pruning analysis. It
 // interns a few synthetic states and transitions into the engine's
-// tables, so it must run while the caller owns the engine exclusively —
-// the drivers run it before sharing the engine with workers.
+// tables, so it must run while the caller holds the engine's write lock
+// (lockedPruneAnalysis) or owns the engine exclusively.
 func (e *Engine) pruneAnalysis() *pruneAnalysis {
 	if e.prune != nil {
 		return e.prune
@@ -237,7 +245,7 @@ func PlanPrune(engines []*Engine, ix *storage.SubtreeIndex, n int64) *PrunePlan 
 	var live storage.LabelSig
 	subs := make([]StateID, len(engines))
 	for m, e := range engines {
-		a := e.pruneAnalysis()
+		a := e.lockedPruneAnalysis()
 		if !a.ok {
 			return nil
 		}

@@ -1,25 +1,26 @@
 package core
 
 import (
-	"sync"
-
 	"arb/internal/edb"
 )
 
-// SharedEngine adapts an Engine for concurrent use by the parallel
-// evaluator (internal/parallel): lookups of already-computed states and
-// transitions take a read lock; lazily computing a new transition takes
-// the write lock. Tree automata admit parallel evaluation naturally —
-// runs on disjoint subtrees are independent (Section 6.2) — and because
-// transition tables converge quickly, the write lock is rarely contended
-// after warm-up.
+// SharedEngine adapts an Engine for concurrent use: lookups of
+// already-computed states and transitions take a read lock; lazily
+// computing a new transition takes the write lock. Tree automata admit
+// parallel evaluation naturally — runs on disjoint subtrees are
+// independent (Section 6.2) — and because transition tables converge
+// quickly, the write lock is rarely contended after warm-up.
+//
+// The locks are the engine's own, so any number of SharedEngine views of
+// one engine — workers of one run, or entirely separate overlapping runs
+// (a reentrant PreparedQuery, a coalesced server batch sharing a scalar
+// handle's automata) — synchronise with each other.
 type SharedEngine struct {
-	mu sync.RWMutex
-	e  *Engine
+	e *Engine
 }
 
-// Share wraps the engine for concurrent use. The underlying engine must
-// not be used directly while shared.
+// Share returns a concurrent view of the engine. Views are cheap and any
+// number may exist at once; they all serialise through the engine's lock.
 func (e *Engine) Share() *SharedEngine { return &SharedEngine{e: e} }
 
 // Engine returns the wrapped engine for single-threaded use (statistics,
@@ -29,47 +30,47 @@ func (s *SharedEngine) Engine() *Engine { return s.e }
 // ReachableStates is the concurrent δA: it interns the node signature and
 // returns the bottom-up state for the given child states.
 func (s *SharedEngine) ReachableStates(left, right StateID, sig edb.NodeSig) StateID {
-	s.mu.RLock()
+	s.e.mu.RLock()
 	sigID, okSig := s.e.sigIndex[sig]
 	if okSig {
 		if id, ok := s.e.buTrans[buKey{left, right, sigID}]; ok {
-			s.mu.RUnlock()
+			s.e.mu.RUnlock()
 			return id
 		}
 	}
-	s.mu.RUnlock()
+	s.e.mu.RUnlock()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
 	return s.e.ReachableStates(left, right, s.e.SigID(sig))
 }
 
 // RootTrueSet is the concurrent step 2 of Algorithm 4.6.
 func (s *SharedEngine) RootTrueSet(rootState StateID) StateID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
 	return s.e.RootTrueSet(rootState)
 }
 
 // TruePreds is the concurrent δB.
 func (s *SharedEngine) TruePreds(parent, resid StateID, k int) StateID {
-	s.mu.RLock()
+	s.e.mu.RLock()
 	if id, ok := s.e.tdTrans[tdKey{parent, resid, uint8(k)}]; ok {
-		s.mu.RUnlock()
+		s.e.mu.RUnlock()
 		return id
 	}
-	s.mu.RUnlock()
+	s.e.mu.RUnlock()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
 	return s.e.TruePreds(parent, resid, k)
 }
 
 // QueryMask returns the query-predicate bitmask of a top-down state (bit
 // i set iff query i's predicate is in the state).
 func (s *SharedEngine) QueryMask(td StateID) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.e.mu.RLock()
+	defer s.e.mu.RUnlock()
 	return s.e.queryMask(td)
 }
 

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"arb"
+)
+
+// planCache is an LRU cache of compiled query plans keyed by normalized
+// query text. A hit hands every request for a hot query the SAME
+// PreparedQuery handle, so its lazily built automata warm once and then
+// serve all traffic — and because Exec is reentrant, concurrent hits
+// never queue behind each other. Eviction only drops the cache's
+// reference; executions still holding the handle finish normally.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	pq  *arb.PreparedQuery
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached plan for key, promoting it to most recent.
+func (c *planCache) get(key string) (*arb.PreparedQuery, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).pq, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts a freshly compiled plan and returns the canonical handle
+// for key: when two requests raced to compile the same cold query, the
+// loser adopts the winner's handle so the whole server shares one.
+func (c *planCache) put(key string, pq *arb.PreparedQuery) *arb.PreparedQuery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).pq
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, pq: pq})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	return pq
+}
+
+// CacheStats is the plan cache's corner of the /stats payload.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *planCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size: c.ll.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,380 @@
+// Package server implements `arb serve`: a long-running concurrent query
+// server over one arb.Session. It is the serving shape the paper's
+// engine was built for — compile once, query many — scaled out along two
+// axes: an LRU plan cache keyed by normalized query text keeps the
+// compiled automata of hot queries warm across requests, and an adaptive
+// coalescer folds concurrent requests into shared-scan batches so M
+// simultaneous disk queries cost ~2·⌈M/K⌉ linear scans instead of 2·M.
+// Requests carry their own deadlines through the session's context
+// plumbing, executions are bounded by a concurrency limiter, and /stats
+// surfaces the merged execution profile (bytes scanned and skipped,
+// pruned nodes, cache hit rate, batching degree).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arb"
+	"arb/internal/xpath"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// Window is how long a gather group waits for companions before its
+	// batch executes (default 2ms). Requests on an idle server skip the
+	// window entirely; see the coalescer.
+	Window time.Duration
+	// BatchMax is K, the maximum number of distinct plans per shared-scan
+	// batch (default 16). Duplicate concurrent queries never count twice —
+	// they share one plan slot and one execution.
+	BatchMax int
+	// MaxInflight bounds concurrently running executions (default 2).
+	MaxInflight int
+	// CacheSize is the plan cache capacity in distinct queries (default 256).
+	CacheSize int
+	// Workers is the per-execution parallelism, as arb.ExecOpts.Workers
+	// (default 1; negative = all CPUs).
+	Workers int
+	// Timeout is the default per-request deadline when the request names
+	// none (default 30s). A request's timeout_ms field overrides it.
+	Timeout time.Duration
+	// MaxIDs caps the selected-node ids returned per predicate when a
+	// request asks for ids (default 10000).
+	MaxIDs int
+	// NoPrune disables selectivity-aware pruning for all executions.
+	NoPrune bool
+}
+
+func (c *Config) fill() {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxIDs <= 0 {
+		c.MaxIDs = 10000
+	}
+}
+
+// Server fields HTTP query requests against one session.
+type Server struct {
+	sess  *arb.Session
+	cfg   Config
+	cache *planCache
+	coal  *coalescer
+
+	base   context.Context
+	cancel context.CancelFunc
+	closed atomic.Bool
+
+	start    time.Time
+	requests atomic.Int64
+	errorsN  atomic.Int64
+	inflight atomic.Int64
+
+	profMu sync.Mutex
+	prof   ProfileCounters
+}
+
+// ProfileCounters is the merged cost profile across every execution the
+// server dispatched — the serving-level view of the engine's ScanStats
+// and pruning counters.
+type ProfileCounters struct {
+	ScanRounds int64 `json:"scan_rounds"`      // shared scan pairs executed
+	Phase1     int64 `json:"phase1_bytes"`     // .arb bytes read, backward scans
+	Phase2     int64 `json:"phase2_bytes"`     // .arb bytes read, forward scans
+	Skipped    int64 `json:"skipped_bytes"`    // bytes pruning seeked past
+	Pruned     int64 `json:"pruned_nodes"`     // nodes proven irrelevant
+	StateBytes int64 `json:"state_temp_bytes"` // temporary state-file bytes
+	Queries    int64 `json:"queries_executed"` // plans executed (batch members count singly)
+}
+
+// New builds a server over the session. Close releases it; the session
+// stays the caller's.
+func New(sess *arb.Session, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		sess:  sess,
+		cfg:   cfg,
+		cache: newPlanCache(cfg.CacheSize),
+		start: time.Now(),
+	}
+	s.base, s.cancel = context.WithCancel(context.Background())
+	opts := arb.ExecOpts{Workers: cfg.Workers, NoPrune: cfg.NoPrune}
+	s.coal = newCoalescer(sess, cfg.Window, cfg.BatchMax, cfg.MaxInflight, opts, s.addProfile)
+	return s
+}
+
+func (s *Server) addProfile(p *arb.Profile, plans int) {
+	if p == nil {
+		return
+	}
+	s.profMu.Lock()
+	s.prof.ScanRounds += int64(p.Passes)
+	s.prof.Phase1 += p.Disk.Phase1.Bytes
+	s.prof.Phase2 += p.Disk.Phase2.Bytes
+	s.prof.Skipped += p.Disk.Phase1.SkippedBytes + p.Disk.Phase2.SkippedBytes
+	s.prof.Pruned += p.Engine.PrunedNodes
+	s.prof.StateBytes += p.Disk.StateBytes
+	s.prof.Queries += int64(plans)
+	s.profMu.Unlock()
+}
+
+// Close rejects new requests and cancels outstanding executions. Call it
+// after draining the HTTP listener (http.Server.Shutdown waits for
+// in-flight handlers, whose executions then finish normally).
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.cancel()
+	}
+}
+
+// Handler returns the server's HTTP mux:
+//
+//	POST /query   {"query": "...", "ids": true, "timeout_ms": 500}
+//	GET  /query?q=...&ids=1&timeout_ms=500
+//	GET  /stats
+//	GET  /healthz
+//
+// Queries use the workload-file convention: TMNF programs by default, a
+// Core XPath expression behind an "xpath:" prefix.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": !s.closed.Load()})
+	})
+	return mux
+}
+
+// queryRequest is the /query payload.
+type queryRequest struct {
+	Query     string `json:"query"`
+	IDs       bool   `json:"ids"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+// predResult is one query predicate's slice of a response.
+type predResult struct {
+	Predicate string  `json:"predicate"`
+	Count     int64   `json:"count"`
+	IDs       []int64 `json:"ids,omitempty"`
+	Truncated bool    `json:"ids_truncated,omitempty"`
+}
+
+// queryResponse is the /query reply.
+type queryResponse struct {
+	Query     string       `json:"query"` // normalized form (the plan-cache key)
+	Results   []predResult `json:"results"`
+	PlanCache string       `json:"plan_cache"` // "hit" or "miss"
+	Coalesced int          `json:"coalesced"`  // distinct plans sharing this request's scans
+	Elapsed   float64      `json:"elapsed_seconds"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.closed.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	var req queryRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	case http.MethodGet:
+		req.Query = r.URL.Query().Get("q")
+		if v := r.URL.Query().Get("ids"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, "bad ids %q", v)
+				return
+			}
+			req.IDs = b
+		}
+		if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+			v, err := strconv.ParseInt(ms, 10, 64)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, "bad timeout_ms %q", ms)
+				return
+			}
+			req.TimeoutMS = v
+		}
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		s.fail(w, http.StatusBadRequest, "empty query")
+		return
+	}
+
+	key, pq, hit, err := s.plan(req.Query)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	timeout := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, coalesced, err := s.coal.submit(ctx, s.base, key, pq)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.fail(w, http.StatusGatewayTimeout, "query timed out after %v", timeout)
+		case errors.Is(err, context.Canceled):
+			s.fail(w, http.StatusServiceUnavailable, "query cancelled: %v", err)
+		default:
+			s.fail(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+
+	resp := queryResponse{
+		Query:     key,
+		PlanCache: map[bool]string{true: "hit", false: "miss"}[hit],
+		Coalesced: coalesced,
+		Elapsed:   time.Since(start).Seconds(),
+	}
+	for _, q := range pq.Queries() {
+		pr := predResult{Predicate: pq.Program().PredName(q), Count: res.Count(q)}
+		if req.IDs {
+			res.Walk(q, func(v arb.NodeID) bool {
+				if len(pr.IDs) >= s.cfg.MaxIDs {
+					pr.Truncated = true
+					return false
+				}
+				pr.IDs = append(pr.IDs, int64(v))
+				return true
+			})
+		}
+		resp.Results = append(resp.Results, pr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// plan resolves a query text to its cached plan, compiling and caching
+// on a miss. The cache key is the normalized query ("tmnf:" or "xpath:"
+// prefixed), so whitespace, CRLF and axis-abbreviation variants of one
+// query share a single compiled handle.
+func (s *Server) plan(src string) (key string, pq *arb.PreparedQuery, hit bool, err error) {
+	trimmed := strings.TrimSpace(src)
+	if expr, ok := strings.CutPrefix(trimmed, "xpath:"); ok {
+		// One parse serves both the normalized cache key and, on a miss,
+		// the compilation (Translate works on the parsed path).
+		path, err := xpath.Parse(expr)
+		if err != nil {
+			return "", nil, false, err
+		}
+		key = "xpath:" + path.String()
+		if pq, ok := s.cache.get(key); ok {
+			return key, pq, true, nil
+		}
+		q, err := xpath.Translate(path)
+		if err != nil {
+			return "", nil, false, err
+		}
+		if pq, err = s.sess.PrepareXPath(q); err != nil {
+			return "", nil, false, err
+		}
+	} else {
+		prog, err := arb.ParseProgram(trimmed)
+		if err != nil {
+			return "", nil, false, err
+		}
+		key = "tmnf:" + prog.String()
+		if pq, ok := s.cache.get(key); ok {
+			return key, pq, true, nil
+		}
+		if pq, err = s.sess.Prepare(prog); err != nil {
+			return "", nil, false, err
+		}
+	}
+	return key, s.cache.put(key, pq), false, nil
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Requests      int64           `json:"requests"`
+	Errors        int64           `json:"errors"`
+	Inflight      int64           `json:"inflight"`
+	PlanCache     CacheStats      `json:"plan_cache"`
+	HitRate       float64         `json:"plan_cache_hit_rate"`
+	Coalescer     CoalescerStats  `json:"coalescer"`
+	Profile       ProfileCounters `json:"profile"`
+	Session       struct {
+		Nodes int64 `json:"nodes"`
+		Disk  bool  `json:"disk"`
+	} `json:"session"`
+}
+
+// Snapshot returns the server's current statistics (the /stats payload,
+// also used directly by tests and benchmarks).
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errorsN.Load(),
+		Inflight:      s.inflight.Load(),
+		PlanCache:     s.cache.snapshot(),
+		Coalescer:     s.coal.snapshot(),
+	}
+	s.profMu.Lock()
+	st.Profile = s.prof
+	s.profMu.Unlock()
+	if total := st.PlanCache.Hits + st.PlanCache.Misses; total > 0 {
+		st.HitRate = float64(st.PlanCache.Hits) / float64(total)
+	}
+	st.Session.Nodes = s.sess.Len()
+	st.Session.Disk = s.sess.DB() != nil
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errorsN.Add(1)
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

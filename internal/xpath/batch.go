@@ -18,8 +18,9 @@ import (
 // scheduled so that round r runs pass r of every member that still has
 // one — sibling queries piggyback on each other's scans, and the total
 // number of scan pairs is the maximum pass count over the batch, not the
-// sum. Like Prepared, a Batch is not safe for concurrent use; the arb
-// package's PreparedBatch holds the lock.
+// sum. Like Prepared, a Batch supports overlapping executions, including
+// batches that share members (engines) with other live batches or
+// scalar handles.
 type Batch struct {
 	members []*Prepared
 }

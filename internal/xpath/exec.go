@@ -20,9 +20,10 @@ import (
 // transition tables) survive across executions, so repeated queries over
 // a persistent database pay the Horn-solving cost once. A plain TMNF
 // program is the degenerate single-pass case (PrepareProgram). Prepared
-// is the execution layer behind the arb package's PreparedQuery; it is
-// not safe for concurrent use — callers serialise (arb.PreparedQuery
-// holds the lock).
+// is the execution layer behind the arb package's PreparedQuery.
+// Executions of one Prepared may overlap — each run keeps its own
+// per-run state (aux labelings, temp files, results) and reaches the
+// shared engines through their internal locks.
 type Prepared struct {
 	aux  []*core.Engine // one engine per auxiliary pass, in pass order
 	main *core.Engine
@@ -126,7 +127,9 @@ func (p *Prepared) engines() []*core.Engine {
 
 // statsDelta runs f between two snapshots of the engines' cumulative
 // statistics and adds the difference — the work of this execution alone —
-// to es.
+// to es. When executions of one Prepared overlap, cache work computed by
+// a concurrent run may land in whichever delta observes it; the merged
+// totals across runs stay exact.
 func statsDelta(engines []*core.Engine, es *ExecStats, f func() error) error {
 	before := make([]core.Stats, len(engines))
 	for i, e := range engines {

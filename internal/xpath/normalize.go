@@ -1,0 +1,16 @@
+package xpath
+
+// Normalize parses a Core XPath query and renders it back in the
+// parser's canonical surface form: explicit axes, expanded //
+// abbreviations, canonical qualifier parenthesisation, no insignificant
+// whitespace. Two query strings that parse to the same location path
+// normalize to the same string, which makes the result a stable plan-
+// cache key — "//a [b]", "descendant-or-self::node()/a[b]" and a
+// CRLF-ridden variant all hit one cached plan.
+func Normalize(src string) (string, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}

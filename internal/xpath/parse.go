@@ -40,7 +40,10 @@ type xparser struct {
 }
 
 func (p *xparser) ws() {
-	for p.i < len(p.src) && (p.src[p.i] == ' ' || p.src[p.i] == '\t' || p.src[p.i] == '\n') {
+	// \r counts: queries arriving from CRLF sources (multi-line workload
+	// files, HTTP request bodies) carry carriage returns that must not
+	// surface as "trailing input".
+	for p.i < len(p.src) && (p.src[p.i] == ' ' || p.src[p.i] == '\t' || p.src[p.i] == '\n' || p.src[p.i] == '\r') {
 		p.i++
 	}
 }

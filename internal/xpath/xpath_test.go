@@ -62,6 +62,64 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseCarriageReturn locks down \r as whitespace: CRLF-embedded
+// queries (multi-line workload entries, HTTP bodies from Windows
+// clients) must parse instead of failing with "trailing input".
+func TestParseCarriageReturn(t *testing.T) {
+	cases := map[string]string{
+		"//a\r\n":                "/descendant-or-self::node()/child::a",
+		"a\r\n[b]":               "/child::a[child::b]",
+		"\r\na[b\r\nand\r\nc]\r": "/child::a[(child::b and child::c)]",
+		"a[ not(\rb) ]":          "/child::a[not(child::b)]",
+	}
+	for src, want := range cases {
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if got := p.String(); got != want {
+			t.Errorf("Parse(%q) = %s, want %s", src, got, want)
+		}
+	}
+	// A bare \r between identifier bytes is still a token break, not glue.
+	if _, err := Parse("a\rb"); err == nil {
+		t.Error(`Parse("a\rb") succeeded, want error`)
+	}
+}
+
+// TestNormalize checks that syntactic variants of one query share a
+// normalized form (the plan-cache key) and that normalization is a
+// fixed point.
+func TestNormalize(t *testing.T) {
+	variants := []string{
+		"//a[b and not(c)]",
+		"//a[ b\tand not( c ) ]",
+		"//a[b\r\nand not(c)]",
+		"/descendant-or-self::node()/child::a[child::b and not(child::c)]",
+	}
+	want, err := Normalize(variants[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants {
+		got, err := Normalize(v)
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", v, err)
+		}
+		if got != want {
+			t.Errorf("Normalize(%q) = %s, want %s", v, got, want)
+		}
+	}
+	again, err := Normalize(want)
+	if err != nil || again != want {
+		t.Errorf("Normalize is not a fixed point: %q -> %q, %v", want, again, err)
+	}
+	if _, err := Normalize("a["); err == nil {
+		t.Error("Normalize accepted a malformed query")
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	for _, bad := range []string{
 		"", "a[", "a]", "a[b", "a[not b]", "bogus::a", "a b", "a[()]",

@@ -23,8 +23,11 @@ import (
 //
 // A Session is safe for concurrent use: any number of goroutines may
 // prepare and execute queries on it at once (disk reads are
-// offset-addressed, so one file handle serves all scans; each
-// PreparedQuery serialises its own executions).
+// offset-addressed, so one file handle serves all scans), and executions
+// of one PreparedQuery or PreparedBatch handle may overlap freely — the
+// compiled automata behind a handle are internally synchronised, so a
+// plan cached and shared across a server's concurrent requests never
+// queues those requests behind each other.
 type Session struct {
 	t     *tree.Tree
 	db    *storage.DB
@@ -152,6 +155,36 @@ func (s *Session) PrepareBatch(items ...any) (*PreparedBatch, error) {
 	return &PreparedBatch{s: s, b: xpath.NewBatch(members)}, nil
 }
 
+// BatchOf groups queries already prepared on this session into a
+// PreparedBatch without recompiling them: the batch's members are the
+// handles' own compiled passes, so their warm automata — transition
+// tables paid for by earlier scalar executions — drive the shared scans
+// directly, and work computed during the batch warms the scalar handles
+// in return. This is the shape a coalescing query server wants: cache
+// one PreparedQuery per distinct query text, and fold whatever mix of
+// hot handles the current requests name into one shared-scan execution.
+//
+// The handles remain independently usable (including concurrently with
+// batch executions that contain them). Every query must have been
+// prepared on this session; duplicates are allowed but cost a redundant
+// member each — callers coalescing requests should deduplicate first.
+func (s *Session) BatchOf(queries ...*PreparedQuery) (*PreparedBatch, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("arb: BatchOf needs at least one query")
+	}
+	members := make([]*xpath.Prepared, len(queries))
+	for i, q := range queries {
+		if q == nil {
+			return nil, fmt.Errorf("arb: BatchOf: query %d is nil", i)
+		}
+		if q.s != s {
+			return nil, fmt.Errorf("arb: BatchOf: query %d was prepared on a different session", i)
+		}
+		members[i] = q.p
+	}
+	return &PreparedBatch{s: s, b: xpath.NewBatch(members)}, nil
+}
+
 // ExecOpts configures one execution of a prepared query. The zero value
 // is a sequential run returning just the result.
 type ExecOpts struct {
@@ -164,10 +197,11 @@ type ExecOpts struct {
 	// in-memory sessions record the automaton states in the Result
 	// (Result.BUStateOf/TDStateOf); disk sessions keep the phase-1
 	// state file under the discoverable name base.sta. Because that
-	// name is fixed per database, concurrent disk executions with
-	// KeepStates set would overwrite each other's file — serialise
-	// them (executions without KeepStates use unique temp files and
-	// are free to run concurrently).
+	// name is fixed per database, a handle serialises its own
+	// KeepStates disk executions, and concurrent KeepStates executions
+	// through different handles over one database must be serialised
+	// by the caller (executions without KeepStates use unique temp
+	// files and are free to run concurrently).
 	KeepStates bool
 	// Stats asks Exec to return a Profile of this execution's cost;
 	// when false Exec returns a nil Profile.
@@ -223,13 +257,20 @@ func (p *Profile) SkippedBytes() int64 {
 // repeated execution. The pair of deterministic tree automata per pass is
 // computed lazily and persists across Exec calls (the paper's footnote
 // 15), so a warm query evaluates with two hash-table lookups per node.
-// Exec is safe to call from multiple goroutines; executions of one
-// PreparedQuery are serialised (prepare one handle per goroutine for
-// independent parallel queries — they share the session's source).
+//
+// Exec is reentrant: any number of goroutines may execute one handle at
+// once and the executions overlap, sharing the warm automata through the
+// engines' internal locks — the shape a server's plan cache needs, where
+// one hot handle fields many concurrent requests. The only serialised
+// case is ExecOpts.KeepStates on a disk session, whose fixed base.sta
+// state file admits one writer at a time.
 type PreparedQuery struct {
-	s  *Session
-	mu sync.Mutex
-	p  *xpath.Prepared
+	s *Session
+	p *xpath.Prepared
+
+	// staMu serialises disk executions that keep the discoverable
+	// base.sta state file; all other executions run concurrently.
+	staMu sync.Mutex
 }
 
 // Queries returns the query predicates Exec's result reports, in the
@@ -277,8 +318,12 @@ func (q *PreparedQuery) Exec(ctx context.Context, opts ExecOpts) (*Result, *Prof
 		xopts.Index = q.s.treeIndex()
 	}
 
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	if opts.KeepStates && q.s.db != nil {
+		// The kept state file lives under the fixed name base.sta;
+		// overlapping keepers would clobber it.
+		q.staMu.Lock()
+		defer q.staMu.Unlock()
+	}
 	start := time.Now()
 	var res *Result
 	var es xpath.ExecStats
@@ -323,13 +368,12 @@ func (q *PreparedQuery) Count(ctx context.Context) (int64, error) {
 // has one — the number of scan pairs is the longest member's pass count,
 // not the sum over members.
 //
-// Exec is safe to call from multiple goroutines; executions of one
-// PreparedBatch are serialised, and the members' automata persist across
+// Exec is reentrant exactly as PreparedQuery.Exec is: executions of one
+// PreparedBatch may overlap, and the members' automata persist across
 // executions exactly as a PreparedQuery's do.
 type PreparedBatch struct {
-	s  *Session
-	mu sync.Mutex
-	b  *xpath.Batch
+	s *Session
+	b *xpath.Batch
 }
 
 // Len returns the number of member queries.
@@ -386,8 +430,6 @@ func (b *PreparedBatch) Exec(ctx context.Context, opts ExecOpts) ([]*Result, *Pr
 		xopts.Index = b.s.treeIndex()
 	}
 
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	start := time.Now()
 	var res []*Result
 	var es xpath.ExecStats
