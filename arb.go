@@ -129,6 +129,7 @@
 package arb
 
 import (
+	"context"
 	"io"
 
 	"arb/internal/core"
@@ -203,21 +204,6 @@ func ParseProgram(src string) (*Program, error) { return tmnf.Parse(src) }
 // auxiliary passes (evaluate with XPathQuery.Eval).
 func ParseXPath(src string) (*XPathQuery, error) { return xpath.Compile(src) }
 
-// NewEngine compiles a program and prepares an engine for evaluating it
-// against trees or databases using the given label-name table (use
-// db.Names for databases, t.Names() for trees).
-//
-// Deprecated: use Session.Prepare, which binds the engine to the
-// session's source and adds cancellation, parallel dispatch and
-// multi-pass support behind one Exec call.
-func NewEngine(p *Program, names *Names) (*Engine, error) {
-	c, err := core.Compile(p)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewEngine(c, names), nil
-}
-
 // ParseXML parses an XML document into an in-memory tree, text as one
 // node per character.
 func ParseXML(r io.Reader) (*Tree, error) {
@@ -251,15 +237,5 @@ func OpenDB(base string) (*DB, error) { return storage.Open(base) }
 // which selected returns true in <arb:selected> markup (the system's
 // default output mode). selected may be nil for plain output.
 func EmitXML(db *DB, w io.Writer, selected func(v int64) bool) error {
-	return storage.EmitXML(db, w, selected)
-}
-
-// RunParallel evaluates the engine's program over an in-memory tree with
-// multiple workers (0 = GOMAXPROCS); see internal/parallel for the
-// frontier decomposition. Results are identical to Engine.Run.
-//
-// Deprecated: use Session.Prepare and PreparedQuery.Exec with
-// ExecOpts{Workers: n}.
-func RunParallel(e *Engine, t *Tree, workers int) (*ParallelResult, error) {
-	return parallel.Run(e, t, workers)
+	return storage.EmitXMLContext(context.Background(), db, w, selected)
 }

@@ -20,6 +20,7 @@
 package arb_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -151,7 +152,7 @@ func BenchmarkStreamVsEngine(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	t, err := db.ReadTree()
+	t, err := db.ReadTree(context.Background())
 	db.Close()
 	if err != nil {
 		b.Fatal(err)

@@ -17,6 +17,20 @@ fi
 go vet ./...
 go build ./...
 
+# Repo-specific invariants: context threading, lock discipline, temp
+# cleanup, deprecated shims, reader Close/Release. Zero findings or fail.
+go run ./cmd/arblint ./...
+
+# External analyzers when the toolchain provides them. The CI image has
+# no network, so they cannot be fetched or version-pinned here; any
+# PATH-installed copy is used, otherwise they are skipped.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+fi
+
 # Smoke: the quickstart example exercises the whole Session/PreparedQuery
 # surface (create DB, prepare TMNF and XPath queries, Exec, emit marked
 # XML) against its own tiny generated document; batchserve exercises the

@@ -179,7 +179,7 @@ func serve(ctx context.Context, args []string) error {
 	}
 	defer sess.Close()
 
-	srv := server.New(sess, server.Config{
+	srv := server.New(ctx, sess, server.Config{
 		Window:      *window,
 		BatchMax:    *batchMax,
 		MaxInflight: *inflight,

@@ -1,0 +1,130 @@
+// Command arblint runs the repo's static-analysis suite: five analyzers
+// that mechanically enforce the engine's concurrency, cancellation and
+// cleanup invariants (see internal/lint/analyzers).
+//
+// Standalone over package patterns (the CI mode):
+//
+//	go run ./cmd/arblint ./...
+//	go run ./cmd/arblint -analyzers ctxflow,noshims ./internal/core
+//	go run ./cmd/arblint -todos ./...      # list tracked-debt markers
+//
+// It also speaks the unitchecker protocol, so it can ride go vet:
+//
+//	go vet -vettool=$(which arblint) ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"arb/internal/lint"
+	"arb/internal/lint/analyzers"
+)
+
+func main() {
+	// `go vet -vettool` probes the tool's identity with -V=full before
+	// handing it package configs; answer and get out of the way.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "-V" || strings.HasPrefix(arg, "-V=") {
+			fmt.Printf("arblint version devel\n")
+			return
+		}
+	}
+
+	var (
+		sel   = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list  = flag.Bool("list", false, "list the analyzers and exit")
+		todos = flag.Bool("todos", false, "list //arblint:todo tracked-debt markers instead of running analyzers")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	active := analyzers.All
+	if *sel != "" {
+		active = nil
+		for _, name := range strings.Split(*sel, ",") {
+			a := analyzers.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "arblint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			active = append(active, a)
+		}
+	}
+
+	args := flag.Args()
+
+	// go vet invokes the tool once per package with a single .cfg file.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVet(args[0], active)
+		return
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arblint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *todos {
+		for _, td := range lint.Todos(pkgs) {
+			fmt.Printf("%s: [%s] %s\n", td.Pos, strings.Join(td.Analyzers, ","), td.Reason)
+		}
+		return
+	}
+
+	diags, err := lint.Run(pkgs, active)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arblint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "arblint: %d problem(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// runVet handles one unitchecker-protocol invocation from go vet.
+func runVet(cfg string, active []*lint.Analyzer) {
+	pkg, vetxOnly, done, err := lint.LoadVetConfig(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arblint: %v\n", err)
+		os.Exit(2)
+	}
+	if done != nil {
+		if err := done(); err != nil {
+			fmt.Fprintf(os.Stderr, "arblint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if pkg == nil || vetxOnly {
+		return
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, active)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arblint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,45 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean is the gate the CI script relies on: the whole module
+// must pass every arblint analyzer with zero findings.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs arblint over the whole module")
+	}
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/arblint", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("arblint reported findings (or failed):\n%s\nerror: %v", out, err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("arblint exited zero but produced output:\n%s", out)
+	}
+}

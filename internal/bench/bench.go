@@ -337,7 +337,7 @@ func Fig6(th Thread, opts Fig6Opts) ([]Fig6Row, error) {
 // selected count for query q — identical in every mode.
 func evalQuery(e *core.Engine, db *storage.DB, q tmnf.Pred, opts Fig6Opts) (int64, error) {
 	if opts.InMemory {
-		t, err := db.ReadTree()
+		t, err := db.ReadTree(context.Background())
 		if err != nil {
 			return 0, err
 		}

@@ -218,7 +218,7 @@ func Prune(opts PruneOpts) (*PruneReport, error) {
 		}
 		// The label summaries must reflect the planted hits, or pruning
 		// would be unsound — out-of-band edits always require a rebuild.
-		if _, err := db.RebuildIndex(0); err != nil {
+		if _, err := db.RebuildIndex(ctx, 0); err != nil {
 			return nil, err
 		}
 

@@ -9,6 +9,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -170,7 +171,7 @@ func Serve(opts ServeOpts) (*ServeReport, error) {
 	}
 
 	run := func(cfg server.Config, n int) (time.Duration, int64, int64, error) {
-		srv := server.New(sess, cfg)
+		srv := server.New(context.Background(), sess, cfg)
 		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()

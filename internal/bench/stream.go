@@ -37,7 +37,7 @@ func StreamComparison(base string, sizes []int, queries int) ([]StreamComparison
 		return nil, err
 	}
 	defer db.Close()
-	t, err := db.ReadTree()
+	t, err := db.ReadTree(context.Background())
 	if err != nil {
 		return nil, err
 	}

@@ -533,7 +533,7 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 	// irrelevant can be skipped, since the batch shares one scan pair.
 	var prune *PrunePlan
 	if !opts.NoPrune && opts.AuxIn == "" && db.N >= PruneMinNodes {
-		if ix, ierr := db.Index(0); ierr == nil {
+		if ix, ierr := db.Index(ctx, 0); ierr == nil {
 			prune = PlanPrune(engines, ix, db.N)
 		}
 	}
@@ -571,6 +571,7 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 		if err != nil {
 			return nil, agg, nil, err
 		}
+		defer auxBack.Release()
 	}
 	sw := &runWriter{f: stateF}
 	stateBuf := make([]byte, stride)
@@ -641,6 +642,7 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 	if err != nil {
 		return nil, agg, nil, err
 	}
+	defer br.Release()
 	var auxFwd *bufio.Reader
 	if auxF != nil {
 		auxFwd = storage.MaskForward(auxF, 0, db.N, opts.AuxInStride)
@@ -800,7 +802,7 @@ func RunDiskBatchParallel(ctx context.Context, db *storage.DB, workers int, memb
 			return nil, Stats{}, nil, errors.New("core: engine name table does not match database")
 		}
 	}
-	idx, err := db.Index(0)
+	idx, err := db.Index(ctx, 0)
 	if err != nil {
 		return nil, Stats{}, nil, err
 	}
@@ -829,7 +831,7 @@ func RunDiskBatchParallel(ctx context.Context, db *storage.DB, workers int, memb
 	if chunked && err != nil && errors.Is(err, storage.ErrBadExtent) {
 		// Stale or foreign .idx sidecar: rebuild and retry once, exactly
 		// like the single-query parallel evaluator.
-		idx, rerr := db.RebuildIndex(0)
+		idx, rerr := db.RebuildIndex(ctx, 0)
 		if rerr != nil {
 			return nil, Stats{}, nil, rerr
 		}
@@ -932,7 +934,7 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 	start := time.Now()
 	rootVecs := make([][]StateID, len(tasks))
 	var statsMu sync.Mutex
-	var phase1 storage.ScanStats
+	var phase1 storage.ScanStats // guarded by: statsMu
 	err = RunPool(ctx, workers, len(tasks), func(worker, i int) error {
 		x := tasks[i]
 		cs := caches[worker]
@@ -997,6 +999,11 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 	lw := &runWriter{f: stateF}
 	gi := len(gaps) - 1
 	var auxBack *storage.BackwardReader
+	defer func() {
+		if auxBack != nil {
+			auxBack.Release()
+		}
+	}()
 	mi := len(leaderSkip) - 1
 	var leaderSkipped int64
 	stateBuf := make([]byte, stride)
@@ -1024,6 +1031,9 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 						werr = fmt.Errorf("core: glue scan lost its gap at node %d", v)
 					}
 				} else if g := gaps[gi]; v == g.End()-1 {
+					if auxBack != nil {
+						auxBack.Release()
+					}
 					var err error
 					auxBack, err = storage.MaskBackward(auxF, g.Root, g.End(), opts.AuxInStride)
 					if err != nil && werr == nil {
@@ -1086,6 +1096,11 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 	gi = 0
 	var leaderSkipped2 int64
 	var stateBack *storage.BackwardReader
+	defer func() {
+		if stateBack != nil {
+			stateBack.Release()
+		}
+	}()
 	var auxFwd *bufio.Reader
 	auxOut := &runWriter{f: auxOutF}
 	newGapReaders := func(v int64) error {
@@ -1096,6 +1111,9 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 			return fmt.Errorf("core: glue scan lost its gap at node %d", v)
 		}
 		g := gaps[gi]
+		if stateBack != nil {
+			stateBack.Release()
+		}
 		var err error
 		stateBack, err = storage.NewBackwardSectionReader(stateF, (db.N-g.End())*int64(stride), (db.N-g.Root)*int64(stride), stride)
 		if err != nil {
@@ -1223,6 +1241,7 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 		if err != nil {
 			return err
 		}
+		defer stateBack.Release()
 		var auxFwd *bufio.Reader
 		if auxF != nil {
 			auxFwd = storage.MaskForward(auxF, x.Root, x.End(), opts.AuxInStride)

@@ -22,12 +22,12 @@ type DiskOpts struct {
 	// holds one 4-byte state id per node, written in reverse preorder by
 	// phase 1 and read backwards (i.e. in preorder) by phase 2 — the
 	// paper's footnote 12. When empty, the run uses a unique temporary
-	// file next to the database (so concurrent runs over one database
-	// never collide), except that KeepStateFile without a StatePath uses
-	// the discoverable name base.sta.
+	// file next to the database, so concurrent runs over one database —
+	// kept or not — never collide.
 	StatePath string
-	// KeepStateFile retains the state file after a successful run; a
-	// failed run always removes the file it created.
+	// KeepStateFile retains the state file after a successful run and
+	// reports its (unique) path as Result.StateFile; a failed run always
+	// removes the file it created.
 	KeepStateFile bool
 
 	// AuxIn optionally names a sidecar file holding one 2-byte
@@ -80,14 +80,6 @@ func (d *DiskStats) Merge(o DiskStats) {
 // stateIDSize is the on-disk size of one streamed state id.
 const stateIDSize = 4
 
-// RunDisk evaluates the engine's program over a .arb database.
-//
-// Deprecated: use RunDiskContext (or the arb package's
-// Session/PreparedQuery API) so long scans can be cancelled.
-func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, error) {
-	return e.RunDiskContext(context.Background(), db, opts)
-}
-
 // RunDiskContext evaluates the engine's program over a .arb database in
 // secondary storage using Algorithm 4.6 with exactly two linear scans of
 // the data (Proposition 5.1): phase 1 is one backward scan of the .arb
@@ -119,7 +111,7 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 	// holes where extents were skipped).
 	var prune *PrunePlan
 	if !opts.NoPrune && opts.AuxIn == "" && opts.MarkTo == nil && !opts.KeepStateFile && opts.StatePath == "" && db.N >= PruneMinNodes {
-		if ix, ierr := db.Index(0); ierr == nil {
+		if ix, ierr := db.Index(ctx, 0); ierr == nil {
 			prune = PlanPrune([]*Engine{e}, ix, db.N)
 		}
 	}
@@ -153,6 +145,7 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 		if err != nil {
 			return nil, nil, err
 		}
+		defer auxBack.Release()
 	}
 
 	// Phase 1: backward scan of .arb; combine child states through the
@@ -229,6 +222,7 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 	if err != nil {
 		return nil, nil, err
 	}
+	defer br.Release()
 	if auxF != nil {
 		if _, err := auxF.Seek(0, io.SeekStart); err != nil {
 			return nil, nil, err
@@ -342,31 +336,29 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 	}
 	ds.Phase2 = scan2
 	e.addPhaseTimes(phase1, time.Since(start))
+	if opts.KeepStateFile {
+		res.StateFile = statePath
+	}
 	succeeded = true
 	return res, ds, nil
 }
 
 // createStateFile opens the phase-1 state file for a run: opts.StatePath
-// if set; base.sta when KeepStateFile asks for a discoverable name;
-// otherwise a unique temporary file next to the database, so two
+// if set; otherwise a unique temporary file next to the database, so two
 // concurrent runs sharing a database directory never clobber each other's
-// state.
+// state. KeepStateFile runs use the same unique naming — the kept path is
+// reported as Result.StateFile rather than through a fixed, discoverable
+// name, so concurrent kept runs neither block nor overwrite one another.
 func createStateFile(db *storage.DB, opts DiskOpts) (*os.File, string, error) {
-	switch {
-	case opts.StatePath != "":
+	if opts.StatePath != "" {
 		f, err := os.Create(opts.StatePath)
 		return f, opts.StatePath, err
-	case opts.KeepStateFile:
-		p := db.Base + ".sta"
-		f, err := os.Create(p)
-		return f, p, err
-	default:
-		f, err := os.CreateTemp(filepath.Dir(db.Base), filepath.Base(db.Base)+"-*.sta")
-		if err != nil {
-			return nil, "", err
-		}
-		return f, f.Name(), nil
 	}
+	f, err := os.CreateTemp(filepath.Dir(db.Base), filepath.Base(db.Base)+"-*.sta")
+	if err != nil {
+		return nil, "", err
+	}
+	return f, f.Name(), nil
 }
 
 // auxMaskSize is the on-disk size of one auxiliary predicate mask.

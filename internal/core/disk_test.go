@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -114,12 +115,16 @@ func TestRunDiskStateFile(t *testing.T) {
 	}
 	e := NewEngine(cpl, db.Names)
 
-	// KeepStateFile retains base.sta with 4 bytes per node.
-	_, ds, err := e.RunDisk(db, DiskOpts{KeepStateFile: true})
+	// KeepStateFile retains a uniquely named state file with 4 bytes per
+	// node, reported as Result.StateFile.
+	res, ds, err := e.RunDisk(db, DiskOpts{KeepStateFile: true})
 	if err != nil {
 		t.Fatalf("RunDisk: %v", err)
 	}
-	st, err := os.Stat(base + ".sta")
+	if res.StateFile == "" {
+		t.Fatal("KeepStateFile run did not report Result.StateFile")
+	}
+	st, err := os.Stat(res.StateFile)
 	if err != nil {
 		t.Fatalf("state file not kept: %v", err)
 	}
@@ -127,13 +132,24 @@ func TestRunDiskStateFile(t *testing.T) {
 		t.Fatalf("state file size %d, want %d (stats say %d)", st.Size(), db.N*stateIDSize, ds.StateBytes)
 	}
 
-	// Default: the state file is removed after the run.
-	os.Remove(base + ".sta")
-	if _, _, err := e.RunDisk(db, DiskOpts{}); err != nil {
+	// Default: the state file is removed after the run and no path is
+	// reported.
+	os.Remove(res.StateFile)
+	res2, _, err := e.RunDisk(db, DiskOpts{})
+	if err != nil {
 		t.Fatalf("RunDisk: %v", err)
 	}
-	if _, err := os.Stat(base + ".sta"); !os.IsNotExist(err) {
-		t.Fatalf("state file left behind: %v", err)
+	if res2.StateFile != "" {
+		t.Fatalf("default run reported state file %s", res2.StateFile)
+	}
+	entries, err := os.ReadDir(filepath.Dir(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) == ".sta" {
+			t.Fatalf("state file %s left behind", ent.Name())
+		}
 	}
 }
 
@@ -223,7 +239,7 @@ func TestRunDiskMarkedOutputInPhase2(t *testing.T) {
 		}
 		var separate bytes.Buffer
 		q := prog.Queries()[0]
-		if err := storage.EmitXML(db, &separate, func(v int64) bool {
+		if err := storage.EmitXMLContext(context.Background(), db, &separate, func(v int64) bool {
 			return res.Holds(q, tree.NodeID(v))
 		}); err != nil {
 			t.Fatal(err)

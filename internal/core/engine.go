@@ -87,44 +87,48 @@ func (s Stats) Sub(o Stats) Stats {
 // The raw transition methods (ReachableStates, TruePreds, ...) do not
 // lock; they are for callers that hold mu or own the engine exclusively.
 type Engine struct {
+	// mu guards every lazily grown table below. The raw interning and
+	// transition methods declare the contract arblint:holds mu — they run
+	// either under SharedEngine (which takes mu) or on an engine the
+	// caller owns exclusively; lockdiscipline enforces the split.
 	mu     sync.RWMutex
 	c      *Compiled
 	solver *horn.Solver
 
 	// Bottom-up automaton A: states are canonical residual programs.
-	buStates []*horn.Program
-	buIndex  map[string]StateID
-	buTrans  map[buKey]StateID
+	buStates []*horn.Program    // guarded by: mu
+	buIndex  map[string]StateID // guarded by: mu
+	buTrans  map[buKey]StateID  // guarded by: mu
 
 	// Node-signature interning; sig ids key the transition table and map
 	// to precomputed EDB fact sets. Signatures with identical fact sets
 	// share one id: the automaton alphabet is 2^sigma for the program's
 	// own sigma (Definition 4.2), so all labels the program does not
 	// mention collapse into one equivalence class.
-	sigIndex  map[edb.NodeSig]int32
-	factIndex map[string]int32
-	sigFacts  [][]horn.Atom
+	sigIndex  map[edb.NodeSig]int32 // guarded by: mu
+	factIndex map[string]int32      // guarded by: mu
+	sigFacts  [][]horn.Atom         // guarded by: mu
 
 	// Top-down automaton B: states are canonical sorted sets of local
 	// atoms (the predicates true at a node).
-	tdStates [][]horn.Atom
-	tdIndex  map[string]StateID
-	tdTrans  map[tdKey]StateID
+	tdStates [][]horn.Atom      // guarded by: mu
+	tdIndex  map[string]StateID // guarded by: mu
+	tdTrans  map[tdKey]StateID  // guarded by: mu
 	// tdQuery caches, per top-down state, the bitmask of query predicates
 	// it contains (bit i = Queries[i]).
-	tdQuery []uint64
+	tdQuery []uint64 // guarded by: mu
 
 	names *tree.Names
 
-	stats Stats
+	stats Stats // guarded by: mu
 
 	// prune caches the engine's selectivity analysis (prune.go), computed
 	// once: live labels, the dead-subtree substitute state, and whether
 	// pruning is admissible at all.
-	prune *pruneAnalysis
+	prune *pruneAnalysis // guarded by: mu
 
 	// scratch rule buffer reused across transition computations
-	ruleBuf []horn.Rule
+	ruleBuf []horn.Rule // guarded by: mu
 }
 
 // NewEngine returns an engine for the compiled program. The name table is
@@ -200,6 +204,9 @@ func (e *Engine) BUStateCount() int {
 
 // SigID interns a node signature, collapsing signatures that satisfy the
 // same EDB facts of the program into one alphabet symbol.
+//
+// arblint:holds mu — the caller holds the engine's write lock
+// (SharedEngine) or owns the engine exclusively.
 func (e *Engine) SigID(sig edb.NodeSig) int32 {
 	if id, ok := e.sigIndex[sig]; ok {
 		return id
@@ -220,6 +227,8 @@ func (e *Engine) SigID(sig edb.NodeSig) int32 {
 }
 
 // internBU hash-conses a canonical residual program into a state of A.
+//
+// arblint:holds mu
 func (e *Engine) internBU(p *horn.Program) StateID {
 	k := p.Key()
 	if id, ok := e.buIndex[k]; ok {
@@ -233,9 +242,13 @@ func (e *Engine) internBU(p *horn.Program) StateID {
 }
 
 // BUState returns the residual program of bottom-up state id.
+//
+// arblint:holds mu
 func (e *Engine) BUState(id StateID) *horn.Program { return e.buStates[id] }
 
 // internTD hash-conses a sorted set of local atoms into a state of B.
+//
+// arblint:holds mu
 func (e *Engine) internTD(atoms []horn.Atom) StateID {
 	var buf []byte
 	for _, a := range atoms {
@@ -263,6 +276,8 @@ func (e *Engine) internTD(atoms []horn.Atom) StateID {
 }
 
 // TDSet returns the true predicates of top-down state id.
+//
+// arblint:holds mu
 func (e *Engine) TDSet(id StateID) []tmnf.Pred {
 	atoms := e.tdStates[id]
 	out := make([]tmnf.Pred, len(atoms))
@@ -284,6 +299,9 @@ func appendUvarint(b []byte, v uint64) []byte {
 // automaton (procedure ComputeReachableStates, Figure 2), with lazy
 // caching: given the states of the two children (NoState for ⊥) and the
 // node signature, it returns the state of the node.
+//
+// arblint:holds mu — the caller holds the engine's write lock
+// (SharedEngine) or owns the engine exclusively.
 func (e *Engine) ReachableStates(left, right StateID, sigID int32) StateID {
 	key := buKey{left, right, sigID}
 	if id, ok := e.buTrans[key]; ok {
@@ -319,6 +337,8 @@ func (e *Engine) ReachableStates(left, right StateID, sigID int32) StateID {
 // RootTrueSet extracts the top-down start state s_B from the bottom-up
 // state of the root: the predicates true in every reachable STA state,
 // i.e. the facts of the root's residual program (step 2 of Algorithm 4.6).
+//
+// arblint:holds mu
 func (e *Engine) RootTrueSet(rootState StateID) StateID {
 	return e.internTD(e.buStates[rootState].TruePreds())
 }
@@ -327,6 +347,9 @@ func (e *Engine) RootTrueSet(rootState StateID) StateID {
 // (procedure ComputeTruePreds, Figure 3), with lazy caching: given the
 // top-down state of the parent, the bottom-up state (residual program) of
 // the k-th child, and k, it returns the top-down state of the child.
+//
+// arblint:holds mu — the caller holds the engine's write lock
+// (SharedEngine) or owns the engine exclusively.
 func (e *Engine) TruePreds(parent StateID, resid StateID, k int) StateID {
 	key := tdKey{parent, resid, uint8(k)}
 	if id, ok := e.tdTrans[key]; ok {
@@ -359,4 +382,6 @@ func (e *Engine) TruePreds(parent StateID, resid StateID, k int) StateID {
 }
 
 // queryMask returns the query-predicate bitmask of a top-down state.
+//
+// arblint:holds mu
 func (e *Engine) queryMask(td StateID) uint64 { return e.tdQuery[td] }

@@ -33,14 +33,6 @@ type RunOpts struct {
 	NoPrune bool
 }
 
-// Run evaluates the engine's program over an in-memory tree.
-//
-// Deprecated: use RunContext (or the arb package's Session/PreparedQuery
-// API) so long evaluations can be cancelled.
-func (e *Engine) Run(t *tree.Tree, opts RunOpts) (*Result, error) {
-	return e.RunContext(context.Background(), t, opts)
-}
-
 // RunContext evaluates the engine's program over an in-memory tree using
 // Algorithm 4.6: one bottom-up pass computing the run ρA of automaton A
 // (reverse preorder — children of a node always follow it in preorder, so

@@ -21,7 +21,7 @@ import (
 // so the package tests can exercise the full parallel machinery on small
 // trees.
 var (
-	// parMinNodes is the database size below which RunDiskParallel
+	// parMinNodes is the database size below which RunDiskParallelContext
 	// delegates to the sequential scans — coordination would cost more
 	// than it buys.
 	parMinNodes int64 = 1 << 15
@@ -33,13 +33,14 @@ var (
 	parTasksPerWorker int64 = 4
 )
 
-// RunDiskParallel evaluates the engine's program over a .arb database in
-// secondary storage with a pool of workers, preserving RunDisk's
-// structure and invariants: phase 1 is one backward scan's worth of I/O
-// streaming every node's bottom-up state to the state file, phase 2 one
-// forward scan's worth computing the true predicates; memory per worker
-// stays bounded by the document depth (plus the shared automata); and the
-// selected-node results are identical to RunDisk's.
+// RunDiskParallelContext evaluates the engine's program over a .arb
+// database in secondary storage with a pool of workers, preserving
+// RunDiskContext's structure and invariants: phase 1 is one backward
+// scan's worth of I/O streaming every node's bottom-up state to the state
+// file, phase 2 one forward scan's worth computing the true predicates;
+// memory per worker stays bounded by the document depth (plus the shared
+// automata); and the selected-node results are identical to
+// RunDiskContext's.
 //
 // Parallelism comes from the preorder layout (Sections 6.2/7 of the
 // paper): every subtree is one contiguous byte range, so the database's
@@ -54,17 +55,9 @@ var (
 //
 // workers <= 0 uses GOMAXPROCS. Runs that stream marked XML (MarkTo) are
 // inherently order-dependent and fall back to the sequential path, as do
-// databases too small to be worth coordinating.
-//
-// Deprecated: use RunDiskParallelContext (or the arb package's
-// Session/PreparedQuery API) so long scans can be cancelled.
-func (e *Engine) RunDiskParallel(db *storage.DB, workers int, opts DiskOpts) (*Result, *DiskStats, error) {
-	return e.RunDiskParallelContext(context.Background(), db, workers, opts)
-}
-
-// RunDiskParallelContext is the context-aware parallel disk evaluation;
-// cancelling ctx aborts all workers' scans with ctx.Err() and removes the
-// temporary state file and any partially written AuxOut sidecar.
+// databases too small to be worth coordinating. Cancelling ctx aborts
+// all workers' scans with ctx.Err() and removes the temporary state file
+// and any partially written AuxOut sidecar.
 func (e *Engine) RunDiskParallelContext(ctx context.Context, db *storage.DB, workers int, opts DiskOpts) (*Result, *DiskStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -78,7 +71,7 @@ func (e *Engine) RunDiskParallelContext(ctx context.Context, db *storage.DB, wor
 	if e.names != db.Names {
 		return nil, nil, errors.New("core: engine name table does not match database")
 	}
-	idx, err := db.Index(0)
+	idx, err := db.Index(ctx, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -102,7 +95,7 @@ func (e *Engine) RunDiskParallelContext(ctx context.Context, db *storage.DB, wor
 		// out-of-band by one of equal size) cut extents that don't match
 		// the data. Rebuild the index from the file and retry once; a
 		// genuinely malformed database fails the rebuild scan instead.
-		idx, rerr := db.RebuildIndex(0)
+		idx, rerr := db.RebuildIndex(ctx, 0)
 		if rerr != nil {
 			return nil, nil, rerr
 		}
@@ -180,7 +173,7 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	start := time.Now()
 	rootStates := make([]StateID, len(tasks))
 	var statsMu sync.Mutex
-	var phase1 storage.ScanStats
+	var phase1 storage.ScanStats // guarded by: statsMu
 	err = RunPool(ctx, workers, len(tasks), func(worker, i int) error {
 		x := tasks[i]
 		cache := caches[worker]
@@ -317,6 +310,11 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	gi = 0
 	var leaderSkipped2 int64
 	var stateBack *storage.BackwardReader
+	defer func() {
+		if stateBack != nil {
+			stateBack.Release()
+		}
+	}()
 	var auxFwd *bufio.Reader
 	auxOut := &runWriter{f: auxOutF}
 	newGapReaders := func(v int64) error {
@@ -327,6 +325,9 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 			return fmt.Errorf("core: glue scan lost its gap at node %d", v)
 		}
 		g := gaps[gi]
+		if stateBack != nil {
+			stateBack.Release()
+		}
 		var err error
 		stateBack, err = storage.NewBackwardSectionReader(stateF, (db.N-g.End())*stateIDSize, (db.N-g.Root)*stateIDSize, stateIDSize)
 		if err != nil {
@@ -427,6 +428,7 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 		if err != nil {
 			return err
 		}
+		defer stateBack.Release()
 		var auxFwd *bufio.Reader
 		if auxF != nil {
 			auxFwd = bufio.NewReaderSize(io.NewSectionReader(auxF, x.Root*auxMaskSize, x.Size*auxMaskSize), 1<<16)
@@ -531,6 +533,9 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	// this function and must not double-count the aborted attempt's plan.
 	if plan != nil {
 		e.AddPrunedNodes(plan.Nodes)
+	}
+	if opts.KeepStateFile {
+		res.StateFile = statePath
 	}
 	succeeded = true
 	return res, ds, nil

@@ -79,6 +79,8 @@ func (e *Engine) lockedPruneAnalysis() *pruneAnalysis {
 // interns a few synthetic states and transitions into the engine's
 // tables, so it must run while the caller holds the engine's write lock
 // (lockedPruneAnalysis) or owns the engine exclusively.
+//
+// arblint:holds mu
 func (e *Engine) pruneAnalysis() *pruneAnalysis {
 	if e.prune != nil {
 		return e.prune

@@ -16,22 +16,33 @@ type Result struct {
 	queries []tmnf.Pred
 	n       int64
 	// sel[qi] is a bitset over preorder node indices.
-	sel [][]uint64
+	sel [][]uint64 // guarded by: mu
 	// counts[qi] is the number of selected nodes, maintained eagerly so
 	// huge runs can report counts without rescanning bitsets.
-	counts []int64
-	// mu serialises concurrent MergeWords calls from parallel workers;
-	// single-threaded marking does not take it.
+	counts []int64 // guarded by: mu
+	// mu serialises concurrent MergeWords calls from parallel workers.
+	// The single-threaded marking and read paths (mark, MarkMask, Holds,
+	// Count, Walk) declare arblint:holds mu instead: they run while one
+	// goroutine owns the result — during its single-threaded filling
+	// phase or after the parallel workers have been joined.
 	mu sync.Mutex
 
 	// Optional per-node states (in-memory runs with KeepStates).
 	BUStateOf []StateID
 	TDStateOf []StateID
+
+	// StateFile is the path of the retained phase-1 state file after a
+	// successful disk run with KeepStateFile. Each run keeps its own
+	// uniquely named file, so concurrent KeepStateFile runs over one
+	// database never clobber each other; the caller owns removal.
+	StateFile string
 }
 
 // NewResult returns an empty result for evaluating prog over n nodes,
 // ready for marking. Exposed so sibling evaluators (internal/parallel)
 // can produce the same unified result type as the engine itself.
+//
+// arblint:holds mu — the fresh result is exclusively owned.
 func NewResult(prog *tmnf.Program, n int64) *Result {
 	qs := prog.Queries()
 	r := &Result{
@@ -49,6 +60,8 @@ func NewResult(prog *tmnf.Program, n int64) *Result {
 }
 
 // mark records that query qi selects node v.
+//
+// arblint:holds mu — marking is single-threaded.
 func (r *Result) mark(qi int, v int64) {
 	w, b := v/64, uint(v%64)
 	if r.sel[qi][w]&(1<<b) == 0 {
@@ -60,6 +73,8 @@ func (r *Result) mark(qi int, v int64) {
 // MarkMask records all queries in the bitmask (bit i = query i) as
 // selecting node v. Not safe for concurrent use; parallel markers should
 // accumulate private bitsets and MergeWords them.
+//
+// arblint:holds mu — marking is single-threaded.
 func (r *Result) MarkMask(mask uint64, v int64) {
 	for qi := 0; mask != 0; qi++ {
 		if mask&1 != 0 {
@@ -106,6 +121,8 @@ func (r *Result) queryIndex(q tmnf.Pred) int {
 }
 
 // Holds reports whether query predicate q selected node v.
+//
+// arblint:holds mu — reads run after evaluation has completed.
 func (r *Result) Holds(q tmnf.Pred, v tree.NodeID) bool {
 	qi := r.queryIndex(q)
 	if qi < 0 {
@@ -115,6 +132,8 @@ func (r *Result) Holds(q tmnf.Pred, v tree.NodeID) bool {
 }
 
 // Count returns the number of nodes selected by q.
+//
+// arblint:holds mu — reads run after evaluation has completed.
 func (r *Result) Count(q tmnf.Pred) int64 {
 	qi := r.queryIndex(q)
 	if qi < 0 {
@@ -136,6 +155,8 @@ func (r *Result) Selected(q tmnf.Pred) []tree.NodeID {
 
 // Walk calls f on each node selected by q in preorder until f returns
 // false.
+//
+// arblint:holds mu — reads run after evaluation has completed.
 func (r *Result) Walk(q tmnf.Pred, f func(tree.NodeID) bool) {
 	qi := r.queryIndex(q)
 	if qi < 0 {

@@ -1,0 +1,39 @@
+//arblint:shims
+// This file gathers the deprecated context-less entry points kept for
+// callers of earlier releases. Nothing in this repository may call them
+// (enforced by the noshims analyzer); the context roots they mint are
+// exactly what the ctxflow analyzer forbids elsewhere.
+
+package core
+
+import (
+	"context"
+
+	"arb/internal/storage"
+	"arb/internal/tree"
+)
+
+// Run evaluates the engine's program over an in-memory tree.
+//
+// Deprecated: use RunContext (or the arb package's Session/PreparedQuery
+// API) so long evaluations can be cancelled.
+func (e *Engine) Run(t *tree.Tree, opts RunOpts) (*Result, error) {
+	return e.RunContext(context.Background(), t, opts)
+}
+
+// RunDisk evaluates the engine's program over a .arb database.
+//
+// Deprecated: use RunDiskContext (or the arb package's
+// Session/PreparedQuery API) so long scans can be cancelled.
+func (e *Engine) RunDisk(db *storage.DB, opts DiskOpts) (*Result, *DiskStats, error) {
+	return e.RunDiskContext(context.Background(), db, opts)
+}
+
+// RunDiskParallel evaluates the engine's program over a .arb database
+// with parallel workers.
+//
+// Deprecated: use RunDiskParallelContext (or the arb package's
+// Session/PreparedQuery API) so long scans can be cancelled.
+func (e *Engine) RunDiskParallel(db *storage.DB, workers int, opts DiskOpts) (*Result, *DiskStats, error) {
+	return e.RunDiskParallelContext(context.Background(), db, workers, opts)
+}

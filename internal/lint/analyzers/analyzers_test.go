@@ -1,0 +1,32 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"arb/internal/lint"
+	"arb/internal/lint/analyzers"
+)
+
+// Each fixture package is typechecked under a synthetic import path that
+// puts it in the analyzer's scope, then the analyzer's diagnostics are
+// matched exactly — both directions — against the // want markers.
+
+func TestCtxflowFixture(t *testing.T) {
+	lint.RunFixture(t, analyzers.Ctxflow, "testdata/ctxflow", "arb/internal/core/ctxfixture")
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	lint.RunFixture(t, analyzers.LockDiscipline, "testdata/lockdiscipline", "arb/internal/core/lockfixture")
+}
+
+func TestTmpCleanupFixture(t *testing.T) {
+	lint.RunFixture(t, analyzers.TmpCleanup, "testdata/tmpcleanup", "arb/internal/core/tmpfixture")
+}
+
+func TestNoShimsFixture(t *testing.T) {
+	lint.RunFixture(t, analyzers.NoShims, "testdata/noshims", "arb/internal/lintfixture")
+}
+
+func TestCloseCheckFixture(t *testing.T) {
+	lint.RunFixture(t, analyzers.CloseCheck, "testdata/closecheck", "arb/internal/core/closefixture")
+}

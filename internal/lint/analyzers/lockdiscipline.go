@@ -1,0 +1,229 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"arb/internal/lint"
+)
+
+// LockDiscipline enforces the `// guarded by: <mutex>` annotation
+// convention. A struct field (or local variable) annotated
+//
+//	stats Stats // guarded by: mu
+//
+// may only be accessed where the named mutex is visibly held: the
+// enclosing function (or a lexically enclosing one) calls
+// <...>.mu.Lock() / RLock(), or the enclosing function's doc comment
+// carries `arblint:holds mu`, declaring its contract that callers either
+// hold the mutex or otherwise guarantee exclusive access (for example a
+// single-owner marking phase). Guarded locals are the batch statsMu
+// pattern: only closures must hold the lock — the declaring function
+// owns the variable exclusively before the workers start and after they
+// join.
+//
+// Mutexes are matched by name, not by instance: locking a.mu satisfies
+// an access to b's mu-guarded field. That keeps the check simple and
+// syntactic; the annotations' value is making the discipline explicit
+// and catching the common regression (a new method touching engine state
+// without taking the lock at all).
+var LockDiscipline = &lint.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "fields annotated `guarded by: <mutex>` must be accessed with the mutex held or under an arblint:holds contract",
+	Run:  runLockDiscipline,
+}
+
+var (
+	guardedRE = regexp.MustCompile(`guarded by:?\s+([A-Za-z_]\w*)`)
+	holdsRE   = regexp.MustCompile(`arblint:holds\s+([A-Za-z_]\w*)`)
+)
+
+// guardName extracts the mutex name from a field's or spec's comments.
+func guardName(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if m := guardedRE.FindStringSubmatch(g.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// holdsNames extracts every arblint:holds declaration from a doc comment.
+func holdsNames(doc *ast.CommentGroup) map[string]bool {
+	if doc == nil {
+		return nil
+	}
+	var out map[string]bool
+	for _, m := range holdsRE.FindAllStringSubmatch(doc.Text(), -1) {
+		if out == nil {
+			out = make(map[string]bool)
+		}
+		out[m[1]] = true
+	}
+	return out
+}
+
+// lockedIn collects the mutex names visibly locked in the immediate body
+// of fn (nested function literals excluded — their locks protect their
+// own executions, not the enclosing frame's).
+func lockedIn(fn ast.Node) map[string]bool {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return nil
+	}
+	names := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.Ident:
+			names[x.Name] = true
+		case *ast.SelectorExpr:
+			names[x.Sel.Name] = true
+		}
+		return true
+	})
+	return names
+}
+
+func runLockDiscipline(pass *lint.Pass) error {
+	// Guarded struct fields of this package (unexported fields make this
+	// a same-package property).
+	guardedField := make(map[types.Object]string)
+	// Guarded locals, with the function that owns them exclusively.
+	guardedLocal := make(map[types.Object]string)
+	localOwner := make(map[types.Object]ast.Node)
+
+	for _, f := range pass.Files {
+		var funcs []ast.Node // enclosing function stack during collection
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				funcs = funcs[:len(funcs)-1]
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					if m := guardName(fld.Doc, fld.Comment); m != "" {
+						for _, name := range fld.Names {
+							if obj := pass.Info.Defs[name]; obj != nil {
+								guardedField[obj] = m
+							}
+						}
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					m := guardName(vs.Doc, vs.Comment)
+					if m == "" && len(n.Specs) == 1 {
+						m = guardName(n.Doc)
+					}
+					var owner ast.Node
+					for i := len(funcs) - 1; i >= 0; i-- {
+						if funcs[i] != nil {
+							owner = funcs[i]
+							break
+						}
+					}
+					if m == "" || owner == nil {
+						continue
+					}
+					for _, name := range vs.Names {
+						if obj := pass.Info.Defs[name]; obj != nil {
+							guardedLocal[obj] = m
+							localOwner[obj] = owner
+						}
+					}
+				}
+			}
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcs = append(funcs, n)
+			default:
+				funcs = append(funcs, nil)
+			}
+			return true
+		})
+	}
+	if len(guardedField) == 0 && len(guardedLocal) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		type frame struct {
+			fn    ast.Node // non-nil for function frames
+			locks map[string]bool
+			holds map[string]bool
+		}
+		var stack []frame
+		held := func(name string) bool {
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].locks[name] || stack[i].holds[name] {
+					return true
+				}
+			}
+			return false
+		}
+		innermostFn := func() ast.Node {
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].fn != nil {
+					return stack[i].fn
+				}
+			}
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fr := frame{}
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fr = frame{fn: n, locks: lockedIn(n), holds: holdsNames(n.Doc)}
+			case *ast.FuncLit:
+				fr = frame{fn: n, locks: lockedIn(n)}
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if m, ok := guardedField[sel.Obj()]; ok && !held(m) {
+						pass.Reportf(n.Sel.Pos(),
+							"%s is guarded by %s: lock it here or declare the contract with arblint:holds %s",
+							n.Sel.Name, m, m)
+					}
+				}
+			case *ast.Ident:
+				obj := pass.Info.Uses[n]
+				if m, ok := guardedLocal[obj]; ok && innermostFn() != localOwner[obj] && !held(m) {
+					pass.Reportf(n.Pos(),
+						"%s is guarded by %s: closures sharing it with the owning function must hold the lock", n.Name, m)
+				}
+			}
+			stack = append(stack, fr)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package ctxfixture exercises the ctxflow analyzer: the fixture is
+// loaded under an arb/internal/core/... import path, so the engine-scope
+// rules apply.
+package ctxfixture
+
+import "context"
+
+// scan stands in for a Fold*/Scan* loop that takes the caller's context.
+func scan(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// mintsBackground detaches the scan from the caller's cancellation.
+func mintsBackground() error {
+	return scan(context.Background(), 1) // want "context.Background in engine code detaches the scan"
+}
+
+// mintsTODO is the same violation spelled TODO.
+func mintsTODO() error {
+	return scan(context.TODO(), 1) // want "context.TODO in engine code detaches the scan"
+}
+
+// dropsIncoming has a context and drops it on the floor.
+func dropsIncoming(ctx context.Context) error {
+	return scan(nil, 2) // want "nil context passed to scan"
+}
+
+// dropsInClosure inherits ctx availability lexically.
+func dropsInClosure(ctx context.Context) func() error {
+	return func() error {
+		return scan(nil, 3) // want "nil context passed to scan"
+	}
+}
+
+// forwards is the clean counter-example: the incoming ctx is threaded.
+func forwards(ctx context.Context) error {
+	if err := scan(ctx, 4); err != nil {
+		return err
+	}
+	return func() error { return scan(ctx, 5) }()
+}
+
+// contextless has no context to forward; passing nil here is the
+// documented convention for creation paths and must not be reported.
+func contextless() error {
+	return scan(nil, 6)
+}

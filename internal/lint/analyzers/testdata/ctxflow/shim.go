@@ -1,0 +1,11 @@
+//arblint:shims
+
+package ctxfixture
+
+import "context"
+
+// DeprecatedRun imitates a pre-context shim: minting Background here is
+// the whole point of the file, and the //arblint:shims marker exempts it.
+func DeprecatedRun() error {
+	return scan(context.Background(), 7)
+}

@@ -1,0 +1,65 @@
+// Package lockfixture exercises the lockdiscipline analyzer: guarded
+// struct fields, guarded locals shared with closures, and the
+// arblint:holds contract.
+package lockfixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int64 // guarded by: mu
+}
+
+// addLocked is the clean case: the mutex is visibly held.
+func (c *counter) addLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// readRLocked holds the read lock (RLock also satisfies the guard).
+func (c *counter) readRLocked(mu *sync.RWMutex) int64 {
+	mu.RLock()
+	defer mu.RUnlock()
+	return c.n
+}
+
+// addUnlocked touches the guarded field with no lock in sight.
+func (c *counter) addUnlocked() {
+	c.n++ // want "n is guarded by mu"
+}
+
+// snapshot declares the exclusive-access contract instead of locking.
+//
+// arblint:holds mu
+func (c *counter) snapshot() int64 {
+	return c.n
+}
+
+// underContract may call into guarded state because its own doc carries
+// the contract; the nested closure inherits it lexically.
+//
+// arblint:holds mu
+func (c *counter) underContract() int64 {
+	f := func() int64 { return c.n }
+	return f()
+}
+
+// sharedLocal is the statsMu pattern: the declaring function owns the
+// variable before and after the workers; only closures must lock.
+func sharedLocal() int64 {
+	var mu sync.Mutex
+	var total int64 // guarded by: mu
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		total++ // closure holds the lock: clean
+		mu.Unlock()
+		close(done)
+	}()
+	go func() {
+		total++ // want "total is guarded by mu"
+	}()
+	<-done
+	return total // declaring function reads after the join: clean
+}

@@ -1,0 +1,34 @@
+// Package shimfixture exercises the noshims analyzer: every deprecated
+// pre-context, pre-Session entry point referenced outside a shim file is
+// reported, with its replacement named.
+package shimfixture
+
+import (
+	"arb"
+	"arb/internal/core"
+	"arb/internal/parallel"
+	"arb/internal/xpath"
+)
+
+// legacyCalls references deprecated entry points through method
+// expressions and direct calls alike — the type checker resolves both.
+func legacyCalls() {
+	_ = (*core.Engine).Run             // want "core.Engine.Run is a deprecated shim: use Engine.RunContext"
+	_ = (*core.Engine).RunDisk         // want "core.Engine.RunDisk is a deprecated shim: use Engine.RunDiskContext"
+	_ = (*core.Engine).RunDiskParallel // want "core.Engine.RunDiskParallel is a deprecated shim"
+	_ = (*xpath.Query).Eval            // want "xpath.Query.Eval is a deprecated shim"
+	_ = (*xpath.Query).EvalDisk        // want "xpath.Query.EvalDisk is a deprecated shim"
+	_ = parallel.Run                   // want "parallel.Run is a deprecated shim: use parallel.RunContext"
+	_ = arb.RunParallel                // want "arb.RunParallel is a deprecated shim"
+	_ = arb.NewEngine                  // want "arb.NewEngine is a deprecated shim: use arb.NewSession"
+	_ = (*arb.PreparedQuery).Count     // want "arb.PreparedQuery.Count is a deprecated shim"
+}
+
+// modernCalls references the replacement API: never reported.
+func modernCalls() {
+	_ = (*core.Engine).RunContext
+	_ = (*core.Engine).RunDiskContext
+	_ = parallel.RunContext
+	_ = arb.NewSession
+	_ = (*arb.PreparedQuery).Exec
+}

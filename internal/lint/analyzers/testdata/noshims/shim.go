@@ -1,0 +1,11 @@
+//arblint:shims
+
+package shimfixture
+
+import "arb"
+
+// CompatNewEngine imitates a shim file: referencing a deprecated entry
+// point inside a //arblint:shims file is the allowed exception.
+func CompatNewEngine() {
+	_ = arb.NewEngine
+}

@@ -1,0 +1,96 @@
+// Package tmpfixture exercises the tmpcleanup analyzer: loaded under an
+// arb/internal/core/... import path, so os.Create is tracked alongside
+// os.CreateTemp and os.MkdirTemp.
+package tmpfixture
+
+import "os"
+
+// leaksTemp creates a temp file and registers no cleanup: a failed or
+// cancelled run would leave it next to the database.
+func leaksTemp() error {
+	f, err := os.CreateTemp("", "state-*.sta") // want "os.CreateTemp result is not cleaned up"
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteString("phase-1 state")
+	f.Close()
+	return err
+}
+
+// removesTemp is the unconditional-cleanup counter-example.
+func removesTemp() error {
+	f, err := os.CreateTemp("", "state-*.sta")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	return f.Close()
+}
+
+// keepsOnSuccess is the keep-on-success pattern: the cleanup defer is
+// conditional, which still counts — error and cancel paths remove.
+func keepsOnSuccess() (string, error) {
+	f, err := os.CreateTemp("", "state-*.sta")
+	if err != nil {
+		return "", err
+	}
+	succeeded := false
+	defer func() {
+		f.Close()
+		if !succeeded {
+			os.Remove(f.Name())
+		}
+	}()
+	succeeded = true
+	return f.Name(), nil
+}
+
+// returnsHandle transfers cleanup ownership to the caller.
+func returnsHandle() (*os.File, error) {
+	f, err := os.CreateTemp("", "scratch-*")
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// leaksDir leaves a scratch directory behind on every path.
+func leaksDir() error {
+	_, err := os.MkdirTemp("", "aux-*") // want "os.MkdirTemp result is not cleaned up"
+	return err
+}
+
+// removesDir cleans the scratch directory up with RemoveAll.
+func removesDir() error {
+	dir, err := os.MkdirTemp("", "aux-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	return nil
+}
+
+// leaksCreate is the core/xpath-only rule: plain os.Create writes state
+// files and sidecars there, so it needs the same discipline.
+func leaksCreate(path string) error {
+	f, err := os.Create(path) // want "os.Create result is not cleaned up"
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteString("aux sidecar")
+	f.Close()
+	return err
+}
+
+// createsWithCleanup pairs os.Create with a conditional remove.
+func createsWithCleanup(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.Close()
+		os.Remove(path)
+	}()
+	return nil
+}

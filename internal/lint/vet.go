@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+)
+
+// vetConfig is the package description `go vet` hands a -vettool for
+// each package, as a JSON .cfg file (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// LoadVetConfig loads and type-checks the single package described by a
+// `go vet` .cfg file, resolving imports through the export files the go
+// tool already built. The returned done function writes the (empty)
+// facts file go vet expects; facts are unused because arblint's
+// analyzers are all single-package.
+func LoadVetConfig(path string) (pkg *Package, vetxOnly bool, done func() error, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, false, nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for path, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[path] = file
+		}
+	}
+	done = func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+	fset := token.NewFileSet()
+	pkg, err = typecheck(fset, exportImporter(fset, exports), cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil && cfg.SucceedOnTypecheckFailure {
+		return nil, true, done, nil
+	}
+	return pkg, cfg.VetxOnly, done, err
+}

@@ -82,15 +82,6 @@ func Frontier(t *tree.Tree, size []int32, target int32) []storage.Extent {
 	return tasks
 }
 
-// Run evaluates the engine's compiled program over t using the given
-// number of workers (0 = GOMAXPROCS).
-//
-// Deprecated: use RunContext (or the arb package's Session/PreparedQuery
-// API) so long evaluations can be cancelled.
-func Run(e *core.Engine, t *tree.Tree, workers int) (*Result, error) {
-	return RunContext(context.Background(), e, t, workers, core.RunOpts{})
-}
-
 // RunContext evaluates the engine's compiled program over t using the
 // given number of workers (0 = GOMAXPROCS). The result is identical to
 // (*core.Engine).RunContext with the same options — the decomposition

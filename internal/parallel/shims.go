@@ -1,0 +1,21 @@
+//arblint:shims
+// Deprecated context-less entry points kept for callers of earlier
+// releases; in-repo code must not call them (enforced by noshims).
+
+package parallel
+
+import (
+	"context"
+
+	"arb/internal/core"
+	"arb/internal/tree"
+)
+
+// Run evaluates the engine's compiled program over t using the given
+// number of workers (0 = GOMAXPROCS).
+//
+// Deprecated: use RunContext (or the arb package's Session/PreparedQuery
+// API) so long evaluations can be cancelled.
+func Run(e *core.Engine, t *tree.Tree, workers int) (*Result, error) {
+	return RunContext(context.Background(), e, t, workers, core.RunOpts{})
+}

@@ -14,12 +14,13 @@ import (
 // never queue behind each other. Eviction only drops the cache's
 // reference; executions still holding the handle finish normally.
 type planCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu  sync.Mutex
+	cap int
+	// ll is the LRU list, front = most recently used.
+	ll    *list.List               // guarded by: mu
+	items map[string]*list.Element // guarded by: mu
 
-	hits, misses, evictions int64
+	hits, misses, evictions int64 // guarded by: mu
 }
 
 type cacheEntry struct {

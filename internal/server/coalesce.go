@@ -33,11 +33,11 @@ type coalescer struct {
 	profile func(*arb.Profile, int)
 
 	mu         sync.Mutex
-	pending    *group
-	lastSubmit time.Time
+	pending    *group    // guarded by: mu
+	lastSubmit time.Time // guarded by: mu
 
-	groups, solos, batched, dedups int64
-	maxBatch                       int
+	groups, solos, batched, dedups int64 // guarded by: mu
+	maxBatch                       int   // guarded by: mu
 }
 
 // group is one gather window's worth of requests: distinct plans in

@@ -92,7 +92,7 @@ type Server struct {
 	inflight atomic.Int64
 
 	profMu sync.Mutex
-	prof   ProfileCounters
+	prof   ProfileCounters // guarded by: profMu
 }
 
 // ProfileCounters is the merged cost profile across every execution the
@@ -109,8 +109,10 @@ type ProfileCounters struct {
 }
 
 // New builds a server over the session. Close releases it; the session
-// stays the caller's.
-func New(sess *arb.Session, cfg Config) *Server {
+// stays the caller's. ctx bounds the server's lifetime: when it is
+// cancelled every in-flight and future request fails fast, exactly as if
+// Close had been called.
+func New(ctx context.Context, sess *arb.Session, cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
 		sess:  sess,
@@ -118,7 +120,7 @@ func New(sess *arb.Session, cfg Config) *Server {
 		cache: newPlanCache(cfg.CacheSize),
 		start: time.Now(),
 	}
-	s.base, s.cancel = context.WithCancel(context.Background())
+	s.base, s.cancel = context.WithCancel(ctx)
 	opts := arb.ExecOpts{Workers: cfg.Workers, NoPrune: cfg.NoPrune}
 	s.coal = newCoalescer(sess, cfg.Window, cfg.BatchMax, cfg.MaxInflight, opts, s.addProfile)
 	return s

@@ -77,7 +77,7 @@ func TestServeDifferentialCoalesced(t *testing.T) {
 
 	const batchMax = 4
 	const maxIDs = 2000
-	srv := server.New(sess, server.Config{
+	srv := server.New(context.Background(), sess, server.Config{
 		Window:      time.Second, // generous: the burst must gather, not fragment
 		BatchMax:    batchMax,
 		MaxInflight: 1,
@@ -256,7 +256,7 @@ func TestServeHTTPBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(arb.NewSession(tr), server.Config{})
+	srv := server.New(context.Background(), arb.NewSession(tr), server.Config{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -366,7 +366,7 @@ func TestServeDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(arb.NewSession(tr), server.Config{})
+	srv := server.New(context.Background(), arb.NewSession(tr), server.Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -409,7 +409,7 @@ func TestServeDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	srv := server.New(sess, server.Config{})
+	srv := server.New(context.Background(), sess, server.Config{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

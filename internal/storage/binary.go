@@ -115,7 +115,7 @@ func CreateBinary(base string, names *tree.Names, feed func(emit RecordSink) err
 	if err != nil {
 		return nil, err
 	}
-	if err := db.WriteIndex(0); err != nil {
+	if err := db.WriteIndex(nil, 0); err != nil {
 		db.Close()
 		return nil, err
 	}

@@ -175,7 +175,7 @@ func Create(base string, feed func(*EventWriter) error, opts CreateOpts) (*DB, *
 	}
 	// Persist the subtree chunk index so parallel evaluation never needs
 	// an extra scan (one backward pass over the fresh, cached .arb).
-	if err := db.WriteIndex(0); err != nil {
+	if err := db.WriteIndex(nil, 0); err != nil {
 		db.Close()
 		return nil, nil, err
 	}
@@ -196,6 +196,7 @@ func buildArbBackwards(evtF *os.File, n int64, arbPath string) error {
 	if err != nil {
 		return err
 	}
+	defer br.Release()
 	arbF, err := os.Create(arbPath)
 	if err != nil {
 		return err
@@ -316,7 +317,7 @@ func CreateFullBinary(base string, depth int, tags []string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := db.WriteIndex(0); err != nil {
+	if err := db.WriteIndex(nil, 0); err != nil {
 		db.Close()
 		return nil, err
 	}
@@ -367,7 +368,7 @@ func CreateFromTree(base string, t *tree.Tree) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := db.WriteIndex(0); err != nil {
+	if err := db.WriteIndex(nil, 0); err != nil {
 		db.Close()
 		return nil, err
 	}

@@ -29,7 +29,7 @@ type DB struct {
 	arb *os.File
 
 	idxMu sync.Mutex
-	idx   *SubtreeIndex
+	idx   *SubtreeIndex // guarded by: idxMu
 }
 
 // Open opens base.arb and base.lab.
@@ -111,11 +111,12 @@ type Canceller struct {
 	left int
 }
 
-// NewCanceller returns a canceller for ctx; nil means Background.
+// NewCanceller returns a canceller for ctx. A nil ctx never cancels: it
+// is the explicit signal of the contextless creation paths (database
+// builds have no context in their API), not a shorthand for Background —
+// evaluation paths must always thread the caller's context (the ctxflow
+// analyzer enforces it).
 func NewCanceller(ctx context.Context) Canceller {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	return Canceller{ctx: ctx}
 }
 
@@ -127,6 +128,9 @@ func (c *Canceller) Step() error {
 		return nil
 	}
 	c.left = cancelEvery
+	if c.ctx == nil {
+		return nil
+	}
 	return c.ctx.Err()
 }
 
@@ -492,13 +496,13 @@ func ScanTopDownRangeSkipping[S any](ctx context.Context, db *DB, x Extent, skip
 
 // ReadTree materialises the whole database as an in-memory tree. Intended
 // for tests and small databases.
-func (db *DB) ReadTree() (*tree.Tree, error) {
+func (db *DB) ReadTree(ctx context.Context) (*tree.Tree, error) {
 	t := tree.New(db.Names)
-	type ctx struct {
+	type frame struct {
 		parent tree.NodeID
 		k      int
 	}
-	_, err := ScanTopDown(context.Background(), db, func(v int64, rec Record, parent *ctx, k int) (ctx, error) {
+	_, err := ScanTopDown(ctx, db, func(v int64, rec Record, parent *frame, k int) (frame, error) {
 		id := t.AddNode(tree.Label(rec.Label))
 		if parent != nil {
 			if k == 1 {
@@ -507,7 +511,7 @@ func (db *DB) ReadTree() (*tree.Tree, error) {
 				t.SetSecond(parent.parent, id)
 			}
 		}
-		return ctx{parent: id}, nil
+		return frame{parent: id}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -9,19 +9,14 @@ import (
 	"arb/internal/tree"
 )
 
-// EmitXML serialises the database back to XML in one forward scan,
-// marking selected nodes: selected elements get an arb:selected="true"
-// attribute, and runs of selected character nodes are wrapped in
-// <arb:sel>..</arb:sel>. This is the Arb system's default output mode
-// (Section 6.3: "the entire XML document is returned with selected nodes
-// marked up in the usual XML fashion"). selected may be nil for plain
-// serialisation.
-func EmitXML(db *DB, w io.Writer, selected func(v int64) bool) error {
-	return EmitXMLContext(context.Background(), db, w, selected)
-}
-
-// EmitXMLContext is EmitXML with cancellation: a cancelled ctx aborts the
-// scan and returns ctx.Err().
+// EmitXMLContext serialises the database back to XML in one forward
+// scan, marking selected nodes: selected elements get an
+// arb:selected="true" attribute, and runs of selected character nodes
+// are wrapped in <arb:sel>..</arb:sel>. This is the Arb system's default
+// output mode (Section 6.3: "the entire XML document is returned with
+// selected nodes marked up in the usual XML fashion"). selected may be
+// nil for plain serialisation. A cancelled ctx aborts the scan and
+// returns ctx.Err().
 func EmitXMLContext(ctx context.Context, db *DB, w io.Writer, selected func(v int64) bool) error {
 	e := NewXMLEmitter(w, db.Names)
 	_, err := ScanTopDown(ctx, db, func(v int64, rec Record, parent *struct{}, k int) (struct{}, error) {

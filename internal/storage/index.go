@@ -129,10 +129,11 @@ func (b *indexBuilder) finish(n int64) *SubtreeIndex {
 // BuildIndex scans the database backwards once (stack bounded by the
 // document depth, as in Proposition 5.1) and returns the index of its up
 // to budget largest subtrees, each with its label signature. budget <= 0
-// selects DefaultIndexBudget.
-func BuildIndex(db *DB, budget int) (*SubtreeIndex, error) {
+// selects DefaultIndexBudget. A nil ctx (the contextless creation paths)
+// never cancels.
+func BuildIndex(ctx context.Context, db *DB, budget int) (*SubtreeIndex, error) {
 	b := newIndexBuilder(budget)
-	_, _, err := FoldBottomUp(context.Background(), db, func(first, second *idxNode, rec Record, v int64) idxNode {
+	_, _, err := FoldBottomUp(ctx, db, func(first, second *idxNode, rec Record, v int64) idxNode {
 		return b.node(first, second, rec.Label, v)
 	})
 	if err != nil {
@@ -297,6 +298,12 @@ func WriteIndexFile(path string, ix *SubtreeIndex) error {
 		return err
 	}
 	tmp := f.Name()
+	renamed := false
+	defer func() {
+		if !renamed {
+			os.Remove(tmp)
+		}
+	}()
 	w := bufio.NewWriterSize(f, 1<<16)
 	werr := func() error {
 		if _, err := w.WriteString(indexMagic); err != nil {
@@ -337,9 +344,7 @@ func WriteIndexFile(path string, ix *SubtreeIndex) error {
 	}
 	if werr == nil {
 		werr = os.Rename(tmp, path)
-	}
-	if werr != nil {
-		os.Remove(tmp)
+		renamed = werr == nil
 	}
 	return werr
 }
@@ -440,7 +445,8 @@ func (ix *SubtreeIndex) validate() error {
 // backward scan. The result is cached on the handle, so with a persisted
 // index every later parallel run still performs exactly two linear scans'
 // worth of I/O in aggregate. budget <= 0 selects DefaultIndexBudget.
-func (db *DB) Index(budget int) (*SubtreeIndex, error) {
+// Cancelling ctx aborts a rebuild scan; a nil ctx never cancels.
+func (db *DB) Index(ctx context.Context, budget int) (*SubtreeIndex, error) {
 	db.idxMu.Lock()
 	defer db.idxMu.Unlock()
 	if db.idx != nil {
@@ -450,7 +456,7 @@ func (db *DB) Index(budget int) (*SubtreeIndex, error) {
 		db.idx = ix
 		return ix, nil
 	}
-	ix, err := BuildIndex(db, budget)
+	ix, err := BuildIndex(ctx, db, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -466,9 +472,10 @@ func (db *DB) Index(budget int) (*SubtreeIndex, error) {
 // WriteIndex builds (or reuses) the database's subtree index and persists
 // it as base.idx. Database creation calls this so that parallel
 // evaluation needs no extra scan, ever; for databases created before the
-// index existed, the first Index call rebuilds it transparently.
-func (db *DB) WriteIndex(budget int) error {
-	ix, err := db.Index(budget)
+// index existed, the first Index call rebuilds it transparently. A nil
+// ctx (the contextless creation paths) never cancels.
+func (db *DB) WriteIndex(ctx context.Context, budget int) error {
+	ix, err := db.Index(ctx, budget)
 	if err != nil {
 		return err
 	}
@@ -478,8 +485,8 @@ func (db *DB) WriteIndex(budget int) error {
 // RebuildIndex discards any cached index, rebuilds from the data, and
 // best-effort refreshes the base.idx sidecar — the recovery path when a
 // stale or foreign index surfaces as ErrBadExtent during evaluation.
-func (db *DB) RebuildIndex(budget int) (*SubtreeIndex, error) {
-	ix, err := BuildIndex(db, budget)
+func (db *DB) RebuildIndex(ctx context.Context, budget int) (*SubtreeIndex, error) {
+	ix, err := BuildIndex(ctx, db, budget)
 	if err != nil {
 		return nil, err
 	}

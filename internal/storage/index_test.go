@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -36,7 +37,7 @@ func TestBuildIndexMatchesTreeSizes(t *testing.T) {
 			t.Fatal(err)
 		}
 		size := subtreeSizes(tr)
-		ix, err := BuildIndex(db, 1<<20) // budget larger than any tree: every node indexed
+		ix, err := BuildIndex(context.Background(), db, 1<<20) // budget larger than any tree: every node indexed
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func TestBuildIndexBudgetKeepsHeaviestClosedUnderParents(t *testing.T) {
 			t.Fatal(err)
 		}
 		const budget = 16
-		ix, err := BuildIndex(db, budget)
+		ix, err := BuildIndex(context.Background(), db, budget)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +119,7 @@ func TestCutProducesDisjointSubtreeExtents(t *testing.T) {
 			t.Fatal(err)
 		}
 		size := subtreeSizes(tr)
-		ix, err := db.Index(64)
+		ix, err := db.Index(context.Background(), 64)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func TestIndexFileRoundTripAndAutoLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db2.Close()
-	ix2, err := db2.Index(0)
+	ix2, err := db2.Index(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

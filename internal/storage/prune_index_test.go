@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"math/rand"
 	"os"
@@ -23,7 +24,7 @@ func TestPruneIndexV2RoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	ix, err := BuildIndex(db, 1<<20)
+	ix, err := BuildIndex(context.Background(), db, 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestPruneStaleV1IndexRebuilt(t *testing.T) {
 		t.Fatal("ReadIndexFile accepted a v1 sidecar")
 	}
 
-	ix, err := db.Index(0)
+	ix, err := db.Index(context.Background(), 0)
 	if err != nil {
 		t.Fatalf("Index did not rebuild over the stale v1 sidecar: %v", err)
 	}
@@ -186,7 +187,7 @@ func TestPruneTreeIndexMatchesDiskIndex(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := BuildIndex(db, 512)
+		want, err := BuildIndex(context.Background(), db, 512)
 		db.Close()
 		if err != nil {
 			t.Fatal(err)

@@ -119,7 +119,7 @@ func TestCreateRoundTrip(t *testing.T) {
 	if stats.ElemNodes != 3 || stats.CharNodes != 2 {
 		t.Fatalf("stats %+v", stats)
 	}
-	got, err := db.ReadTree()
+	got, err := db.ReadTree(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,7 +427,7 @@ func TestEmitXMLEscaping(t *testing.T) {
 	}
 	defer db.Close()
 	var buf bytes.Buffer
-	if err := EmitXML(db, &buf, nil); err != nil {
+	if err := EmitXMLContext(context.Background(), db, &buf, nil); err != nil {
 		t.Fatal(err)
 	}
 	want := "<a>&lt;&amp;&gt;&quot;x</a>"
@@ -452,7 +452,7 @@ func TestEmitXMLSelection(t *testing.T) {
 	}
 	defer db.Close()
 	var buf bytes.Buffer
-	if err := EmitXML(db, &buf, func(v int64) bool { return v == 2 }); err != nil {
+	if err := EmitXMLContext(context.Background(), db, &buf, func(v int64) bool { return v == 2 }); err != nil {
 		t.Fatal(err)
 	}
 	got := buf.String()
@@ -477,7 +477,7 @@ func TestRoundTripProperty(t *testing.T) {
 			return false
 		}
 		defer db.Close()
-		got, err := db.ReadTree()
+		got, err := db.ReadTree(context.Background())
 		if err != nil {
 			t.Logf("ReadTree: %v", err)
 			return false

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"path/filepath"
 	"regexp"
@@ -120,7 +121,7 @@ func TestCreateFlatAndInfixDBMatchTrees(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
-		got, err := db.ReadTree()
+		got, err := db.ReadTree(context.Background())
 		db.Close()
 		if err != nil {
 			t.Fatalf("%s: ReadTree: %v", c.name, err)

@@ -1,6 +1,7 @@
 package xmlparse
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -132,7 +133,7 @@ func TestCreateDBRoundTrip(t *testing.T) {
 	if stats.ElemNodes != 3 || stats.CharNodes != 4 {
 		t.Fatalf("stats: %d elements, %d chars; want 3, 4", stats.ElemNodes, stats.CharNodes)
 	}
-	got, err := db.ReadTree()
+	got, err := db.ReadTree(context.Background())
 	if err != nil {
 		t.Fatalf("ReadTree: %v", err)
 	}

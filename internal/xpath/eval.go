@@ -1,3 +1,7 @@
+//arblint:shims
+// Deprecated context-less entry points kept for callers of earlier
+// releases; in-repo code must not call them (enforced by noshims).
+
 package xpath
 
 import (

@@ -90,7 +90,7 @@ type ExecOpts struct {
 	// KeepStates retains per-node evaluation state from the main pass:
 	// in-memory runs record the automaton states in the Result
 	// (Result.BUStateOf/TDStateOf); disk runs keep the phase-1 state
-	// file as base.sta.
+	// file under a unique per-run name reported as Result.StateFile.
 	KeepStates bool
 	// MarkTo, when non-nil, streams the document back out as XML with
 	// the nodes selected by query predicate MarkQuery marked up. On disk
@@ -130,6 +130,8 @@ func (p *Prepared) engines() []*core.Engine {
 // to es. When executions of one Prepared overlap, cache work computed by
 // a concurrent run may land in whichever delta observes it; the merged
 // totals across runs stay exact.
+//
+//arblint:todo lockdiscipline -- per-run Profile attribution reads the shared cumulative Stats; exact attribution needs per-run counters threaded through the drivers
 func statsDelta(engines []*core.Engine, es *ExecStats, f func() error) error {
 	before := make([]core.Stats, len(engines))
 	for i, e := range engines {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -93,6 +94,92 @@ func TestExecReentrantOverlap(t *testing.T) {
 				t.Fatalf("pinned execution failed: %v", err)
 			}
 		})
+	}
+	assertOnlyDatabaseFiles(t, dir)
+}
+
+// TestKeepStatesOverlap is the regression test for the per-run state-file
+// names: two KeepStates disk Execs of ONE handle must overlap, each
+// keeping its own uniquely named state file. The first execution is
+// pinned mid-run (its MarkTo writer blocks on a gate); the second must
+// complete — KeepStates and all — while the first is still inside Exec.
+// Under the old fixed base.sta name the handle serialised its keepers
+// and this test timed out.
+func TestKeepStatesOverlap(t *testing.T) {
+	tr := buildCatalog(t, 300)
+	dir := t.TempDir()
+	db, err := arb.CreateDBFromTree(filepath.Join(dir, "catalog"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	sess := arb.NewDBSession(db)
+
+	prog, err := arb.ParseProgram(`QUERY :- Label[flag];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := sess.Prepare(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := &gateWriter{started: make(chan struct{}), release: make(chan struct{})}
+	type outcome struct {
+		res *arb.Result
+		err error
+	}
+	pinned := make(chan outcome, 1)
+	go func() {
+		res, _, err := pq.Exec(context.Background(), arb.ExecOpts{KeepStates: true, MarkTo: gate})
+		pinned <- outcome{res, err}
+	}()
+	select {
+	case <-gate.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pinned execution never reached its writer")
+	}
+
+	// The handle is mid-Exec with a kept state file in flight; a second
+	// KeepStates Exec of the SAME handle must still run to completion.
+	overlapped := make(chan outcome, 1)
+	go func() {
+		res, _, err := pq.Exec(context.Background(), arb.ExecOpts{KeepStates: true})
+		overlapped <- outcome{res, err}
+	}()
+	var second outcome
+	select {
+	case second = <-overlapped:
+		if second.err != nil {
+			t.Fatal(second.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second KeepStates Exec did not overlap the pinned one (handle serialises keepers)")
+	}
+
+	close(gate.release)
+	first := <-pinned
+	if first.err != nil {
+		t.Fatalf("pinned execution failed: %v", first.err)
+	}
+
+	// Each run kept its own state file: distinct names, both present,
+	// both full-size.
+	if first.res.StateFile == "" || second.res.StateFile == "" {
+		t.Fatalf("kept runs reported state files %q and %q", first.res.StateFile, second.res.StateFile)
+	}
+	if first.res.StateFile == second.res.StateFile {
+		t.Fatalf("both runs kept the same state file %s", first.res.StateFile)
+	}
+	for _, p := range []string{first.res.StateFile, second.res.StateFile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("kept state file missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("kept state file %s is empty", p)
+		}
+		os.Remove(p)
 	}
 	assertOnlyDatabaseFiles(t, dir)
 }

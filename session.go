@@ -196,12 +196,11 @@ type ExecOpts struct {
 	// KeepStates retains per-node evaluation state from the main pass:
 	// in-memory sessions record the automaton states in the Result
 	// (Result.BUStateOf/TDStateOf); disk sessions keep the phase-1
-	// state file under the discoverable name base.sta. Because that
-	// name is fixed per database, a handle serialises its own
-	// KeepStates disk executions, and concurrent KeepStates executions
-	// through different handles over one database must be serialised
-	// by the caller (executions without KeepStates use unique temp
-	// files and are free to run concurrently).
+	// state file and report its path as Result.StateFile. Every
+	// execution writes a uniquely named file next to the database, so
+	// KeepStates executions — through one handle or many — run
+	// concurrently without blocking or clobbering each other; the
+	// caller owns removal of each kept file.
 	KeepStates bool
 	// Stats asks Exec to return a Profile of this execution's cost;
 	// when false Exec returns a nil Profile.
@@ -261,16 +260,12 @@ func (p *Profile) SkippedBytes() int64 {
 // Exec is reentrant: any number of goroutines may execute one handle at
 // once and the executions overlap, sharing the warm automata through the
 // engines' internal locks — the shape a server's plan cache needs, where
-// one hot handle fields many concurrent requests. The only serialised
-// case is ExecOpts.KeepStates on a disk session, whose fixed base.sta
-// state file admits one writer at a time.
+// one hot handle fields many concurrent requests. Even ExecOpts.KeepStates
+// disk executions overlap freely: each keeps its own uniquely named state
+// file, reported as Result.StateFile.
 type PreparedQuery struct {
 	s *Session
 	p *xpath.Prepared
-
-	// staMu serialises disk executions that keep the discoverable
-	// base.sta state file; all other executions run concurrently.
-	staMu sync.Mutex
 }
 
 // Queries returns the query predicates Exec's result reports, in the
@@ -318,12 +313,6 @@ func (q *PreparedQuery) Exec(ctx context.Context, opts ExecOpts) (*Result, *Prof
 		xopts.Index = q.s.treeIndex()
 	}
 
-	if opts.KeepStates && q.s.db != nil {
-		// The kept state file lives under the fixed name base.sta;
-		// overlapping keepers would clobber it.
-		q.staMu.Lock()
-		defer q.staMu.Unlock()
-	}
 	start := time.Now()
 	var res *Result
 	var es xpath.ExecStats
