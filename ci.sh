@@ -44,6 +44,31 @@ go run ./examples/serve > /dev/null
 # queries over HTTP, serves /stats, and drains cleanly on SIGTERM.
 go test -run CLIServe ./...
 
+# arb patch smoke: create a database, patch it through the CLI, query
+# old-shape vs new-shape, compact, and emit the patched document.
+patchdir=$(mktemp -d)
+trap 'rm -rf "$patchdir"' EXIT
+go build -o "$patchdir/arb" ./cmd/arb
+printf '<doc><a><b>x</b></a><c>y</c></doc>' > "$patchdir/doc.xml"
+"$patchdir/arb" create "$patchdir/db" "$patchdir/doc.xml" > /dev/null
+before=$("$patchdir/arb" query "$patchdir/db" -xpath '//a/b')
+"$patchdir/arb" patch "$patchdir/db" -op insert-child -node 1 -xml '<b>z</b>' > /dev/null
+after=$("$patchdir/arb" query "$patchdir/db" -xpath '//a/b')
+if [ "$before" = "$after" ]; then
+    echo "patch smoke: //a/b unchanged after insert-child ($before)" >&2
+    exit 1
+fi
+"$patchdir/arb" compact "$patchdir/db" > /dev/null
+compacted=$("$patchdir/arb" query "$patchdir/db" -xpath '//a/b')
+if [ "$after" != "$compacted" ]; then
+    echo "patch smoke: compaction changed //a/b ($after vs $compacted)" >&2
+    exit 1
+fi
+"$patchdir/arb" cat "$patchdir/db" | grep -q '<b>z</b>' || {
+    echo "patch smoke: cat does not show the patched subtree" >&2
+    exit 1
+}
+
 # Fast gates: context-cancellation behaviour across storage, the engine
 # and the CLI, the shared-scan batch machinery (differential, order
 # independence, cancellation cleanup), selectivity-aware pruning
@@ -55,6 +80,10 @@ go test -run Cancel -race ./...
 go test -run Batch -race ./...
 go test -run Prune -race ./...
 go test -run Serve -race ./...
+# The versioned extent store: manifest fuzz seeds, the vstore and
+# root-level patch differentials, snapshot isolation/GC, and the
+# concurrent read-while-patching server race.
+go test -run 'Patch|Version|Snapshot' -race ./...
 
 # Full suite (includes the fuzz targets' seed corpora).
 go test -race ./...

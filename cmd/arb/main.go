@@ -9,8 +9,20 @@
 //	arb query  <base> -xpath <expr>    evaluate a Core XPath query (incl. not(..), on disk)
 //	arb query  <base> -f queries.txt -batch   evaluate a whole workload in shared scans
 //	arb serve  <base> [-addr :8337]    serve queries over HTTP with plan caching + coalescing
+//	arb patch  <base> -op replace -node N -xml '<frag/>'   mutate a subtree, commit a new version
+//	arb compact <base>                 rewrite the live version into one segment
 //	arb cat    <base>                  write the database back as XML
 //	arb stats  <base>                  print database statistics
+//
+// Patching: `arb patch` applies one copy-on-write mutation — replace,
+// delete or insert-child — to the versioned store (internal/vstore),
+// writing only the new subtree bytes and committing by atomic manifest
+// rename; the first patch of a plain database creates its .arbm
+// manifest and leaves the original .arb untouched. A patched database
+// opens versioned everywhere (query, serve, cat, stats): queries read
+// MVCC snapshots, and `arb serve` accepts POST /patch while queries in
+// flight keep the version they pinned. `arb compact` folds the
+// accumulated patch segments back into a single fresh segment.
 //
 // Query output: -count prints the number of selected nodes per query
 // predicate (default); -ids prints the selected preorder node ids; -mark
@@ -97,8 +109,12 @@ func main() {
 		err = query(ctx, os.Args[2:])
 	case "serve":
 		err = serve(ctx, os.Args[2:])
+	case "patch":
+		err = patch(ctx, os.Args[2:])
+	case "compact":
+		err = compact(ctx, os.Args[2:])
 	case "cat":
-		err = cat(os.Args[2:])
+		err = cat(ctx, os.Args[2:])
 	case "stats":
 		err = stats(os.Args[2:])
 	default:
@@ -116,6 +132,8 @@ func usage() {
   arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N] [-timeout d] [-noprune]
   arb query  <base> -f <queries.txt> -batch [-j N] [-timeout d] [-noprune]
   arb serve  <base> [-addr :8337] [-window d] [-batch K] [-inflight N] [-cache N] [-j N] [-timeout d] [-drain d] [-noprune]
+  arb patch  <base> -op (replace|delete|insert-child) -node N [-xml <fragment> | -f fragment.xml]
+  arb compact <base>
   arb cat    <base>
   arb stats  <base>
 `)
@@ -432,17 +450,96 @@ func printIDs(res *arb.Result, q arb.Pred) error {
 	return w.Flush()
 }
 
-func cat(args []string) error {
+// patch applies one copy-on-write mutation and commits a new version.
+// The first patch of a plain database creates its .arbm manifest; the
+// original .arb is never rewritten.
+func patch(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("patch", flag.ExitOnError)
+	op := fs.String("op", "", "operation: replace, delete or insert-child")
+	node := fs.Int64("node", -1, "target node (preorder id in the current version)")
+	xmlSrc := fs.String("xml", "", "fragment XML (replace and insert-child)")
+	xmlFile := fs.String("f", "", "file containing the fragment XML")
 	if len(args) < 1 {
 		usage()
 	}
-	db, err := arb.OpenDB(args[0])
+	base := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *node < 0 {
+		return fmt.Errorf("-node is required (preorder id, 0 = document root)")
+	}
+	var frag *arb.Tree
+	switch {
+	case *xmlSrc != "" && *xmlFile != "":
+		return fmt.Errorf("-xml and -f are mutually exclusive")
+	case *xmlSrc != "":
+		t, err := arb.ParseXML(strings.NewReader(*xmlSrc))
+		if err != nil {
+			return fmt.Errorf("fragment: %w", err)
+		}
+		frag = t
+	case *xmlFile != "":
+		f, err := os.Open(*xmlFile)
+		if err != nil {
+			return err
+		}
+		t, perr := arb.ParseXML(bufio.NewReaderSize(f, 1<<16))
+		f.Close()
+		if perr != nil {
+			return fmt.Errorf("fragment: %w", perr)
+		}
+		frag = t
+	}
+
+	sess, err := arb.OpenVersionedSession(ctx, base)
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer sess.Close()
+	info, err := sess.Patch(ctx, arb.PatchOp{Op: *op, Node: *node, Tree: frag})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("committed version %d: %s (%d nodes now, delta %+d, %d bytes appended)\n",
+		info.Version, info.Op, info.Nodes, info.Delta, info.SegmentBytes)
+	return nil
+}
+
+// compact rewrites the live version into one fresh segment, letting the
+// store delete the accumulated patch segments.
+func compact(ctx context.Context, args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	sess, err := arb.OpenVersionedSession(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	info, err := sess.Compact(ctx)
+	if err != nil {
+		return err
+	}
+	ss, _ := sess.StoreStats()
+	fmt.Printf("committed version %d: %s (%d segments live, %d bytes)\n",
+		info.Version, info.Op, ss.Segments, ss.SegmentBytes)
+	return nil
+}
+
+func cat(ctx context.Context, args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	// OpenSession (not OpenDB): a patched database must emit its current
+	// version, not the untouched original .arb bytes.
+	sess, err := arb.OpenSession(args[0])
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 	w := bufio.NewWriterSize(os.Stdout, 1<<16)
-	if err := arb.EmitXML(db, w, nil); err != nil {
+	if err := sess.EmitXML(ctx, w, nil); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -452,11 +549,24 @@ func stats(args []string) error {
 	if len(args) < 1 {
 		usage()
 	}
-	db, err := arb.OpenDB(args[0])
+	sess, err := arb.OpenSession(args[0])
 	if err != nil {
 		return err
 	}
-	defer db.Close()
-	fmt.Printf("%s: %d nodes, %d tags, %d bytes\n", args[0], db.N, db.Names.Len(), db.N*2)
+	defer sess.Close()
+	fmt.Printf("%s: %d nodes, %d tags, %d bytes\n",
+		args[0], sess.Len(), sess.Names().Len(), sess.Len()*2)
+	if ss, ok := sess.StoreStats(); ok {
+		fmt.Printf("versioned: version %d, %d segments (%d bytes), %d history entries\n",
+			ss.Version, ss.Segments, ss.SegmentBytes, len(sess.History()))
+		hist := sess.History()
+		lo := 0
+		if len(hist) > 5 {
+			lo = len(hist) - 5
+		}
+		for _, h := range hist[lo:] {
+			fmt.Printf("  v%-6d %s\n", h.Version, h.Op)
+		}
+	}
 	return nil
 }

@@ -13,6 +13,15 @@
 //	arbbench -experiment prune [-dbbytes n] [-dir d] [-out BENCH_prune.json]
 //	arbbench -experiment serve [-concurrency 1,8,32] [-coalesce 16]
 //	         [-dbbytes n] [-dir d] [-out BENCH_serve.json]
+//	arbbench -experiment patch [-patches 64] [-dbbytes n] [-dir d]
+//	         [-out BENCH_patch.json]
+//
+// patch measures the versioned extent store: on a generated full-binary
+// database of at least -dbbytes bytes it times -patches small subtree
+// mutations against recreating the database from scratch, compares the
+// read throughput of a prepared query on an idle store with the same
+// query while a writer commits a steady patch stream (every execution
+// pins one MVCC snapshot), and times the final compaction.
 //
 // serve measures the query server's adaptive shared-scan coalescing: at
 // each concurrency level a burst of distinct queries is fired over HTTP
@@ -65,16 +74,17 @@ func main() {
 	dbBytes := flag.Int64("dbbytes", 64_000_000, "minimum generated database size for the batch/prune/serve experiments")
 	concurrency := flag.String("concurrency", "1,8,32", "concurrency levels for the serve experiment")
 	coalesce := flag.Int("coalesce", 16, "max plans per shared-scan batch (K) for the serve experiment")
+	patches := flag.Int("patches", 64, "timed mutations for the patch experiment")
 	out := flag.String("out", "", "also write the experiment's JSON report to this file")
 	flag.Parse()
 
-	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers, *batchSizes, *dbBytes, *concurrency, *coalesce, *out); err != nil {
+	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers, *batchSizes, *dbBytes, *concurrency, *coalesce, *patches, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "arbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int, batchSizes string, dbBytes int64, concurrency string, coalesce int, out string) error {
+func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int, batchSizes string, dbBytes int64, concurrency string, coalesce, patches int, out string) error {
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "arbbench")
@@ -89,6 +99,30 @@ func run(experiment, thread string, scale float64, sizesFlag string, queries int
 	}
 
 	switch experiment {
+	case "patch":
+		report, err := bench.Patch(bench.PatchOpts{
+			MinDBBytes: dbBytes, Dir: dir, Patches: patches,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WritePatch(os.Stdout, report)
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := bench.WritePatchJSON(f, report); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+		return nil
+
 	case "serve":
 		levels, err := parseList(concurrency)
 		if err != nil {

@@ -64,6 +64,11 @@ type DiskBatchOpts struct {
 	// proves it irrelevant (the scans are shared); rounds with aux input
 	// never prune.
 	NoPrune bool
+
+	// Run, when non-nil, receives the round's exact statistics across
+	// all members — deterministic per-run attribution even when batch
+	// executions overlap on shared engines.
+	Run *RunStats
 }
 
 // transSource is the narrow automata interface the batch inner loops run
@@ -303,6 +308,10 @@ type TreeBatchOpts struct {
 	Index *storage.SubtreeIndex
 	// NoPrune disables pruning even when Index is available.
 	NoPrune bool
+	// Run, when non-nil, receives the pass's exact statistics across all
+	// members — deterministic per-run attribution even when batch
+	// executions overlap on shared engines.
+	Run *RunStats
 }
 
 // RunBatchTree evaluates every member's program over an in-memory tree in
@@ -331,7 +340,8 @@ func RunBatchTree(ctx context.Context, t *tree.Tree, members []BatchMember, topt
 	for m, bm := range members {
 		res[m] = NewResult(bm.E.c.Prog, int64(n))
 		bm.E.AddNodes(int64(n))
-		caches[m] = newBatchCache(bm.E.Share())
+		topts.Run.AddNodes(int64(n))
+		caches[m] = newBatchCache(bm.E.ShareTo(topts.Run))
 		engines[m] = bm.E
 		if bm.Aux != nil {
 			prunable = false
@@ -346,6 +356,7 @@ func RunBatchTree(ctx context.Context, t *tree.Tree, members []BatchMember, topt
 		exts = prune.Extents
 		for _, e := range engines {
 			e.AddPrunedNodes(prune.Nodes)
+			topts.Run.AddPrunedNodes(prune.Nodes)
 		}
 	}
 
@@ -524,7 +535,7 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 	engines := make([]*Engine, nm)
 	for m, bm := range members {
 		res[m] = NewResult(bm.E.c.Prog, db.N)
-		caches[m] = newBatchCache(bm.E.Share())
+		caches[m] = newBatchCache(bm.E.ShareTo(opts.Run))
 		engines[m] = bm.E
 	}
 	ds := &DiskStats{StateBytes: db.N * int64(stride)}
@@ -771,8 +782,10 @@ func runDiskBatch(ctx context.Context, db *storage.DB, members []BatchMember, op
 	// this function and must not double-count the aborted attempt.
 	for _, bm := range members {
 		bm.E.AddNodes(db.N)
+		opts.Run.AddNodes(db.N)
 		if prune != nil {
 			bm.E.AddPrunedNodes(prune.Nodes)
+			opts.Run.AddPrunedNodes(prune.Nodes)
 		}
 	}
 	succeeded = true
@@ -866,7 +879,7 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 	shared := make([]*SharedEngine, nm)
 	for m, bm := range members {
 		res[m] = NewResult(bm.E.c.Prog, db.N)
-		shared[m] = bm.E.Share()
+		shared[m] = bm.E.ShareTo(opts.Run)
 	}
 	ds := &DiskStats{StateBytes: db.N * int64(stride)}
 
@@ -1378,8 +1391,10 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 	// this function and must not double-count the aborted attempt.
 	for _, bm := range members {
 		bm.E.AddNodes(db.N)
+		opts.Run.AddNodes(db.N)
 		if plan != nil {
 			bm.E.AddPrunedNodes(plan.Nodes)
+			opts.Run.AddPrunedNodes(plan.Nodes)
 		}
 	}
 	succeeded = true

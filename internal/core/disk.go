@@ -57,6 +57,12 @@ type DiskOpts struct {
 	// provably sound; runs with aux input, marked output, or an external
 	// state-file contract (StatePath/KeepStateFile) never prune.
 	NoPrune bool
+
+	// Run, when non-nil, receives this run's exact statistics (node
+	// visits, prune savings, phase times, and the transitions its own
+	// cache misses computed) — deterministic per-run attribution even
+	// when executions overlap on one engine.
+	Run *RunStats
 }
 
 // DiskStats reports the per-scan cost profile of a disk run, alongside the
@@ -103,6 +109,7 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 	res := NewResult(e.c.Prog, db.N)
 	ds := &DiskStats{StateBytes: db.N * stateIDSize}
 	e.AddNodes(db.N)
+	opts.Run.AddNodes(db.N)
 
 	// Selectivity-aware pruning: seek past extents the static analysis
 	// proves irrelevant. Sound only without aux input (aux bits vary per
@@ -119,8 +126,9 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 	if prune != nil {
 		pruneExts = prune.Extents
 		e.AddPrunedNodes(prune.Nodes)
+		opts.Run.AddPrunedNodes(prune.Nodes)
 	}
-	cache := e.Share().NewCache()
+	cache := e.ShareTo(opts.Run).NewCache()
 
 	// Optional auxiliary mask file, read backwards in phase 1 and
 	// forwards in phase 2.
@@ -335,7 +343,9 @@ func (e *Engine) RunDiskContext(ctx context.Context, db *storage.DB, opts DiskOp
 		scan2.SkippedBytes += prune.Nodes * storage.NodeSize
 	}
 	ds.Phase2 = scan2
-	e.addPhaseTimes(phase1, time.Since(start))
+	phase2 := time.Since(start)
+	e.addPhaseTimes(phase1, phase2)
+	opts.Run.AddPhaseTimes(phase1, phase2)
 	if opts.KeepStateFile {
 		res.StateFile = statePath
 	}

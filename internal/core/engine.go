@@ -151,9 +151,10 @@ func NewEngine(c *Compiled, names *tree.Names) *Engine {
 // Compiled returns the engine's compiled program.
 func (e *Engine) Compiled() *Compiled { return e.c }
 
-// Stats returns a snapshot of the statistics accumulated so far. With
-// runs overlapping on one engine, snapshot deltas attribute any
-// concurrently computed cache work to whichever run observes it.
+// Stats returns a snapshot of the statistics accumulated so far, across
+// every run of the engine. Per-run attribution under overlapping
+// executions goes through RunStats sinks (ShareTo and the drivers' Run
+// options), not through deltas of this cumulative snapshot.
 func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -193,6 +194,13 @@ func (e *Engine) addPhaseTimes(p1, p2 time.Duration) {
 	e.stats.Phase2Time += p2
 	e.mu.Unlock()
 }
+
+// statsSnapshot reads the cumulative statistics without locking; the
+// ShareTo slow paths bracket raw transition calls with it to compute
+// exact per-call deltas.
+//
+// arblint:holds mu
+func (e *Engine) statsSnapshot() Stats { return e.stats }
 
 // BUStateCount returns the number of bottom-up states interned so far
 // (the batch drivers size their on-disk state width from it).

@@ -31,6 +31,11 @@ type RunOpts struct {
 	// NoPrune disables pruning even when Index is available. Runs with
 	// Aux or KeepStates never prune.
 	NoPrune bool
+	// Run, when non-nil, receives this run's exact statistics (node
+	// visits, prune savings, phase times, and the transitions its own
+	// cache misses computed) — deterministic per-run attribution even
+	// when executions overlap on one engine.
+	Run *RunStats
 }
 
 // RunContext evaluates the engine's program over an in-memory tree using
@@ -50,6 +55,7 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*R
 	cancel := storage.NewCanceller(ctx)
 	res := NewResult(e.c.Prog, int64(n))
 	e.AddNodes(int64(n))
+	opts.Run.AddNodes(int64(n))
 
 	// Selectivity-aware pruning: with a tree index available, both passes
 	// jump over subtrees the static analysis proves irrelevant (the same
@@ -63,8 +69,9 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*R
 	if prune != nil {
 		exts = prune.Extents
 		e.AddPrunedNodes(prune.Nodes)
+		opts.Run.AddPrunedNodes(prune.Nodes)
 	}
-	cache := e.Share().NewCache()
+	cache := e.ShareTo(opts.Run).NewCache()
 
 	// Phase 1: bottom-up run of A.
 	start := time.Now()
@@ -122,7 +129,9 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, opts RunOpts) (*R
 			td[c] = cache.TruePreds(td[v], bu[c], 2)
 		}
 	}
-	e.addPhaseTimes(phase1, time.Since(start))
+	phase2 := time.Since(start)
+	e.addPhaseTimes(phase1, phase2)
+	opts.Run.AddPhaseTimes(phase1, phase2)
 
 	if opts.KeepStates {
 		res.BUStateOf = bu

@@ -129,7 +129,8 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	res := NewResult(e.c.Prog, db.N)
 	ds := &DiskStats{StateBytes: db.N * stateIDSize}
 	e.AddNodes(db.N)
-	s := e.Share()
+	opts.Run.AddNodes(db.N)
+	s := e.ShareTo(opts.Run)
 
 	var err error
 	var auxF *os.File
@@ -528,11 +529,14 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 	}
 	scan2.SkippedBytes += leaderSkipped2
 	ds.Phase2 = scan2
-	e.addPhaseTimes(phase1Time, time.Since(start))
+	phase2 := time.Since(start)
+	e.addPhaseTimes(phase1Time, phase2)
+	opts.Run.AddPhaseTimes(phase1Time, phase2)
 	// Count pruned nodes only on success: the stale-index retry re-enters
 	// this function and must not double-count the aborted attempt's plan.
 	if plan != nil {
 		e.AddPrunedNodes(plan.Nodes)
+		opts.Run.AddPrunedNodes(plan.Nodes)
 	}
 	if opts.KeepStateFile {
 		res.StateFile = statePath

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// RunStats is a per-run statistics sink: every evaluation driver that is
+// handed one mirrors the work it does — node visits, prune savings,
+// phase wall times — into it, and engine views created with ShareTo
+// credit it with exactly the transitions and states the run's own cache
+// misses computed. Deltas of the engines' shared cumulative Stats
+// cannot do this: when executions overlap on one engine, work computed
+// by a concurrent run lands in whichever delta observes it. A RunStats
+// belongs to one execution, so its totals are deterministic however
+// many executions overlap.
+//
+// All methods are safe for concurrent use (parallel workers of one run
+// share the sink) and nil-safe: a nil *RunStats discards everything, so
+// drivers mirror unconditionally.
+type RunStats struct {
+	mu sync.Mutex
+	s  Stats // guarded by: mu
+}
+
+// Add folds a stats delta into the run.
+func (rs *RunStats) Add(o Stats) {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	rs.s.Add(o)
+	rs.mu.Unlock()
+}
+
+// AddNodes records n node visits.
+func (rs *RunStats) AddNodes(n int64) {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	rs.s.Nodes += n
+	rs.mu.Unlock()
+}
+
+// AddPrunedNodes records n pruned node visits (see Stats.PrunedNodes).
+func (rs *RunStats) AddPrunedNodes(n int64) {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	rs.s.PrunedNodes += n
+	rs.mu.Unlock()
+}
+
+// AddPhaseTimes records one run's phase wall times.
+func (rs *RunStats) AddPhaseTimes(p1, p2 time.Duration) {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	rs.s.Phase1Time += p1
+	rs.s.Phase2Time += p2
+	rs.mu.Unlock()
+}
+
+// Snapshot returns the statistics accumulated so far.
+func (rs *RunStats) Snapshot() Stats {
+	if rs == nil {
+		return Stats{}
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.s
+}

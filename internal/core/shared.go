@@ -16,12 +16,22 @@ import (
 // (a reentrant PreparedQuery, a coalesced server batch sharing a scalar
 // handle's automata) — synchronise with each other.
 type SharedEngine struct {
-	e *Engine
+	e  *Engine
+	rs *RunStats // per-run attribution sink; nil discards
 }
 
 // Share returns a concurrent view of the engine. Views are cheap and any
 // number may exist at once; they all serialise through the engine's lock.
 func (e *Engine) Share() *SharedEngine { return &SharedEngine{e: e} }
+
+// ShareTo is Share with per-run attribution: every transition or state
+// the view's slow paths lazily compute is credited to rs as well as to
+// the engine's cumulative stats. The delta is taken inside the write
+// lock around the raw call, so it contains exactly this call's work —
+// overlapping runs on one engine each see precisely what their own
+// cache misses cost, where deltas of the cumulative Stats would
+// misattribute concurrent work.
+func (e *Engine) ShareTo(rs *RunStats) *SharedEngine { return &SharedEngine{e: e, rs: rs} }
 
 // Engine returns the wrapped engine for single-threaded use (statistics,
 // state inspection) once concurrent work has finished.
@@ -41,15 +51,23 @@ func (s *SharedEngine) ReachableStates(left, right StateID, sig edb.NodeSig) Sta
 	s.e.mu.RUnlock()
 
 	s.e.mu.Lock()
-	defer s.e.mu.Unlock()
-	return s.e.ReachableStates(left, right, s.e.SigID(sig))
+	before := s.e.statsSnapshot()
+	id := s.e.ReachableStates(left, right, s.e.SigID(sig))
+	delta := s.e.statsSnapshot().Sub(before)
+	s.e.mu.Unlock()
+	s.rs.Add(delta)
+	return id
 }
 
 // RootTrueSet is the concurrent step 2 of Algorithm 4.6.
 func (s *SharedEngine) RootTrueSet(rootState StateID) StateID {
 	s.e.mu.Lock()
-	defer s.e.mu.Unlock()
-	return s.e.RootTrueSet(rootState)
+	before := s.e.statsSnapshot()
+	id := s.e.RootTrueSet(rootState)
+	delta := s.e.statsSnapshot().Sub(before)
+	s.e.mu.Unlock()
+	s.rs.Add(delta)
+	return id
 }
 
 // TruePreds is the concurrent δB.
@@ -62,8 +80,12 @@ func (s *SharedEngine) TruePreds(parent, resid StateID, k int) StateID {
 	s.e.mu.RUnlock()
 
 	s.e.mu.Lock()
-	defer s.e.mu.Unlock()
-	return s.e.TruePreds(parent, resid, k)
+	before := s.e.statsSnapshot()
+	id := s.e.TruePreds(parent, resid, k)
+	delta := s.e.statsSnapshot().Sub(before)
+	s.e.mu.Unlock()
+	s.rs.Add(delta)
+	return id
 }
 
 // QueryMask returns the query-predicate bitmask of a top-down state (bit

@@ -61,10 +61,12 @@ func RunBatchContext(ctx context.Context, t *tree.Tree, workers int, members []c
 	for m, bm := range members {
 		res[m] = core.NewResult(bm.E.Compiled().Prog, int64(n))
 		bm.E.AddNodes(int64(n))
+		topts.Run.AddNodes(int64(n))
 		if prune != nil {
 			bm.E.AddPrunedNodes(prune.Nodes)
+			topts.Run.AddPrunedNodes(prune.Nodes)
 		}
-		shared[m] = bm.E.Share()
+		shared[m] = bm.E.ShareTo(topts.Run)
 	}
 
 	size := SubtreeSizes(t)

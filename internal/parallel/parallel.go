@@ -112,8 +112,10 @@ func RunContext(ctx context.Context, e *core.Engine, t *tree.Tree, workers int, 
 	if prune != nil {
 		planExts = prune.Extents
 		e.AddPrunedNodes(prune.Nodes)
+		opts.Run.AddPrunedNodes(prune.Nodes)
 	}
-	s := e.Share()
+	opts.Run.AddNodes(int64(n))
+	s := e.ShareTo(opts.Run)
 	prog := e.Compiled().Prog
 	res := core.NewResult(prog, int64(n))
 	nq := len(prog.Queries())

@@ -50,11 +50,12 @@ type group struct {
 	slot  map[string]int
 	reqs  int
 
-	full  chan struct{} // closed when max distinct plans joined
-	done  chan struct{} // closed after execution
-	res   []*arb.Result
-	err   error
-	later time.Time // latest member deadline (zero: some member has none)
+	full    chan struct{} // closed when max distinct plans joined
+	done    chan struct{} // closed after execution
+	res     []*arb.Result
+	err     error
+	version uint64    // database version the shared execution read
+	later   time.Time // latest member deadline (zero: some member has none)
 }
 
 func newCoalescer(sess *arb.Session, window time.Duration, max, inflight int, opts arb.ExecOpts, profile func(*arb.Profile, int)) *coalescer {
@@ -68,8 +69,12 @@ func newCoalescer(sess *arb.Session, window time.Duration, max, inflight int, op
 // submit routes one request: solo on an idle server, otherwise into the
 // pending gather group. It blocks until the request's result is ready or
 // ctx (the request's own deadline) gives up — the group execution keeps
-// going for the other members either way.
-func (c *coalescer) submit(ctx context.Context, execCtx context.Context, key string, pq *arb.PreparedQuery) (*arb.Result, int, error) {
+// going for the other members either way. The returned version is the
+// database version the execution read (0 for unversioned sessions and
+// for requests that gave up before their group finished): a whole group
+// shares one MVCC snapshot, so every coalesced member answers from the
+// same version.
+func (c *coalescer) submit(ctx context.Context, execCtx context.Context, key string, pq *arb.PreparedQuery) (*arb.Result, int, uint64, error) {
 	deadline, hasDeadline := ctx.Deadline()
 
 	c.mu.Lock()
@@ -94,10 +99,10 @@ func (c *coalescer) submit(ctx context.Context, execCtx context.Context, key str
 			defer cancel()
 			res, prof, err := pq.Exec(runCtx, c.opts)
 			if err != nil {
-				return nil, 1, err
+				return nil, 1, 0, err
 			}
 			c.profile(prof, 1)
-			return res, 1, nil
+			return res, 1, prof.Version, nil
 		default:
 		}
 	}
@@ -133,14 +138,14 @@ func (c *coalescer) submit(ctx context.Context, execCtx context.Context, key str
 	select {
 	case <-g.done:
 		if g.err != nil {
-			return nil, len(g.plans), g.err
+			return nil, len(g.plans), 0, g.err
 		}
-		return g.res[i], len(g.plans), nil
+		return g.res[i], len(g.plans), g.version, nil
 	case <-ctx.Done():
 		// This member's deadline expired first; the shared execution keeps
 		// serving the rest of the group (joined is this waiter's view of
 		// the group size — the group may still be gathering).
-		return nil, joined, ctx.Err()
+		return nil, joined, 0, ctx.Err()
 	}
 }
 
@@ -182,6 +187,7 @@ func (c *coalescer) run(g *group, execCtx context.Context) {
 		}
 		c.profile(prof, 1)
 		g.res = []*arb.Result{res}
+		g.version = prof.Version
 		return
 	}
 	pb, err := c.sess.BatchOf(g.plans...)
@@ -196,6 +202,7 @@ func (c *coalescer) run(g *group, execCtx context.Context) {
 	}
 	c.profile(prof, n)
 	g.res = res
+	g.version = prof.Version
 }
 
 // memberCtx derives the execution context: the server's base context

@@ -90,6 +90,7 @@ type Server struct {
 	requests atomic.Int64
 	errorsN  atomic.Int64
 	inflight atomic.Int64
+	patchesN atomic.Int64 // committed /patch operations
 
 	profMu sync.Mutex
 	prof   ProfileCounters // guarded by: profMu
@@ -154,15 +155,22 @@ func (s *Server) Close() {
 //
 //	POST /query   {"query": "...", "ids": true, "timeout_ms": 500}
 //	GET  /query?q=...&ids=1&timeout_ms=500
+//	POST /patch   {"op": "replace|delete|insert-child|compact", "node": 7, "xml": "<frag/>"}
 //	GET  /stats
+//	GET  /metrics
 //	GET  /healthz
 //
 // Queries use the workload-file convention: TMNF programs by default, a
-// Core XPath expression behind an "xpath:" prefix.
+// Core XPath expression behind an "xpath:" prefix. /patch requires a
+// versioned session (a database with a .arbm manifest); queries running
+// when a patch commits keep reading the version snapshot they pinned.
+// /metrics serves the /stats counters in Prometheus text format.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/patch", s.handlePatch)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": !s.closed.Load()})
 	})
@@ -188,8 +196,9 @@ type predResult struct {
 type queryResponse struct {
 	Query     string       `json:"query"` // normalized form (the plan-cache key)
 	Results   []predResult `json:"results"`
-	PlanCache string       `json:"plan_cache"` // "hit" or "miss"
-	Coalesced int          `json:"coalesced"`  // distinct plans sharing this request's scans
+	PlanCache string       `json:"plan_cache"`        // "hit" or "miss"
+	Coalesced int          `json:"coalesced"`         // distinct plans sharing this request's scans
+	Version   uint64       `json:"version,omitempty"` // database version the execution read (versioned sessions)
 	Elapsed   float64      `json:"elapsed_seconds"`
 }
 
@@ -250,7 +259,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	res, coalesced, err := s.coal.submit(ctx, s.base, key, pq)
+	res, coalesced, version, err := s.coal.submit(ctx, s.base, key, pq)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -267,6 +276,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Query:     key,
 		PlanCache: map[bool]string{true: "hit", false: "miss"}[hit],
 		Coalesced: coalesced,
+		Version:   version,
 		Elapsed:   time.Since(start).Seconds(),
 	}
 	for _, q := range pq.Queries() {
@@ -326,20 +336,111 @@ func (s *Server) plan(src string) (key string, pq *arb.PreparedQuery, hit bool, 
 	return key, s.cache.put(key, pq), false, nil
 }
 
+// patchRequest is the /patch payload: one mutation of the versioned
+// database. "replace" and "insert-child" carry the fragment as XML;
+// "delete" takes just the node; "compact" takes neither.
+type patchRequest struct {
+	Op   string `json:"op"`
+	Node int64  `json:"node"`
+	XML  string `json:"xml,omitempty"`
+}
+
+// patchResponse is the /patch reply: the committed operation's
+// PatchInfo, flattened.
+type patchResponse struct {
+	Version      uint64  `json:"version"` // the version the operation produced
+	Op           string  `json:"op"`
+	Nodes        int64   `json:"nodes"`
+	Delta        int64   `json:"delta"`
+	SegmentBytes int64   `json:"segment_bytes"`
+	Elapsed      float64 `json:"elapsed_seconds"`
+}
+
+// handlePatch applies one mutation to the session's versioned store and
+// replies with the version it committed. Queries in flight keep their
+// pinned snapshots; queries submitted after the reply see the new
+// version. Writers serialise inside the store, so concurrent /patch
+// requests simply queue.
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.closed.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if !s.sess.Versioned() {
+		s.fail(w, http.StatusConflict, "database is not versioned; restart the server on a patched database (arb patch) to enable /patch")
+		return
+	}
+	var req patchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+
+	start := time.Now()
+	var info *arb.PatchInfo
+	var err error
+	if req.Op == "compact" {
+		info, err = s.sess.Compact(ctx)
+	} else {
+		op := arb.PatchOp{Op: req.Op, Node: req.Node}
+		if req.XML != "" {
+			if op.Tree, err = arb.ParseXML(strings.NewReader(req.XML)); err != nil {
+				s.fail(w, http.StatusBadRequest, "bad fragment xml: %v", err)
+				return
+			}
+		}
+		info, err = s.sess.Patch(ctx, op)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.fail(w, http.StatusServiceUnavailable, "patch aborted: %v", err)
+		default:
+			s.fail(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	s.patchesN.Add(1)
+	writeJSON(w, http.StatusOK, patchResponse{
+		Version:      info.Version,
+		Op:           info.Op,
+		Nodes:        info.Nodes,
+		Delta:        info.Delta,
+		SegmentBytes: info.SegmentBytes,
+		Elapsed:      time.Since(start).Seconds(),
+	})
+}
+
 // Stats is the /stats payload.
 type Stats struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Requests      int64           `json:"requests"`
 	Errors        int64           `json:"errors"`
 	Inflight      int64           `json:"inflight"`
+	Patches       int64           `json:"patch_requests"`
 	PlanCache     CacheStats      `json:"plan_cache"`
 	HitRate       float64         `json:"plan_cache_hit_rate"`
 	Coalescer     CoalescerStats  `json:"coalescer"`
 	Profile       ProfileCounters `json:"profile"`
 	Session       struct {
-		Nodes int64 `json:"nodes"`
-		Disk  bool  `json:"disk"`
+		Nodes     int64  `json:"nodes"`
+		Disk      bool   `json:"disk"`
+		Versioned bool   `json:"versioned"`
+		Version   uint64 `json:"version,omitempty"`
 	} `json:"session"`
+	// Store is the versioned store's bookkeeping (versioned sessions
+	// only): segments and bytes held, live versions, snapshot pins, and
+	// the patch/compaction counts since the store was opened.
+	Store *arb.StoreStats `json:"store,omitempty"`
 }
 
 // Snapshot returns the server's current statistics (the /stats payload,
@@ -350,6 +451,7 @@ func (s *Server) Snapshot() Stats {
 		Requests:      s.requests.Load(),
 		Errors:        s.errorsN.Load(),
 		Inflight:      s.inflight.Load(),
+		Patches:       s.patchesN.Load(),
 		PlanCache:     s.cache.snapshot(),
 		Coalescer:     s.coal.snapshot(),
 	}
@@ -360,7 +462,12 @@ func (s *Server) Snapshot() Stats {
 		st.HitRate = float64(st.PlanCache.Hits) / float64(total)
 	}
 	st.Session.Nodes = s.sess.Len()
-	st.Session.Disk = s.sess.DB() != nil
+	st.Session.Disk = s.sess.DB() != nil || s.sess.Versioned()
+	st.Session.Versioned = s.sess.Versioned()
+	st.Session.Version = s.sess.Version()
+	if ss, ok := s.sess.StoreStats(); ok {
+		st.Store = &ss
+	}
 	return st
 }
 

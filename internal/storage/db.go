@@ -20,13 +20,23 @@ import (
 var ErrBadExtent = errors.New("storage: extent does not match the database structure")
 
 // DB is an open .arb database. All read paths use offset-addressed I/O
-// (ReadAt), so one handle can serve any number of concurrent scans.
+// (ReadAt), so one handle can serve any number of concurrent scans. The
+// record source is any io.ReaderAt: a plain database reads one .arb
+// file, a virtual database (NewVirtualDB — the versioned store's
+// snapshots) reads a stitched view over several segment files. Every
+// scan primitive works identically on both.
 type DB struct {
 	Base  string
 	N     int64 // number of nodes
 	Names *tree.Names
 
-	arb *os.File
+	arb    io.ReaderAt
+	closer io.Closer // closed by Close; nil for virtual databases
+
+	// virtual marks a database whose records do not come from a single
+	// Base+".arb" file; sidecar index I/O (read and write) is suppressed
+	// because no on-disk .idx can describe the stitched view.
+	virtual bool
 
 	idxMu sync.Mutex
 	idx   *SubtreeIndex // guarded by: idxMu
@@ -60,11 +70,29 @@ func Open(base string) (*DB, error) {
 		arbF.Close()
 		return nil, err
 	}
-	return &DB{Base: base, N: st.Size() / NodeSize, Names: names, arb: arbF}, nil
+	return &DB{Base: base, N: st.Size() / NodeSize, Names: names, arb: arbF, closer: arbF}, nil
 }
 
-// Close releases the database's file handle.
-func (db *DB) Close() error { return db.arb.Close() }
+// NewVirtualDB wraps an arbitrary record source as a database handle: r
+// must serve n nodes (n*NodeSize bytes) of well-formed preorder records
+// via ReadAt. base anchors relative temp files (disk runs place state
+// and aux sidecars next to it) but names no actual .arb file; ix is the
+// subtree index describing r (required — virtual databases never read or
+// write .idx sidecars). Closing a virtual DB is a no-op: the segment
+// files behind r belong to whoever stitched it (the versioned store's
+// snapshot refcounts).
+func NewVirtualDB(base string, r io.ReaderAt, n int64, names *tree.Names, ix *SubtreeIndex) *DB {
+	return &DB{Base: base, N: n, Names: names, arb: r, virtual: true, idx: ix}
+}
+
+// Close releases the database's file handle (a no-op for virtual
+// databases, whose segment files are owned by the versioned store).
+func (db *DB) Close() error {
+	if db.closer == nil {
+		return nil
+	}
+	return db.closer.Close()
+}
 
 // ScanStats reports the cost profile of one linear scan, used to verify
 // Proposition 5.1 (stack bounded by the document depth).

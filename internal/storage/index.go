@@ -200,6 +200,22 @@ func BuildTreeIndex(t *tree.Tree, budget int) *SubtreeIndex {
 	return b.finish(int64(n))
 }
 
+// NewIndex builds a validated index from explicit entries, sorted by
+// preorder root: the versioned extent store maintains each version's
+// index incrementally (splicing fragment entries into the previous
+// version's) and rehydrates it from the manifest through this
+// constructor. The entries slice is retained. Validation enforces the
+// structural invariants (sorted, in-bounds, laminar); whether the
+// extents match the data is the caller's contract, exactly as with a
+// persisted sidecar.
+func NewIndex(n int64, entries []IndexEntry) (*SubtreeIndex, error) {
+	ix := newIndex(n, entries)
+	if err := ix.validate(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
 func newIndex(n int64, entries []IndexEntry) *SubtreeIndex {
 	byV := make(map[int64]int, len(entries))
 	for i, e := range entries {
@@ -452,20 +468,24 @@ func (db *DB) Index(ctx context.Context, budget int) (*SubtreeIndex, error) {
 	if db.idx != nil {
 		return db.idx, nil
 	}
-	if ix, err := ReadIndexFile(db.Base + ".idx"); err == nil && ix.N == db.N {
-		db.idx = ix
-		return ix, nil
+	if !db.virtual {
+		if ix, err := ReadIndexFile(db.Base + ".idx"); err == nil && ix.N == db.N {
+			db.idx = ix
+			return ix, nil
+		}
 	}
 	ix, err := BuildIndex(ctx, db, budget)
 	if err != nil {
 		return nil, err
 	}
 	db.idx = ix
-	// Best-effort refresh of the sidecar (it was missing, stale — e.g. a
-	// retired v1 file — or foreign): later opens then load the v2 index
-	// instead of paying the rebuild scan again. Read-only directories
-	// simply keep serving from the in-handle cache.
-	_ = WriteIndexFile(db.Base+".idx", ix)
+	if !db.virtual {
+		// Best-effort refresh of the sidecar (it was missing, stale — e.g.
+		// a retired v1 file — or foreign): later opens then load the v2
+		// index instead of paying the rebuild scan again. Read-only
+		// directories simply keep serving from the in-handle cache.
+		_ = WriteIndexFile(db.Base+".idx", ix)
+	}
 	return ix, nil
 }
 
@@ -478,6 +498,9 @@ func (db *DB) WriteIndex(ctx context.Context, budget int) error {
 	ix, err := db.Index(ctx, budget)
 	if err != nil {
 		return err
+	}
+	if db.virtual {
+		return nil // no single .arb file a sidecar could describe
 	}
 	return WriteIndexFile(db.Base+".idx", ix)
 }
@@ -493,8 +516,10 @@ func (db *DB) RebuildIndex(ctx context.Context, budget int) (*SubtreeIndex, erro
 	db.idxMu.Lock()
 	db.idx = ix
 	db.idxMu.Unlock()
-	// The database directory may be read-only; the in-handle cache alone
-	// then serves this process.
-	_ = WriteIndexFile(db.Base+".idx", ix)
+	if !db.virtual {
+		// The database directory may be read-only; the in-handle cache
+		// alone then serves this process.
+		_ = WriteIndexFile(db.Base+".idx", ix)
+	}
 	return ix, nil
 }

@@ -1,0 +1,202 @@
+package vstore
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"arb/internal/storage"
+	"arb/internal/tree"
+)
+
+// Fragment index-entry policy: a patch should leave the subtree it
+// wrote as navigable as the rest of the database, so the encoder emits
+// index entries for the fragment's heaviest inner subtrees — but a
+// fragment is O(subtree), so a small budget suffices.
+const (
+	fragEntryBudget  = 512
+	fragEntryMinSize = 8
+)
+
+// fragment is one encoded XML subtree, ready to become a patch segment:
+// the preorder records, the label signature of the whole fragment, index
+// entries for its heaviest inner subtrees (V relative to the fragment
+// start; the fragment root itself is excluded — its extent depends on
+// where the fragment lands, so the splice constructs it), and the
+// label-name table the new version must use (grown copy-on-write when
+// the fragment introduced new tags).
+type fragment struct {
+	recs     []byte
+	nodes    int64
+	sig      storage.LabelSig
+	entries  []storage.IndexEntry
+	names    *tree.Names
+	grewName bool
+}
+
+// cloneNames copies an append-only label table; label ids are preserved
+// because interning replays in index order.
+func cloneNames(ns *tree.Names) *tree.Names {
+	out := tree.NewNames()
+	for _, name := range ns.All() {
+		out.MustIntern(name)
+	}
+	return out
+}
+
+// encodeFragment serialises t — one XML subtree: its root must have no
+// next sibling — into .arb records. Labels are remapped into names,
+// growing a copy-on-write clone when t uses tags names has not seen
+// (label ids are append-only across versions, so every existing
+// snapshot's table remains valid as a prefix). rootHasSecond overrides
+// the root record's second-subtree flag, which describes the splice
+// target, not the fragment.
+func encodeFragment(t *tree.Tree, rootHasSecond bool, names *tree.Names) (*fragment, error) {
+	n := t.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("vstore: empty replacement tree")
+	}
+	root := t.Root()
+	if t.HasSecond(root) {
+		return nil, fmt.Errorf("vstore: replacement tree root has a next sibling (not a single subtree)")
+	}
+	f := &fragment{recs: make([]byte, 0, n*storage.NodeSize), names: names}
+
+	// Copy-on-write label remap: resolve each of t's named labels to an
+	// id in the store's table, interning unseen tags into a clone.
+	remap := make(map[tree.Label]uint16)
+	mapLabel := func(l tree.Label) (uint16, error) {
+		if l.IsChar() {
+			return uint16(l), nil
+		}
+		if id, ok := remap[l]; ok {
+			return id, nil
+		}
+		name, ok := t.Names().TagName(l)
+		if !ok {
+			return 0, fmt.Errorf("vstore: replacement tree uses unknown label %d", l)
+		}
+		id, ok := f.names.Lookup(name)
+		if !ok {
+			if !f.grewName {
+				f.names = cloneNames(f.names)
+				f.grewName = true
+			}
+			var err error
+			id, err = f.names.Intern(name)
+			if err != nil {
+				return 0, err
+			}
+		}
+		remap[l] = uint16(id)
+		return uint16(id), nil
+	}
+
+	// Preorder walk in binary order (node, first subtree, second
+	// subtree), recording each node's label and child flags for the
+	// backward fold below.
+	type meta struct {
+		label     uint16
+		hasFirst  bool
+		hasSecond bool
+	}
+	metas := make([]meta, 0, n)
+	stack := []tree.NodeID{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		label, err := mapLabel(t.Label(v))
+		if err != nil {
+			return nil, err
+		}
+		hasSecond := t.HasSecond(v)
+		if v == root {
+			hasSecond = false // folded locally; the splice flag is applied on encode
+		}
+		metas = append(metas, meta{label: label, hasFirst: t.HasFirst(v), hasSecond: hasSecond})
+		if s := t.Second(v); v != root && s != tree.None {
+			stack = append(stack, s)
+		}
+		if c := t.First(v); c != tree.None {
+			stack = append(stack, c)
+		}
+	}
+	f.nodes = int64(len(metas))
+
+	// Backward fold over the walk order: per-position subtree sizes and
+	// signatures, exactly like the index builder's scan — the pop
+	// discipline doubles as a cycle/shape check on t.
+	type fnode struct {
+		size int64
+		sig  storage.LabelSig
+	}
+	var h entryMinHeap
+	fold := make([]fnode, 0, 64)
+	for v := f.nodes - 1; v >= 0; v-- {
+		m := metas[v]
+		nd := fnode{size: 1}
+		nd.sig.Add(m.label)
+		var firstSize int64
+		if m.hasFirst {
+			if len(fold) == 0 {
+				return nil, fmt.Errorf("vstore: replacement tree is not a well-formed subtree")
+			}
+			c := fold[len(fold)-1]
+			fold = fold[:len(fold)-1]
+			nd.size += c.size
+			firstSize = c.size
+			nd.sig.Or(c.sig)
+		}
+		if m.hasSecond {
+			if len(fold) == 0 {
+				return nil, fmt.Errorf("vstore: replacement tree is not a well-formed subtree")
+			}
+			c := fold[len(fold)-1]
+			fold = fold[:len(fold)-1]
+			nd.size += c.size
+			nd.sig.Or(c.sig)
+		}
+		if v > 0 && nd.size >= fragEntryMinSize {
+			heap.Push(&h, storage.IndexEntry{V: v, Size: nd.size, FirstSize: firstSize, Labels: nd.sig})
+			if len(h) > fragEntryBudget {
+				heap.Pop(&h)
+			}
+		}
+		fold = append(fold, nd)
+	}
+	if len(fold) != 1 || fold[0].size != f.nodes {
+		return nil, fmt.Errorf("vstore: replacement tree is not a well-formed subtree")
+	}
+	f.sig = fold[0].sig
+	f.entries = []storage.IndexEntry(h)
+	sort.Slice(f.entries, func(i, j int) bool { return f.entries[i].V < f.entries[j].V })
+
+	// Encode the records; the root carries the splice target's
+	// second-subtree flag.
+	var buf [storage.NodeSize]byte
+	for v, m := range metas {
+		rec := storage.Record{Label: m.label, HasFirst: m.hasFirst, HasSecond: m.hasSecond}
+		if v == 0 {
+			rec.HasSecond = rootHasSecond
+		}
+		binary.BigEndian.PutUint16(buf[:], rec.Encode())
+		f.recs = append(f.recs, buf[:]...)
+	}
+	return f, nil
+}
+
+// entryMinHeap keeps the largest fragment subtrees by evicting the
+// smallest when over budget.
+type entryMinHeap []storage.IndexEntry
+
+func (h entryMinHeap) Len() int            { return len(h) }
+func (h entryMinHeap) Less(i, j int) bool  { return h[i].Size < h[j].Size }
+func (h entryMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryMinHeap) Push(x interface{}) { *h = append(*h, x.(storage.IndexEntry)) }
+func (h *entryMinHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}

@@ -1,0 +1,488 @@
+package vstore
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"arb/internal/storage"
+	"arb/internal/tree"
+)
+
+// storeIndexBudget bounds the per-version subtree index: patches splice
+// fragment entries in and drop covered ones, and the smallest entries
+// are evicted past this budget — the same footnote-sized index contract
+// as storage.DefaultIndexBudget.
+const storeIndexBudget = storage.DefaultIndexBudget
+
+// segment is one open physical file serving record runs: the immutable
+// original base.arb (kind segBase, never deleted) or an appended patch
+// segment (kind segPatch, deleted once no live version references it).
+type segment struct {
+	id    uint64
+	kind  uint8
+	nodes int64
+	name  string // file name relative to the store directory
+	f     *os.File
+	refs  int // live versions referencing the segment; guarded by: mu (the Store's)
+}
+
+// version is one immutable database version: a run table stitching
+// segments into the logical record space, the version's subtree index
+// and label-name table, and the virtual storage.DB every reader scans.
+type version struct {
+	id     uint64
+	n      int64
+	runs   []run
+	src    *stitchedReader
+	idx    *storage.SubtreeIndex
+	names  *tree.Names
+	nNames int
+	db     *storage.DB
+	segs   []*segment // unique segments referenced by runs
+	refs   int        // pins: the store's own (while current) plus one per snapshot; guarded by: mu (the Store's)
+}
+
+// Store is a versioned .arb database: one writer at a time (patches and
+// compactions serialise on wmu), any number of lock-free readers, each
+// pinning a version via Snapshot. The current version is published by
+// atomic manifest rename; superseded versions survive until their last
+// snapshot is released, which drives patch-segment garbage collection.
+type Store struct {
+	base string // database path prefix (like storage.DB.Base)
+	dir  string
+
+	// wmu serialises writers: at most one patch/compact computes and
+	// commits at a time. Readers never take it.
+	wmu sync.Mutex
+
+	// mu guards the version/segment bookkeeping below; it is held only
+	// for pointer swaps and refcounts, never during I/O or scans.
+	mu          sync.Mutex
+	cur         *version            // guarded by: mu
+	segs        map[uint64]*segment // open segments by id; guarded by: mu
+	nextSeg     uint64              // guarded by: mu
+	history     []HistoryEntry      // guarded by: mu
+	live        int                 // versions not yet collected; guarded by: mu
+	snapRefs    int                 // outstanding snapshots; guarded by: mu
+	patches     int64               // committed patches; guarded by: mu
+	compactions int64               // committed compactions; guarded by: mu
+	closed      bool                // guarded by: mu
+}
+
+// Open opens base as a versioned database. With a base.arbm manifest
+// present, the manifested version is loaded (rejecting manifests that
+// reference missing or undersized segments) and orphaned patch segments
+// or temp files from an interrupted commit are swept. Without one, the
+// plain base.arb/.lab database bootstraps read-only as version 1 — no
+// files are created or modified until the first patch commits.
+// Cancelling ctx aborts a bootstrap index build.
+func Open(ctx context.Context, base string) (*Store, error) {
+	st := &Store{base: base, dir: filepath.Dir(base), segs: make(map[uint64]*segment)}
+	if _, err := os.Stat(base + ".arbm"); err == nil {
+		if err := st.openManifest(base + ".arbm"); err != nil {
+			return nil, err
+		}
+	} else if os.IsNotExist(err) {
+		if err := st.bootstrap(ctx); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+	st.sweepOrphans()
+	return st, nil
+}
+
+// bootstrap builds version 1 directly over the plain base.arb database:
+// one base segment, one run, the database's own (possibly freshly
+// built) subtree index.
+//
+// arblint:holds mu — construction: the store is not yet shared.
+func (st *Store) bootstrap(ctx context.Context) error {
+	db, err := storage.Open(st.base)
+	if err != nil {
+		return err
+	}
+	ix, err := db.Index(ctx, 0)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	n, names := db.N, db.Names
+	if err := db.Close(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("vstore: %s.arb is empty", st.base)
+	}
+	f, err := os.Open(st.base + ".arb")
+	if err != nil {
+		return err
+	}
+	seg := &segment{id: 0, kind: segBase, nodes: n, name: filepath.Base(st.base) + ".arb", f: f}
+	runs := []run{{seg: seg, logical: 0, phys: 0, count: n}}
+	st.segs[0] = seg
+	st.nextSeg = 1
+	st.install(&version{id: 1, n: n, runs: runs, idx: ix, names: names, nNames: names.Len()})
+	st.history = []HistoryEntry{{Version: 1, Op: "open"}}
+	return nil
+}
+
+// openManifest loads the current version from a validated manifest,
+// opening every referenced segment and verifying it holds the promised
+// bytes — a manifest referencing a missing or truncated segment is
+// rejected whole.
+//
+// arblint:holds mu — construction: the store is not yet shared.
+func (st *Store) openManifest(path string) error {
+	m, ix, err := readManifest(path)
+	if err != nil {
+		return err
+	}
+	names, err := st.loadNames(m.names)
+	if err != nil {
+		return err
+	}
+	segs := make(map[uint64]*segment, len(m.segs))
+	ok := false
+	defer func() {
+		if !ok {
+			for _, sg := range segs {
+				sg.f.Close()
+			}
+		}
+	}()
+	var maxID uint64
+	for _, ms := range m.segs {
+		f, err := os.Open(filepath.Join(st.dir, ms.name))
+		if err != nil {
+			return fmt.Errorf("vstore: manifest references missing segment %s: %w", ms.name, err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if fi.Size() < ms.nodes*storage.NodeSize {
+			f.Close()
+			return fmt.Errorf("vstore: segment %s holds %d bytes, manifest promises %d",
+				ms.name, fi.Size(), ms.nodes*storage.NodeSize)
+		}
+		segs[ms.id] = &segment{id: ms.id, kind: ms.kind, nodes: ms.nodes, name: ms.name, f: f}
+		if ms.id >= maxID {
+			maxID = ms.id + 1
+		}
+	}
+	runs := make([]run, len(m.runs))
+	for i, mr := range m.runs {
+		runs[i] = run{seg: segs[mr.seg], logical: mr.logical, phys: mr.phys, count: mr.count}
+	}
+	st.segs = segs
+	st.nextSeg = maxID
+	st.install(&version{id: m.version, n: m.n, runs: runs, idx: ix, names: names, nNames: m.names})
+	st.history = m.history
+	ok = true
+	return nil
+}
+
+// loadNames reads the store's label-name table — base.vlab when the
+// store has committed new tags, base.lab otherwise — and truncates it
+// to the count the manifest declares (a crash between the .vlab rename
+// and the manifest rename leaves extra names; append-only ids make the
+// declared prefix exactly the committed table).
+func (st *Store) loadNames(count int) (*tree.Names, error) {
+	names := tree.NewNames()
+	for _, path := range []string{st.base + ".vlab", st.base + ".lab"} {
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		names, err = tree.ReadNames(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		break
+	}
+	all := names.All()
+	if len(all) < count {
+		return nil, fmt.Errorf("vstore: name table holds %d names, manifest declares %d", len(all), count)
+	}
+	if len(all) == count {
+		return names, nil
+	}
+	trimmed := tree.NewNames()
+	for _, name := range all[:count] {
+		trimmed.MustIntern(name)
+	}
+	return trimmed, nil
+}
+
+// install makes ver the current version (store construction only; the
+// commit path uses publish).
+//
+// arblint:holds mu — construction: the store is not yet shared.
+func (st *Store) install(ver *version) {
+	ver.finish(st.base)
+	ver.refs = 1
+	for _, sg := range ver.segs {
+		sg.refs++
+	}
+	st.cur = ver
+	st.live++
+}
+
+// finish derives a version's stitched reader, unique segment list and
+// virtual database from its run table.
+func (ver *version) finish(base string) {
+	seen := make(map[uint64]bool)
+	for _, r := range ver.runs {
+		if !seen[r.seg.id] {
+			seen[r.seg.id] = true
+			ver.segs = append(ver.segs, r.seg)
+		}
+	}
+	ver.src = newStitchedReader(ver.runs, ver.n)
+	ver.db = storage.NewVirtualDB(base, ver.src, ver.n, ver.names, ver.idx)
+}
+
+// sweepOrphans removes leftovers of interrupted commits: patch segments
+// not referenced by the loaded version and stray manifest/name-table
+// temp files. Best-effort — a locked directory only delays cleanup to
+// the next Open.
+//
+// arblint:holds mu — construction: the store is not yet shared.
+func (st *Store) sweepOrphans() {
+	referenced := make(map[string]bool)
+	for _, sg := range st.segs {
+		referenced[sg.name] = true
+	}
+	prefix := filepath.Base(st.base)
+	if matches, err := filepath.Glob(filepath.Join(st.dir, prefix+"-*.seg")); err == nil {
+		for _, path := range matches {
+			if !referenced[filepath.Base(path)] {
+				os.Remove(path)
+			}
+		}
+	}
+	for _, pat := range []string{prefix + ".arbm.tmp*", prefix + ".vlab.tmp*"} {
+		if matches, err := filepath.Glob(filepath.Join(st.dir, pat)); err == nil {
+			for _, path := range matches {
+				os.Remove(path)
+			}
+		}
+	}
+}
+
+// Base returns the store's database path prefix.
+func (st *Store) Base() string { return st.base }
+
+// Version returns the current version id.
+func (st *Store) Version() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.cur.id
+}
+
+// Nodes returns the node count of the current version.
+func (st *Store) Nodes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.cur.n
+}
+
+// Names returns the label-name table of the current version. The table
+// is immutable (patches that add tags publish a grown copy), so the
+// caller may hold it across versions: ids never change meaning, newer
+// versions only append.
+func (st *Store) Names() *tree.Names {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.cur.names
+}
+
+// History returns the committed operation chain, oldest first.
+func (st *Store) History() []HistoryEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]HistoryEntry, len(st.history))
+	copy(out, st.history)
+	return out
+}
+
+// Snapshot pins the current version and returns an immutable view of
+// it. The caller must Release it; the last release of a superseded
+// version deletes whatever patch segments only it referenced.
+func (st *Store) Snapshot() *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.cur.refs++
+	st.snapRefs++
+	return &Snapshot{st: st, v: st.cur}
+}
+
+// Snapshot is a pinned database version. Its DB is a fully functional
+// read-only *storage.DB — every scan primitive and evaluation strategy
+// runs on it unmodified — valid until Release.
+type Snapshot struct {
+	st   *Store
+	v    *version
+	once sync.Once
+}
+
+// DB returns the version's virtual database handle.
+func (s *Snapshot) DB() *storage.DB { return s.v.db }
+
+// Version returns the pinned version id.
+func (s *Snapshot) Version() uint64 { return s.v.id }
+
+// Nodes returns the pinned version's node count.
+func (s *Snapshot) Nodes() int64 { return s.v.n }
+
+// Names returns the pinned version's label-name table.
+func (s *Snapshot) Names() *tree.Names { return s.v.names }
+
+// Release unpins the version. Releasing twice is safe (idempotent).
+func (s *Snapshot) Release() {
+	s.once.Do(func() {
+		s.st.mu.Lock()
+		defer s.st.mu.Unlock()
+		s.st.snapRefs--
+		s.st.releaseLocked(s.v)
+	})
+}
+
+// releaseLocked drops one pin of ver; at zero the version dies and its
+// segment references unwind — a patch segment no live version uses is
+// closed and deleted (the base .arb is closed but always kept on disk).
+//
+// arblint:holds mu
+func (st *Store) releaseLocked(ver *version) {
+	ver.refs--
+	if ver.refs > 0 {
+		return
+	}
+	st.live--
+	for _, sg := range ver.segs {
+		sg.refs--
+		if sg.refs > 0 {
+			continue
+		}
+		sg.f.Close()
+		delete(st.segs, sg.id)
+		if sg.kind == segPatch {
+			os.Remove(filepath.Join(st.dir, sg.name))
+		}
+	}
+}
+
+// publish commits ver as the new current version under st.mu: segment
+// refcounts move to the new version, the store's pin on the old one is
+// released (collecting it immediately if no snapshot holds it), and the
+// history gains op.
+func (st *Store) publish(ver *version, op string, isCompact bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ver.refs = 1
+	for _, sg := range ver.segs {
+		if _, known := st.segs[sg.id]; !known {
+			st.segs[sg.id] = sg
+		}
+		sg.refs++
+	}
+	st.live++
+	old := st.cur
+	st.cur = ver
+	st.history = append(st.history, HistoryEntry{Version: ver.id, Op: op})
+	if len(st.history) > maxHistory {
+		st.history = st.history[len(st.history)-maxHistory:]
+	}
+	if isCompact {
+		st.compactions++
+	} else {
+		st.patches++
+	}
+	st.releaseLocked(old)
+}
+
+// manifestFor serialises a version (plus the current history) for the
+// commit rename.
+func (st *Store) manifestFor(ver *version, op string) *manifest {
+	m := &manifest{
+		version: ver.id,
+		n:       ver.n,
+		names:   ver.nNames,
+		entries: ver.idx.Entries(),
+	}
+	for _, sg := range ver.segs {
+		m.segs = append(m.segs, manifestSeg{id: sg.id, kind: sg.kind, nodes: sg.nodes, name: sg.name})
+	}
+	sort.Slice(m.segs, func(i, j int) bool { return m.segs[i].id < m.segs[j].id })
+	for _, r := range ver.runs {
+		m.runs = append(m.runs, manifestRun{seg: r.seg.id, logical: r.logical, phys: r.phys, count: r.count})
+	}
+	st.mu.Lock()
+	m.history = append(append([]HistoryEntry{}, st.history...), HistoryEntry{Version: ver.id, Op: op})
+	st.mu.Unlock()
+	if len(m.history) > maxHistory {
+		m.history = m.history[len(m.history)-maxHistory:]
+	}
+	return m
+}
+
+// StoreStats is a point-in-time summary of the store for monitoring.
+type StoreStats struct {
+	Version      uint64 // current version id
+	Nodes        int64  // nodes in the current version
+	Segments     int    // open segments (base + live patch segments)
+	SegmentBytes int64  // record bytes held by open segments
+	LiveVersions int    // versions not yet collected (current included)
+	Snapshots    int    // outstanding snapshot pins
+	Patches      int64  // patches committed since the store was opened
+	Compactions  int64  // compactions committed since the store was opened
+}
+
+// Stats returns a snapshot of the store's bookkeeping.
+func (st *Store) Stats() StoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := StoreStats{
+		Version:      st.cur.id,
+		Nodes:        st.cur.n,
+		Segments:     len(st.segs),
+		LiveVersions: st.live,
+		Snapshots:    st.snapRefs,
+		Patches:      st.patches,
+		Compactions:  st.compactions,
+	}
+	for _, sg := range st.segs {
+		s.SegmentBytes += sg.nodes * storage.NodeSize
+	}
+	return s
+}
+
+// Close closes every open segment file. Outstanding snapshots become
+// invalid — callers drain readers first (the server does). Files on
+// disk are left exactly as the last commit published them.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	var first error
+	for _, sg := range st.segs {
+		if err := sg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

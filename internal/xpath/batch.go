@@ -48,15 +48,6 @@ func (b *Batch) Rounds() int {
 	return r
 }
 
-// engines returns every pass engine of every member, for stats deltas.
-func (b *Batch) engines() []*core.Engine {
-	var es []*core.Engine
-	for _, m := range b.members {
-		es = append(es, m.engines()...)
-	}
-	return es
-}
-
 // auxSlots assigns each multi-pass member its slot in the widened aux
 // sidecars of disk executions; single-pass members get -1. The returned
 // stride is the number of slots.
@@ -132,7 +123,7 @@ func (b *Batch) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) ([]*c
 		a := ensureAux(i)
 		return func(v tree.NodeID) uint16 { return a[v] }
 	}
-	err := statsDelta(b.engines(), &es, func() error {
+	err := statsDelta(&es, func(rs *core.RunStats) error {
 		for r := 0; r < rounds; r++ {
 			// Round 0 reads no aux bits (none have been produced yet), so
 			// its members run with Aux nil — which lets the round prune.
@@ -141,7 +132,7 @@ func (b *Batch) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) ([]*c
 				roundAux = nil
 			}
 			bms, idx, _ := b.roundMembers(r, slots, false, roundAux)
-			topts := core.TreeBatchOpts{Index: opts.Index, NoPrune: opts.NoPrune}
+			topts := core.TreeBatchOpts{Index: opts.Index, NoPrune: opts.NoPrune, Run: rs}
 			var rres []*core.Result
 			var agg core.Stats
 			var err error
@@ -192,7 +183,7 @@ func (b *Batch) ExecDisk(ctx context.Context, db *storage.DB, opts ExecOpts) ([]
 	es := ExecStats{Passes: rounds}
 	results := make([]*core.Result, len(b.members))
 	slots, stride := b.auxSlots()
-	err := statsDelta(b.engines(), &es, func() error {
+	err := statsDelta(&es, func(rs *core.RunStats) error {
 		var tmp string
 		if stride > 0 {
 			// A private temp directory per execution, removed on success,
@@ -211,7 +202,7 @@ func (b *Batch) ExecDisk(ctx context.Context, db *storage.DB, opts ExecOpts) ([]
 		auxIn := ""
 		for r := 0; r < rounds; r++ {
 			bms, idx, anyOut := b.roundMembers(r, slots, auxIn != "", nil)
-			dopts := core.DiskBatchOpts{AuxIn: auxIn, NoPrune: opts.NoPrune}
+			dopts := core.DiskBatchOpts{AuxIn: auxIn, NoPrune: opts.NoPrune, Run: rs}
 			if auxIn != "" {
 				dopts.AuxInStride = stride
 			}

@@ -120,27 +120,18 @@ type ExecStats struct {
 	Passes int            // passes executed (aux + main)
 }
 
-// engines returns all pass engines in execution order.
-func (p *Prepared) engines() []*core.Engine {
-	return append(append([]*core.Engine{}, p.aux...), p.main)
-}
-
-// statsDelta runs f between two snapshots of the engines' cumulative
-// statistics and adds the difference — the work of this execution alone —
-// to es. When executions of one Prepared overlap, cache work computed by
-// a concurrent run may land in whichever delta observes it; the merged
-// totals across runs stay exact.
-//
-//arblint:todo lockdiscipline -- per-run Profile attribution reads the shared cumulative Stats; exact attribution needs per-run counters threaded through the drivers
-func statsDelta(engines []*core.Engine, es *ExecStats, f func() error) error {
-	before := make([]core.Stats, len(engines))
-	for i, e := range engines {
-		before[i] = e.Stats()
-	}
-	err := f()
-	for i, e := range engines {
-		es.Engine.Add(e.Stats().Sub(before[i]))
-	}
+// statsDelta runs f with a fresh per-run stats sink and folds exactly
+// the work f's drivers attributed to the sink into es. The drivers
+// mirror their node counts and phase times into the sink and reach the
+// shared engines through ShareTo views, which credit each lazily
+// computed transition to the run whose cache miss computed it — so the
+// profile is deterministic even when executions overlap on one
+// Prepared's engines (snapshot deltas of the engines' cumulative Stats
+// would attribute concurrent cache work to whichever run observed it).
+func statsDelta(es *ExecStats, f func(rs *core.RunStats) error) error {
+	rs := &core.RunStats{}
+	err := f(rs)
+	es.Engine.Add(rs.Snapshot())
 	return err
 }
 
@@ -154,7 +145,7 @@ func (p *Prepared) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) (*
 		return nil, es, fmt.Errorf("xpath: empty tree")
 	}
 	var res *core.Result
-	err := statsDelta(p.engines(), &es, func() error {
+	err := statsDelta(&es, func(rs *core.RunStats) error {
 		var aux []uint16
 		var auxFn func(v tree.NodeID) uint16
 		if len(p.aux) > 0 {
@@ -172,6 +163,7 @@ func (p *Prepared) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) (*
 		runPass := func(e *core.Engine, ro core.RunOpts) (*core.Result, error) {
 			ro.Index = opts.Index
 			ro.NoPrune = opts.NoPrune
+			ro.Run = rs
 			if opts.Workers > 1 {
 				return parallel.RunContext(ctx, e, t, opts.Workers, ro)
 			}
@@ -215,11 +207,12 @@ func (p *Prepared) ExecTree(ctx context.Context, t *tree.Tree, opts ExecOpts) (*
 func (p *Prepared) ExecDisk(ctx context.Context, db *storage.DB, opts ExecOpts) (*core.Result, ExecStats, error) {
 	es := ExecStats{Passes: p.Passes()}
 	var res *core.Result
-	err := statsDelta(p.engines(), &es, func() error {
+	err := statsDelta(&es, func(rs *core.RunStats) error {
 		runPass := func(e *core.Engine, do core.DiskOpts) (*core.Result, error) {
 			var r *core.Result
 			var ds *core.DiskStats
 			var err error
+			do.Run = rs
 			if opts.Workers > 1 {
 				r, ds, err = e.RunDiskParallelContext(ctx, db, opts.Workers, do)
 			} else {

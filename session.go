@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
 	"arb/internal/storage"
 	"arb/internal/tree"
+	"arb/internal/vstore"
 	"arb/internal/xpath"
 )
 
@@ -32,6 +34,13 @@ type Session struct {
 	t     *tree.Tree
 	db    *storage.DB
 	ownDB bool
+
+	// vs is non-nil for versioned sessions (databases with a .arbm
+	// manifest, or any database opened through OpenVersionedSession):
+	// executions pin an immutable version snapshot for their whole
+	// duration, and Patch/Compact publish new versions without
+	// disturbing them. Exactly one of t, db, vs is the session's source.
+	vs *vstore.Store
 
 	// Lazily built subtree index (with label signatures) over the
 	// in-memory tree, shared by every query prepared on the session — the
@@ -61,7 +70,15 @@ func NewDBSession(db *DB) *Session { return &Session{db: db} }
 
 // OpenSession opens the database stored at base (base.arb, base.lab) and
 // wraps it in a session that owns it: Close closes the database too.
+// When a base.arbm version manifest is present — the database has been
+// patched — the session opens versioned: queries read consistent MVCC
+// snapshots and the session accepts Patch/Compact. A plain database
+// opens exactly as before (use OpenVersionedSession to patch one for
+// the first time).
 func OpenSession(base string) (*Session, error) {
+	if _, err := os.Stat(base + ".arbm"); err == nil {
+		return OpenVersionedSession(context.Background(), base)
+	}
 	db, err := storage.Open(base)
 	if err != nil {
 		return nil, err
@@ -69,35 +86,69 @@ func OpenSession(base string) (*Session, error) {
 	return &Session{db: db, ownDB: true}, nil
 }
 
-// Close releases the session's resources (the database handle, when the
-// session owns one).
+// Close releases the session's resources (the database handle or
+// versioned store, when the session owns one).
 func (s *Session) Close() error {
+	if s.vs != nil {
+		return s.vs.Close()
+	}
 	if s.ownDB && s.db != nil {
 		return s.db.Close()
 	}
 	return nil
 }
 
-// Names returns the session's label-name table.
+// Names returns the session's label-name table. For versioned sessions
+// this is the current version's table; patches that introduce new tags
+// publish a grown copy, and ids never change meaning (tables only
+// append), so labels resolved against an older table stay valid.
 func (s *Session) Names() *Names {
+	if s.vs != nil {
+		return s.vs.Names()
+	}
 	if s.db != nil {
 		return s.db.Names
 	}
 	return s.t.Names()
 }
 
-// DB returns the session's database, or nil for in-memory sessions.
+// DB returns the session's database, or nil for in-memory and versioned
+// sessions (a versioned session has no single database — each execution
+// pins its own version snapshot).
 func (s *Session) DB() *DB { return s.db }
 
 // Tree returns the session's tree, or nil for disk sessions.
 func (s *Session) Tree() *Tree { return s.t }
 
-// Len returns the number of nodes of the session's document.
+// Len returns the number of nodes of the session's document (for
+// versioned sessions: of the current version).
 func (s *Session) Len() int64 {
+	if s.vs != nil {
+		return s.vs.Nodes()
+	}
 	if s.db != nil {
 		return s.db.N
 	}
 	return int64(s.t.Len())
+}
+
+// acquire resolves the source one execution reads: the database handle
+// (nil for in-memory sessions), the label-name table to compile
+// against, the version read (0 unless versioned), and a release the
+// caller must invoke when the execution is done. Versioned sessions pin
+// a snapshot here — the execution keeps reading that version however
+// many patches commit meanwhile, and the release is what lets the
+// store collect superseded versions and their patch segments.
+func (s *Session) acquire() (db *storage.DB, names *tree.Names, version uint64, release func()) {
+	switch {
+	case s.vs != nil:
+		snap := s.vs.Snapshot()
+		return snap.DB(), snap.Names(), snap.Version(), snap.Release
+	case s.db != nil:
+		return s.db, s.db.Names, 0, func() {}
+	default:
+		return nil, s.t.Names(), 0, func() {}
+	}
 }
 
 // Prepare compiles a TMNF program against the session: the result's
@@ -105,11 +156,12 @@ func (s *Session) Len() int64 {
 // executions, so repeated queries pay the compilation and Horn-solving
 // cost once.
 func (s *Session) Prepare(prog *Program) (*PreparedQuery, error) {
-	p, err := xpath.PrepareProgram(prog, s.Names())
+	names := s.Names()
+	p, err := xpath.PrepareProgram(prog, names)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{s: s, p: p}, nil
+	return &PreparedQuery{s: s, src: prog, names: names, p: p}, nil
 }
 
 // PrepareXPath compiles a Core XPath query against the session. Queries
@@ -118,11 +170,12 @@ func (s *Session) Prepare(prog *Program) (*PreparedQuery, error) {
 // sidecar files on disk — either way Exec runs all passes and returns the
 // main pass's result.
 func (s *Session) PrepareXPath(q *XPathQuery) (*PreparedQuery, error) {
-	p, err := q.Prepare(s.Names())
+	names := s.Names()
+	p, err := q.Prepare(names)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{s: s, p: p}, nil
+	return &PreparedQuery{s: s, src: q, names: names, p: p}, nil
 }
 
 // PrepareBatch compiles several queries against the session for
@@ -137,14 +190,14 @@ func (s *Session) PrepareBatch(items ...any) (*PreparedBatch, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("arb: PrepareBatch needs at least one query")
 	}
-	members := make([]*xpath.Prepared, len(items))
+	members := make([]*PreparedQuery, len(items))
 	for i, item := range items {
 		var err error
 		switch q := item.(type) {
 		case *Program:
-			members[i], err = xpath.PrepareProgram(q, s.Names())
+			members[i], err = s.Prepare(q)
 		case *XPathQuery:
-			members[i], err = q.Prepare(s.Names())
+			members[i], err = s.PrepareXPath(q)
 		default:
 			err = fmt.Errorf("unsupported type %T (want *arb.Program or *arb.XPathQuery)", item)
 		}
@@ -152,7 +205,7 @@ func (s *Session) PrepareBatch(items ...any) (*PreparedBatch, error) {
 			return nil, fmt.Errorf("arb: PrepareBatch item %d: %w", i, err)
 		}
 	}
-	return &PreparedBatch{s: s, b: xpath.NewBatch(members)}, nil
+	return &PreparedBatch{s: s, members: members}, nil
 }
 
 // BatchOf groups queries already prepared on this session into a
@@ -172,7 +225,7 @@ func (s *Session) BatchOf(queries ...*PreparedQuery) (*PreparedBatch, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("arb: BatchOf needs at least one query")
 	}
-	members := make([]*xpath.Prepared, len(queries))
+	members := make([]*PreparedQuery, len(queries))
 	for i, q := range queries {
 		if q == nil {
 			return nil, fmt.Errorf("arb: BatchOf: query %d is nil", i)
@@ -180,9 +233,9 @@ func (s *Session) BatchOf(queries ...*PreparedQuery) (*PreparedBatch, error) {
 		if q.s != s {
 			return nil, fmt.Errorf("arb: BatchOf: query %d was prepared on a different session", i)
 		}
-		members[i] = q.p
+		members[i] = q
 	}
-	return &PreparedBatch{s: s, b: xpath.NewBatch(members)}, nil
+	return &PreparedBatch{s: s, members: members}, nil
 }
 
 // ExecOpts configures one execution of a prepared query. The zero value
@@ -237,7 +290,12 @@ type Profile struct {
 	// with; databases below the parallel evaluator's coordination
 	// threshold and marked-output passes may still evaluate
 	// sequentially.
-	Workers  int
+	Workers int
+	// Version is the database version this execution read — versioned
+	// sessions pin exactly one MVCC snapshot for all their passes, so
+	// concurrent patches never change an execution's data mid-flight.
+	// Zero for unversioned sessions.
+	Version  uint64
 	Duration time.Duration
 }
 
@@ -264,17 +322,62 @@ func (p *Profile) SkippedBytes() int64 {
 // disk executions overlap freely: each keeps its own uniquely named state
 // file, reported as Result.StateFile.
 type PreparedQuery struct {
-	s *Session
-	p *xpath.Prepared
+	s   *Session
+	src any // recompilation source: *Program or *XPathQuery
+
+	// On a versioned session a patch that introduces new tag names
+	// publishes a grown label table; engines are bound to the exact
+	// table their database snapshot carries, so the handle recompiles
+	// lazily when the table identity changes (tables only append, so
+	// the recompiled plan answers identically on unchanged labels).
+	// Patches that add no tags keep the table — and the warm automata.
+	mu    sync.Mutex
+	names *tree.Names     // table p is compiled against; guarded by: mu
+	p     *xpath.Prepared // guarded by: mu (pointer swap only; the handle itself is reentrant)
+}
+
+// handle returns the current compiled handle (for inspection paths that
+// do not care which name-table generation it is bound to).
+func (q *PreparedQuery) handle() *xpath.Prepared {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.p
+}
+
+// prepared returns the compiled handle bound to names, recompiling once
+// per name-table generation. The common case — unversioned sessions,
+// and versioned sessions whose patches added no tags — is a pointer
+// compare returning the cached handle.
+func (q *PreparedQuery) prepared(names *tree.Names) (*xpath.Prepared, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if names == q.names {
+		return q.p, nil
+	}
+	var p *xpath.Prepared
+	var err error
+	switch src := q.src.(type) {
+	case *Program:
+		p, err = xpath.PrepareProgram(src, names)
+	case *XPathQuery:
+		p, err = src.Prepare(names)
+	default:
+		err = fmt.Errorf("arb: unknown query source %T", q.src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	q.names, q.p = names, p
+	return p, nil
 }
 
 // Queries returns the query predicates Exec's result reports, in the
 // program's declaration order (XPath queries have exactly one).
-func (q *PreparedQuery) Queries() []Pred { return q.p.Queries() }
+func (q *PreparedQuery) Queries() []Pred { return q.handle().Queries() }
 
 // Program returns the program of the query's main pass (for predicate
 // naming and inspection).
-func (q *PreparedQuery) Program() *Program { return q.p.Program() }
+func (q *PreparedQuery) Program() *Program { return q.handle().Program() }
 
 // Exec runs the query over the session's source and returns the unified
 // result, dispatching internally to the right strategy: in-memory or
@@ -309,18 +412,24 @@ func (q *PreparedQuery) Exec(ctx context.Context, opts ExecOpts) (*Result, *Prof
 		MarkQuery:  opts.MarkQuery,
 		NoPrune:    opts.NoPrune,
 	}
-	if q.s.db == nil && !opts.NoPrune {
+
+	db, names, version, release := q.s.acquire()
+	defer release()
+	p, err := q.prepared(names)
+	if err != nil {
+		return nil, nil, err
+	}
+	if db == nil && !opts.NoPrune {
 		xopts.Index = q.s.treeIndex()
 	}
 
 	start := time.Now()
 	var res *Result
 	var es xpath.ExecStats
-	var err error
-	if q.s.db != nil {
-		res, es, err = q.p.ExecDisk(ctx, q.s.db, xopts)
+	if db != nil {
+		res, es, err = p.ExecDisk(ctx, db, xopts)
 	} else {
-		res, es, err = q.p.ExecTree(ctx, q.s.t, xopts)
+		res, es, err = p.ExecTree(ctx, q.s.t, xopts)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -333,6 +442,7 @@ func (q *PreparedQuery) Exec(ctx context.Context, opts ExecOpts) (*Result, *Prof
 		Disk:     es.Disk,
 		Passes:   es.Passes,
 		Workers:  workers,
+		Version:  version,
 		Duration: time.Since(start),
 	}, nil
 }
@@ -361,26 +471,34 @@ func (q *PreparedQuery) Count(ctx context.Context) (int64, error) {
 // PreparedBatch may overlap, and the members' automata persist across
 // executions exactly as a PreparedQuery's do.
 type PreparedBatch struct {
-	s *Session
-	b *xpath.Batch
+	s       *Session
+	members []*PreparedQuery
 }
 
 // Len returns the number of member queries.
-func (b *PreparedBatch) Len() int { return b.b.Len() }
+func (b *PreparedBatch) Len() int { return len(b.members) }
 
 // Queries returns the query predicates of member i, in its program's
 // declaration order — the predicates to look up in Exec's i-th result.
-func (b *PreparedBatch) Queries(i int) []Pred { return b.b.Member(i).Queries() }
+func (b *PreparedBatch) Queries(i int) []Pred { return b.members[i].Queries() }
 
 // Program returns the program of member i's main pass (for predicate
 // naming and inspection).
-func (b *PreparedBatch) Program(i int) *Program { return b.b.Member(i).Program() }
+func (b *PreparedBatch) Program(i int) *Program { return b.members[i].Program() }
 
 // Rounds returns the number of shared scan pairs one Exec runs: 1 for a
 // batch of single-pass queries — two linear scans in aggregate, however
 // many queries the batch holds — plus one per extra not(..) nesting level
 // of the deepest multi-pass member.
-func (b *PreparedBatch) Rounds() int { return b.b.Rounds() }
+func (b *PreparedBatch) Rounds() int {
+	r := 0
+	for _, m := range b.members {
+		if p := m.handle().Passes(); p > r {
+			r = p
+		}
+	}
+	return r
+}
 
 // Exec evaluates every member query over the session's source during
 // shared scans and returns one Result per member, in PrepareBatch order.
@@ -415,7 +533,21 @@ func (b *PreparedBatch) Exec(ctx context.Context, opts ExecOpts) ([]*Result, *Pr
 		workers = 1
 	}
 	xopts := xpath.ExecOpts{Workers: workers, NoPrune: opts.NoPrune}
-	if b.s.db == nil && !opts.NoPrune {
+
+	// One snapshot serves the whole batch: every member scans the same
+	// version, and coalesced server batches inherit that consistency.
+	db, names, version, release := b.s.acquire()
+	defer release()
+	members := make([]*xpath.Prepared, len(b.members))
+	for i, m := range b.members {
+		p, err := m.prepared(names)
+		if err != nil {
+			return nil, nil, err
+		}
+		members[i] = p
+	}
+	xb := xpath.NewBatch(members)
+	if db == nil && !opts.NoPrune {
 		xopts.Index = b.s.treeIndex()
 	}
 
@@ -423,10 +555,10 @@ func (b *PreparedBatch) Exec(ctx context.Context, opts ExecOpts) ([]*Result, *Pr
 	var res []*Result
 	var es xpath.ExecStats
 	var err error
-	if b.s.db != nil {
-		res, es, err = b.b.ExecDisk(ctx, b.s.db, xopts)
+	if db != nil {
+		res, es, err = xb.ExecDisk(ctx, db, xopts)
 	} else {
-		res, es, err = b.b.ExecTree(ctx, b.s.t, xopts)
+		res, es, err = xb.ExecTree(ctx, b.s.t, xopts)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -439,6 +571,7 @@ func (b *PreparedBatch) Exec(ctx context.Context, opts ExecOpts) ([]*Result, *Pr
 		Disk:     es.Disk,
 		Passes:   es.Passes,
 		Workers:  workers,
+		Version:  version,
 		Duration: time.Since(start),
 	}, nil
 }

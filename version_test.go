@@ -1,0 +1,239 @@
+package arb_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"arb"
+)
+
+// randElemXML returns a random element-only document of at most maxNodes
+// nodes. With serial non-nil, roughly an eighth of the tags are freshly
+// minted names — patches built from such fragments grow the label table,
+// exercising the prepared handles' lazy recompilation.
+func randElemXML(r *rand.Rand, serial *int, maxNodes int) string {
+	tags := []string{"a", "b", "c", "d", "e"}
+	var b strings.Builder
+	budget := 1 + r.Intn(maxNodes)
+	var emit func() int
+	emit = func() int {
+		tag := tags[r.Intn(len(tags))]
+		if serial != nil && r.Intn(8) == 0 {
+			*serial++
+			tag = fmt.Sprintf("g%d", *serial)
+		}
+		used := 1
+		budget--
+		b.WriteString("<" + tag + ">")
+		for budget > 0 && r.Intn(2) == 0 {
+			used += emit()
+		}
+		b.WriteString("</" + tag + ">")
+		return used
+	}
+	emit()
+	return b.String()
+}
+
+// TestVersionedSessionDifferential drives a random patch sequence
+// through the public Session surface and, at every checkpoint, holds the
+// versioned store to the freshly-created oracle: the current version is
+// emitted, rebuilt as a plain flat .arb database, and every execution
+// strategy — sequential, parallel, pruning disabled, shared-scan batch —
+// must select exactly the nodes the flat database selects, while the
+// emitted documents match byte for byte. Compaction and reopening from
+// disk must be invisible to all of it.
+func TestVersionedSessionDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			base := filepath.Join(dir, "db")
+
+			doc, err := arb.ParseXML(strings.NewReader("<a>" + randElemXML(r, nil, 40) + randElemXML(r, nil, 40) + "</a>"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := arb.CreateDBFromTree(base, doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.Close()
+			sess, err := arb.OpenVersionedSession(nil, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { sess.Close() }()
+
+			sources := []string{"//a/b", "//c", "//b//d", "//a/b/c", "//e"}
+			queries := make([]*arb.XPathQuery, len(sources))
+			prepared := make([]*arb.PreparedQuery, len(sources))
+			items := make([]any, len(sources))
+			for i, src := range sources {
+				if queries[i], err = arb.ParseXPath(src); err != nil {
+					t.Fatal(err)
+				}
+				if prepared[i], err = sess.PrepareXPath(queries[i]); err != nil {
+					t.Fatal(err)
+				}
+				items[i] = queries[i]
+			}
+			batch, err := sess.PrepareBatch(items...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			oracleN := 0
+			verify := func() {
+				t.Helper()
+				// Freshly-created oracle: emit the current version and
+				// rebuild it as a plain single-file database.
+				var emitted bytes.Buffer
+				if err := sess.EmitXML(nil, &emitted, nil); err != nil {
+					t.Fatal(err)
+				}
+				otree, err := arb.ParseXML(bytes.NewReader(emitted.Bytes()))
+				if err != nil {
+					t.Fatalf("version %d does not emit parseable XML: %v", sess.Version(), err)
+				}
+				oracleN++
+				obase := filepath.Join(dir, fmt.Sprintf("oracle%d", oracleN))
+				odb, err := arb.CreateDBFromTree(obase, otree)
+				if err != nil {
+					t.Fatal(err)
+				}
+				odb.Close()
+				osess, err := arb.OpenSession(obase)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer osess.Close()
+
+				if got, want := sess.Len(), osess.Len(); got != want {
+					t.Fatalf("version %d holds %d nodes, flat recreation %d", sess.Version(), got, want)
+				}
+				var flat bytes.Buffer
+				if err := osess.EmitXML(nil, &flat, nil); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(emitted.Bytes(), flat.Bytes()) {
+					t.Fatalf("version %d emission differs from its flat recreation", sess.Version())
+				}
+
+				bres, bprof, err := batch.Exec(nil, arb.ExecOpts{Stats: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bprof.Version != sess.Version() {
+					t.Fatalf("batch read version %d, store is at %d", bprof.Version, sess.Version())
+				}
+				for i, pq := range prepared {
+					opq, err := osess.PrepareXPath(queries[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					owant, oprof, err := opq.Exec(nil, arb.ExecOpts{Stats: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if oprof.Version != 0 {
+						t.Fatalf("unversioned execution reports version %d", oprof.Version)
+					}
+					want := owant.Selected(opq.Queries()[0])
+					for _, opts := range []arb.ExecOpts{
+						{Workers: 1, Stats: true},
+						{Workers: 4, Stats: true},
+						{NoPrune: true, Stats: true},
+					} {
+						res, prof, err := pq.Exec(nil, opts)
+						if err != nil {
+							t.Fatalf("%s at version %d: %v", sources[i], sess.Version(), err)
+						}
+						if got := res.Selected(pq.Queries()[0]); !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s at version %d (%+v): selected %v, flat recreation %v",
+								sources[i], sess.Version(), opts, got, want)
+						}
+						if prof.Version != sess.Version() {
+							t.Fatalf("execution read version %d, store is at %d", prof.Version, sess.Version())
+						}
+					}
+					if got := bres[i].Selected(batch.Queries(i)[0]); !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s at version %d (batch): selected %v, flat recreation %v",
+							sources[i], sess.Version(), got, want)
+					}
+				}
+			}
+
+			verify()
+			serial := 0
+			for step := 0; step < 24; step++ {
+				frag, err := arb.ParseXML(strings.NewReader(randElemXML(r, &serial, 12)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				op := arb.PatchOp{Tree: frag}
+				switch r.Intn(3) {
+				case 0:
+					op.Op, op.Node = "replace", 1+r.Int63n(sess.Len()-1)
+				case 1:
+					if sess.Len() < 3 {
+						continue
+					}
+					op.Op, op.Node, op.Tree = "delete", 1+r.Int63n(sess.Len()-1), nil
+				case 2:
+					op.Op, op.Node = "insert-child", r.Int63n(sess.Len())
+				}
+				info, err := sess.Patch(nil, op)
+				if err != nil {
+					t.Fatalf("step %d %s@%d: %v", step, op.Op, op.Node, err)
+				}
+				if info.Version != sess.Version() || info.Nodes != sess.Len() {
+					t.Fatalf("step %d: patch reports version %d/%d nodes, session %d/%d",
+						step, info.Version, info.Nodes, sess.Version(), sess.Len())
+				}
+				if step%6 == 5 {
+					verify()
+				}
+				if step == 11 {
+					if _, err := sess.Compact(nil); err != nil {
+						t.Fatal(err)
+					}
+					verify()
+				}
+			}
+
+			// Reopen from disk: OpenSession detects the manifest and comes
+			// back versioned at the same version, answering identically.
+			wantVersion, wantLen := sess.Version(), sess.Len()
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+			sess, err = arb.OpenSession(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sess.Versioned() {
+				t.Fatal("reopened session lost its versioning")
+			}
+			if sess.Version() != wantVersion || sess.Len() != wantLen {
+				t.Fatalf("reopened at version %d/%d nodes, want %d/%d",
+					sess.Version(), sess.Len(), wantVersion, wantLen)
+			}
+			for i := range sources {
+				if prepared[i], err = sess.PrepareXPath(queries[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if batch, err = sess.PrepareBatch(items...); err != nil {
+				t.Fatal(err)
+			}
+			verify()
+		})
+	}
+}
