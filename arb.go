@@ -112,6 +112,21 @@
 // shared-scan batches; `arbbench -experiment serve` records its
 // coalesced-vs-per-request throughput in BENCH_serve.json.
 //
+// # Compressed extents
+//
+// Both scan passes are sequential-bandwidth-bound, so block-compressed
+// databases (format v3; CompressDB, CLI: `arb create -compress`) trade
+// spare CPU for proportionally fewer bytes read: the .arb record stream
+// is stored as independently compressed fixed-size extents behind the
+// same ReadAt interface every scan primitive already uses, so all
+// strategies — sequential, parallel, batched, pruned, patched — run
+// unmodified and bit-identical on compressed databases. Incompressible
+// blocks are stored raw, old uncompressed databases keep opening
+// transparently, and Profile's ScanStats report physical next to
+// logical bytes (Disk.PhaseN.PhysicalBytes); `arbbench -experiment
+// compress` records ratio and scan speedup per block size in
+// BENCH_compress.json.
+//
 // # Selectivity-aware scan pruning
 //
 // For selective queries most of those scanned bytes are provably
@@ -130,6 +145,7 @@ package arb
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"arb/internal/core"
@@ -230,8 +246,37 @@ func CreateDBFromTree(base string, t *Tree) (*DB, error) {
 	return storage.CreateFromTree(base, t)
 }
 
-// OpenDB opens an existing database.
+// OpenDB opens an existing database. Raw and block-compressed
+// databases are distinguished by their container magic; both serve the
+// same logical record space.
 func OpenDB(base string) (*DB, error) { return storage.Open(base) }
+
+// CompressionInfo summarises a block-compressed database container:
+// codec, block size, and physical versus logical bytes
+// (CompressionInfo.Ratio). DB.Compression reports it for open handles.
+type CompressionInfo = storage.ContainerInfo
+
+// CodecName returns the human-readable name of a CompressionInfo codec
+// ("raw", "lz", "flate").
+func CodecName(codec uint8) string { return storage.CodecName(codec) }
+
+// CompressDB rewrites base.arb in place as a block-compressed container
+// (format v3), replacing it atomically and refreshing the .idx sidecar.
+// codec is "lz" (the built-in LZ codec, fastest decode — the default
+// for an empty string), "flate" (stdlib DEFLATE, tighter, slower);
+// blockSize 0 selects the default extent size. Every reader opened
+// afterwards — including old handles' snapshots in the versioned store
+// — sees identical records; only the physical layout changes.
+func CompressDB(base string, codec string, blockSize int) (CompressionInfo, error) {
+	c, err := storage.ParseCodec(codec)
+	if err != nil {
+		return CompressionInfo{}, err
+	}
+	if c == storage.CodecRaw {
+		return CompressionInfo{}, fmt.Errorf("arb: CompressDB with codec raw is a no-op; databases are created raw")
+	}
+	return storage.CompressInPlace(base, c, blockSize)
+}
 
 // EmitXML writes the database back out as XML, wrapping the nodes for
 // which selected returns true in <arb:selected> markup (the system's

@@ -69,6 +69,24 @@ fi
     exit 1
 }
 
+# Compression smoke: create a compressed database through the CLI,
+# query it (results must match the raw database), and check that stats
+# reports the container.
+awk 'BEGIN { printf "<doc>"; for (i = 0; i < 2000; i++) printf "<a><b>x</b></a>"; printf "</doc>" }' \
+    > "$patchdir/big.xml"
+"$patchdir/arb" create "$patchdir/rawdb" "$patchdir/big.xml" > /dev/null
+"$patchdir/arb" create "$patchdir/zdb" -compress "$patchdir/big.xml" > /dev/null
+rawq=$("$patchdir/arb" query "$patchdir/rawdb" -xpath '//a/b')
+zq=$("$patchdir/arb" query "$patchdir/zdb" -xpath '//a/b')
+if [ "$rawq" != "$zq" ]; then
+    echo "compress smoke: compressed query ($zq) differs from raw ($rawq)" >&2
+    exit 1
+fi
+"$patchdir/arb" stats "$patchdir/zdb" | grep -q 'compressed: lz codec' || {
+    echo "compress smoke: stats does not report the container" >&2
+    exit 1
+}
+
 # Fast gates: context-cancellation behaviour across storage, the engine
 # and the CLI, the shared-scan batch machinery (differential, order
 # independence, cancellation cleanup), selectivity-aware pruning
@@ -80,6 +98,10 @@ go test -run Cancel -race ./...
 go test -run Batch -race ./...
 go test -run Prune -race ./...
 go test -run Serve -race ./...
+# Compressed extents: container round-trips, all-strategy differentials
+# on compressed databases, vstore write-policy inheritance, and the
+# rename-commit directory-sync hooks.
+go test -run 'Compress|SyncDir' -race ./...
 # The versioned extent store: manifest fuzz seeds, the vstore and
 # root-level patch differentials, snapshot isolation/GC, and the
 # concurrent read-while-patching server race.

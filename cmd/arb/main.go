@@ -5,6 +5,7 @@
 // Usage:
 //
 //	arb create <base> [file.xml]       build base.arb/base.lab from XML (stdin default)
+//	arb create <base> -compress        same, then rewrite .arb as a block-compressed container
 //	arb query  <base> -q <program>     evaluate a TMNF program (Arb syntax)
 //	arb query  <base> -xpath <expr>    evaluate a Core XPath query (incl. not(..), on disk)
 //	arb query  <base> -f queries.txt -batch   evaluate a whole workload in shared scans
@@ -128,7 +129,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  arb create <base> [file.xml]
+  arb create <base> [-compress] [-codec lz|flate] [-blocksize N] [file.xml]
   arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N] [-timeout d] [-noprune]
   arb query  <base> -f <queries.txt> -batch [-j N] [-timeout d] [-noprune]
   arb serve  <base> [-addr :8337] [-window d] [-batch K] [-inflight N] [-cache N] [-j N] [-timeout d] [-drain d] [-noprune]
@@ -141,13 +142,20 @@ func usage() {
 }
 
 func create(args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	compress := fs.Bool("compress", false, "rewrite the finished database as a block-compressed container")
+	codec := fs.String("codec", "lz", "compression codec with -compress: lz (fast decode) or flate (tighter)")
+	blockSize := fs.Int("blocksize", 0, "compressed block size in bytes with -compress (0 = default)")
 	if len(args) < 1 {
 		usage()
 	}
 	base := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
 	var r io.Reader = os.Stdin
-	if len(args) > 1 {
-		f, err := os.Open(args[1])
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			return err
 		}
@@ -158,11 +166,21 @@ func create(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	if err := db.Close(); err != nil {
+		return err
+	}
 	fmt.Printf("created %s.arb: %d element nodes, %d character nodes, %d tags, %.2fs\n",
 		base, stats.ElemNodes, stats.CharNodes, stats.Tags, stats.Duration.Seconds())
 	fmt.Printf(".arb %d bytes, .lab %d bytes, temporary .evt %d bytes\n",
 		stats.ArbBytes, stats.LabBytes, stats.EvtBytes)
+	if *compress {
+		info, err := arb.CompressDB(base, *codec, *blockSize)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compressed with %s: %d -> %d bytes (%.2fx, %d blocks of %d)\n",
+			arb.CodecName(info.Codec), info.LogicalBytes, info.PhysBytes, info.Ratio(), info.Blocks, info.BlockSize)
+	}
 	return nil
 }
 
@@ -178,6 +196,7 @@ func serve(ctx context.Context, args []string) error {
 	jobs := fs.Int("j", 1, "parallel workers per execution (0 = all CPUs, 1 = sequential)")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	readTimeout := fs.Duration("readtimeout", 10*time.Second, "deadline for reading each request's headers (guards the listener against stalled clients)")
 	noprune := fs.Bool("noprune", false, "disable selectivity-aware scan pruning")
 	if len(args) < 1 {
 		usage()
@@ -214,7 +233,7 @@ func serve(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := newHTTPServer(srv.Handler(), *readTimeout)
 	fmt.Printf("arb: serving %s on %s (batch %d, window %v, inflight %d, cache %d)\n",
 		base, ln.Addr(), *batchMax, *window, *inflight, *cacheSize)
 
@@ -239,6 +258,25 @@ func serve(ctx context.Context, args []string) error {
 	}
 	fmt.Println("arb: drained")
 	return nil
+}
+
+// newHTTPServer builds the serve-mode HTTP server with connection
+// hygiene the zero value lacks: without ReadHeaderTimeout a client that
+// opens a socket and never finishes its headers parks a goroutine (and
+// under -inflight limits, eventually the whole listener) forever, and
+// without IdleTimeout dead keep-alive connections accumulate. The
+// header deadline is the -readtimeout flag; idle connections are given
+// a generous fixed multiple so keep-alive still helps well-behaved
+// clients.
+func newHTTPServer(h http.Handler, readTimeout time.Duration) *http.Server {
+	if readTimeout <= 0 {
+		readTimeout = 10 * time.Second
+	}
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readTimeout,
+		IdleTimeout:       12 * readTimeout,
+	}
 }
 
 func query(ctx context.Context, args []string) error {
@@ -556,6 +594,10 @@ func stats(args []string) error {
 	defer sess.Close()
 	fmt.Printf("%s: %d nodes, %d tags, %d bytes\n",
 		args[0], sess.Len(), sess.Names().Len(), sess.Len()*2)
+	if ci, ok := sess.Compression(); ok {
+		fmt.Printf("compressed: %s codec, %d blocks of %d, %d -> %d bytes on disk (%.2fx)\n",
+			arb.CodecName(ci.Codec), ci.Blocks, ci.BlockSize, ci.LogicalBytes, ci.PhysBytes, ci.Ratio())
+	}
 	if ss, ok := sess.StoreStats(); ok {
 		fmt.Printf("versioned: version %d, %d segments (%d bytes), %d history entries\n",
 			ss.Version, ss.Segments, ss.SegmentBytes, len(sess.History()))

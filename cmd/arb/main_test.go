@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"arb"
+)
+
+// TestHTTPServerTimeouts is the regression test for the unbounded
+// listener: serve mode must never run an http.Server without header and
+// idle deadlines, or a client that opens a socket and sends nothing
+// holds a connection goroutine forever.
+func TestHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(nil, 3*time.Second)
+	if srv.ReadHeaderTimeout != 3*time.Second {
+		t.Fatalf("ReadHeaderTimeout = %v, want the -readtimeout value", srv.ReadHeaderTimeout)
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Fatalf("IdleTimeout = %v, want > 0", srv.IdleTimeout)
+	}
+	// A zero or negative flag must still produce a guarded server.
+	for _, d := range []time.Duration{0, -time.Second} {
+		srv := newHTTPServer(nil, d)
+		if srv.ReadHeaderTimeout <= 0 || srv.IdleTimeout <= 0 {
+			t.Fatalf("readtimeout %v: server left unguarded (%v/%v)", d, srv.ReadHeaderTimeout, srv.IdleTimeout)
+		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+// TestCreateCompressStatsSmoke drives the CLI path end to end: create
+// -compress builds a compressed database, query-by-library selects from
+// it, and stats reports the container.
+func TestCreateCompressStatsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	xml := filepath.Join(dir, "doc.xml")
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 4000; i++ {
+		sb.WriteString("<item><name>abc</name></item>")
+	}
+	sb.WriteString("</root>")
+	if err := os.WriteFile(xml, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "db")
+
+	out := captureStdout(t, func() error {
+		return create([]string{base, "-compress", "-codec", "lz", xml})
+	})
+	if !strings.Contains(out, "compressed with lz:") {
+		t.Fatalf("create -compress output missing compression line:\n%s", out)
+	}
+
+	db, err := arb.OpenDB(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, ok := db.Compression()
+	if !ok || ci.Ratio() <= 1 {
+		t.Fatalf("created database not compressed (ok=%v, info %+v)", ok, ci)
+	}
+	db.Close()
+
+	out = captureStdout(t, func() error { return stats([]string{base}) })
+	if !strings.Contains(out, "compressed: lz codec") {
+		t.Fatalf("stats output missing compression line:\n%s", out)
+	}
+}

@@ -15,6 +15,16 @@
 //	         [-dbbytes n] [-dir d] [-out BENCH_serve.json]
 //	arbbench -experiment patch [-patches 64] [-dbbytes n] [-dir d]
 //	         [-out BENCH_patch.json]
+//	arbbench -experiment compress [-codec lz|flate] [-blocksizes 65536,...]
+//	         [-devmbps 64] [-dbbytes n] [-dir d] [-out BENCH_compress.json]
+//
+// compress measures block-compressed extents on the scan path: it builds
+// a full-binary database of at least -dbbytes bytes, compresses copies
+// at each of -blocksizes, and times the full two-scan pass over raw and
+// compressed containers through a token-bucket reader simulating a
+// -devmbps MB/s sequential device (page cache dropped first when
+// running as root), plus an unthrottled warm-cache query comparison as
+// the compute-bound no-regression check.
 //
 // patch measures the versioned extent store: on a generated full-binary
 // database of at least -dbbytes bytes it times -patches small subtree
@@ -75,16 +85,19 @@ func main() {
 	concurrency := flag.String("concurrency", "1,8,32", "concurrency levels for the serve experiment")
 	coalesce := flag.Int("coalesce", 16, "max plans per shared-scan batch (K) for the serve experiment")
 	patches := flag.Int("patches", 64, "timed mutations for the patch experiment")
+	codec := flag.String("codec", "lz", "codec for the compress experiment: lz or flate")
+	blockSizes := flag.String("blocksizes", "", "block sizes for the compress experiment (default 65536,262144,1048576)")
+	devMBps := flag.Float64("devmbps", 64, "simulated device bandwidth (MB/s) for the compress experiment")
 	out := flag.String("out", "", "also write the experiment's JSON report to this file")
 	flag.Parse()
 
-	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers, *batchSizes, *dbBytes, *concurrency, *coalesce, *patches, *out); err != nil {
+	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers, *batchSizes, *dbBytes, *concurrency, *coalesce, *patches, *codec, *blockSizes, *devMBps, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "arbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int, batchSizes string, dbBytes int64, concurrency string, coalesce, patches int, out string) error {
+func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int, batchSizes string, dbBytes int64, concurrency string, coalesce, patches int, codec, blockSizes string, devMBps float64, out string) error {
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "arbbench")
@@ -99,6 +112,38 @@ func run(experiment, thread string, scale float64, sizesFlag string, queries int
 	}
 
 	switch experiment {
+	case "compress":
+		var bsizes []int
+		if blockSizes != "" {
+			var err error
+			if bsizes, err = parseList(blockSizes); err != nil {
+				return err
+			}
+		}
+		report, err := bench.Compress(bench.CompressOpts{
+			MinDBBytes: dbBytes, Dir: dir, Codec: codec,
+			BlockSizes: bsizes, DeviceMBps: devMBps,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteCompress(os.Stdout, report)
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteCompressJSON(f, report); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+		return nil
+
 	case "patch":
 		report, err := bench.Patch(bench.PatchOpts{
 			MinDBBytes: dbBytes, Dir: dir, Patches: patches,

@@ -68,6 +68,39 @@ func TestFig6SmallAllThreads(t *testing.T) {
 	}
 }
 
+func TestCompressSmall(t *testing.T) {
+	// A device fast enough that the throttle never sleeps noticeably:
+	// this is a harness smoke test, not a measurement — so it must not
+	// flush the machine's page cache either.
+	oldDrop := dropPageCache
+	dropPageCache = func() bool { return false }
+	defer func() { dropPageCache = oldDrop }()
+	r, err := Compress(CompressOpts{
+		MinDBBytes: 2_000_000, Dir: t.TempDir(),
+		DeviceMBps: 4000, BlockSizes: []int{1 << 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(r.Rows))
+	}
+	row := r.Rows[0]
+	if row.Ratio <= 1 || row.PhysBytes >= row.LogicalBytes {
+		t.Fatalf("repetitive database did not compress: %+v", row)
+	}
+	if row.LogicalBytes != r.DBBytes {
+		t.Fatalf("logical bytes %d, want db bytes %d", row.LogicalBytes, r.DBBytes)
+	}
+	if r.QuerySelected == 0 || r.QuerySelected != r.PrunedQuerySelected {
+		t.Fatalf("query selected %d unpruned, %d pruned", r.QuerySelected, r.PrunedQuerySelected)
+	}
+	WriteCompress(io.Discard, r)
+	if err := WriteCompressJSON(io.Discard, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestStreamComparisonSmall(t *testing.T) {
 	dir := t.TempDir()
 	base, err := createThreadDB(Treebank, dir, 0.001)

@@ -1,0 +1,399 @@
+// Compressed-extent experiment: what does block compression buy the
+// two-scan evaluator when the device, not the CPU, is the bottleneck?
+// The experiment builds a large full-binary database with a distinct tag
+// per depth (repetitive in exactly the way real markup is), compresses
+// copies of it at several block sizes, and times the full two-scan pass
+// (FoldBottomUp + ScanTopDown with trivial callbacks) over each through
+// a token-bucket ReaderAt that models a sequential device of a given
+// bandwidth. The raw database must move every logical byte through the
+// device; a compressed one moves only the physical bytes and spends CPU
+// decompressing — a trade that pays whenever decode bandwidth exceeds
+// the device. A second, unthrottled section runs a real query end to end
+// (pruned and unpruned) against raw and compressed containers on a warm
+// page cache, as the no-regression check for the compute-bound regime.
+//
+// The page cache is dropped (best effort, needs root) before each
+// throttled measurement so the numbers start from a cold cache; the
+// token bucket still dominates because it is far slower than the disk.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"arb"
+	"arb/internal/storage"
+)
+
+// CompressRow is one block-size configuration of the experiment.
+type CompressRow struct {
+	Codec        string  `json:"codec"`
+	BlockSize    int     `json:"block_size"`
+	Blocks       int     `json:"blocks"`
+	LogicalBytes int64   `json:"logical_bytes"`
+	PhysBytes    int64   `json:"phys_bytes"`
+	Ratio        float64 `json:"ratio"`
+	// ScanSeconds is the full two-scan pass over the simulated device.
+	ScanSeconds float64 `json:"scan_seconds"`
+	// Speedup is RawScanSeconds of the report over ScanSeconds.
+	Speedup float64 `json:"speedup"`
+}
+
+// CompressReport is the machine-readable output of the experiment
+// (written to BENCH_compress.json by arbbench).
+type CompressReport struct {
+	Experiment string `json:"experiment"`
+	DBBytes    int64  `json:"db_bytes"`
+	Nodes      int64  `json:"nodes"`
+	Depth      int    `json:"depth"`
+	// DeviceMBps is the simulated sequential device bandwidth the
+	// throttled rows are measured against.
+	DeviceMBps float64 `json:"device_mbps"`
+	// ColdCache records whether the page cache was actually dropped
+	// before the throttled measurements (needs root).
+	ColdCache bool `json:"cold_cache"`
+	// RawScanSeconds is the two-scan pass over the raw database through
+	// the same simulated device — the baseline for every row's speedup.
+	RawScanSeconds float64       `json:"raw_scan_seconds"`
+	Rows           []CompressRow `json:"rows"`
+
+	// Unthrottled end-to-end query checks on a warm cache (compressed at
+	// the default block size): compression must not regress the
+	// compute-bound regime, and pruning must keep working because the
+	// index records physical block offsets.
+	QueryRawSeconds        float64 `json:"query_raw_seconds"`
+	QueryCompSeconds       float64 `json:"query_comp_seconds"`
+	QuerySelected          int64   `json:"query_selected"`
+	PrunedQueryRawSeconds  float64 `json:"pruned_query_raw_seconds"`
+	PrunedQueryCompSeconds float64 `json:"pruned_query_comp_seconds"`
+	PrunedQuerySelected    int64   `json:"pruned_query_selected"`
+}
+
+// CompressOpts configures the compression experiment.
+type CompressOpts struct {
+	// MinDBBytes is the minimum generated database size; default 64 MB.
+	MinDBBytes int64
+	// Dir is where the databases are created.
+	Dir string
+	// Codec is "lz" (default) or "flate".
+	Codec string
+	// BlockSizes to sweep; default 64 KB, 256 KB, 1 MB.
+	BlockSizes []int
+	// DeviceMBps is the simulated device bandwidth; default 64.
+	DeviceMBps float64
+}
+
+// throttledReaderAt meters reads through a token bucket so the wall
+// clock sees a sequential device of a fixed bandwidth regardless of how
+// fast the machine underneath is. Seeks are free: the model charges for
+// bytes moved, which is the quantity compression changes.
+type throttledReaderAt struct {
+	r    io.ReaderAt
+	rate float64 // bytes per second
+
+	mu    sync.Mutex
+	avail float64
+	last  time.Time
+}
+
+func newThrottledReaderAt(r io.ReaderAt, mbps float64) *throttledReaderAt {
+	return &throttledReaderAt{r: r, rate: mbps * 1e6, last: time.Now()}
+}
+
+func (t *throttledReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	t.mu.Lock()
+	now := time.Now()
+	t.avail += now.Sub(t.last).Seconds() * t.rate
+	t.last = now
+	// An eighth of a second of burst keeps sleeps coarse enough to be
+	// schedulable without letting the bucket mask whole reads.
+	if burst := t.rate / 8; t.avail > burst {
+		t.avail = burst
+	}
+	t.avail -= float64(len(p))
+	var wait time.Duration
+	if t.avail < 0 {
+		wait = time.Duration(-t.avail / t.rate * float64(time.Second))
+	}
+	t.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	return t.r.ReadAt(p, off)
+}
+
+// dropPageCache asks the kernel to drop clean page-cache entries so the
+// next read really comes from the device. Needs root; callers treat
+// failure as "measure warm" and record it. A variable so the smoke test
+// can leave the machine's cache alone.
+var dropPageCache = func() bool {
+	if err := os.WriteFile("/proc/sys/vm/drop_caches", []byte("3\n"), 0); err != nil {
+		return false
+	}
+	return true
+}
+
+// scanPassSeconds times one full two-scan pass — the backward fold and
+// the forward scan every disk query pays — with trivial callbacks, over
+// a database served through the given ReaderAt.
+func scanPassSeconds(base string, r io.ReaderAt, size int64) (float64, error) {
+	db, err := storage.OpenReaderAt(base, r, size)
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	ctx := context.Background()
+	start := time.Now()
+	if _, _, err := storage.FoldBottomUp(ctx, db, func(first, second *struct{}, rec storage.Record, v int64) struct{} {
+		return struct{}{}
+	}); err != nil {
+		return 0, err
+	}
+	if _, err := storage.ScanTopDown(ctx, db, func(v int64, rec storage.Record, parent *struct{}, k int) (struct{}, error) {
+		return struct{}{}, nil
+	}); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// throttledScan opens base through a fresh token bucket (dropping the
+// page cache first when possible) and times the two-scan pass.
+func throttledScan(base string, mbps float64, cold *bool) (float64, error) {
+	f, err := os.Open(base + ".arb")
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	*cold = dropPageCache() && *cold
+	return scanPassSeconds(base, newThrottledReaderAt(f, mbps), fi.Size())
+}
+
+// copyDatabase clones the raw database files (not the index; the
+// compressor rewrites it) to a new base.
+func copyDatabase(src, dst string) error {
+	for _, ext := range []string{".arb", ".lab"} {
+		b, err := os.ReadFile(src + ext)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst+ext, b, 0o644); err != nil {
+			return err
+		}
+	}
+	os.Remove(dst + ".idx")
+	return nil
+}
+
+// timeQuery runs the prepared query (best of two) and returns seconds
+// and the selected count.
+func timeQuery(pq *arb.PreparedQuery, noprune bool) (float64, int64, error) {
+	ctx := context.Background()
+	query := pq.Queries()[0]
+	best := 0.0
+	var count int64
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		res, _, err := pq.Exec(ctx, arb.ExecOpts{NoPrune: noprune})
+		if err != nil {
+			return 0, 0, err
+		}
+		if secs := time.Since(start).Seconds(); i == 0 || secs < best {
+			best, count = secs, res.Count(query)
+		}
+	}
+	return best, count, nil
+}
+
+// queryPair opens base, rebuilds/loads its index, and times the marker
+// query unpruned and pruned.
+func queryPair(base, tag string) (unpruned, pruned float64, selUnpruned, selPruned int64, err error) {
+	db, err := storage.Open(base)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer db.Close()
+	ctx := context.Background()
+	if _, err := db.RebuildIndex(ctx, 0); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	sess := arb.NewDBSession(db)
+	prog, err := arb.ParseProgram(fmt.Sprintf(`QUERY :- Label[%s];`, tag))
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	pq, err := sess.Prepare(prog)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	// Warm the page cache and automata before timing either mode.
+	if _, _, err := pq.Exec(ctx, arb.ExecOpts{NoPrune: true}); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	unpruned, selUnpruned, err = timeQuery(pq, true)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	pruned, selPruned, err = timeQuery(pq, false)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return unpruned, pruned, selUnpruned, selPruned, nil
+}
+
+// Compress runs the compressed-extent experiment and returns the report.
+func Compress(opts CompressOpts) (*CompressReport, error) {
+	if opts.MinDBBytes == 0 {
+		opts.MinDBBytes = 64_000_000
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("bench: compress experiment needs Dir")
+	}
+	codec, err := storage.ParseCodec(opts.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if codec == storage.CodecRaw {
+		return nil, fmt.Errorf("bench: compress experiment needs a real codec, not raw")
+	}
+	if len(opts.BlockSizes) == 0 {
+		opts.BlockSizes = []int{1 << 16, 1 << 18, 1 << 20}
+	}
+	if opts.DeviceMBps == 0 {
+		opts.DeviceMBps = 64
+	}
+	depth := 1
+	for (int64(2)<<depth)-1 < opts.MinDBBytes/storage.NodeSize {
+		depth++
+	}
+	tags := make([]string, depth+1)
+	for d := 0; d <= depth; d++ {
+		tags[d] = fmt.Sprintf("d%d", d)
+	}
+
+	rawBase := filepath.Join(opts.Dir, fmt.Sprintf("compressdb-%d", depth))
+	for _, ext := range []string{".arb", ".lab", ".idx"} {
+		os.Remove(rawBase + ext)
+	}
+	db, err := storage.CreateFullBinary(rawBase, depth, tags)
+	if err != nil {
+		return nil, err
+	}
+	report := &CompressReport{
+		Experiment: "compress",
+		DBBytes:    db.N * storage.NodeSize,
+		Nodes:      db.N,
+		Depth:      depth,
+		DeviceMBps: opts.DeviceMBps,
+		ColdCache:  true,
+	}
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+
+	// Baseline: the raw database through the simulated device.
+	report.RawScanSeconds, err = throttledScan(rawBase, opts.DeviceMBps, &report.ColdCache)
+	if err != nil {
+		return nil, err
+	}
+
+	// One compressed copy per block size through the same device.
+	compBase := rawBase + "-z"
+	for _, bs := range opts.BlockSizes {
+		if err := copyDatabase(rawBase, compBase); err != nil {
+			return nil, err
+		}
+		info, err := storage.CompressInPlace(compBase, codec, bs)
+		if err != nil {
+			return nil, err
+		}
+		secs, err := throttledScan(compBase, opts.DeviceMBps, &report.ColdCache)
+		if err != nil {
+			return nil, err
+		}
+		row := CompressRow{
+			Codec:        storage.CodecName(info.Codec),
+			BlockSize:    info.BlockSize,
+			Blocks:       info.Blocks,
+			LogicalBytes: info.LogicalBytes,
+			PhysBytes:    info.PhysBytes,
+			Ratio:        info.Ratio(),
+			ScanSeconds:  secs,
+		}
+		if secs > 0 {
+			row.Speedup = report.RawScanSeconds / secs
+		}
+		report.Rows = append(report.Rows, row)
+	}
+
+	// Unthrottled warm-cache no-regression check: a selective query,
+	// pruned and unpruned, raw vs compressed at the default block size.
+	// The marker tag sits at a shallow fixed depth, so everything below
+	// it is provably dead and the pruned runs must seek past most
+	// extents — on the compressed container that means seeking by
+	// physical block offsets.
+	if err := copyDatabase(rawBase, compBase); err != nil {
+		return nil, err
+	}
+	if _, err := storage.CompressInPlace(compBase, codec, 0); err != nil {
+		return nil, err
+	}
+	markDepth := 8
+	if markDepth > depth/2 {
+		markDepth = depth / 2
+	}
+	markTag := fmt.Sprintf("d%d", markDepth)
+	rawUn, rawPr, rawSelUn, rawSelPr, err := queryPair(rawBase, markTag)
+	if err != nil {
+		return nil, err
+	}
+	compUn, compPr, compSelUn, compSelPr, err := queryPair(compBase, markTag)
+	if err != nil {
+		return nil, err
+	}
+	if rawSelUn != compSelUn || rawSelPr != compSelPr || rawSelUn != rawSelPr {
+		return nil, fmt.Errorf("bench: compressed query selected %d/%d nodes, raw %d/%d",
+			compSelUn, compSelPr, rawSelUn, rawSelPr)
+	}
+	report.QueryRawSeconds = rawUn
+	report.QueryCompSeconds = compUn
+	report.QuerySelected = rawSelUn
+	report.PrunedQueryRawSeconds = rawPr
+	report.PrunedQueryCompSeconds = compPr
+	report.PrunedQuerySelected = rawSelPr
+	return report, nil
+}
+
+// WriteCompress renders the experiment as a table.
+func WriteCompress(w io.Writer, r *CompressReport) {
+	fmt.Fprintf(w, "Compressed extents on the scan path, %d-node database (%d MB, depth %d), simulated %g MB/s device (cold cache: %v).\n",
+		r.Nodes, r.DBBytes>>20, r.Depth, r.DeviceMBps, r.ColdCache)
+	fmt.Fprintf(w, "Raw two-scan pass: %.3f s.\n", r.RawScanSeconds)
+	fmt.Fprintf(w, "%8s %10s %8s %7s %14s %10s %8s\n",
+		"codec", "block", "blocks", "ratio", "phys bytes", "scan(s)", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8s %10d %8d %6.2fx %14d %10.3f %7.2fx\n",
+			row.Codec, row.BlockSize, row.Blocks, row.Ratio,
+			row.PhysBytes, row.ScanSeconds, row.Speedup)
+	}
+	fmt.Fprintf(w, "Warm-cache query (unthrottled): raw %.3f s vs compressed %.3f s unpruned; raw %.3f s vs compressed %.3f s pruned (%d selected).\n",
+		r.QueryRawSeconds, r.QueryCompSeconds,
+		r.PrunedQueryRawSeconds, r.PrunedQueryCompSeconds, r.QuerySelected)
+}
+
+// WriteCompressJSON writes the machine-readable report.
+func WriteCompressJSON(w io.Writer, r *CompressReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -999,7 +999,7 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 		}
 		rootVecs[i] = rootVec
 		statsMu.Lock()
-		phase1.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack})
+		phase1.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack, PhysicalBytes: st.PhysicalBytes})
 		statsMu.Unlock()
 		return nil
 	})
@@ -1369,7 +1369,7 @@ func runDiskBatchChunked(ctx context.Context, db *storage.DB, workers int, membe
 			}
 		}
 		statsMu.Lock()
-		scan2.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack})
+		scan2.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack, PhysicalBytes: st.PhysicalBytes})
 		statsMu.Unlock()
 		return nil
 	})

@@ -218,7 +218,7 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 		// Nodes are counted once by the leader's skipping fold (a chunk
 		// stands in as one already-folded subtree there), so workers merge
 		// only their byte and stack columns.
-		phase1.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack})
+		phase1.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack, PhysicalBytes: st.PhysicalBytes})
 		statsMu.Unlock()
 		return nil
 	})
@@ -512,7 +512,7 @@ func (e *Engine) runDiskChunked(ctx context.Context, db *storage.DB, workers int
 			res.MergeWords(qi, w0, local[qi])
 		}
 		statsMu.Lock()
-		scan2.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack})
+		scan2.Merge(storage.ScanStats{Bytes: st.Bytes, SkippedBytes: st.SkippedBytes + skipped, MaxStack: st.MaxStack, PhysicalBytes: st.PhysicalBytes})
 		statsMu.Unlock()
 		return nil
 	})

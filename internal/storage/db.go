@@ -33,6 +33,11 @@ type DB struct {
 	arb    io.ReaderAt
 	closer io.Closer // closed by Close; nil for virtual databases
 
+	// comp is non-nil when the records come from a block-compressed
+	// container (format v3): arb is then the container's logical-space
+	// reader, and physical byte accounting consults the block table.
+	comp *blockSource
+
 	// virtual marks a database whose records do not come from a single
 	// Base+".arb" file; sidecar index I/O (read and write) is suppressed
 	// because no on-disk .idx can describe the stitched view.
@@ -42,7 +47,10 @@ type DB struct {
 	idx   *SubtreeIndex // guarded by: idxMu
 }
 
-// Open opens base.arb and base.lab.
+// Open opens base.arb and base.lab. A block-compressed container
+// (format v3, created by CompressInPlace or `arb create -compress`) is
+// detected by its magic and served transparently: every scan primitive
+// sees the same logical record space as a raw file.
 func Open(base string) (*DB, error) {
 	arbF, err := os.Open(base + ".arb")
 	if err != nil {
@@ -53,9 +61,45 @@ func Open(base string) (*DB, error) {
 		arbF.Close()
 		return nil, err
 	}
-	if st.Size()%NodeSize != 0 {
+	db, err := openFrom(base, arbF, st.Size(), arbF)
+	if err != nil {
 		arbF.Close()
-		return nil, fmt.Errorf("storage: %s.arb has size %d, not a multiple of %d", base, st.Size(), NodeSize)
+		return nil, err
+	}
+	return db, nil
+}
+
+// OpenReaderAt opens a database whose physical bytes are served by an
+// arbitrary reader — the benchmark harness wraps base.arb in a
+// bandwidth-limited reader this way. r must serve exactly the bytes of
+// base.arb (raw records or a v3 container, sniffed as in Open), size
+// physical bytes long; base.lab and base.idx sidecars are used as
+// usual. The caller keeps ownership of whatever backs r; Close is a
+// no-op.
+func OpenReaderAt(base string, r io.ReaderAt, size int64) (*DB, error) {
+	return openFrom(base, r, size, nil)
+}
+
+// openFrom builds the handle over a physical record source: container
+// sniffing, then names. closer is what Close should release (nil when
+// the caller owns the source).
+func openFrom(base string, r io.ReaderAt, size int64, closer io.Closer) (*DB, error) {
+	var (
+		logical io.ReaderAt
+		n       int64
+		comp    *blockSource
+	)
+	if sniffContainer(r, size) {
+		bs, err := openBlockSource(r, size)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %s.arb: %w", base, err)
+		}
+		logical, n, comp = bs, bs.logical/NodeSize, bs
+	} else {
+		if size%NodeSize != 0 {
+			return nil, fmt.Errorf("storage: %s.arb has size %d, not a multiple of %d", base, size, NodeSize)
+		}
+		logical, n = r, size/NodeSize
 	}
 	names := tree.NewNames()
 	labF, err := os.Open(base + ".lab")
@@ -63,14 +107,49 @@ func Open(base string) (*DB, error) {
 		names, err = tree.ReadNames(labF)
 		labF.Close()
 		if err != nil {
-			arbF.Close()
 			return nil, err
 		}
 	} else if !os.IsNotExist(err) {
-		arbF.Close()
 		return nil, err
 	}
-	return &DB{Base: base, N: st.Size() / NodeSize, Names: names, arb: arbF, closer: arbF}, nil
+	return &DB{Base: base, N: n, Names: names, arb: logical, closer: closer, comp: comp}, nil
+}
+
+// Compression reports the container summary of a compressed database,
+// or ok=false for a raw one.
+func (db *DB) Compression() (ContainerInfo, bool) {
+	if db.comp == nil {
+		return ContainerInfo{}, false
+	}
+	return db.comp.info(), true
+}
+
+// containerDesc returns the descriptor sidecar writes need for this
+// database (nil for raw databases, which keep the v2 sidecar format).
+func (db *DB) containerDesc() *ContainerInfo {
+	if db.comp == nil {
+		return nil
+	}
+	ci := db.comp.info()
+	return &ci
+}
+
+// PhysSpan returns the physical bytes backing the node range [lo, hi) —
+// what a scan of that range costs in disk reads. For a raw database
+// that is exactly the logical record bytes; for a compressed one it is
+// the stored size of every block the range touches (block-granular:
+// reading any record of a block decompresses the whole block).
+func (db *DB) PhysSpan(lo, hi int64) int64 {
+	if hi > db.N {
+		hi = db.N
+	}
+	if lo < 0 || lo >= hi {
+		return 0
+	}
+	if db.comp != nil {
+		return db.comp.physSpan(lo*NodeSize, hi*NodeSize)
+	}
+	return (hi - lo) * NodeSize
 }
 
 // NewVirtualDB wraps an arbitrary record source as a database handle: r
@@ -111,6 +190,15 @@ type ScanStats struct {
 	// proportional to query selectivity; the invariant becomes
 	// Bytes + SkippedBytes == database size per aggregate linear scan.
 	SkippedBytes int64
+	// PhysicalBytes counts the bytes actually read from the physical
+	// medium for the regions this scan covered. On a raw database it
+	// equals Bytes; on a block-compressed one it is the stored size of
+	// every block the scanned regions touched — the number that makes
+	// compression's I/O saving visible next to the logical counters.
+	// (Block granularity means two scans sharing a boundary block each
+	// count its stored bytes; a clean full scan counts every block
+	// exactly once.)
+	PhysicalBytes int64
 }
 
 // Merge folds the stats of a concurrent scanner into the aggregate: node
@@ -119,6 +207,7 @@ func (s *ScanStats) Merge(o ScanStats) {
 	s.Nodes += o.Nodes
 	s.Bytes += o.Bytes
 	s.SkippedBytes += o.SkippedBytes
+	s.PhysicalBytes += o.PhysicalBytes
 	if o.MaxStack > s.MaxStack {
 		s.MaxStack = o.MaxStack
 	}
@@ -214,6 +303,7 @@ func (f *backFold[S]) foldRegion(db *DB, lo, hi int64) error {
 		return err
 	}
 	defer br.Release()
+	f.stats.PhysicalBytes += db.PhysSpan(lo, hi)
 	for v := hi - 1; v >= lo; v-- {
 		if err := f.cancel.Step(); err != nil {
 			return err
@@ -458,6 +548,7 @@ func (t *topDown[S]) scanRegion(ctx context.Context, db *DB, lo, hi int64, skip 
 			gapEnd = skip[si].Root
 		}
 		db.resetSectionReader(r, v, gapEnd)
+		t.stats.PhysicalBytes += db.PhysSpan(v, gapEnd)
 		var buf [NodeSize]byte
 		for ; v < gapEnd; v++ {
 			if err := cancel.Step(); err != nil {

@@ -282,11 +282,19 @@ func (ix *SubtreeIndex) Cut(target, minTask int64) []Extent {
 	return tasks
 }
 
-// indexMagic identifies a v2 .idx sidecar file; indexMagicV1 is the
-// retired label-less format, rejected on read so DB.Index transparently
-// rebuilds (and replaces) stale sidecars.
+// indexMagic identifies a v2 .idx sidecar file; indexMagicV3 is the
+// v3 format, identical except for a container descriptor (codec, block
+// size, physical/logical bytes) between the magic and the entries —
+// written for block-compressed databases so tools can report the
+// compression ratio without reopening the container. Readers accept
+// both; v2 stays the format for raw databases, so nothing changes for
+// existing files. indexMagicV1 is the retired label-less format,
+// rejected on read so DB.Index transparently rebuilds (and replaces)
+// stale sidecars — the same negotiation path pre-v3 binaries take when
+// they meet a v3 sidecar.
 const (
 	indexMagic   = "ARBIDX2\n"
+	indexMagicV3 = "ARBIDX3\n"
 	indexMagicV1 = "ARBIDX1\n"
 )
 
@@ -304,11 +312,12 @@ func NewIndexForTest(n int64, entries []IndexEntry) *SubtreeIndex {
 	return ix
 }
 
-// WriteIndexFile persists the index next to the database (v2 format:
-// every entry carries its label signature). The file is written to a
-// temporary name and renamed into place, so concurrent readers never see
-// a torn sidecar.
-func WriteIndexFile(path string, ix *SubtreeIndex) error {
+// WriteIndexFile persists the index next to the database: v2 format
+// for raw databases, v3 (with the container descriptor ci) for
+// compressed ones. The file is written to a temporary name and renamed
+// into place, so concurrent readers never see a torn sidecar, and the
+// directory is synced so the committed sidecar survives a crash.
+func WriteIndexFile(path string, ix *SubtreeIndex, ci *ContainerInfo) error {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
@@ -322,7 +331,11 @@ func WriteIndexFile(path string, ix *SubtreeIndex) error {
 	}()
 	w := bufio.NewWriterSize(f, 1<<16)
 	werr := func() error {
-		if _, err := w.WriteString(indexMagic); err != nil {
+		magic := indexMagic
+		if ci != nil && ci.Codec != CodecRaw {
+			magic = indexMagicV3
+		}
+		if _, err := w.WriteString(magic); err != nil {
 			return err
 		}
 		var buf [8]byte
@@ -330,6 +343,13 @@ func WriteIndexFile(path string, ix *SubtreeIndex) error {
 			binary.BigEndian.PutUint64(buf[:], v)
 			_, err := w.Write(buf[:])
 			return err
+		}
+		if magic == indexMagicV3 {
+			for _, v := range []uint64{uint64(ci.Codec), uint64(ci.BlockSize), uint64(ci.PhysBytes), uint64(ci.LogicalBytes)} {
+				if err := put(v); err != nil {
+					return err
+				}
+			}
 		}
 		if err := put(uint64(ix.N)); err != nil {
 			return err
@@ -355,6 +375,9 @@ func WriteIndexFile(path string, ix *SubtreeIndex) error {
 		}
 		return w.Flush()
 	}()
+	if werr == nil {
+		werr = f.Sync()
+	}
 	if err := f.Close(); werr == nil {
 		werr = err
 	}
@@ -362,25 +385,37 @@ func WriteIndexFile(path string, ix *SubtreeIndex) error {
 		werr = os.Rename(tmp, path)
 		renamed = werr == nil
 	}
+	if werr == nil {
+		werr = syncDir(filepath.Dir(path))
+	}
 	return werr
 }
 
-// ReadIndexFile loads a persisted v2 index. Stale v1 sidecars (and
-// anything else that is not a well-formed v2 index) are rejected with an
-// error; DB.Index treats that as "no sidecar" and rebuilds from the data.
+// ReadIndexFile loads a persisted v2 or v3 index. Stale v1 sidecars
+// (and anything else that is not a well-formed index) are rejected with
+// an error; DB.Index treats that as "no sidecar" and rebuilds from the
+// data.
 func ReadIndexFile(path string) (*SubtreeIndex, error) {
+	ix, _, err := ReadIndexFileInfo(path)
+	return ix, err
+}
+
+// ReadIndexFileInfo is ReadIndexFile plus the container descriptor a v3
+// sidecar carries (nil for v2 sidecars of raw databases).
+func ReadIndexFileInfo(path string) (*SubtreeIndex, *ContainerInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	magic := make([]byte, len(indexMagic))
-	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != indexMagic {
+	if _, err := io.ReadFull(r, magic); err != nil ||
+		(string(magic) != indexMagic && string(magic) != indexMagicV3) {
 		if string(magic) == indexMagicV1 {
-			return nil, fmt.Errorf("storage: %s is a stale v1 index (no label signatures); rebuild required", path)
+			return nil, nil, fmt.Errorf("storage: %s is a stale v1 index (no label signatures); rebuild required", path)
 		}
-		return nil, fmt.Errorf("storage: %s is not an index file", path)
+		return nil, nil, fmt.Errorf("storage: %s is not an index file", path)
 	}
 	var buf [8]byte
 	get := func() (int64, error) {
@@ -389,41 +424,54 @@ func ReadIndexFile(path string) (*SubtreeIndex, error) {
 		}
 		return int64(binary.BigEndian.Uint64(buf[:])), nil
 	}
+	var ci *ContainerInfo
+	if string(magic) == indexMagicV3 {
+		var d [4]int64
+		for i := range d {
+			if d[i], err = get(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if d[0] != CodecLZ && d[0] != CodecFlate {
+			return nil, nil, fmt.Errorf("storage: index %s names unknown codec %d", path, d[0])
+		}
+		ci = &ContainerInfo{Codec: uint8(d[0]), BlockSize: int(d[1]), PhysBytes: d[2], LogicalBytes: d[3]}
+	}
 	n, err := get()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	count, err := get()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if count < 0 || count > 1<<24 {
-		return nil, fmt.Errorf("storage: index %s declares %d entries", path, count)
+		return nil, nil, fmt.Errorf("storage: index %s declares %d entries", path, count)
 	}
 	entries := make([]IndexEntry, count)
 	for i := range entries {
 		if entries[i].V, err = get(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if entries[i].Size, err = get(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if entries[i].FirstSize, err = get(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for w := range entries[i].Labels {
 			v, err := get()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			entries[i].Labels[w] = uint64(v)
 		}
 	}
 	ix := newIndex(n, entries)
 	if err := ix.validate(); err != nil {
-		return nil, fmt.Errorf("storage: index %s: %w", path, err)
+		return nil, nil, fmt.Errorf("storage: index %s: %w", path, err)
 	}
-	return ix, nil
+	return ix, ci, nil
 }
 
 // validate rejects structurally impossible indexes: unsorted or
@@ -481,10 +529,10 @@ func (db *DB) Index(ctx context.Context, budget int) (*SubtreeIndex, error) {
 	db.idx = ix
 	if !db.virtual {
 		// Best-effort refresh of the sidecar (it was missing, stale — e.g.
-		// a retired v1 file — or foreign): later opens then load the v2
+		// a retired v1 file — or foreign): later opens then load the
 		// index instead of paying the rebuild scan again. Read-only
 		// directories simply keep serving from the in-handle cache.
-		_ = WriteIndexFile(db.Base+".idx", ix)
+		_ = WriteIndexFile(db.Base+".idx", ix, db.containerDesc())
 	}
 	return ix, nil
 }
@@ -502,7 +550,7 @@ func (db *DB) WriteIndex(ctx context.Context, budget int) error {
 	if db.virtual {
 		return nil // no single .arb file a sidecar could describe
 	}
-	return WriteIndexFile(db.Base+".idx", ix)
+	return WriteIndexFile(db.Base+".idx", ix, db.containerDesc())
 }
 
 // RebuildIndex discards any cached index, rebuilds from the data, and
@@ -519,7 +567,7 @@ func (db *DB) RebuildIndex(ctx context.Context, budget int) (*SubtreeIndex, erro
 	if !db.virtual {
 		// The database directory may be read-only; the in-handle cache
 		// alone then serves this process.
-		_ = WriteIndexFile(db.Base+".idx", ix)
+		_ = WriteIndexFile(db.Base+".idx", ix, db.containerDesc())
 	}
 	return ix, nil
 }

@@ -52,7 +52,7 @@ func TestPruneIndexV2RoundTrip(t *testing.T) {
 	}
 
 	path := filepath.Join(t.TempDir(), "x.idx")
-	if err := WriteIndexFile(path, ix); err != nil {
+	if err := WriteIndexFile(path, ix, nil); err != nil {
 		t.Fatal(err)
 	}
 	back, err := ReadIndexFile(path)
@@ -235,7 +235,7 @@ func FuzzReadIndexFile(f *testing.F) {
 		})
 		dir := f.TempDir()
 		p := filepath.Join(dir, "seed.idx")
-		if err := WriteIndexFile(p, ix); err != nil {
+		if err := WriteIndexFile(p, ix, nil); err != nil {
 			f.Fatal(err)
 		}
 		b, err := os.ReadFile(p)
@@ -277,7 +277,7 @@ func FuzzReadIndexFile(f *testing.F) {
 		}
 		// And it must round-trip bit-stably through the writer.
 		p2 := filepath.Join(dir, "rt.idx")
-		if err := WriteIndexFile(p2, ix); err != nil {
+		if err := WriteIndexFile(p2, ix, nil); err != nil {
 			t.Fatal(err)
 		}
 		back, err := ReadIndexFile(p2)

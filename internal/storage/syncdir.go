@@ -1,0 +1,38 @@
+package storage
+
+import "os"
+
+// syncDir fsyncs a directory so a preceding rename (or file creation)
+// in it survives a crash. POSIX only guarantees an atomic rename is
+// durable once the containing directory's metadata reaches disk;
+// syncing just the file leaves the commit window open. Every
+// temp+rename commit path (index sidecars, compressed container
+// swaps, vstore manifests and segments) must call this after the
+// rename.
+//
+// Some filesystems refuse fsync on a directory handle opened read-only
+// (EINVAL/EBADF on certain network mounts); those errors are ignored —
+// the rename itself still happened, durability is simply no worse than
+// before.
+func syncDir(dir string) error {
+	f, err := openDirForSync(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fsyncDirFile(f); err != nil {
+		return nil //nolint:nilerr // see doc comment: fsync-on-dir unsupported here
+	}
+	return nil
+}
+
+// SyncDir is the exported form for sibling packages (vstore) that
+// share the same rename-commit durability requirement.
+func SyncDir(dir string) error { return syncDir(dir) }
+
+// Test hooks: tests inject failures to prove commit paths actually
+// reach the directory sync.
+var (
+	openDirForSync = func(dir string) (*os.File, error) { return os.Open(dir) }
+	fsyncDirFile   = func(f *os.File) error { return f.Sync() }
+)

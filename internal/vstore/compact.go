@@ -42,10 +42,22 @@ func (st *Store) Compact(ctx context.Context) (*PatchInfo, error) {
 			os.Remove(path)
 		}
 	}()
-	// Copy in bounded chunks so cancellation is honoured mid-copy.
+	// Copy in bounded chunks so cancellation is honoured mid-copy. With a
+	// compressing write policy the stream is re-blocked through a
+	// BlockWriter — compaction is also how a store opened over a raw base
+	// converges onto compressed storage after the policy changes.
+	var w io.Writer = f
+	var bw *storage.BlockWriter
+	size := ver.n * storage.NodeSize
+	if st.codec != storage.CodecRaw && size >= compressSegmentMin {
+		var err error
+		if bw, err = storage.NewBlockWriter(f, st.codec, st.blockSize); err != nil {
+			return nil, err
+		}
+		w = bw
+	}
 	cancel := storage.NewCanceller(ctx)
 	const chunk = int64(1 << 20)
-	size := ver.n * storage.NodeSize
 	for off := int64(0); off < size; off += chunk {
 		if err := cancel.Step(); err != nil {
 			return nil, err
@@ -54,15 +66,30 @@ func (st *Store) Compact(ctx context.Context) (*PatchInfo, error) {
 		if end > size {
 			end = size
 		}
-		if _, err := io.Copy(f, io.NewSectionReader(ver.src, off, end-off)); err != nil {
+		if _, err := io.Copy(w, io.NewSectionReader(ver.src, off, end-off)); err != nil {
+			return nil, err
+		}
+	}
+	if bw != nil {
+		if err := bw.Close(); err != nil {
 			return nil, err
 		}
 	}
 	if err := f.Sync(); err != nil {
 		return nil, err
 	}
+	if err := storage.SyncDir(st.dir); err != nil {
+		return nil, err
+	}
+	src, logical, err := openSegmentSource(f)
+	if err != nil {
+		return nil, err
+	}
+	if logical != size {
+		return nil, fmt.Errorf("vstore: internal: compacted segment holds %d logical bytes, want %d", logical, size)
+	}
 
-	seg := &segment{id: segID, kind: segPatch, nodes: ver.n, name: name, f: f}
+	seg := &segment{id: segID, kind: segPatch, nodes: ver.n, name: name, f: f, src: src}
 	newVer := &version{
 		id:     ver.id + 1,
 		n:      ver.n,

@@ -42,8 +42,15 @@ import (
 	"arb/internal/tree"
 )
 
-// manifestMagic identifies a .arbm manifest file.
-const manifestMagic = "ARBVST1\n"
+// Manifest magics. v2 adds the store's segment write policy (codec and
+// block size for newly written patch/compaction segments) right after
+// the name count; v1 manifests load as policy raw. Per-segment
+// compression is never declared here — each segment file carries its
+// own container magic and is sniffed at open.
+const (
+	manifestMagicV1 = "ARBVST1\n"
+	manifestMagic   = "ARBVST2\n"
+)
 
 // Validation caps: a manifest is a footnote next to the database, so
 // anything claiming more than these is rejected as corrupt rather than
@@ -88,13 +95,15 @@ type HistoryEntry struct {
 
 // manifest is the decoded form of a .arbm file: one complete version.
 type manifest struct {
-	version uint64
-	n       int64 // logical node count
-	names   int   // named labels in force (prefix of the .vlab table)
-	segs    []manifestSeg
-	runs    []manifestRun
-	entries []storage.IndexEntry
-	history []HistoryEntry
+	version   uint64
+	n         int64 // logical node count
+	names     int   // named labels in force (prefix of the .vlab table)
+	codec     uint8 // write policy for new segments (storage.CodecRaw = plain)
+	blockSize int   // block size for compressed segment writes (0 = default)
+	segs      []manifestSeg
+	runs      []manifestRun
+	entries   []storage.IndexEntry
+	history   []HistoryEntry
 }
 
 // validate enforces every structural invariant a manifest must satisfy
@@ -110,6 +119,12 @@ func (m *manifest) validate() (*storage.SubtreeIndex, error) {
 	}
 	if m.names < 0 || m.names > int(tree.MaxLabel-tree.FirstNamedLabel)+1 {
 		return nil, fmt.Errorf("vstore: manifest declares %d named labels", m.names)
+	}
+	if m.codec != storage.CodecRaw && m.codec != storage.CodecLZ && m.codec != storage.CodecFlate {
+		return nil, fmt.Errorf("vstore: manifest declares unknown segment codec %d", m.codec)
+	}
+	if !storage.ValidBlockSize(m.blockSize) {
+		return nil, fmt.Errorf("vstore: manifest declares block size %d", m.blockSize)
 	}
 	segByID := make(map[uint64]manifestSeg, len(m.segs))
 	for _, s := range m.segs {
@@ -193,6 +208,12 @@ func writeManifest(path string, m *manifest) error {
 		if err := put(uint64(m.names)); err != nil {
 			return err
 		}
+		if err := put(uint64(m.codec)); err != nil {
+			return err
+		}
+		if err := put(uint64(m.blockSize)); err != nil {
+			return err
+		}
 		if err := put(uint64(len(m.segs))); err != nil {
 			return err
 		}
@@ -269,6 +290,11 @@ func writeManifest(path string, m *manifest) error {
 		werr = os.Rename(tmp, path)
 		renamed = werr == nil
 	}
+	if werr == nil {
+		// The rename is the commit point, but it is only durable once the
+		// directory entry reaches disk.
+		werr = storage.SyncDir(filepath.Dir(path))
+	}
 	return werr
 }
 
@@ -284,9 +310,11 @@ func readManifest(path string) (*manifest, *storage.SubtreeIndex, error) {
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	magic := make([]byte, len(manifestMagic))
-	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != manifestMagic {
+	if _, err := io.ReadFull(r, magic); err != nil ||
+		(string(magic) != manifestMagic && string(magic) != manifestMagicV1) {
 		return nil, nil, fmt.Errorf("vstore: %s is not a manifest file", path)
 	}
+	v1 := string(magic) == manifestMagicV1
 	var buf [8]byte
 	get := func() (uint64, error) {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -337,6 +365,21 @@ func readManifest(path string) (*manifest, *storage.SubtreeIndex, error) {
 		return nil, nil, err
 	}
 	m.names = int(names)
+	if !v1 {
+		codec, err := get()
+		if err != nil {
+			return nil, nil, err
+		}
+		if codec > 255 {
+			return nil, nil, fmt.Errorf("vstore: manifest %s: segment codec %d", path, codec)
+		}
+		m.codec = uint8(codec)
+		blockSize, err := getInt()
+		if err != nil {
+			return nil, nil, err
+		}
+		m.blockSize = int(blockSize)
+	}
 	nseg, err := getCount(maxSegments, "segments")
 	if err != nil {
 		return nil, nil, err

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -210,13 +211,11 @@ func (st *Store) commit(spec spliceSpec, op string) (*PatchInfo, error) {
 				os.Remove(path)
 			}
 		}()
-		if _, err := f.Write(segBytes); err != nil {
+		src, err := st.writeSegment(f, segBytes)
+		if err != nil {
 			return nil, err
 		}
-		if err := f.Sync(); err != nil {
-			return nil, err
-		}
-		seg = &segment{id: segID, kind: segPatch, nodes: int64(len(segBytes)) / storage.NodeSize, name: name, f: f}
+		seg = &segment{id: segID, kind: segPatch, nodes: int64(len(segBytes)) / storage.NodeSize, name: name, f: f, src: src}
 	}
 
 	runs := spliceRuns(ver.runs, ver.n, spec, seg, fragNodes)
@@ -251,6 +250,48 @@ func (st *Store) commit(spec spliceSpec, op string) (*PatchInfo, error) {
 		Delta:        delta,
 		SegmentBytes: int64(len(segBytes)),
 	}, nil
+}
+
+// compressSegmentMin is the smallest segment worth the container
+// framing: below it (typical single-fixup patches) segments stay raw
+// regardless of the store's codec policy. Readers never consult the
+// policy — each segment file is sniffed individually at open.
+const compressSegmentMin = 1 << 12
+
+// writeSegment persists one new segment's record bytes to f — block-
+// compressed when the store's write policy applies and the segment is
+// big enough to benefit — syncs the file and its directory entry (the
+// segment must be durable before the manifest rename that references
+// it), and returns the reader serving the segment's logical space.
+func (st *Store) writeSegment(f *os.File, segBytes []byte) (io.ReaderAt, error) {
+	if st.codec != storage.CodecRaw && len(segBytes) >= compressSegmentMin {
+		bw, err := storage.NewBlockWriter(f, st.codec, st.blockSize)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := bw.Write(segBytes); err != nil {
+			return nil, err
+		}
+		if err := bw.Close(); err != nil {
+			return nil, err
+		}
+	} else if _, err := f.Write(segBytes); err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	if err := storage.SyncDir(st.dir); err != nil {
+		return nil, err
+	}
+	src, logical, err := openSegmentSource(f)
+	if err != nil {
+		return nil, err
+	}
+	if logical != int64(len(segBytes)) {
+		return nil, fmt.Errorf("vstore: internal: segment holds %d logical bytes, wrote %d", logical, len(segBytes))
+	}
+	return src, nil
 }
 
 // spliceRuns derives the new run table: old runs clipped to before the
@@ -427,6 +468,9 @@ func writeNamesFile(path string, names *tree.Names) error {
 	if werr == nil {
 		werr = os.Rename(tmp, path)
 		renamed = werr == nil
+	}
+	if werr == nil {
+		werr = storage.SyncDir(filepath.Dir(path))
 	}
 	return werr
 }

@@ -21,7 +21,8 @@ type run struct {
 // by translating ReadAt offsets through the run table — the io.ReaderAt
 // behind every snapshot's virtual storage.DB. It is immutable after
 // construction, so any number of concurrent scans may share it; the
-// underlying *os.File handles are themselves safe for concurrent ReadAt.
+// underlying segment sources (*os.File handles and decompressing block
+// readers alike) are themselves safe for concurrent ReadAt.
 type stitchedReader struct {
 	runs []run // sorted by logical, tiling [0, n)
 	size int64 // n * NodeSize
@@ -52,7 +53,7 @@ func (sr *stitchedReader) ReadAt(p []byte, off int64) (int, error) {
 		if rest := runEnd - off; chunk > rest {
 			chunk = rest
 		}
-		m, err := r.seg.f.ReadAt(p[n:n+int(chunk)], r.phys*storage.NodeSize+(off-runStart))
+		m, err := r.seg.src.ReadAt(p[n:n+int(chunk)], r.phys*storage.NodeSize+(off-runStart))
 		n += m
 		off += int64(m)
 		if err != nil {

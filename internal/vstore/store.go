@@ -3,6 +3,7 @@ package vstore
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,7 +28,29 @@ type segment struct {
 	nodes int64
 	name  string // file name relative to the store directory
 	f     *os.File
-	refs  int // live versions referencing the segment; guarded by: mu (the Store's)
+	src   io.ReaderAt // logical record space: f itself, or a decompressing view over it
+	refs  int         // live versions referencing the segment; guarded by: mu (the Store's)
+}
+
+// openSegmentSource sniffs an open segment file and returns the reader
+// serving its logical record space — the file itself for a plain record
+// stream, a decompressing block-container view otherwise — plus the
+// logical byte count either way. Compression is a per-file property
+// discovered here, never declared by the manifest: old raw segments and
+// new compressed ones mix freely in one store.
+func openSegmentSource(f *os.File) (io.ReaderAt, int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	src, info, ok, err := storage.OpenContainer(f, fi.Size())
+	if err != nil {
+		return nil, 0, err
+	}
+	if ok {
+		return src, info.LogicalBytes, nil
+	}
+	return f, fi.Size(), nil
 }
 
 // version is one immutable database version: a run table stitching
@@ -54,6 +77,13 @@ type version struct {
 type Store struct {
 	base string // database path prefix (like storage.DB.Base)
 	dir  string
+
+	// Segment write policy, fixed at Open: new patch and compaction
+	// segments are block-compressed with this codec (storage.CodecRaw
+	// writes plain segments). Inherited from a compressed base.arb at
+	// bootstrap, persisted and reloaded through the manifest.
+	codec     uint8
+	blockSize int
 
 	// wmu serialises writers: at most one patch/compact computes and
 	// commits at a time. Readers never take it.
@@ -113,6 +143,10 @@ func (st *Store) bootstrap(ctx context.Context) error {
 		return err
 	}
 	n, names := db.N, db.Names
+	if ci, ok := db.Compression(); ok {
+		// A compressed base keeps its patch chain compressed too.
+		st.codec, st.blockSize = ci.Codec, ci.BlockSize
+	}
 	if err := db.Close(); err != nil {
 		return err
 	}
@@ -123,7 +157,12 @@ func (st *Store) bootstrap(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	seg := &segment{id: 0, kind: segBase, nodes: n, name: filepath.Base(st.base) + ".arb", f: f}
+	src, _, err := openSegmentSource(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	seg := &segment{id: 0, kind: segBase, nodes: n, name: filepath.Base(st.base) + ".arb", f: f, src: src}
 	runs := []run{{seg: seg, logical: 0, phys: 0, count: n}}
 	st.segs[0] = seg
 	st.nextSeg = 1
@@ -162,17 +201,20 @@ func (st *Store) openManifest(path string) error {
 		if err != nil {
 			return fmt.Errorf("vstore: manifest references missing segment %s: %w", ms.name, err)
 		}
-		fi, err := f.Stat()
+		// The promised byte count is logical: a compressed segment is
+		// validated against the record space its container declares, not
+		// its (smaller) physical size.
+		src, logical, err := openSegmentSource(f)
 		if err != nil {
 			f.Close()
-			return err
+			return fmt.Errorf("vstore: segment %s: %w", ms.name, err)
 		}
-		if fi.Size() < ms.nodes*storage.NodeSize {
+		if logical < ms.nodes*storage.NodeSize {
 			f.Close()
 			return fmt.Errorf("vstore: segment %s holds %d bytes, manifest promises %d",
-				ms.name, fi.Size(), ms.nodes*storage.NodeSize)
+				ms.name, logical, ms.nodes*storage.NodeSize)
 		}
-		segs[ms.id] = &segment{id: ms.id, kind: ms.kind, nodes: ms.nodes, name: ms.name, f: f}
+		segs[ms.id] = &segment{id: ms.id, kind: ms.kind, nodes: ms.nodes, name: ms.name, f: f, src: src}
 		if ms.id >= maxID {
 			maxID = ms.id + 1
 		}
@@ -183,6 +225,7 @@ func (st *Store) openManifest(path string) error {
 	}
 	st.segs = segs
 	st.nextSeg = maxID
+	st.codec, st.blockSize = m.codec, m.blockSize
 	st.install(&version{id: m.version, n: m.n, runs: runs, idx: ix, names: names, nNames: m.names})
 	st.history = m.history
 	ok = true
@@ -416,10 +459,12 @@ func (st *Store) publish(ver *version, op string, isCompact bool) {
 // commit rename.
 func (st *Store) manifestFor(ver *version, op string) *manifest {
 	m := &manifest{
-		version: ver.id,
-		n:       ver.n,
-		names:   ver.nNames,
-		entries: ver.idx.Entries(),
+		version:   ver.id,
+		n:         ver.n,
+		names:     ver.nNames,
+		codec:     st.codec,
+		blockSize: st.blockSize,
+		entries:   ver.idx.Entries(),
 	}
 	for _, sg := range ver.segs {
 		m.segs = append(m.segs, manifestSeg{id: sg.id, kind: sg.kind, nodes: sg.nodes, name: sg.name})

@@ -117,6 +117,17 @@ func (s *Session) Names() *Names {
 // pins its own version snapshot).
 func (s *Session) DB() *DB { return s.db }
 
+// Compression reports the database's block-compression container when
+// the session reads directly from a compressed .arb. In-memory sessions
+// report none; versioned sessions also report none here — their
+// segments are individually compressed (or not) behind the run table.
+func (s *Session) Compression() (CompressionInfo, bool) {
+	if s.db != nil {
+		return s.db.Compression()
+	}
+	return CompressionInfo{}, false
+}
+
 // Tree returns the session's tree, or nil for disk sessions.
 func (s *Session) Tree() *Tree { return s.t }
 
