@@ -150,6 +150,7 @@ import (
 
 	"arb/internal/core"
 	"arb/internal/parallel"
+	"arb/internal/rescache"
 	"arb/internal/storage"
 	"arb/internal/tmnf"
 	"arb/internal/tree"
@@ -199,6 +200,10 @@ type (
 
 	// XPathQuery is a Core XPath query compiled to TMNF passes.
 	XPathQuery = xpath.Query
+
+	// ResultCacheStats reports the result cache's counters
+	// (Session.ResultCacheStats).
+	ResultCacheStats = rescache.Stats
 
 	// ParallelResult holds the result of a multi-worker run; it is the
 	// same unified type every execution path returns.

@@ -69,6 +69,28 @@ fi
     exit 1
 }
 
+# Result cache smoke: serve with -rescache, ask the same query twice,
+# and require /stats to report a result-cache hit (the second answer
+# came from memory, not a scan).
+"$patchdir/arb" serve "$patchdir/db" -addr 127.0.0.1:18339 -rescache 16m > "$patchdir/serve.log" 2>&1 &
+servepid=$!
+for i in $(seq 1 50); do
+    grep -q 'serving' "$patchdir/serve.log" && break
+    sleep 0.1
+done
+curl -sf 'http://127.0.0.1:18339/query?q=xpath://a/b' > /dev/null
+second=$(curl -sf 'http://127.0.0.1:18339/query?q=xpath://a/b')
+hits=$(curl -sf 'http://127.0.0.1:18339/stats' | grep -o '"hits": [0-9]*' | head -1 | grep -o '[0-9]*')
+kill "$servepid" 2>/dev/null; wait "$servepid" 2>/dev/null || true
+echo "$second" | grep -q '"result_cache": "hit"' || {
+    echo "rescache smoke: second answer was not served from the cache" >&2
+    exit 1
+}
+if [ "${hits:-0}" -lt 1 ]; then
+    echo "rescache smoke: /stats reports no result-cache hits" >&2
+    exit 1
+fi
+
 # Compression smoke: create a compressed database through the CLI,
 # query it (results must match the raw database), and check that stats
 # reports the container.
@@ -106,6 +128,11 @@ go test -run 'Compress|SyncDir' -race ./...
 # root-level patch differentials, snapshot isolation/GC, and the
 # concurrent read-while-patching server race.
 go test -run 'Patch|Version|Snapshot' -race ./...
+# The result cache: unit invariants (budget, eviction, version
+# demotion), cached/subsumed answers bit-identical to every strategy
+# under version churn, selection-summary subsumption soundness, and
+# the server fast path + admission control.
+go test -run 'ResCache|Subsum' -race ./...
 
 # Full suite (includes the fuzz targets' seed corpora).
 go test -race ./...

@@ -77,6 +77,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -130,9 +131,9 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   arb create <base> [-compress] [-codec lz|flate] [-blocksize N] [file.xml]
-  arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N] [-timeout d] [-noprune]
+  arb query  <base> (-q <program> | -f <program.tmnf> | -xpath <expr>) [-count|-ids|-mark] [-j N] [-timeout d] [-noprune] [-rescache SIZE]
   arb query  <base> -f <queries.txt> -batch [-j N] [-timeout d] [-noprune]
-  arb serve  <base> [-addr :8337] [-window d] [-batch K] [-inflight N] [-cache N] [-j N] [-timeout d] [-drain d] [-noprune]
+  arb serve  <base> [-addr :8337] [-window d] [-batch K] [-inflight N] [-cache N] [-rescache SIZE] [-maxqueue N] [-j N] [-timeout d] [-drain d] [-noprune]
   arb patch  <base> -op (replace|delete|insert-child) -node N [-xml <fragment> | -f fragment.xml]
   arb compact <base>
   arb cat    <base>
@@ -189,10 +190,12 @@ func create(args []string) error {
 func serve(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8337", "HTTP listen address")
-	window := fs.Duration("window", 2*time.Millisecond, "coalescing gather window (0 = default)")
+	window := fs.Duration("window", 0, "coalescing gather window (0 = auto-tune from observed scan durations)")
 	batchMax := fs.Int("batch", 16, "max distinct plans per shared-scan batch (K)")
 	inflight := fs.Int("inflight", 2, "max concurrently running executions")
 	cacheSize := fs.Int("cache", 256, "plan cache capacity (distinct queries)")
+	resCache := fs.String("rescache", "0", "result cache byte budget, e.g. 64m (0 = disabled)")
+	maxQueue := fs.Int("maxqueue", 0, "max queries queued for execution before answering 429 (0 = unbounded)")
 	jobs := fs.Int("j", 1, "parallel workers per execution (0 = all CPUs, 1 = sequential)")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
@@ -209,6 +212,10 @@ func serve(ctx context.Context, args []string) error {
 	if workers == 0 {
 		workers = -1
 	}
+	resBytes, err := parseSize(*resCache)
+	if err != nil {
+		return fmt.Errorf("-rescache: %w", err)
+	}
 
 	sess, err := arb.OpenSession(base)
 	if err != nil {
@@ -217,13 +224,15 @@ func serve(ctx context.Context, args []string) error {
 	defer sess.Close()
 
 	srv := server.New(ctx, sess, server.Config{
-		Window:      *window,
-		BatchMax:    *batchMax,
-		MaxInflight: *inflight,
-		CacheSize:   *cacheSize,
-		Workers:     workers,
-		Timeout:     *timeout,
-		NoPrune:     *noprune,
+		Window:        *window,
+		BatchMax:      *batchMax,
+		MaxInflight:   *inflight,
+		CacheSize:     *cacheSize,
+		Workers:       workers,
+		Timeout:       *timeout,
+		NoPrune:       *noprune,
+		ResCacheBytes: resBytes,
+		MaxQueue:      *maxQueue,
 	})
 	defer srv.Close()
 
@@ -234,8 +243,12 @@ func serve(ctx context.Context, args []string) error {
 		return err
 	}
 	httpSrv := newHTTPServer(srv.Handler(), *readTimeout)
-	fmt.Printf("arb: serving %s on %s (batch %d, window %v, inflight %d, cache %d)\n",
-		base, ln.Addr(), *batchMax, *window, *inflight, *cacheSize)
+	windowDesc := "auto"
+	if *window > 0 {
+		windowDesc = window.String()
+	}
+	fmt.Printf("arb: serving %s on %s (batch %d, window %s, inflight %d, cache %d, rescache %d)\n",
+		base, ln.Addr(), *batchMax, windowDesc, *inflight, *cacheSize, resBytes)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -258,6 +271,29 @@ func serve(ctx context.Context, args []string) error {
 	}
 	fmt.Println("arb: drained")
 	return nil
+}
+
+// parseSize parses a byte size with an optional k/m/g suffix (powers of
+// 1024), e.g. "64m". The empty string and "0" are zero.
+func parseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q (want N, Nk, Nm or Ng)", s)
+	}
+	return n * mult, nil
 }
 
 // newHTTPServer builds the serve-mode HTTP server with connection
@@ -291,6 +327,7 @@ func query(ctx context.Context, args []string) error {
 	jobs := fs.Int("j", 1, "parallel workers (0 = all CPUs, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "abort the evaluation after this long (0 = no limit)")
 	noprune := fs.Bool("noprune", false, "disable selectivity-aware scan pruning (read every byte even when the index proves subtrees irrelevant)")
+	resCache := fs.String("rescache", "0", "result cache byte budget, e.g. 64m (0 = disabled; caches completed results within this process)")
 	if len(args) < 1 {
 		usage()
 	}
@@ -310,6 +347,13 @@ func query(ctx context.Context, args []string) error {
 		return err
 	}
 	defer sess.Close()
+	resBytes, err := parseSize(*resCache)
+	if err != nil {
+		return fmt.Errorf("-rescache: %w", err)
+	}
+	if resBytes > 0 {
+		sess.SetResultCache(resBytes)
+	}
 
 	// Workers: the flag speaks CLI (0 = all CPUs), ExecOpts speaks
 	// library (negative = all CPUs, 0 = sequential).
@@ -363,7 +407,7 @@ func query(ctx context.Context, args []string) error {
 		}
 	}
 
-	opts := arb.ExecOpts{Workers: workers, Stats: *verbose, NoPrune: *noprune}
+	opts := arb.ExecOpts{Workers: workers, Stats: *verbose, NoPrune: *noprune, ResultCache: resBytes > 0}
 	var markOut *bufio.Writer
 	if *mark {
 		// The marked document streams out during the final pass itself

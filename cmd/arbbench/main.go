@@ -17,6 +17,8 @@
 //	         [-out BENCH_patch.json]
 //	arbbench -experiment compress [-codec lz|flate] [-blocksizes 65536,...]
 //	         [-devmbps 64] [-dbbytes n] [-dir d] [-out BENCH_compress.json]
+//	arbbench -experiment rescache [-dbbytes n] [-requests 256] [-dir d]
+//	         [-out BENCH_rescache.json]
 //
 // compress measures block-compressed extents on the scan path: it builds
 // a full-binary database of at least -dbbytes bytes, compresses copies
@@ -88,16 +90,17 @@ func main() {
 	codec := flag.String("codec", "lz", "codec for the compress experiment: lz or flate")
 	blockSizes := flag.String("blocksizes", "", "block sizes for the compress experiment (default 65536,262144,1048576)")
 	devMBps := flag.Float64("devmbps", 64, "simulated device bandwidth (MB/s) for the compress experiment")
+	requests := flag.Int("requests", 256, "requests per Zipf skew level for the rescache experiment")
 	out := flag.String("out", "", "also write the experiment's JSON report to this file")
 	flag.Parse()
 
-	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers, *batchSizes, *dbBytes, *concurrency, *coalesce, *patches, *codec, *blockSizes, *devMBps, *out); err != nil {
+	if err := run(*experiment, *thread, *scale, *sizesFlag, *queries, *dir, *inMemory, *workers, *batchSizes, *dbBytes, *concurrency, *coalesce, *patches, *codec, *blockSizes, *devMBps, *requests, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "arbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int, batchSizes string, dbBytes int64, concurrency string, coalesce, patches int, codec, blockSizes string, devMBps float64, out string) error {
+func run(experiment, thread string, scale float64, sizesFlag string, queries int, dir string, inMemory bool, workers int, batchSizes string, dbBytes int64, concurrency string, coalesce, patches int, codec, blockSizes string, devMBps float64, requests int, out string) error {
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "arbbench")
@@ -158,6 +161,30 @@ func run(experiment, thread string, scale float64, sizesFlag string, queries int
 				return err
 			}
 			if err := bench.WritePatchJSON(f, report); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+		return nil
+
+	case "rescache":
+		report, err := bench.ResCache(bench.ResCacheOpts{
+			MinDBBytes: dbBytes, Dir: dir, Requests: requests,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteResCache(os.Stdout, report)
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteResCacheJSON(f, report); err != nil {
 				f.Close()
 				return err
 			}

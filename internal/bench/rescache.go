@@ -1,0 +1,318 @@
+// Result-cache experiment: what does the versioned result cache buy a
+// hot workload? The experiment generates a large database, attaches a
+// result cache to the session, and measures the three answer paths —
+// cold miss (full execution and publish), exact hit (O(1) id-set
+// return) and subsumption hit (in-memory re-filter of a superset
+// entry) — then sweeps a Zipf-distributed query mix to show the hit
+// rate and effective throughput a skewed workload sees. The acceptance
+// numbers the report carries: exact hits must be orders of magnitude
+// below the cold miss, and subsumption hits must read zero database
+// bytes.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"arb"
+	"arb/internal/storage"
+)
+
+// ResCacheZipfRow is one skew level of the Zipf sweep.
+type ResCacheZipfRow struct {
+	Exponent       float64 `json:"exponent"`         // Zipf s over the query pool
+	Requests       int     `json:"requests"`         // requests issued
+	Distinct       int     `json:"distinct_queries"` // pool size
+	Hits           uint64  `json:"hits"`             // exact hits
+	Subsumed       uint64  `json:"subsumed"`         // subsumption answers
+	Misses         uint64  `json:"misses"`           // full executions
+	HitRate        float64 `json:"hit_rate"`         // (hits+subsumed)/requests
+	ElapsedSeconds float64 `json:"elapsed_seconds"`  // wall time for the whole mix
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	// EstimatedSpeedup compares against every request paying the
+	// measured cold-miss latency.
+	EstimatedSpeedup float64 `json:"estimated_speedup"`
+}
+
+// ResCacheReport is the machine-readable output of the result-cache
+// experiment (written to BENCH_rescache.json by arbbench).
+type ResCacheReport struct {
+	Experiment        string            `json:"experiment"`
+	DBBytes           int64             `json:"db_bytes"`
+	Nodes             int64             `json:"nodes"`
+	CacheBytes        int64             `json:"cache_bytes"`
+	ColdMissSeconds   float64           `json:"cold_miss_seconds"`   // mean full execution
+	ExactHitSeconds   float64           `json:"exact_hit_seconds"`   // mean cached answer
+	SubsumedSeconds   float64           `json:"subsumed_seconds"`    // mean subsumption answer
+	HitSpeedup        float64           `json:"hit_speedup"`         // cold / exact
+	SubsumedScanBytes int64             `json:"subsumed_scan_bytes"` // database bytes read by subsumption answers (must be 0)
+	Zipf              []ResCacheZipfRow `json:"zipf"`
+}
+
+// ResCacheOpts configures the result-cache experiment.
+type ResCacheOpts struct {
+	// MinDBBytes is the minimum generated database size; default 64 MB.
+	MinDBBytes int64
+	// CacheBytes is the result cache budget; default 64 MB.
+	CacheBytes int64
+	// Dir is where the database is created (reused if already present).
+	Dir string
+	// Requests per Zipf row; default 256.
+	Requests int
+	// Exponents are the Zipf skews to sweep (each must be > 1, the
+	// stdlib generator's domain); default 1.2 and 2.0.
+	Exponents []float64
+}
+
+// resCachePool builds the experiment's distinct-query pool: label and
+// structural shapes over the generated tags, TMNF and XPath alike, so
+// the mix holds both summary-admitting queries (subsumption-capable)
+// and structural ones (exact hits only).
+func resCachePool(sess *arb.Session, tags []string) ([]*arb.PreparedQuery, error) {
+	var srcs []string
+	for _, t := range tags {
+		srcs = append(srcs,
+			fmt.Sprintf(`QUERY :- Label[%s];`, t),
+			fmt.Sprintf(`QUERY :- Leaf, Label[%s];`, t))
+	}
+	for _, t := range tags {
+		for _, u := range tags {
+			srcs = append(srcs, fmt.Sprintf(`QUERY :- V.Label[%s].FirstChild.Label[%s];`, t, u))
+		}
+	}
+	for _, t := range tags[:2] {
+		for _, u := range tags {
+			srcs = append(srcs, fmt.Sprintf(`//%s/%s`, t, u))
+		}
+	}
+	pool := make([]*arb.PreparedQuery, 0, len(srcs))
+	for _, src := range srcs {
+		var pq *arb.PreparedQuery
+		var err error
+		if src[0] == '/' {
+			var q *arb.XPathQuery
+			if q, err = arb.ParseXPath(src); err == nil {
+				pq, err = sess.PrepareXPath(q)
+			}
+		} else {
+			var p *arb.Program
+			if p, err = arb.ParseProgram(src); err == nil {
+				pq, err = sess.Prepare(p)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: pool query %q: %w", src, err)
+		}
+		pool = append(pool, pq)
+	}
+	return pool, nil
+}
+
+// ResCache runs the result-cache experiment and returns the report.
+func ResCache(opts ResCacheOpts) (*ResCacheReport, error) {
+	if opts.MinDBBytes == 0 {
+		opts.MinDBBytes = 64_000_000
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 64 << 20
+	}
+	if opts.Requests == 0 {
+		opts.Requests = 256
+	}
+	if len(opts.Exponents) == 0 {
+		opts.Exponents = []float64{1.2, 2.0}
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("bench: rescache experiment needs Dir")
+	}
+
+	depth := 1
+	for (int64(2)<<depth)-1 < opts.MinDBBytes/storage.NodeSize {
+		depth++
+	}
+	tags := []string{"a", "b", "c", "d"}
+	base := filepath.Join(opts.Dir, fmt.Sprintf("rescachedb-%d", depth))
+	sess, err := arb.OpenSession(base)
+	if err != nil {
+		db, err := storage.CreateFullBinary(base, depth, tags)
+		if err != nil {
+			return nil, err
+		}
+		db.Close()
+		if sess, err = arb.OpenSession(base); err != nil {
+			return nil, err
+		}
+	}
+	defer sess.Close()
+	sess.SetResultCache(opts.CacheBytes)
+
+	report := &ResCacheReport{
+		Experiment: "rescache",
+		DBBytes:    sess.Len() * storage.NodeSize,
+		Nodes:      sess.Len(),
+		CacheBytes: opts.CacheBytes,
+	}
+	ctx := context.Background()
+
+	// Cold misses and exact hits over a measurement set of label
+	// queries: the first execution of each pays the scans and publishes,
+	// the repeats answer from the cache.
+	var cold, hot []*arb.PreparedQuery
+	for _, t := range tags {
+		p, err := arb.ParseProgram(fmt.Sprintf(`QUERY :- Label[%s], HasFirstChild;`, t))
+		if err != nil {
+			return nil, err
+		}
+		pq, err := sess.Prepare(p)
+		if err != nil {
+			return nil, err
+		}
+		cold = append(cold, pq)
+		hot = append(hot, pq)
+	}
+	var coldTotal time.Duration
+	for _, pq := range cold {
+		start := time.Now()
+		_, prof, err := pq.Exec(ctx, arb.ExecOpts{ResultCache: true, Stats: true})
+		if err != nil {
+			return nil, err
+		}
+		if prof.ResultCache != "miss" {
+			return nil, fmt.Errorf("bench: cold execution answered %q, want miss", prof.ResultCache)
+		}
+		coldTotal += time.Since(start)
+	}
+	report.ColdMissSeconds = coldTotal.Seconds() / float64(len(cold))
+
+	const hitReps = 50
+	var hitTotal time.Duration
+	for i := 0; i < hitReps; i++ {
+		for _, pq := range hot {
+			start := time.Now()
+			_, prof, err := pq.Exec(ctx, arb.ExecOpts{ResultCache: true, Stats: true})
+			if err != nil {
+				return nil, err
+			}
+			if prof.ResultCache != "hit" {
+				return nil, fmt.Errorf("bench: hot execution answered %q, want hit", prof.ResultCache)
+			}
+			hitTotal += time.Since(start)
+		}
+	}
+	report.ExactHitSeconds = hitTotal.Seconds() / float64(hitReps*len(hot))
+	if report.ExactHitSeconds > 0 {
+		report.HitSpeedup = report.ColdMissSeconds / report.ExactHitSeconds
+	}
+
+	// Subsumption: a broad single-label entry answers the narrower
+	// non-root variant of the same label with zero scan bytes. On this
+	// synthetic uniform tree a label query selects Θ(n) nodes, so its
+	// packed id list only clears the cache's quarter-budget admission
+	// guard with a budget scaled to the database; real workloads with
+	// selective hot queries need far less. The sweep below runs at the
+	// configured budget, where such giant entries serve exact hits only.
+	subBudget := report.DBBytes * 8
+	if subBudget < opts.CacheBytes {
+		subBudget = opts.CacheBytes
+	}
+	sess.SetResultCache(subBudget)
+	broad, err := arb.ParseProgram(`QUERY :- Label[c];`)
+	if err != nil {
+		return nil, err
+	}
+	pqBroad, err := sess.Prepare(broad)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := pqBroad.Exec(ctx, arb.ExecOpts{ResultCache: true}); err != nil {
+		return nil, err
+	}
+	narrow, err := arb.ParseProgram(`
+R :- Root;
+D :- R.FirstChild;
+D :- R.SecondChild;
+D :- D.FirstChild;
+D :- D.SecondChild;
+QUERY :- D, Label[c];
+`)
+	if err != nil {
+		return nil, err
+	}
+	pqNarrow, err := sess.Prepare(narrow)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	_, prof, err := pqNarrow.Exec(ctx, arb.ExecOpts{ResultCache: true, Stats: true})
+	if err != nil {
+		return nil, err
+	}
+	if prof.ResultCache != "subsumed" {
+		return nil, fmt.Errorf("bench: narrow non-root Label[c] answered %q, want subsumed", prof.ResultCache)
+	}
+	report.SubsumedScanBytes = prof.Disk.Phase1.Bytes + prof.Disk.Phase2.Bytes
+	report.SubsumedSeconds = time.Since(start).Seconds()
+
+	// Zipf sweep: a skewed mix over a fresh cache per row.
+	pool, err := resCachePool(sess, tags)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range opts.Exponents {
+		sess.SetResultCache(opts.CacheBytes) // fresh cache per row
+		r := rand.New(rand.NewSource(int64(s * 1000)))
+		zipf := rand.NewZipf(r, s, 1, uint64(len(pool)-1))
+		start := time.Now()
+		for i := 0; i < opts.Requests; i++ {
+			pq := pool[zipf.Uint64()]
+			if _, _, err := pq.Exec(ctx, arb.ExecOpts{ResultCache: true}); err != nil {
+				return nil, fmt.Errorf("bench: zipf s=%.1f request %d: %w", s, i, err)
+			}
+		}
+		elapsed := time.Since(start)
+		stats, _ := sess.ResultCacheStats()
+		row := ResCacheZipfRow{
+			Exponent:       s,
+			Requests:       opts.Requests,
+			Distinct:       len(pool),
+			Hits:           stats.Hits,
+			Subsumed:       stats.Subsumed,
+			Misses:         stats.Misses,
+			HitRate:        float64(stats.Hits+stats.Subsumed) / float64(opts.Requests),
+			ElapsedSeconds: elapsed.Seconds(),
+			QueriesPerSec:  float64(opts.Requests) / elapsed.Seconds(),
+		}
+		if elapsed > 0 && report.ColdMissSeconds > 0 {
+			row.EstimatedSpeedup = report.ColdMissSeconds * float64(opts.Requests) / elapsed.Seconds()
+		}
+		report.Zipf = append(report.Zipf, row)
+	}
+	return report, nil
+}
+
+// WriteResCache renders the experiment as a table.
+func WriteResCache(w io.Writer, r *ResCacheReport) {
+	fmt.Fprintf(w, "Result cache on a %d-node database (%d MB), %d MB budget.\n",
+		r.Nodes, r.DBBytes>>20, r.CacheBytes>>20)
+	fmt.Fprintf(w, "cold miss %.4fs, exact hit %.6fs (%.0fx), subsumption answer %.6fs (%d scan bytes)\n",
+		r.ColdMissSeconds, r.ExactHitSeconds, r.HitSpeedup, r.SubsumedSeconds, r.SubsumedScanBytes)
+	fmt.Fprintf(w, "%8s %9s %9s %6s %9s %7s %9s %11s %9s\n",
+		"zipf-s", "requests", "distinct", "hits", "subsumed", "misses", "hit-rate", "queries/s", "speedup")
+	for _, row := range r.Zipf {
+		fmt.Fprintf(w, "%8.1f %9d %9d %6d %9d %7d %9.2f %11.1f %9.1f\n",
+			row.Exponent, row.Requests, row.Distinct, row.Hits, row.Subsumed, row.Misses,
+			row.HitRate, row.QueriesPerSec, row.EstimatedSpeedup)
+	}
+}
+
+// WriteResCacheJSON writes the machine-readable report.
+func WriteResCacheJSON(w io.Writer, r *ResCacheReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

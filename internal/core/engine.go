@@ -127,6 +127,10 @@ type Engine struct {
 	// pruning is admissible at all.
 	prune *pruneAnalysis // guarded by: mu
 
+	// sel caches the engine's label-determined selection summary
+	// (selsum.go), computed once; ok=false records inadmissibility.
+	sel *SelSummary // guarded by: mu
+
 	// scratch rule buffer reused across transition computations
 	ruleBuf []horn.Rule // guarded by: mu
 }

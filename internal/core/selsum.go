@@ -1,0 +1,342 @@
+// Label-determined selection summaries (this file) underpin the result
+// cache's semantic subsumption path: a static analysis over the compiled
+// automata decides whether the program's selection depends only on a
+// node's label and root-ness — and if so, records the per-label verdict.
+//
+// When two single-query programs Q and S both admit such a summary and
+// Q's selected-label set is pointwise contained in S's (Subsumes), then
+// R(Q) ⊆ R(S) on every document, and R(Q) is recoverable from a cached
+// R(S) id list by re-filtering on the recorded labels — no scan needed.
+//
+// Soundness rests on the same alphabet-collapse argument as prune.go:
+// the automaton alphabet is the program's EDB fact sets (SigID), so all
+// labels the program's resolved Label[..]/char tests do not mention
+// collapse into one class representative per class (characters, named
+// labels). The analysis closes the bottom-up state space over arbitrary
+// trees built from the mentioned labels plus the representatives,
+// enumerates every root configuration, and closes the top-down state
+// space over every (parent state, child state, side) combination — an
+// over-approximation of the configurations real documents can reach, so
+// a verdict inconsistency can only make the analysis fail conservatively
+// (no summary, exact-hit caching only), never produce a wrong verdict.
+package core
+
+import (
+	"arb/internal/edb"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// Closure caps: the analysis gives up (disabling subsumption, never
+// correctness) if the state sets grow past these bounds. Label-determined
+// query automata converge within a handful of states.
+const (
+	selBUCap = 32
+	selTDCap = 256
+)
+
+// selVerdicts maps labels to selection verdicts for one node position
+// (root or non-root): mentioned labels individually, everything else by
+// class default.
+type selVerdicts struct {
+	labels       map[tree.Label]bool
+	charDefault  bool // unmentioned character labels
+	namedDefault bool // unmentioned named labels
+}
+
+func (v *selVerdicts) verdict(l tree.Label) bool {
+	if sel, ok := v.labels[l]; ok {
+		return sel
+	}
+	if l.IsChar() {
+		return v.charDefault
+	}
+	return v.namedDefault
+}
+
+// SelSummary is the result of the label-determined selection analysis: a
+// total function (label, isRoot) → selected, valid for the program on
+// every document using the name table the summary was computed against.
+// The zero value (ok=false) records an inadmissible program.
+type SelSummary struct {
+	ok        bool
+	mentioned map[tree.Label]bool
+	child     selVerdicts // verdicts at non-root nodes
+	root      selVerdicts // verdicts at the root
+}
+
+// Selected reports whether a node labeled l (at root or non-root
+// position) is selected by the summarized program.
+func (s *SelSummary) Selected(l tree.Label, isRoot bool) bool {
+	if isRoot {
+		return s.root.verdict(l)
+	}
+	return s.child.verdict(l)
+}
+
+// Subsumes reports whether q's selection is pointwise contained in s's:
+// every (label, position) q selects, s selects too. Then R(q) ⊆ R(s) on
+// every document, and filtering s's result by q's verdicts yields
+// exactly R(q). Both summaries must come from engines sharing one name
+// table (one Session version guarantees this).
+func Subsumes(q, s *SelSummary) bool {
+	if q == nil || s == nil || !q.ok || !s.ok {
+		return false
+	}
+	implied := func(l tree.Label) bool {
+		return (!q.child.verdict(l) || s.child.verdict(l)) &&
+			(!q.root.verdict(l) || s.root.verdict(l))
+	}
+	for l := range q.mentioned {
+		if !implied(l) {
+			return false
+		}
+	}
+	for l := range s.mentioned {
+		if !implied(l) {
+			return false
+		}
+	}
+	// Labels mentioned by neither side fall to the class defaults.
+	if q.child.charDefault && !s.child.charDefault {
+		return false
+	}
+	if q.child.namedDefault && !s.child.namedDefault {
+		return false
+	}
+	if q.root.charDefault && !s.root.charDefault {
+		return false
+	}
+	if q.root.namedDefault && !s.root.namedDefault {
+		return false
+	}
+	return true
+}
+
+// SelectionSummary returns the engine's label-determined selection
+// summary, or nil when the program does not admit one (selection depends
+// on context or shape, several query predicates, aux input, or the
+// closure caps were exceeded). The result is computed once and cached.
+func (e *Engine) SelectionSummary() *SelSummary {
+	s := e.lockedSelSummary()
+	if !s.ok {
+		return nil
+	}
+	return s
+}
+
+// lockedSelSummary runs selSummary under the engine's write lock, so
+// summaries may be computed while other runs of the engine are in flight.
+func (e *Engine) lockedSelSummary() *SelSummary {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.selSummary()
+}
+
+// selSummary computes (and caches) the engine's selection summary. It
+// interns synthetic states and transitions into the engine's tables, so
+// it must run while the caller holds the engine's write lock
+// (lockedSelSummary) or owns the engine exclusively.
+//
+// arblint:holds mu
+func (e *Engine) selSummary() *SelSummary {
+	if e.sel != nil {
+		return e.sel
+	}
+	a := &SelSummary{}
+	e.sel = a
+
+	// One query predicate, so one selection bit per node; the xpath
+	// compiler always emits exactly one.
+	if len(e.c.Queries) != 1 {
+		return a
+	}
+
+	// Mentioned labels: only resolved Label[..]/char tests pin individual
+	// labels. Structural tests are label-independent; Text distinguishes
+	// the classes, which the class representatives model. Aux bits vary
+	// per node outside the label, so they defeat the analysis outright.
+	mentioned := map[tree.Label]bool{}
+	for _, un := range e.c.Unaries {
+		switch un.Kind {
+		case tmnf.UAll, tmnf.URoot, tmnf.UHasFirstChild, tmnf.UHasSecondChild, tmnf.UText:
+		case tmnf.ULabel, tmnf.UChar:
+			if l, ok := edb.ResolveLabel(un, e.names); ok {
+				mentioned[l] = true
+			}
+		default:
+			return a
+		}
+	}
+
+	// Alphabet: every mentioned label plus one representative per
+	// unmentioned class. A class with every label mentioned would leave
+	// its default verdict meaningless; give up (cannot happen for named
+	// labels, and a program naming all 256 characters is pathological).
+	alphabet := make([]tree.Label, 0, len(mentioned)+2)
+	for l := range mentioned {
+		alphabet = append(alphabet, l)
+	}
+	var charRep, namedRep tree.Label
+	foundChar, foundNamed := false, false
+	for c := 0; c < 256; c++ {
+		if !mentioned[tree.Label(c)] {
+			charRep, foundChar = tree.Label(c), true
+			break
+		}
+	}
+	for l := 1<<14 - 1; l >= 256; l-- {
+		if !mentioned[tree.Label(l)] {
+			namedRep, foundNamed = tree.Label(l), true
+			break
+		}
+	}
+	if !foundChar || !foundNamed {
+		return a
+	}
+	alphabet = append(alphabet, charRep, namedRep)
+
+	sig := func(l tree.Label, hf, hs, root bool) int32 {
+		return e.SigID(edb.NodeSig{Label: l, HasFirst: hf, HasSecond: hs, IsRoot: root})
+	}
+
+	// Bottom-up closure: every state reachable by a non-root subtree over
+	// the alphabet, over the four child shapes, attributing to each state
+	// the labels that can sit at its subtree root (several labels may
+	// fold to one state; the verdict check below needs them all).
+	bu := map[StateID]map[tree.Label]bool{}
+	note := func(s StateID, l tree.Label) bool {
+		m := bu[s]
+		if m == nil {
+			m = map[tree.Label]bool{}
+			bu[s] = m
+		}
+		if m[l] {
+			return false
+		}
+		m[l] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		cur := make([]StateID, 0, len(bu))
+		for s := range bu {
+			cur = append(cur, s)
+		}
+		for _, l := range alphabet {
+			if note(e.ReachableStates(NoState, NoState, sig(l, false, false, false)), l) {
+				changed = true
+			}
+			for _, s1 := range cur {
+				if note(e.ReachableStates(s1, NoState, sig(l, true, false, false)), l) {
+					changed = true
+				}
+				if note(e.ReachableStates(NoState, s1, sig(l, false, true, false)), l) {
+					changed = true
+				}
+				for _, s2 := range cur {
+					if note(e.ReachableStates(s1, s2, sig(l, true, true, false)), l) {
+						changed = true
+					}
+				}
+			}
+		}
+		if len(bu) > selBUCap {
+			return a
+		}
+	}
+	buList := make([]StateID, 0, len(bu))
+	for s := range bu {
+		buList = append(buList, s)
+	}
+
+	// Root configurations: the root's own verdict is the query mask of
+	// its top-down start state (RootTrueSet). For a fixed label it must
+	// agree across every shape and child-state combination.
+	rootV := map[tree.Label]bool{}
+	rootTDs := map[StateID]bool{}
+	rootCfg := func(l tree.Label, left, right StateID, hf, hs bool) bool {
+		td := e.RootTrueSet(e.ReachableStates(left, right, sig(l, hf, hs, true)))
+		rootTDs[td] = true
+		sel := e.queryMask(td) != 0
+		if v, ok := rootV[l]; ok && v != sel {
+			return false
+		}
+		rootV[l] = sel
+		return true
+	}
+	for _, l := range alphabet {
+		if !rootCfg(l, NoState, NoState, false, false) {
+			return a
+		}
+		for _, s1 := range buList {
+			if !rootCfg(l, s1, NoState, true, false) {
+				return a
+			}
+			if !rootCfg(l, NoState, s1, false, true) {
+				return a
+			}
+			for _, s2 := range buList {
+				if !rootCfg(l, s1, s2, true, true) {
+					return a
+				}
+			}
+		}
+	}
+
+	// Top-down closure: every state a non-root node can be assigned,
+	// seeded from the root start states and closed under both transition
+	// sides against every bottom-up state. A node's verdict is the query
+	// mask of its top-down state; for a fixed label it must agree across
+	// every reachable configuration.
+	childV := map[tree.Label]bool{}
+	tdSeen := map[StateID]bool{}
+	work := []StateID{}
+	push := func(t StateID) {
+		if !tdSeen[t] {
+			tdSeen[t] = true
+			work = append(work, t)
+		}
+	}
+	for t := range rootTDs {
+		push(t)
+	}
+	for len(work) > 0 {
+		t := work[len(work)-1]
+		work = work[:len(work)-1]
+		if len(tdSeen) > selTDCap {
+			return a
+		}
+		for _, s := range buList {
+			for k := 1; k <= 2; k++ {
+				td := e.TruePreds(t, s, k)
+				sel := e.queryMask(td) != 0
+				for l := range bu[s] {
+					if v, ok := childV[l]; ok && v != sel {
+						return a
+					}
+					childV[l] = sel
+				}
+				push(td)
+			}
+		}
+	}
+
+	a.ok = true
+	a.mentioned = mentioned
+	a.child = selVerdicts{
+		labels:       make(map[tree.Label]bool, len(mentioned)),
+		charDefault:  childV[charRep],
+		namedDefault: childV[namedRep],
+	}
+	a.root = selVerdicts{
+		labels:       make(map[tree.Label]bool, len(mentioned)),
+		charDefault:  rootV[charRep],
+		namedDefault: rootV[namedRep],
+	}
+	for l := range mentioned {
+		a.child.labels[l] = childV[l]
+		a.root.labels[l] = rootV[l]
+	}
+	return a
+}

@@ -1,0 +1,176 @@
+package rescache
+
+import (
+	"fmt"
+	"testing"
+
+	"arb/internal/core"
+	"arb/internal/tmnf"
+	"arb/internal/tree"
+)
+
+// summaryFor compiles src against names and returns its selection summary.
+func summaryFor(t *testing.T, src string, names *tree.Names) (*core.SelSummary, *tmnf.Program) {
+	t.Helper()
+	p := tmnf.MustParse(src)
+	c, err := core.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := core.NewEngine(c, names).SelectionSummary()
+	if sum == nil {
+		t.Fatalf("%s: no selection summary", src)
+	}
+	return sum, p
+}
+
+func testNames(t *testing.T) *tree.Names {
+	t.Helper()
+	names := tree.NewNames()
+	for _, tag := range []string{"a", "b"} {
+		if _, err := names.Intern(tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return names
+}
+
+// result marks vs selected on an n-node document for prog's only query.
+func result(prog *tmnf.Program, n int64, vs ...int64) *core.Result {
+	r := core.NewResult(prog, n)
+	for _, v := range vs {
+		r.MarkMask(1, v)
+	}
+	return r
+}
+
+func TestResCacheExactHit(t *testing.T) {
+	c := New(1 << 20)
+	names := testNames(t)
+	_, prog := summaryFor(t, `QUERY :- Label[a];`, names)
+	res := result(prog, 100, 3, 7)
+	c.Put("xpath://a", 1, res, nil, nil)
+
+	got, kind := c.Lookup("xpath://a", 1, nil, prog, 100)
+	if kind != Hit || got != res {
+		t.Fatalf("lookup = (%p, %v), want the published result as a Hit", got, kind)
+	}
+	if _, kind := c.Lookup("xpath://a", 2, nil, prog, 100); kind != Miss {
+		t.Fatalf("other version: kind = %v, want Miss", kind)
+	}
+	if _, kind := c.Lookup("xpath://b", 1, nil, prog, 100); kind != Miss {
+		t.Fatalf("other key: kind = %v, want Miss", kind)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 2 misses, 1 entry", st)
+	}
+}
+
+func TestResCacheSubsumption(t *testing.T) {
+	c := New(1 << 20)
+	names := testNames(t)
+	la, _ := names.Lookup("a")
+	lb, _ := names.Lookup("b")
+
+	// Superset S: every node labeled a or b (root included).
+	sumS, progS := summaryFor(t, `QUERY :- Label[a]; QUERY :- Label[b];`, names)
+	// Narrower Q: only nodes labeled a, and never the root.
+	sumQ, progQ := summaryFor(t, `
+R :- Root;
+D :- R.FirstChild;
+D :- R.SecondChild;
+D :- D.FirstChild;
+D :- D.SecondChild;
+QUERY :- D, Label[a];
+`, names)
+	if !core.Subsumes(sumQ, sumS) {
+		t.Fatal("expected sumQ ⊆ sumS")
+	}
+
+	// Document of 10 nodes: root labeled a, node 4 labeled a, node 6
+	// labeled b; S selected all three.
+	resS := result(progS, 10, 0, 4, 6)
+	ids := []uint64{
+		PackID(0, la, true),
+		PackID(4, la, false),
+		PackID(6, lb, false),
+	}
+	c.Put("s", 1, resS, sumS, ids)
+
+	got, kind := c.Lookup("q", 1, sumQ, progQ, 10)
+	if kind != Subsumed {
+		t.Fatalf("kind = %v, want Subsumed", kind)
+	}
+	q := progQ.Queries()[0]
+	want := map[int64]bool{4: true} // not the root (0), not the b node (6)
+	for v := int64(0); v < 10; v++ {
+		if got.Holds(q, tree.NodeID(v)) != want[v] {
+			t.Fatalf("filtered result: node %d selected=%v, want %v", v, got.Holds(q, tree.NodeID(v)), want[v])
+		}
+	}
+
+	// The derived entry answers the repeat exactly.
+	if _, kind := c.Lookup("q", 1, sumQ, progQ, 10); kind != Hit {
+		t.Fatalf("repeat kind = %v, want Hit", kind)
+	}
+	// A different version must not be served by either entry.
+	if _, kind := c.Lookup("q", 2, sumQ, progQ, 10); kind != Miss {
+		t.Fatalf("other version kind = %v, want Miss", kind)
+	}
+	st := c.Stats()
+	if st.Subsumed != 1 {
+		t.Fatalf("stats = %+v, want exactly one subsumed hit", st)
+	}
+}
+
+func TestResCacheEvictionAndAdmission(t *testing.T) {
+	names := testNames(t)
+	_, prog := summaryFor(t, `QUERY :- Label[a];`, names)
+
+	c := New(4096)
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 1, result(prog, 64, 1), nil, nil)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions after overfilling a 4 KiB budget", st)
+	}
+	if st.Bytes > 4096 {
+		t.Fatalf("resident bytes %d exceed the budget", st.Bytes)
+	}
+
+	// One result bigger than a quarter of the budget is refused outright.
+	c.Put("huge", 1, result(prog, 1<<16, 1), nil, nil)
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want one rejected publish", st)
+	}
+
+	// Disabled caches are nil and safe to use.
+	var nc *Cache
+	if nc != New(0) {
+		t.Fatal("New(0) must return nil")
+	}
+	nc.Put("k", 1, result(prog, 64, 1), nil, nil)
+	if _, kind := nc.Lookup("k", 1, nil, prog, 64); kind != Miss {
+		t.Fatal("nil cache must miss")
+	}
+}
+
+func TestResCacheStaleVersionsEvictFirst(t *testing.T) {
+	names := testNames(t)
+	_, prog := summaryFor(t, `QUERY :- Label[a];`, names)
+
+	c := New(4096)
+	c.Put("old", 1, result(prog, 64, 1), nil, nil)
+	_, _ = c.Lookup("old", 1, nil, prog, 64) // most recently touched
+	// A newer version arrives; the old entry is demoted to the eviction
+	// end even though it was touched most recently.
+	c.Put("new", 2, result(prog, 64, 1), nil, nil)
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 2, result(prog, 64, 1), nil, nil)
+	}
+	if _, kind := c.Lookup("old", 1, nil, prog, 64); kind != Miss {
+		t.Fatal("stale-version entry survived pressure that should evict it first")
+	}
+}

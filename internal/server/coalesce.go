@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arb"
@@ -24,9 +25,18 @@ import (
 // whichever is first; groups then queue for an execution slot. So the
 // batching degree tracks the arrival rate: bursts and saturated slots
 // coalesce maximally, sparse traffic pays zero added latency.
+//
+// The window itself adapts too, unless pinned by configuration: waiting
+// is only worth a fraction of the scan it amortises, so the coalescer
+// keeps an EWMA of observed execution durations and sets the window to a
+// quarter of it, clamped to [500µs, 25ms]. Fast in-memory workloads
+// shrink toward the floor (near-zero added latency); long disk scans
+// widen the gather so more requests share each scan pair.
 type coalescer struct {
 	sess    *arb.Session
-	window  time.Duration
+	win     atomic.Int64  // current gather window, nanoseconds
+	auto    bool          // tune win from observed scan durations
+	ewma    atomic.Int64  // smoothed execution duration, nanoseconds
 	max     int           // distinct plans per group
 	sem     chan struct{} // execution slots (MaxInflight)
 	opts    arb.ExecOpts  // Workers/NoPrune template; Stats always set
@@ -58,12 +68,52 @@ type group struct {
 	later   time.Time // latest member deadline (zero: some member has none)
 }
 
+// Auto-tuning bounds: the seed before any execution has been observed,
+// the smoothing factor (EWMA α = 1/ewmaDiv), the window-to-scan ratio,
+// and the clamp.
+const (
+	windowSeed  = 2 * time.Millisecond
+	windowFloor = 500 * time.Microsecond
+	windowCeil  = 25 * time.Millisecond
+	windowFrac  = 4 // window = ewma/windowFrac
+	ewmaDiv     = 5 // α = 0.2
+)
+
 func newCoalescer(sess *arb.Session, window time.Duration, max, inflight int, opts arb.ExecOpts, profile func(*arb.Profile, int)) *coalescer {
 	opts.Stats = true
-	return &coalescer{
-		sess: sess, window: window, max: max,
+	c := &coalescer{
+		sess: sess, auto: window <= 0, max: max,
 		sem: make(chan struct{}, inflight), opts: opts, profile: profile,
 	}
+	if c.auto {
+		window = windowSeed
+	}
+	c.win.Store(int64(window))
+	return c
+}
+
+// observe feeds one execution's duration into the window tuner. Updates
+// are load/store rather than CAS on purpose: a lost sample under
+// contention only delays convergence, and the EWMA absorbs it.
+func (c *coalescer) observe(d time.Duration) {
+	if !c.auto || d <= 0 {
+		return
+	}
+	e := time.Duration(c.ewma.Load())
+	if e == 0 {
+		e = d
+	} else {
+		e += (d - e) / ewmaDiv
+	}
+	c.ewma.Store(int64(e))
+	w := e / windowFrac
+	if w < windowFloor {
+		w = windowFloor
+	}
+	if w > windowCeil {
+		w = windowCeil
+	}
+	c.win.Store(int64(w))
 }
 
 // submit routes one request: solo on an idle server, otherwise into the
@@ -79,7 +129,7 @@ func (c *coalescer) submit(ctx context.Context, execCtx context.Context, key str
 
 	c.mu.Lock()
 	now := time.Now()
-	idle := now.Sub(c.lastSubmit) > c.window
+	idle := now.Sub(c.lastSubmit) > time.Duration(c.win.Load())
 	c.lastSubmit = now
 
 	if c.pending == nil && idle {
@@ -102,6 +152,7 @@ func (c *coalescer) submit(ctx context.Context, execCtx context.Context, key str
 				return nil, 1, 0, err
 			}
 			c.profile(prof, 1)
+			c.observe(prof.Duration)
 			return res, 1, prof.Version, nil
 		default:
 		}
@@ -153,7 +204,7 @@ func (c *coalescer) submit(ctx context.Context, execCtx context.Context, key str
 // window elapses, take an execution slot, run the whole group as one
 // shared-scan batch, and wake every waiter.
 func (c *coalescer) run(g *group, execCtx context.Context) {
-	timer := time.NewTimer(c.window)
+	timer := time.NewTimer(time.Duration(c.win.Load()))
 	defer timer.Stop()
 	select {
 	case <-g.full:
@@ -186,6 +237,7 @@ func (c *coalescer) run(g *group, execCtx context.Context) {
 			return
 		}
 		c.profile(prof, 1)
+		c.observe(prof.Duration)
 		g.res = []*arb.Result{res}
 		g.version = prof.Version
 		return
@@ -201,6 +253,7 @@ func (c *coalescer) run(g *group, execCtx context.Context) {
 		return
 	}
 	c.profile(prof, n)
+	c.observe(prof.Duration)
 	g.res = res
 	g.version = prof.Version
 }
@@ -217,15 +270,23 @@ func (c *coalescer) memberCtx(base context.Context, deadline time.Time, has bool
 
 // CoalescerStats is the coalescer's corner of the /stats payload.
 type CoalescerStats struct {
-	Groups   int64 `json:"groups"`          // executions dispatched (solo + batched)
-	Solo     int64 `json:"solo"`            // idle fast-path executions
-	Requests int64 `json:"requests"`        // requests routed through groups
-	Dedup    int64 `json:"dedup_hits"`      // requests folded onto a duplicate plan
-	MaxBatch int   `json:"max_batch_plans"` // largest distinct-plan group so far
+	Groups     int64   `json:"groups"`          // executions dispatched (solo + batched)
+	Solo       int64   `json:"solo"`            // idle fast-path executions
+	Requests   int64   `json:"requests"`        // requests routed through groups
+	Dedup      int64   `json:"dedup_hits"`      // requests folded onto a duplicate plan
+	MaxBatch   int     `json:"max_batch_plans"` // largest distinct-plan group so far
+	WindowMS   float64 `json:"window_ms"`       // current gather window
+	WindowAuto bool    `json:"window_auto"`     // window is tuned, not pinned
+	ScanEWMAMS float64 `json:"scan_ewma_ms"`    // smoothed execution duration feeding the tuner
 }
 
 func (c *coalescer) snapshot() CoalescerStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CoalescerStats{Groups: c.groups, Solo: c.solos, Requests: c.batched, Dedup: c.dedups, MaxBatch: c.maxBatch}
+	return CoalescerStats{
+		Groups: c.groups, Solo: c.solos, Requests: c.batched, Dedup: c.dedups, MaxBatch: c.maxBatch,
+		WindowMS:   float64(c.win.Load()) / 1e6,
+		WindowAuto: c.auto,
+		ScanEWMAMS: float64(c.ewma.Load()) / 1e6,
+	}
 }

@@ -47,11 +47,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.gauge("arb_plan_cache_size", "Distinct plans currently cached.", float64(st.PlanCache.Size))
 	m.gauge("arb_plan_cache_capacity", "Plan cache capacity.", float64(st.PlanCache.Capacity))
 
+	if rc := st.ResultCache; rc != nil {
+		m.counter("arb_result_cache_hits_total", "Result cache exact (key, version) hits.", int64(rc.Hits))
+		m.counter("arb_result_cache_subsumed_total", "Result cache misses answered via subsumption.", int64(rc.Subsumed))
+		m.counter("arb_result_cache_misses_total", "Result cache lookups answered by neither.", int64(rc.Misses))
+		m.counter("arb_result_cache_evictions_total", "Result cache entries dropped for the byte budget.", int64(rc.Evictions))
+		m.counter("arb_result_cache_rejected_total", "Result publishes refused by admission.", int64(rc.Rejected))
+		m.gauge("arb_result_cache_entries", "Resident result cache entries.", float64(rc.Entries))
+		m.gauge("arb_result_cache_bytes", "Resident result cache bytes.", float64(rc.Bytes))
+		m.gauge("arb_result_cache_capacity_bytes", "Configured result cache byte budget.", float64(rc.Capacity))
+	}
+
+	m.gauge("arb_queue_depth", "Queries waiting on (or in) the coalescer.", float64(st.Queue.Depth))
+	m.gauge("arb_queue_limit", "Admission-control queue bound (0 = unbounded).", float64(st.Queue.Limit))
+	m.counter("arb_throttled_total", "Queries refused with 429 by admission control.", st.Queue.Throttled)
+
 	m.counter("arb_coalescer_groups_total", "Executions dispatched (solo and batched).", st.Coalescer.Groups)
 	m.counter("arb_coalescer_solo_total", "Idle fast-path executions.", st.Coalescer.Solo)
 	m.counter("arb_coalescer_requests_total", "Requests routed through gather groups.", st.Coalescer.Requests)
 	m.counter("arb_coalescer_dedup_total", "Requests folded onto a duplicate plan.", st.Coalescer.Dedup)
 	m.gauge("arb_coalescer_max_batch_plans", "Largest distinct-plan group so far.", float64(st.Coalescer.MaxBatch))
+	m.gauge("arb_coalescer_window_seconds", "Current gather window.", st.Coalescer.WindowMS/1e3)
+	m.gauge("arb_coalescer_scan_ewma_seconds", "Smoothed execution duration feeding the window tuner.", st.Coalescer.ScanEWMAMS/1e3)
 
 	m.counter("arb_scan_rounds_total", "Shared scan pairs executed.", st.Profile.ScanRounds)
 	m.counter("arb_phase1_bytes_total", "Database bytes read by backward scans.", st.Profile.Phase1)

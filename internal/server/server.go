@@ -30,8 +30,11 @@ import (
 // Config tunes a Server. The zero value gets sensible defaults.
 type Config struct {
 	// Window is how long a gather group waits for companions before its
-	// batch executes (default 2ms). Requests on an idle server skip the
-	// window entirely; see the coalescer.
+	// batch executes. Zero (the default) means auto: the coalescer seeds
+	// a 2ms window and retunes it from an EWMA of observed scan
+	// durations. A positive value pins the window and disables tuning.
+	// Requests on an idle server skip the window entirely; see the
+	// coalescer.
 	Window time.Duration
 	// BatchMax is K, the maximum number of distinct plans per shared-scan
 	// batch (default 16). Duplicate concurrent queries never count twice —
@@ -52,11 +55,20 @@ type Config struct {
 	MaxIDs int
 	// NoPrune disables selectivity-aware pruning for all executions.
 	NoPrune bool
+	// ResCacheBytes enables the session result cache with the given byte
+	// budget (default 0 = disabled). Cached queries answer with zero
+	// scans; see internal/rescache.
+	ResCacheBytes int64
+	// MaxQueue bounds requests waiting on the coalescer (default 0 =
+	// unbounded). When the bound is hit, new queries are refused with
+	// 429 and a Retry-After header instead of piling onto the queue.
+	// Result-cache hits bypass the queue and are never refused.
+	MaxQueue int
 }
 
 func (c *Config) fill() {
-	if c.Window <= 0 {
-		c.Window = 2 * time.Millisecond
+	if c.Window < 0 {
+		c.Window = 0 // auto
 	}
 	if c.BatchMax <= 0 {
 		c.BatchMax = 16
@@ -86,11 +98,13 @@ type Server struct {
 	cancel context.CancelFunc
 	closed atomic.Bool
 
-	start    time.Time
-	requests atomic.Int64
-	errorsN  atomic.Int64
-	inflight atomic.Int64
-	patchesN atomic.Int64 // committed /patch operations
+	start     time.Time
+	requests  atomic.Int64
+	errorsN   atomic.Int64
+	inflight  atomic.Int64
+	patchesN  atomic.Int64 // committed /patch operations
+	queued    atomic.Int64 // queries waiting on (or in) the coalescer
+	throttled atomic.Int64 // queries refused with 429 by admission control
 
 	profMu sync.Mutex
 	prof   ProfileCounters // guarded by: profMu
@@ -123,6 +137,13 @@ func New(ctx context.Context, sess *arb.Session, cfg Config) *Server {
 	}
 	s.base, s.cancel = context.WithCancel(ctx)
 	opts := arb.ExecOpts{Workers: cfg.Workers, NoPrune: cfg.NoPrune}
+	if cfg.ResCacheBytes > 0 {
+		// Executions publish into (and read through) the result cache;
+		// the handler additionally short-circuits hits before the
+		// coalescer via TryCached.
+		sess.SetResultCache(cfg.ResCacheBytes)
+		opts.ResultCache = true
+	}
 	s.coal = newCoalescer(sess, cfg.Window, cfg.BatchMax, cfg.MaxInflight, opts, s.addProfile)
 	return s
 }
@@ -194,12 +215,13 @@ type predResult struct {
 
 // queryResponse is the /query reply.
 type queryResponse struct {
-	Query     string       `json:"query"` // normalized form (the plan-cache key)
-	Results   []predResult `json:"results"`
-	PlanCache string       `json:"plan_cache"`        // "hit" or "miss"
-	Coalesced int          `json:"coalesced"`         // distinct plans sharing this request's scans
-	Version   uint64       `json:"version,omitempty"` // database version the execution read (versioned sessions)
-	Elapsed   float64      `json:"elapsed_seconds"`
+	Query       string       `json:"query"` // normalized form (the plan-cache key)
+	Results     []predResult `json:"results"`
+	PlanCache   string       `json:"plan_cache"`             // "hit" or "miss"
+	ResultCache string       `json:"result_cache,omitempty"` // "hit" or "subsumed" when answered without scanning
+	Coalesced   int          `json:"coalesced"`              // distinct plans sharing this request's scans
+	Version     uint64       `json:"version,omitempty"`      // database version the execution read (versioned sessions)
+	Elapsed     float64      `json:"elapsed_seconds"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -250,6 +272,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	planCache := map[bool]string{true: "hit", false: "miss"}[hit]
+
+	start := time.Now()
+	// Result-cache fast path: a hit answers from memory with zero scans,
+	// skipping the deadline plumbing, the admission queue and the
+	// coalescer entirely — the whole point of the tier.
+	if res, prof, ok := pq.TryCached(); ok {
+		writeJSON(w, http.StatusOK, queryResponse{
+			Query:       key,
+			Results:     s.predResults(pq, res, req.IDs),
+			PlanCache:   planCache,
+			ResultCache: prof.ResultCache,
+			Version:     prof.Version,
+			Elapsed:     time.Since(start).Seconds(),
+		})
+		return
+	}
+
+	// Admission control: past the cache, every request costs an
+	// execution (or a wait for one). A bounded queue sheds load early
+	// with 429 + Retry-After instead of letting deadlines expire deep in
+	// the coalescer.
+	if s.cfg.MaxQueue > 0 {
+		if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+			s.queued.Add(-1)
+			s.throttled.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, "query queue full (%d waiting); retry later", s.cfg.MaxQueue)
+			return
+		}
+		defer s.queued.Add(-1)
+	}
 
 	timeout := s.cfg.Timeout
 	if req.TimeoutMS > 0 {
@@ -258,7 +312,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	start := time.Now()
 	res, coalesced, version, err := s.coal.submit(ctx, s.base, key, pq)
 	if err != nil {
 		switch {
@@ -272,16 +325,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := queryResponse{
+	writeJSON(w, http.StatusOK, queryResponse{
 		Query:     key,
-		PlanCache: map[bool]string{true: "hit", false: "miss"}[hit],
+		Results:   s.predResults(pq, res, req.IDs),
+		PlanCache: planCache,
 		Coalesced: coalesced,
 		Version:   version,
 		Elapsed:   time.Since(start).Seconds(),
-	}
+	})
+}
+
+// predResults renders a result per query predicate, truncating id lists
+// at the configured cap.
+func (s *Server) predResults(pq *arb.PreparedQuery, res *arb.Result, wantIDs bool) []predResult {
+	var out []predResult
 	for _, q := range pq.Queries() {
 		pr := predResult{Predicate: pq.Program().PredName(q), Count: res.Count(q)}
-		if req.IDs {
+		if wantIDs {
 			res.Walk(q, func(v arb.NodeID) bool {
 				if len(pr.IDs) >= s.cfg.MaxIDs {
 					pr.Truncated = true
@@ -291,9 +351,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				return true
 			})
 		}
-		resp.Results = append(resp.Results, pr)
+		out = append(out, pr)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return out
 }
 
 // plan resolves a query text to its cached plan, compiling and caching
@@ -431,7 +491,17 @@ type Stats struct {
 	HitRate       float64         `json:"plan_cache_hit_rate"`
 	Coalescer     CoalescerStats  `json:"coalescer"`
 	Profile       ProfileCounters `json:"profile"`
-	Session       struct {
+	// ResultCache is the session result cache's counters (present only
+	// when the server runs with -rescache).
+	ResultCache *arb.ResultCacheStats `json:"result_cache,omitempty"`
+	// Queue is the admission-control view: current depth, configured
+	// limit (0 = unbounded) and queries refused with 429.
+	Queue struct {
+		Depth     int64 `json:"depth"`
+		Limit     int   `json:"limit"`
+		Throttled int64 `json:"throttled"`
+	} `json:"queue"`
+	Session struct {
 		Nodes     int64  `json:"nodes"`
 		Disk      bool   `json:"disk"`
 		Versioned bool   `json:"versioned"`
@@ -461,6 +531,12 @@ func (s *Server) Snapshot() Stats {
 	if total := st.PlanCache.Hits + st.PlanCache.Misses; total > 0 {
 		st.HitRate = float64(st.PlanCache.Hits) / float64(total)
 	}
+	if rc, ok := s.sess.ResultCacheStats(); ok {
+		st.ResultCache = &rc
+	}
+	st.Queue.Depth = s.queued.Load()
+	st.Queue.Limit = s.cfg.MaxQueue
+	st.Queue.Throttled = s.throttled.Load()
 	st.Session.Nodes = s.sess.Len()
 	st.Session.Disk = s.sess.DB() != nil || s.sess.Versioned()
 	st.Session.Versioned = s.sess.Versioned()

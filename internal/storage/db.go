@@ -152,6 +152,22 @@ func (db *DB) PhysSpan(lo, hi int64) int64 {
 	return (hi - lo) * NodeSize
 }
 
+// RecordAt reads and decodes the single node record v — random access
+// for callers that need a handful of labels without a scan (the result
+// cache reads the labels of cached id lists this way). Served through
+// the logical record space, so it is transparent for block-compressed
+// and virtual databases alike.
+func (db *DB) RecordAt(v int64) (Record, error) {
+	if v < 0 || v >= db.N {
+		return Record{}, fmt.Errorf("storage: record %d out of range [0, %d)", v, db.N)
+	}
+	var buf [NodeSize]byte
+	if _, err := db.arb.ReadAt(buf[:], v*NodeSize); err != nil {
+		return Record{}, err
+	}
+	return DecodeRecord(binary.BigEndian.Uint16(buf[:])), nil
+}
+
 // NewVirtualDB wraps an arbitrary record source as a database handle: r
 // must serve n nodes (n*NodeSize bytes) of well-formed preorder records
 // via ReadAt. base anchors relative temp files (disk runs place state

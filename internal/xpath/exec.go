@@ -72,6 +72,19 @@ func (p *Prepared) Program() *tmnf.Program { return p.prog }
 // (auxiliary passes plus the main pass).
 func (p *Prepared) Passes() int { return len(p.aux) + 1 }
 
+// Summary returns the label-determined selection summary of the query's
+// main engine (core.SelSummary), or nil when the query has no such
+// summary: multi-pass queries never do — their main pass reads aux bits
+// the summary cannot see — and single-pass queries only when the
+// selection provably depends on nothing but each node's label and
+// root-ness. Non-nil summaries feed the result cache's subsumption check.
+func (p *Prepared) Summary() *core.SelSummary {
+	if len(p.aux) > 0 {
+		return nil
+	}
+	return p.main.SelectionSummary()
+}
+
 // ResolveWorkers maps a worker request to a concrete count: n >= 1 is
 // taken as-is, anything else (0, negative) means all CPUs.
 func ResolveWorkers(n int) int {

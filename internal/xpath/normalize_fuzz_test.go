@@ -1,0 +1,89 @@
+package xpath
+
+import "testing"
+
+// FuzzNormalizeStable pins the normalization contract both caches lean
+// on: the plan cache and the result cache key entries by the normalized
+// query text ("xpath:" + Parse(src).String()), so two spellings of one
+// query must reach one key, and that key must denote exactly one
+// compiled plan. Concretely, for any parseable input: the normal form
+// must re-parse, normalizing again must be a fixpoint (otherwise one
+// query smears across several cache keys), and the round-tripped parse
+// must compile to the same automata (otherwise one cache key could
+// serve two different plans — a wrong-answer bug, not a perf bug).
+// Run with `go test -fuzz FuzzNormalizeStable ./internal/xpath`.
+func FuzzNormalizeStable(f *testing.F) {
+	for _, seed := range []string{
+		// Whitespace and spelling variants that must converge.
+		"/a/b",
+		"  /a/b  ",
+		"/ a / b",
+		"//a",
+		"/descendant-or-self::node()/child::a",
+		"descendant::a",
+		"a//b",
+		"a / descendant-or-self :: node ( ) / child :: b",
+		"a/.",
+		"a/self::node()",
+		"a/..",
+		"a/parent::node()",
+		"a/text()",
+		"a/child::text()",
+		"a[b]",
+		"a[ b ]",
+		"a[b and not(c)]",
+		"a[b][not(c)]",
+		"a[b or c]/d",
+		"ancestor::a",
+		"following-sibling::*",
+		"preceding::*",
+		"a[descendant::b[c]]",
+		"not(a)",
+		"((((a))))",
+		"*//*[*]",
+		"self::node()",
+		// Keyword-looking tags: axes are only axes before '::'.
+		"child",
+		"node",
+		"text",
+		"not",
+		"child/child::child",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := Parse(src)
+		if err != nil {
+			return // rejecting the input is fine
+		}
+		norm := p1.String()
+		p2, err := Parse(norm)
+		if err != nil {
+			t.Fatalf("normal form of %q does not re-parse: %q: %v", src, norm, err)
+		}
+		if again := p2.String(); again != norm {
+			t.Fatalf("normalization of %q is not a fixpoint: %q -> %q", src, norm, again)
+		}
+		// The same cache key must always denote the same plan: compile
+		// both parses and compare the generated programs verbatim.
+		q1, err1 := Translate(p1)
+		q2, err2 := Translate(p2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Translate diverges across the round-trip of %q: %v vs %v", src, err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if got, want := q2.Main.String(), q1.Main.String(); got != want {
+			t.Fatalf("round-trip of %q changed the main program:\n%s\nvs\n%s", src, want, got)
+		}
+		if len(q1.Passes) != len(q2.Passes) {
+			t.Fatalf("round-trip of %q changed the pass count: %d vs %d", src, len(q1.Passes), len(q2.Passes))
+		}
+		for k := range q1.Passes {
+			if q1.Passes[k].String() != q2.Passes[k].String() {
+				t.Fatalf("round-trip of %q changed pass %d", src, k)
+			}
+		}
+	})
+}

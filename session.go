@@ -8,6 +8,8 @@ import (
 	"sync"
 	"time"
 
+	"arb/internal/core"
+	"arb/internal/rescache"
 	"arb/internal/storage"
 	"arb/internal/tree"
 	"arb/internal/vstore"
@@ -48,6 +50,11 @@ type Session struct {
 	// database's own .idx sidecar instead.
 	treeIdxOnce sync.Once
 	treeIdx     *storage.SubtreeIndex
+
+	// rc is the session's result cache (SetResultCache), shared by every
+	// query prepared on the session; nil means no result caching. Set it
+	// before executions begin — the field itself is not synchronised.
+	rc *rescache.Cache
 }
 
 // treeIndex returns the session's cached in-memory subtree index,
@@ -141,6 +148,29 @@ func (s *Session) Len() int64 {
 		return s.db.N
 	}
 	return int64(s.t.Len())
+}
+
+// SetResultCache attaches a result cache of the given byte budget to the
+// session: executions opting in via ExecOpts.ResultCache publish their
+// completed results keyed by (normalized query text, database version)
+// and answer repeats — exact or semantically subsumed — without
+// scanning. maxBytes <= 0 disables caching. Call before executions
+// begin; the cache itself is safe for any amount of concurrency.
+//
+// In-memory sessions have no version ids, so the cache assumes the tree
+// is not mutated while the session lives — the same contract the
+// session's cached tree index already relies on. Versioned sessions need
+// no such caveat: every execution pins a version, and entries can only
+// answer requests pinning the same one.
+func (s *Session) SetResultCache(maxBytes int64) { s.rc = rescache.New(maxBytes) }
+
+// ResultCacheStats reports the result cache's counters; ok is false when
+// the session has no result cache.
+func (s *Session) ResultCacheStats() (ResultCacheStats, bool) {
+	if s.rc == nil {
+		return ResultCacheStats{}, false
+	}
+	return s.rc.Stats(), true
 }
 
 // acquire resolves the source one execution reads: the database handle
@@ -287,6 +317,15 @@ type ExecOpts struct {
 	// Engine.PrunedNodes). Executions that keep per-node state, stream
 	// marked XML, or read aux masks never prune regardless of this flag.
 	NoPrune bool
+	// ResultCache opts this execution into the session's result cache
+	// (SetResultCache): a completed result is published under the query's
+	// normalized text and the pinned version, and a repeat at the same
+	// version is answered from the cache — exactly, or by re-filtering a
+	// cached superset when the selection summaries prove containment —
+	// with zero scans (Profile.Passes is 0 and Profile.ResultCache names
+	// the hit kind). Ignored without a session cache, and never applied
+	// to executions that stream marked XML or keep per-node state.
+	ResultCache bool
 }
 
 // Profile is the merged cost profile of one Exec across all its passes:
@@ -308,6 +347,12 @@ type Profile struct {
 	// Zero for unversioned sessions.
 	Version  uint64
 	Duration time.Duration
+	// ResultCache reports how the result cache served this execution:
+	// "hit" (exact), "subsumed" (re-filtered from a cached superset),
+	// "miss" (cache enabled, executed normally), or "" (cache not in
+	// play). On hits the execution ran zero scans: Passes is 0 and the
+	// Engine/Disk profiles are zero.
+	ResultCache string
 }
 
 // SkippedBytes returns the total .arb bytes this execution's scans
@@ -345,6 +390,28 @@ type PreparedQuery struct {
 	mu    sync.Mutex
 	names *tree.Names     // table p is compiled against; guarded by: mu
 	p     *xpath.Prepared // guarded by: mu (pointer swap only; the handle itself is reentrant)
+
+	// key is the query's normalized result-cache key, rendered once on
+	// first use. It depends only on the source (not the name table), so
+	// it survives recompilation.
+	key string // guarded by: mu
+}
+
+// cacheKey returns the query's normalized result-cache key: the same
+// "xpath:"/"tmnf:"-prefixed normal form the server's plan cache keys by,
+// so one identity serves both tiers.
+func (q *PreparedQuery) cacheKey() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.key == "" {
+		switch src := q.src.(type) {
+		case *XPathQuery:
+			q.key = "xpath:" + src.Path.String()
+		case *Program:
+			q.key = "tmnf:" + src.String()
+		}
+	}
+	return q.key
 }
 
 // handle returns the current compiled handle (for inspection paths that
@@ -435,6 +502,41 @@ func (q *PreparedQuery) Exec(ctx context.Context, opts ExecOpts) (*Result, *Prof
 	}
 
 	start := time.Now()
+	// Result cache: look up at the pinned version before scanning, and
+	// publish on clean completion. Marked-output and kept-state
+	// executions bypass the cache entirely — their side effects are the
+	// point, and a cached Result carries neither.
+	rc := q.s.rc
+	useCache := opts.ResultCache && rc != nil && opts.MarkTo == nil && !opts.KeepStates
+	var key string
+	var sum *core.SelSummary
+	var n int64
+	if useCache {
+		if db != nil {
+			n = db.N
+		} else {
+			n = int64(q.s.t.Len())
+		}
+		useCache = n < rescache.MaxNodes
+	}
+	cacheKind := ""
+	if useCache {
+		key = q.cacheKey()
+		sum = p.Summary()
+		if res, kind := rc.Lookup(key, version, sum, p.Program(), n); kind != rescache.Miss {
+			if !opts.Stats {
+				return res, nil, nil
+			}
+			return res, &Profile{
+				Workers:     workers,
+				Version:     version,
+				Duration:    time.Since(start),
+				ResultCache: kind.String(),
+			}, nil
+		}
+		cacheKind = rescache.Miss.String()
+	}
+
 	var res *Result
 	var es xpath.ExecStats
 	if db != nil {
@@ -445,17 +547,100 @@ func (q *PreparedQuery) Exec(ctx context.Context, opts ExecOpts) (*Result, *Prof
 	if err != nil {
 		return nil, nil, err
 	}
+	if useCache {
+		var ids []uint64
+		if sum != nil {
+			ids = packIDs(res, p.Queries(), db, q.s.t, rc.IDBudget())
+		}
+		rc.Put(key, version, res, sum, ids)
+	}
 	if !opts.Stats {
 		return res, nil, nil
 	}
 	return res, &Profile{
-		Engine:   es.Engine,
-		Disk:     es.Disk,
-		Passes:   es.Passes,
-		Workers:  workers,
-		Version:  version,
-		Duration: time.Since(start),
+		Engine:      es.Engine,
+		Disk:        es.Disk,
+		Passes:      es.Passes,
+		Workers:     workers,
+		Version:     version,
+		Duration:    time.Since(start),
+		ResultCache: cacheKind,
 	}, nil
+}
+
+// TryCached answers the query from the session's result cache without
+// executing anything: it pins the session's current version, consults
+// the cache (exactly or via subsumption), and reports ok=false on a
+// miss or when the session has no cache. Servers call it before
+// queueing work — a hit costs no scan, no queue slot, no coalescing
+// wait. The returned Profile carries the pinned version and the hit
+// kind in Profile.ResultCache.
+func (q *PreparedQuery) TryCached() (*Result, *Profile, bool) {
+	rc := q.s.rc
+	if rc == nil {
+		return nil, nil, false
+	}
+	start := time.Now()
+	db, names, version, release := q.s.acquire()
+	defer release()
+	p, err := q.prepared(names)
+	if err != nil {
+		return nil, nil, false
+	}
+	var n int64
+	if db != nil {
+		n = db.N
+	} else {
+		n = int64(q.s.t.Len())
+	}
+	if n >= rescache.MaxNodes {
+		return nil, nil, false
+	}
+	res, kind := rc.Lookup(q.cacheKey(), version, p.Summary(), p.Program(), n)
+	if kind == rescache.Miss {
+		return nil, nil, false
+	}
+	return res, &Profile{
+		Version:     version,
+		Duration:    time.Since(start),
+		ResultCache: kind.String(),
+	}, true
+}
+
+// packIDs renders the packed (id, label, root) subsumption list of a
+// completed single-query result, reading labels from the in-memory tree
+// or by random record access against the pinned database. Returns nil —
+// the entry then serves exact hits only — when the result selects more
+// ids than the cache admits or a label cannot be read.
+func packIDs(res *Result, qs []Pred, db *storage.DB, t *tree.Tree, budget int64) []uint64 {
+	if len(qs) != 1 {
+		return nil
+	}
+	count := res.Count(qs[0])
+	if count > budget {
+		return nil
+	}
+	ids := make([]uint64, 0, count)
+	ok := true
+	res.Walk(qs[0], func(v tree.NodeID) bool {
+		var l tree.Label
+		if db != nil {
+			rec, err := db.RecordAt(int64(v))
+			if err != nil {
+				ok = false
+				return false
+			}
+			l = tree.Label(rec.Label)
+		} else {
+			l = t.Label(v)
+		}
+		ids = append(ids, rescache.PackID(int64(v), l, v == 0))
+		return true
+	})
+	if !ok {
+		return nil
+	}
+	return ids
 }
 
 // Count is a convenience for the common single-query case: it executes
@@ -573,6 +758,28 @@ func (b *PreparedBatch) Exec(ctx context.Context, opts ExecOpts) ([]*Result, *Pr
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+	// Publish every member's completed result at the batch's pinned
+	// version — a coalesced server batch warms the cache for all the
+	// queries it carried. Lookups stay with the scalar path (servers
+	// check TryCached before coalescing).
+	if rc := b.s.rc; opts.ResultCache && rc != nil {
+		var n int64
+		if db != nil {
+			n = db.N
+		} else {
+			n = int64(b.s.t.Len())
+		}
+		if n < rescache.MaxNodes {
+			for i, m := range b.members {
+				sum := members[i].Summary()
+				var ids []uint64
+				if sum != nil {
+					ids = packIDs(res[i], members[i].Queries(), db, b.s.t, rc.IDBudget())
+				}
+				rc.Put(m.cacheKey(), version, res[i], sum, ids)
+			}
+		}
 	}
 	if !opts.Stats {
 		return res, nil, nil
