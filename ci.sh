@@ -18,8 +18,17 @@ go vet ./...
 go build ./...
 
 # Repo-specific invariants: context threading, lock discipline, temp
-# cleanup, deprecated shims, reader Close/Release. Zero findings or fail.
-go run ./cmd/arblint ./...
+# cleanup, deprecated shims, reader Close/Release, snapshot-pin
+# release, atomic/plain access mixing, goroutine termination, and lock
+# ordering — the full nine-analyzer suite, gated on the committed
+# baseline: any finding not already recorded there fails the build.
+go run ./cmd/arblint -baseline .arblint-baseline.json ./...
+
+# The analyzers' own fixtures (want-marker tests, CFG unit tests, the
+# baseline round-trip, and the repo-is-clean driver gates) under the
+# race detector: the lint framework shells out to `go list` and builds
+# module summaries concurrently with test parallelism.
+go test -race ./internal/lint/... ./cmd/arblint
 
 # External analyzers when the toolchain provides them. The CI image has
 # no network, so they cannot be fetched or version-pinned here; any
@@ -134,5 +143,6 @@ go test -run 'Patch|Version|Snapshot' -race ./...
 # the server fast path + admission control.
 go test -run 'ResCache|Subsum' -race ./...
 
-# Full suite (includes the fuzz targets' seed corpora).
-go test -race ./...
+# Full suite (includes the fuzz targets' seed corpora), with shuffled
+# test order so inter-test state dependencies cannot hide.
+go test -shuffle=on -race ./...

@@ -1,9 +1,11 @@
 package main_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -41,6 +43,63 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	if len(out) != 0 {
 		t.Fatalf("arblint exited zero but produced output:\n%s", out)
+	}
+}
+
+// TestInterproceduralAnalyzersClean pins the PR-7..9 subsystems
+// (vstore snapshots, the coalescer's atomics, server/parallel
+// goroutines, the module's mutexes) as clean under the four
+// interprocedural analyzers specifically, independent of the rest of
+// the suite.
+func TestInterproceduralAnalyzersClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs arblint over the whole module")
+	}
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/arblint",
+		"-analyzers", "snappin,atomicmix,goroleak,lockorder", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("interprocedural analyzers reported findings (or failed):\n%s\nerror: %v", out, err)
+	}
+}
+
+// TestRosterAndJSON asserts the advertised suite is the full nine and
+// that the machine-readable path stays wired: -json with the committed
+// baseline must emit an empty JSON array on a clean tree.
+func TestRosterAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs arblint")
+	}
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/arblint", "-list")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("arblint -list failed:\n%s\nerror: %v", out, err)
+	}
+	for _, name := range []string{
+		"ctxflow", "lockdiscipline", "tmpcleanup", "noshims", "closecheck",
+		"snappin", "atomicmix", "goroleak", "lockorder",
+	} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("arblint -list is missing analyzer %s:\n%s", name, out)
+		}
+	}
+
+	cmd = exec.Command("go", "run", "./cmd/arblint", "-json", "-baseline", ".arblint-baseline.json", "./...")
+	cmd.Dir = root
+	jsonOut, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("arblint -json -baseline failed: %v", err)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(jsonOut, &findings); err != nil {
+		t.Fatalf("arblint -json emitted invalid JSON: %v\n%s", err, jsonOut)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean tree with baseline applied still has findings:\n%s", jsonOut)
 	}
 }
 

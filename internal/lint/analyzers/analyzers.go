@@ -1,4 +1,4 @@
-// Package analyzers holds the five arblint analyzers, one per
+// Package analyzers holds the nine arblint analyzers, one per
 // load-bearing invariant of the two-scan engine:
 //
 //   - ctxflow: engine code threads context, never mints its own roots
@@ -6,11 +6,19 @@
 //   - tmpcleanup: temp state/aux files are removed on error and cancel paths
 //   - noshims: deprecated shim entry points stay out of library code
 //   - closecheck: storage readers and files get closed or released
+//   - snappin: MVCC snapshot pins are Released on every path (CFG-based,
+//     interprocedural through arblint:acquires / arblint:owns contracts)
+//   - atomicmix: fields touched via sync/atomic are never accessed plainly
+//   - goroleak: spawned goroutines provably terminate (cancellation-bound)
+//   - lockorder: declared mutexes keep one global acquisition order
 //
 // Analyzers are heuristic but deliberately low-noise: each rule is scoped
 // to the package layers where its invariant is load-bearing, and the
 // directives in package lint (//arblint:allow, //arblint:todo,
-// //arblint:shims) give reviewed escape hatches.
+// //arblint:shims) give reviewed escape hatches. The last four lean on
+// the lint.Module/lint.CFG interprocedural layer: per-function control
+// flow graphs plus module-wide may-reach summaries shared through
+// Mod.Memo.
 package analyzers
 
 import (
@@ -22,7 +30,10 @@ import (
 )
 
 // All is the full suite in reporting order.
-var All = []*lint.Analyzer{Ctxflow, LockDiscipline, TmpCleanup, NoShims, CloseCheck}
+var All = []*lint.Analyzer{
+	Ctxflow, LockDiscipline, TmpCleanup, NoShims, CloseCheck,
+	SnapPin, AtomicMix, GoroLeak, LockOrder,
+}
 
 // ByName returns the named analyzer, or nil.
 func ByName(name string) *lint.Analyzer {

@@ -1,0 +1,135 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"arb/internal/lint"
+)
+
+// AtomicMix enforces all-or-nothing atomicity: once any access to a
+// variable or field goes through the sync/atomic functions
+// (atomic.LoadInt64(&c.n), atomic.AddUint64(&hits, 1), ...), every
+// access must — a plain read concurrent with an atomic write is a data
+// race the race detector only catches when the interleaving actually
+// fires. The coalescer's auto-tuned window and the server counters are
+// the motivating sites; they migrated to typed atomics (atomic.Int64),
+// which are immune by construction, and this analyzer keeps any future
+// function-style atomics honest.
+//
+// Analysis is per package (the mixed accesses that race in practice
+// share a struct, and those fields are unexported): first collect every
+// object whose address is taken by a sync/atomic call anywhere in the
+// package, then flag every other syntactic use of those objects that is
+// not itself inside a sync/atomic argument.
+var AtomicMix = &lint.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must never be read or written plainly elsewhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *lint.Pass) error {
+	// Pass 1: objects accessed atomically, with one sample position each.
+	atomicObjs := make(map[types.Object]token.Pos)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			// The address-of argument names the shared word. (For
+			// CompareAndSwap/Store the first argument is still the target.)
+			if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && addr.Op == token.AND {
+				if obj := referencedObject(pass.Info, addr.X); obj != nil {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: any use of those objects outside a sync/atomic argument
+	// list (and outside its own declaration) is a plain access.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				// Defs (the declaration itself) is not a use and stays
+				// exempt by construction.
+				if obj := pass.Info.Uses[id]; obj != nil {
+					if pos, hot := atomicObjs[obj]; hot && !underAtomicArg(pass.Info, stack) {
+						pass.Reportf(id.Pos(),
+							"%s is accessed with sync/atomic (e.g. %s); this plain access races with it",
+							id.Name, pass.Fset.Position(pos))
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a package-level sync/atomic
+// function (not a typed-atomic method: atomic.Int64 values cannot be
+// accessed plainly in the first place).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// referencedObject resolves the variable or field an addressable
+// expression names: the field object for c.win, the var for hits.
+func referencedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return referencedObject(info, e.X)
+	}
+	return nil
+}
+
+// underAtomicArg reports whether the innermost enclosing call in stack
+// is a sync/atomic function — i.e. the use being classified is the
+// atomic access itself.
+func underAtomicArg(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if isAtomicCall(info, call) {
+			return true
+		}
+		// A different call in between (atomic.AddInt64(&n, f(n)) — the
+		// inner n is plain) breaks the protection, unless that call is
+		// itself the selector resolution of the atomic call's target.
+		if i+1 < len(stack) {
+			if sel, ok := stack[i+1].(*ast.SelectorExpr); ok && sel == call.Fun {
+				continue
+			}
+		}
+		return false
+	}
+	return false
+}

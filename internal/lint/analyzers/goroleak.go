@@ -1,0 +1,192 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"arb/internal/lint"
+)
+
+// GoroLeak proves termination for every goroutine spawned in library
+// code. A goroutine is accepted when its body provably finishes:
+//
+//   - straight-line bodies and bounded loops (a `for` with a condition,
+//     or any `range` — ranging a channel ends when the spawner closes
+//     it, which is the RunPool worker shape);
+//   - infinite `for {}` loops only when they are cancellation-bound:
+//     somewhere in the loop a channel receive or ctx.Err()/ctx.Done()
+//     check feeds an exit (return, or a break/goto that leaves the
+//     loop) — the bench watcher's `select { case <-stop: return ... }`
+//     shape;
+//   - callees resolvable within the module are checked transitively
+//     (memoized, cycle-tolerant) under a weaker rule — their infinite
+//     loops just need some exit — so parsers' `for { ... break }`
+//     decode loops don't trip the signal requirement that only makes
+//     sense at the goroutine's own top level.
+//
+// Anything else — an infinite loop with no exit, or exits never tied to
+// a cancellation signal — is reported: such a goroutine outlives its
+// spawner, and under sharded fan-out every leaked worker is multiplied
+// by shard count.
+var GoroLeak = &lint.Analyzer{
+	Name: "goroleak",
+	Doc:  "every spawned goroutine must provably terminate (ctx cancellation, channel close, or bounded work)",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *lint.Pass) error {
+	if !libraryScope(pass.Pkg.Path()) {
+		return nil // cmd/ and examples own their process lifetime
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				if fn := calleeFunc(pass.Info, g.Call); fn != nil {
+					if fi := pass.Mod.Decl(fn); fi != nil {
+						body = fi.Decl.Body
+					}
+				}
+			}
+			if body == nil {
+				return true // dynamic target: nothing to prove against
+			}
+			if loop := nonTerminatingLoop(pass, body, true, make(map[string]bool)); loop != nil {
+				pass.Reportf(g.Pos(),
+					"goroutine may never terminate: infinite loop at %s has no cancellation-bound exit (no channel receive or ctx check leading to return/break)",
+					pass.Fset.Position(loop.Pos()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nonTerminatingLoop returns the first loop in body (nested literals
+// excluded — they are their own goroutines or callbacks) that cannot be
+// shown to terminate, or nil. needSignal applies the stricter
+// top-of-goroutine rule: an infinite loop's exit must be fed by a
+// channel receive or a ctx check, not just exist. seen guards callee
+// recursion against cycles.
+func nonTerminatingLoop(pass *lint.Pass, body *ast.BlockStmt, needSignal bool, seen map[string]bool) (bad ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				return true // bounded by its condition
+			}
+			if !loopExits(n.Body, needSignal) {
+				bad = n
+				return false
+			}
+		case *ast.RangeStmt:
+			return true // bounded, or ends on channel close
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				bad = n // select{} blocks forever
+				return false
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, n)
+			if fn == nil {
+				return true
+			}
+			fi := pass.Mod.Decl(fn)
+			if fi == nil {
+				return true // outside the module: trusted
+			}
+			key := lint.FuncKey(fn)
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			// Callees only need their loops to have *some* exit.
+			if inner := nonTerminatingLoop(pass, fi.Decl.Body, false, seen); inner != nil {
+				bad = n // report at the call inside the goroutine body
+				return false
+			}
+		}
+		return true
+	})
+	return bad
+}
+
+// loopExits reports whether an infinite loop's body can leave the loop.
+// With needSignal, at least one exit must be downstream of a channel
+// receive or a ctx.Done()/ctx.Err() check — the shapes that make a
+// worker cancellable rather than merely able to stop on its own terms.
+func loopExits(body *ast.BlockStmt, needSignal bool) bool {
+	var (
+		hasExit   bool
+		hasSignal bool
+		depth     int // nested for/switch/select capture unlabeled break
+	)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			depth++
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n {
+					return true
+				}
+				return walk(m)
+			})
+			depth--
+			return false
+		case *ast.ReturnStmt:
+			hasExit = true
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.BREAK:
+				// Unlabeled break inside a nested statement leaves that
+				// statement, not our loop; a labeled break is assumed to
+				// target an enclosing loop.
+				if n.Label != nil || depth == 0 {
+					hasExit = true
+				}
+			case token.GOTO:
+				hasExit = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				hasSignal = true // a channel receive: <-stop, v := <-ch
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Err" || n.Sel.Name == "Done" {
+				hasSignal = true // ctx.Err() / ctx.Done() in any position
+			}
+		case *ast.CallExpr:
+			if isNoReturnName(n) {
+				hasExit = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	if !hasExit {
+		return false
+	}
+	return !needSignal || hasSignal
+}
+
+// isNoReturnName spots panic(...) — a loop whose only exit is a panic
+// still terminates the goroutine.
+func isNoReturnName(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 
@@ -52,7 +53,38 @@ func guardName(groups ...*ast.CommentGroup) string {
 	return ""
 }
 
-// holdsNames extracts every arblint:holds declaration from a doc comment.
+// annotationNames finds every mutex name re claims across the comment
+// groups, for resolving annotations against the declared mutexes.
+func annotationNames(re *regexp.Regexp, groups ...*ast.CommentGroup) []string {
+	var out []string
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, m := range re.FindAllStringSubmatch(g.Text(), -1) {
+			out = append(out, m[1])
+		}
+	}
+	return out
+}
+
+// declaredMutexes collects the name of every mutex-typed variable or
+// field defined in this package — the namespace `guarded by:` and
+// `arblint:holds` annotations resolve against. Matching is by name
+// package-wide (not per struct) because annotations legitimately point
+// across structs: vstore's segment.refs is guarded by the *Store's* mu.
+func declaredMutexes(pass *lint.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, obj := range pass.Info.Defs {
+		if v, ok := obj.(*types.Var); ok && isMutexType(v.Type(), pass.Pkg) {
+			out[v.Name()] = true
+		}
+	}
+	return out
+}
+
+// holdsNames extracts each held-mutex contract (arblint:holds) from a
+// doc comment.
 func holdsNames(doc *ast.CommentGroup) map[string]bool {
 	if doc == nil {
 		return nil
@@ -113,6 +145,20 @@ func runLockDiscipline(pass *lint.Pass) error {
 	guardedLocal := make(map[types.Object]string)
 	localOwner := make(map[types.Object]ast.Node)
 
+	// An annotation naming a mutex nobody declared is a typo that would
+	// otherwise pass silently: the name check never matches, so every
+	// access looks unguarded-but-unannotated or guarded-by-nothing.
+	declared := declaredMutexes(pass)
+	checkName := func(names []string, pos token.Pos, kind string) {
+		for _, name := range names {
+			if !declared[name] {
+				pass.Reportf(pos,
+					"%s names mutex %q, but no mutex of that name is declared in this package",
+					kind, name)
+			}
+		}
+	}
+
 	for _, f := range pass.Files {
 		var funcs []ast.Node // enclosing function stack during collection
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -121,8 +167,11 @@ func runLockDiscipline(pass *lint.Pass) error {
 				return true
 			}
 			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkName(annotationNames(holdsRE, n.Doc), n.Name.Pos(), "arblint:holds contract")
 			case *ast.StructType:
 				for _, fld := range n.Fields.List {
+					checkName(annotationNames(guardedRE, fld.Doc, fld.Comment), fld.Pos(), "guarded-by annotation")
 					if m := guardName(fld.Doc, fld.Comment); m != "" {
 						for _, name := range fld.Names {
 							if obj := pass.Info.Defs[name]; obj != nil {
@@ -138,7 +187,9 @@ func runLockDiscipline(pass *lint.Pass) error {
 						continue
 					}
 					m := guardName(vs.Doc, vs.Comment)
+					usedDeclDoc := false
 					if m == "" && len(n.Specs) == 1 {
+						usedDeclDoc = true
 						m = guardName(n.Doc)
 					}
 					var owner ast.Node
@@ -149,7 +200,15 @@ func runLockDiscipline(pass *lint.Pass) error {
 						}
 					}
 					if m == "" || owner == nil {
+						// Package-level guarded vars are outside the local
+						// discipline (and their docs may quote examples), so
+						// their names are not resolved either.
 						continue
+					}
+					if usedDeclDoc {
+						checkName(annotationNames(guardedRE, n.Doc), vs.Pos(), "guarded-by annotation")
+					} else {
+						checkName(annotationNames(guardedRE, vs.Doc, vs.Comment), vs.Pos(), "guarded-by annotation")
 					}
 					for _, name := range vs.Names {
 						if obj := pass.Info.Defs[name]; obj != nil {

@@ -1,0 +1,508 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"arb/internal/lint"
+)
+
+// SnapPin enforces the MVCC pin discipline: every snapshot pin — a
+// *vstore.Snapshot from Store.Snapshot(), or the release closure from
+// Session.acquire() — must be Released on every path through the
+// acquiring function, including error and cancellation paths. A leaked
+// pin means segment GC never fires: superseded patch segments
+// accumulate on disk for the life of the process, invisibly.
+//
+// The analysis is CFG-based and interprocedural: a pin is satisfied on
+// a path by a (possibly deferred) Release/call, by returning it to the
+// caller (ownership transfer), by passing it to a module function whose
+// own body provably releases that parameter on all paths, or by storing
+// it into a struct field that declares ownership with an
+//
+//	snap *vstore.Snapshot //arblint:owns -- released in Close
+//
+// annotation. Storing a pin into an unannotated field, discarding one,
+// or reaching function exit on some path without releasing is reported.
+//
+// Functions whose doc comment carries `arblint:acquires` are treated as
+// pin producers too: their Release-bearing (or func-typed) result must
+// be handled by every caller, which is how Session.acquire and fixture
+// producers join the discipline without hard-coding.
+var SnapPin = &lint.Analyzer{
+	Name: "snappin",
+	Doc:  "snapshot pins (vstore.Snapshot, Session.acquire) must be Released on every path",
+	Run:  runSnapPin,
+}
+
+// pinProducers maps known producers to the result index holding the
+// pin. Producers outside this table are discovered through the
+// arblint:acquires doc directive.
+var pinProducers = map[string]int{
+	"arb/internal/vstore.Store.Snapshot": 0,
+	"arb.Session.acquire":                3,
+}
+
+var (
+	acquiresRE = regexp.MustCompile(`arblint:acquires\b`)
+	ownsRE     = regexp.MustCompile(`arblint:owns\b`)
+)
+
+// snapMemo is the analyzer's module-wide summary store, living in
+// Mod.Memo("snappin"):
+//
+//	"owns"              -> map[string]bool   (pkgpath.Field owning fields)
+//	"acquires:" + key   -> int               (producer result index, -1 none)
+//	"releases:" + key#i -> bool              (param i released on all paths)
+
+// ownsFields collects, once per module, the set of struct fields
+// declaring pin ownership, keyed pkgpath.FieldName.
+func ownsFields(pass *lint.Pass) map[string]bool {
+	memo := pass.Mod.Memo("snappin")
+	if m, ok := memo["owns"].(map[string]bool); ok {
+		return m
+	}
+	m := make(map[string]bool)
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					if !commentMatches(ownsRE, fld.Doc, fld.Comment) {
+						continue
+					}
+					for _, name := range fld.Names {
+						m[pkg.Types.Path()+"."+name.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	memo["owns"] = m
+	return m
+}
+
+// commentMatches scans raw comment lines: CommentGroup.Text() strips
+// directive-style comments (//arblint:...), which are exactly what we
+// are looking for.
+func commentMatches(re *regexp.Regexp, groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if re.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// producerIndex reports whether fn produces a pin and at which result
+// index (-1: not a producer). Beyond the hard-coded table, a module
+// function whose doc carries arblint:acquires produces a pin at its
+// first Release-bearing or func-typed result.
+func producerIndex(pass *lint.Pass, fn *types.Func) int {
+	key := lint.FuncKey(fn)
+	if i, ok := pinProducers[key]; ok {
+		return i
+	}
+	memo := pass.Mod.Memo("snappin")
+	if v, ok := memo["acquires:"+key].(int); ok {
+		return v
+	}
+	idx := -1
+	if fi := pass.Mod.Decl(fn); fi != nil && commentMatches(acquiresRE, fi.Decl.Doc) {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			for i := 0; i < sig.Results().Len(); i++ {
+				if isPinType(sig.Results().At(i).Type()) {
+					idx = i
+					break
+				}
+			}
+		}
+	}
+	memo["acquires:"+key] = idx
+	return idx
+}
+
+// isPinType reports whether t is a releasable pin: a type with a
+// Release method, or a plain func() release closure.
+func isPinType(t types.Type) bool {
+	if sig, ok := types.Unalias(t).Underlying().(*types.Signature); ok {
+		return sig.Params().Len() == 0 && sig.Results().Len() == 0
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Release")
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+func runSnapPin(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				snapCheckFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// snapCheckFunc checks one function body (closures are checked within
+// the frame that creates their pins: a pin made inside a FuncLit is
+// analyzed against that literal's own CFG).
+func snapCheckFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	// Find pin-producing calls belonging to this frame (not nested
+	// literals — those get their own recursive check).
+	type site struct {
+		call *ast.CallExpr
+		fn   *types.Func
+		idx  int
+	}
+	var sites []site
+	var stack []ast.Node
+	parents := make(map[*ast.CallExpr][]ast.Node)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			snapCheckFunc(pass, lit.Body)
+			return false // no f(nil) follows a pruned subtree: do not push
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass.Info, call); fn != nil {
+				if idx := producerIndex(pass, fn); idx >= 0 {
+					sites = append(sites, site{call, fn, idx})
+					parents[call] = append([]ast.Node(nil), stack...)
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	var cfg *lint.CFG
+	for _, s := range sites {
+		pin, verdict := pinObject(pass, s.call, s.idx, parents[s.call])
+		switch verdict {
+		case pinDiscarded:
+			pass.Reportf(s.call.Pos(),
+				"%s returns a pin that is discarded: Release it on every path (or hand it to an owner)",
+				lint.FuncKey(s.fn))
+			continue
+		case pinUnownedStore:
+			pass.Reportf(s.call.Pos(),
+				"pin from %s is stored into a field with no arblint:owns contract: nobody is accountable for releasing it",
+				lint.FuncKey(s.fn))
+			continue
+		}
+		if pin == nil {
+			continue // consumed inline by a handled form (returned, handed off)
+		}
+		if cfg == nil {
+			cfg = lint.BuildCFG(body)
+		}
+		blk, i := cfg.BlockOf(s.call)
+		if blk == nil {
+			continue
+		}
+		stop := func(n ast.Node) bool { return pinHandled(pass, n, pin) }
+		if cfg.ReachesExit(blk, i+1, stop) {
+			pass.Reportf(s.call.Pos(),
+				"pin from %s may not be Released on this function's error or early-return paths: defer its release right after acquiring",
+				lint.FuncKey(s.fn))
+		}
+	}
+}
+
+// Verdicts for how a producer call's pin is bound at the call site.
+const (
+	pinBound        = iota // bound to a variable: run the CFG leak check
+	pinConsumed            // consumed by an ownership-transferring form
+	pinDiscarded           // visibly dropped (blank assign, bare call)
+	pinUnownedStore        // stored into a field lacking arblint:owns
+)
+
+// pinObject resolves the variable a producer call binds its pin to
+// (verdict pinBound), or classifies the call-site consumption when no
+// variable carries the pin.
+func pinObject(pass *lint.Pass, call *ast.CallExpr, idx int, stack []ast.Node) (types.Object, int) {
+	var parent ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		parent = stack[i]
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		// a, b, c := call()  (tuple) or  x := call()  (single result).
+		var lhs ast.Expr
+		if len(p.Rhs) == 1 && len(p.Lhs) > idx {
+			lhs = p.Lhs[idx]
+		} else {
+			for i, r := range p.Rhs {
+				if ast.Unparen(r) == ast.Expr(call) && i < len(p.Lhs) {
+					lhs = p.Lhs[i]
+				}
+			}
+		}
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				return nil, pinDiscarded
+			}
+			if obj := pass.Info.Defs[lhs]; obj != nil {
+				return obj, pinBound
+			}
+			if obj := pass.Info.Uses[lhs]; obj != nil {
+				return obj, pinBound
+			}
+			return nil, pinConsumed
+		case *ast.SelectorExpr:
+			if ownsStore(pass, lhs, ownsFields(pass)) {
+				return nil, pinConsumed
+			}
+			return nil, pinUnownedStore
+		}
+		return nil, pinConsumed
+	case *ast.ValueSpec:
+		if len(p.Names) > idx {
+			if p.Names[idx].Name == "_" {
+				return nil, pinDiscarded
+			}
+			return pass.Info.Defs[p.Names[idx]], pinBound
+		}
+	case *ast.ReturnStmt:
+		return nil, pinConsumed // ownership to the caller
+	case *ast.CallExpr:
+		return nil, pinConsumed // handed straight onward
+	case *ast.ExprStmt:
+		return nil, pinDiscarded // bare call: the pin evaporates
+	}
+	return nil, pinConsumed
+}
+
+// pinHandled reports whether CFG node n releases pin or transfers its
+// ownership: a call of the pin (release closures) or of its Release
+// method, the same under a defer (including deferred closures), a
+// return mentioning it, an aliasing assignment, a store into an
+// arblint:owns field, a channel send, or a pass to a module function
+// that provably releases that parameter.
+func pinHandled(pass *lint.Pass, n ast.Node, pin types.Object) bool {
+	owns := ownsFields(pass)
+	handled := false
+	var stack []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if handled {
+			return false
+		}
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == pin {
+			if pinUseHandled(pass, id, stack, owns) {
+				handled = true
+			}
+		}
+		stack = append(stack, m)
+		return true
+	})
+	return handled
+}
+
+// pinUseHandled classifies one use of the pin given its ancestor stack
+// within the CFG node (innermost last).
+func pinUseHandled(pass *lint.Pass, id *ast.Ident, stack []ast.Node, owns map[string]bool) bool {
+	var parent ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		parent = stack[i]
+		break
+	}
+	for _, anc := range stack {
+		if _, ok := anc.(*ast.ReturnStmt); ok {
+			return true // returned (possibly wrapped): caller owns it now
+		}
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// snap.Release / snap.Release() — also as a deferred call or a
+		// method value being registered/returned.
+		if p.X == ast.Expr(id) && p.Sel.Name == "Release" {
+			return true
+		}
+	case *ast.CallExpr:
+		if ast.Unparen(p.Fun) == ast.Expr(id) {
+			return true // release() — calling the closure is the release
+		}
+		for i, arg := range p.Args {
+			if ast.Unparen(arg) != ast.Expr(id) {
+				continue
+			}
+			fn := calleeFunc(pass.Info, p)
+			if fn == nil {
+				return true // dynamic callee: assume it takes ownership
+			}
+			return releasesParam(pass, fn, i)
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != ast.Expr(id) {
+				continue
+			}
+			if i < len(p.Lhs) {
+				switch lhs := ast.Unparen(p.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					return ownsStore(pass, lhs, owns)
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						return false // `_ = pin` keeps nothing alive
+					}
+				}
+			}
+			return true // aliased to a new variable; the alias owns it
+		}
+	case *ast.KeyValueExpr:
+		if p.Value == ast.Expr(id) {
+			if key, ok := p.Key.(*ast.Ident); ok {
+				return ownsCompositeField(pass, stack, key.Name, owns)
+			}
+		}
+		return true
+	case *ast.CompositeLit:
+		// Positional literal field: resolve by index against the struct.
+		if st, ok := structOf(pass.Info.TypeOf(p)); ok {
+			for i, el := range p.Elts {
+				if ast.Unparen(el) == ast.Expr(id) && i < st.NumFields() {
+					fld := st.Field(i)
+					return fld.Pkg() != nil && owns[fld.Pkg().Path()+"."+fld.Name()]
+				}
+			}
+		}
+		return false
+	case *ast.SendStmt:
+		return true // handed to whoever drains the channel
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// ownsStore reports whether the assignment target sel is a struct field
+// annotated arblint:owns.
+func ownsStore(pass *lint.Pass, sel *ast.SelectorExpr, owns map[string]bool) bool {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		obj := s.Obj()
+		return obj.Pkg() != nil && owns[obj.Pkg().Path()+"."+obj.Name()]
+	}
+	return false
+}
+
+// ownsCompositeField resolves a keyed composite-literal field name
+// against the literal's struct type.
+func ownsCompositeField(pass *lint.Pass, stack []ast.Node, field string, owns map[string]bool) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if cl, ok := stack[i].(*ast.CompositeLit); ok {
+			if st, ok := structOf(pass.Info.TypeOf(cl)); ok {
+				for j := 0; j < st.NumFields(); j++ {
+					if st.Field(j).Name() == field {
+						fld := st.Field(j)
+						return fld.Pkg() != nil && owns[fld.Pkg().Path()+"."+fld.Name()]
+					}
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+func structOf(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if ptr, ok := types.Unalias(t).Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := types.Unalias(t).Underlying().(*types.Struct)
+	return st, ok
+}
+
+// releasesParam is the interprocedural summary: does fn release (or
+// transfer onward) its i-th parameter on every path? Cycles resolve
+// optimistically — mutual recursion that releases in one participant
+// counts for both.
+func releasesParam(pass *lint.Pass, fn *types.Func, i int) bool {
+	key := lint.FuncKey(fn)
+	memoKey := fmt.Sprintf("releases:%s#%d", key, i)
+	memo := pass.Mod.Memo("snappin")
+	if v, ok := memo[memoKey].(bool); ok {
+		return v
+	}
+	fi := pass.Mod.Decl(fn)
+	if fi == nil {
+		// Outside the module (or an interface method): assume ownership
+		// transfers — the analyzers stay low-noise at module edges.
+		memo[memoKey] = true
+		return true
+	}
+	memo[memoKey] = true // optimistic in-progress value for cycles
+	param := paramObject(fi, i)
+	result := false
+	if param != nil {
+		fpass := &lint.Pass{
+			Analyzer: pass.Analyzer,
+			Fset:     fi.Pkg.Fset,
+			Files:    fi.Pkg.Files,
+			Pkg:      fi.Pkg.Types,
+			Info:     fi.Pkg.Info,
+			Mod:      pass.Mod,
+		}
+		cfg := lint.BuildCFG(fi.Decl.Body)
+		stop := func(n ast.Node) bool { return pinHandled(fpass, n, param) }
+		result = !cfg.ReachesExit(cfg.Entry, 0, stop)
+	}
+	memo[memoKey] = result
+	return result
+}
+
+// paramObject resolves the i-th (flattened) parameter's object of a
+// declared function.
+func paramObject(fi *lint.FuncInfo, i int) types.Object {
+	if fi.Decl.Type.Params == nil {
+		return nil
+	}
+	idx := 0
+	for _, field := range fi.Decl.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			idx++ // unnamed parameter cannot be released
+			continue
+		}
+		for _, name := range names {
+			if idx == i {
+				return fi.Pkg.Info.Defs[name]
+			}
+			idx++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Package atomfix exercises atomicmix: once any access to a variable
+// or field goes through sync/atomic, every access must.
+package atomfix
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64 // accessed atomically everywhere below
+	cold int64 // never atomic: plain access is fine
+	wide atomic.Int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) mixedRead() int64 {
+	return c.hits // want "accessed with sync/atomic"
+}
+
+func (c *counter) mixedWrite() {
+	c.hits = 0 // want "accessed with sync/atomic"
+}
+
+func (c *counter) plainOnly() int64 {
+	c.cold++
+	return c.cold
+}
+
+func (c *counter) typed() int64 {
+	// Typed atomics are immune by construction: methods are the only
+	// way in, so no mixing is possible.
+	c.wide.Add(1)
+	return c.wide.Load()
+}
+
+var total uint64
+
+func addTotal() {
+	atomic.AddUint64(&total, 1)
+}
+
+func swapTotal(n uint64) uint64 {
+	return atomic.SwapUint64(&total, n)
+}
+
+func mixedTotal() uint64 {
+	total++ // want "accessed with sync/atomic"
+	return atomic.LoadUint64(&total)
+}

@@ -1,0 +1,107 @@
+// Package gorofix exercises goroleak: spawned goroutines must provably
+// terminate — bounded loops, channel ranges (ended by the spawner's
+// close), or infinite loops with a cancellation-bound exit.
+package gorofix
+
+import "context"
+
+func bounded() {
+	go func() {
+		for i := 0; i < 64; i++ {
+			_ = i
+		}
+	}()
+}
+
+func worker(ch chan int) {
+	go func() {
+		// RunPool shape: the range ends when the spawner closes ch.
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func cancellable(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func watcher(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+func spawnSpin() {
+	go spin() // want "may never terminate"
+}
+
+func busyLoop() {
+	go func() { // want "may never terminate"
+		for {
+			step()
+		}
+	}()
+}
+
+func unboundCounter() {
+	go func() { // want "may never terminate"
+		// Exits exist, but none is fed by a cancellation signal: the
+		// spawner has no way to stop this goroutine.
+		n := 0
+		for {
+			n++
+			if n > 1<<20 {
+				return
+			}
+		}
+	}()
+}
+
+func viaCallee() {
+	go func() { // want "may never terminate"
+		step()
+		spin() // the leak hides one call deep
+	}()
+}
+
+func decode() {
+	// Parser shape: an infinite loop whose exits are data-driven. Fine
+	// for a synchronous callee — the goroutine's own top level is where
+	// the cancellation requirement applies.
+	n := 0
+	for {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+}
+
+func spawnDecoder() {
+	go func() {
+		decode()
+	}()
+}
+
+func step() {}

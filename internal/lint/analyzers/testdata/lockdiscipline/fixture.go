@@ -45,6 +45,21 @@ func (c *counter) underContract() int64 {
 	return f()
 }
 
+// typoed annotations must not pass silently: the named mutex has to
+// exist somewhere in the package.
+type typoed struct {
+	mux sync.Mutex
+	// guarded by: mutex
+	n int // want "names mutex \"mutex\""
+}
+
+// contractTypo declares it holds a mutex nobody declared.
+//
+// arblint:holds muu
+func (t *typoed) contractTypo() int { // want "names mutex \"muu\""
+	return 0
+}
+
 // sharedLocal is the statsMu pattern: the declaring function owns the
 // variable before and after the workers; only closures must lock.
 func sharedLocal() int64 {

@@ -1,0 +1,90 @@
+// Package lockfix exercises lockorder: every pair of declared mutexes
+// must be acquired in one global order, including acquisitions hidden
+// behind helper calls and held sets seeded by arblint:holds contracts.
+package lockfix
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// ab establishes the canonical order: a before b.
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// abDeferred holds a to function exit; b nests inside — same order.
+func (p *pair) abDeferred() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+// ba inverts it.
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock() // want "lock order inversion"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// sequential never nests: unlocking a before taking b adds no edge.
+func (p *pair) sequential() {
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}
+
+type other struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (o *other) lockD() {
+	o.d.Lock()
+}
+
+// cd orders c before d through the helper.
+func (o *other) cd() {
+	o.c.Lock()
+	o.lockD()
+	o.d.Unlock()
+	o.c.Unlock()
+}
+
+// dc completes the inversion at the direct acquisition.
+func (o *other) dc() {
+	o.d.Lock()
+	defer o.d.Unlock()
+	o.c.Lock() // want "lock order inversion"
+	o.c.Unlock()
+}
+
+type contract struct {
+	e sync.Mutex
+	f sync.Mutex
+}
+
+// lockFThenE is called with e already held per its contract, so its f
+// acquisition is ordered after e.
+//
+// arblint:holds e
+func (c *contract) lockFThenE() {
+	c.f.Lock()
+	c.f.Unlock()
+}
+
+// fe takes f then e directly: the reverse of the contract's order.
+func (c *contract) fe() {
+	c.f.Lock()
+	c.e.Lock() // want "lock order inversion"
+	c.e.Unlock()
+	c.f.Unlock()
+}

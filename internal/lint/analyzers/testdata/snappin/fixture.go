@@ -1,0 +1,117 @@
+// Package snapfix exercises snappin: pins must be Released on every
+// path, transferred to the caller, handed to a releasing helper, or
+// stored under an arblint:owns contract. The fixture declares its own
+// producers through arblint:acquires and also drives the real
+// vstore.Store.Snapshot producer.
+package snapfix
+
+import (
+	"errors"
+
+	"arb/internal/vstore"
+)
+
+// pin is a releasable resource handle, shaped like vstore.Snapshot.
+type pin struct{ released bool }
+
+func (p *pin) Release() { p.released = true }
+
+// acquire mints a pin the caller must balance.
+//
+//arblint:acquires
+func acquire() *pin { return &pin{} }
+
+// acquirePair returns data plus a release closure, shaped like
+// Session.acquire.
+//
+//arblint:acquires
+func acquirePair() (int, func()) { return 1, func() {} }
+
+func deferred() {
+	p := acquire()
+	defer p.Release()
+}
+
+func closurePin() {
+	n, release := acquirePair()
+	defer release()
+	_ = n
+}
+
+func transferred() *pin {
+	return acquire() // the caller owns it now
+}
+
+func boundThenReturned() *pin {
+	p := acquire()
+	p.released = false
+	return p
+}
+
+func leakOnError(fail bool) error {
+	p := acquire() // want "may not be Released"
+	if fail {
+		return errors.New("early exit skips the release")
+	}
+	p.Release()
+	return nil
+}
+
+func bareCall() {
+	acquire() // want "discarded"
+}
+
+func blankAssign() {
+	_, _ = acquirePair() // want "discarded"
+}
+
+func releaseHelper(p *pin) { p.Release() }
+
+func viaHelper() {
+	p := acquire()
+	releaseHelper(p)
+}
+
+func dropHelper(p *pin) { _ = p }
+
+func viaDropHelper() {
+	p := acquire() // want "may not be Released"
+	dropHelper(p)
+}
+
+// holder keeps its pin alive deliberately and releases it in close.
+// (The field name differs from leaky's: ownership is per field.)
+type holder struct {
+	held *pin //arblint:owns -- released in close
+}
+
+func (h *holder) close() {
+	if h.held != nil {
+		h.held.Release()
+	}
+}
+
+func stashOwned(h *holder) {
+	h.held = acquire()
+}
+
+// leaky has no ownership contract on its pin field.
+type leaky struct{ p *pin }
+
+func stashUnowned(l *leaky) {
+	l.p = acquire() // want "no arblint:owns contract"
+}
+
+func realStore(st *vstore.Store) {
+	snap := st.Snapshot()
+	defer snap.Release()
+}
+
+func realStoreLeak(st *vstore.Store, fail bool) error {
+	snap := st.Snapshot() // want "may not be Released"
+	if fail {
+		return errors.New("pin leaks: segment GC never fires")
+	}
+	snap.Release()
+	return nil
+}

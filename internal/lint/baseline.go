@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baselines separate debt from regression: a committed baseline file
+// records the findings a repo has accepted (reviewed, tracked, not yet
+// fixed), and CI fails only on findings beyond it. Unlike a blanket
+// suppression, baselined debt stays visible — `arblint -todos` lists
+// the in-source markers, and the baseline file itself is diffable
+// review material. Entries match on (analyzer, file, message) with an
+// occurrence count rather than line numbers, so unrelated edits that
+// shift lines do not invalidate the baseline, while a genuinely new
+// instance of an old finding in the same file still fails (the count
+// would exceed the recorded one).
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, slash-separated
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineFile is the on-disk format.
+type baselineFile struct {
+	Comment string          `json:"comment,omitempty"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// Baseline is a loaded baseline: accepted occurrence budgets per
+// finding class.
+type Baseline struct {
+	budget map[baselineKey]int
+}
+
+// RelFile renders a diagnostic's filename relative to root with forward
+// slashes — the stable form baselines and machine output use.
+func RelFile(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !filepath.IsAbs(rel) && rel != ".." && !isDotDot(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+func isDotDot(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// WriteBaseline records diags as the accepted baseline at path.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[baselineKey{d.Analyzer, RelFile(root, d.Pos.Filename), d.Message}]++
+	}
+	bf := baselineFile{
+		Comment: "accepted arblint findings; regenerate with arblint -writebaseline " + filepath.Base(path),
+	}
+	for k, n := range counts {
+		bf.Entries = append(bf.Entries, BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(bf.Entries, func(i, j int) bool {
+		a, b := bf.Entries[i], bf.Entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	if bf.Entries == nil {
+		bf.Entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads the baseline at path. A missing file is an empty
+// baseline, so a fresh checkout without one simply treats every finding
+// as new.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{budget: map[baselineKey]int{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	b := &Baseline{budget: make(map[baselineKey]int, len(bf.Entries))}
+	for _, e := range bf.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		b.budget[baselineKey{e.Analyzer, e.File, e.Message}] += n
+	}
+	return b, nil
+}
+
+// Filter splits diags into fresh findings (beyond the baseline) and the
+// number of accepted ones it absorbed.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (fresh []Diagnostic, absorbed int) {
+	remaining := make(map[baselineKey]int, len(b.budget))
+	for k, n := range b.budget {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, RelFile(root, d.Pos.Filename), d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			absorbed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, absorbed
+}
+
+// ModuleRoot exposes the go.mod-anchored root for callers that need to
+// relativize paths the way baselines do.
+func ModuleRoot(dir string) (string, error) { return moduleRoot(dir) }

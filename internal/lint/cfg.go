@@ -1,0 +1,448 @@
+package lint
+
+// A conservative per-function control-flow graph over go/ast, the
+// foundation of the interprocedural analyzers (snappin, goroleak). The
+// graph is statement-granular: each basic block holds the statements
+// (and branch-condition expressions) that execute in order, and Succs
+// are the possible continuations. One synthetic Exit block represents
+// normal function return — a path that "reaches Exit" is a path on
+// which the function returns; panicking statements end their block with
+// no successors (deferred cleanup runs on panic, so resource analyses
+// treat those paths as out of scope).
+
+import (
+	"go/ast"
+)
+
+// CFGBlock is one basic block: nodes executed in order, then a branch
+// to one of Succs. A block with no successors either panics or is the
+// Exit.
+type CFGBlock struct {
+	Nodes []ast.Node // ast.Stmt and branch-condition ast.Expr, in order
+	Succs []*CFGBlock
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *CFGBlock
+	Exit   *CFGBlock // single synthetic return block (always empty)
+	Blocks []*CFGBlock
+}
+
+// cfgBuilder carries the under-construction graph plus the lexical
+// branch-target context.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *CFGBlock
+
+	// Innermost-last stacks of break/continue targets. Labeled entries
+	// carry their label so `break L` / `continue L` resolve.
+	breaks    []cfgTarget
+	continues []cfgTarget
+
+	labels map[string]*CFGBlock // goto targets (label start blocks)
+	gotos  []pendingGoto
+}
+
+type cfgTarget struct {
+	label string
+	block *CFGBlock
+}
+
+type pendingGoto struct {
+	from  *CFGBlock
+	label string
+}
+
+// BuildCFG builds the graph for one function body. A nil body (external
+// declaration) yields a graph whose entry is the exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	cfg := &CFG{Exit: &CFGBlock{}}
+	b := &cfgBuilder{cfg: cfg, labels: make(map[string]*CFGBlock)}
+	cfg.Entry = b.newBlock()
+	b.cur = cfg.Entry
+	if body != nil {
+		b.stmts(body.List)
+	}
+	b.edge(b.cur, cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	cfg.Blocks = append(cfg.Blocks, cfg.Exit)
+	return cfg
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge links from→to unless from is nil (unreachable continuation).
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock begins a fresh block as the current one, linked from the
+// previous current block when that is still live.
+func (b *cfgBuilder) startBlock() *CFGBlock {
+	blk := b.newBlock()
+	b.edge(b.cur, blk)
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		// Unreachable code (after return/break/...); park it in a fresh
+		// orphan block so analyses still see its statements.
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// findTarget resolves a break/continue target: the innermost entry, or
+// the innermost entry carrying the label.
+func findTarget(stack []cfgTarget, label string) *CFGBlock {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// stmt builds one statement. label is non-empty when the statement is
+// the body of a LabeledStmt, so loops and switches register labeled
+// break/continue targets.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		// The label starts a fresh block so gotos can land on it.
+		blk := b.startBlock()
+		b.labels[s.Label.Name] = blk
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok.String() {
+		case "break":
+			b.edge(b.cur, findTarget(b.breaks, labelOf(s)))
+		case "continue":
+			b.edge(b.cur, findTarget(b.continues, labelOf(s)))
+		case "goto":
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+		case "fallthrough":
+			// Handled by the switch builder (the case body's end falls
+			// through to the next clause); nothing to do here.
+			return
+		}
+		b.cur = nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		head := b.cur
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(head, thenB)
+		b.cur = thenB
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(head, elseB)
+			b.cur = elseB
+			b.stmt(s.Else, "")
+			b.edge(b.cur, after)
+		} else {
+			b.edge(head, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		post := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.breaks = append(b.breaks, cfgTarget{label, after})
+		b.continues = append(b.continues, cfgTarget{label, post})
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.startBlock()
+		after := b.newBlock()
+		b.edge(head, after) // the range may be empty (or the channel closed)
+		b.breaks = append(b.breaks, cfgTarget{label, after})
+		b.continues = append(b.continues, cfgTarget{label, head})
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, cfgTarget{label, after})
+		anyCase := false
+		for _, clause := range s.Body.List {
+			c, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			anyCase = true
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if c.Comm != nil {
+				b.add(c.Comm)
+			}
+			b.stmts(c.Body)
+			b.edge(b.cur, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if !anyCase {
+			// `select {}` blocks forever: no continuation.
+			after = nil
+		}
+		b.cur = after
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isNoReturnCall(s.X) {
+			b.cur = nil // panic/Goexit: deferred cleanup runs, path ends
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// switchClauses builds the shared case structure of switch and type
+// switch. withFallthrough enables the expression-switch fallthrough
+// edge.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, withFallthrough bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.breaks = append(b.breaks, cfgTarget{label, after})
+	hasDefault := false
+	var bodies []*CFGBlock
+	var caseStmts []*ast.CaseClause
+	for _, clause := range clauses {
+		c, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if c.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		bodies = append(bodies, blk)
+		caseStmts = append(caseStmts, c)
+	}
+	for i, c := range caseStmts {
+		b.cur = bodies[i]
+		for _, e := range c.List {
+			b.add(e)
+		}
+		b.stmts(c.Body)
+		next := after
+		if withFallthrough && endsInFallthrough(c.Body) && i+1 < len(bodies) {
+			next = bodies[i+1]
+		}
+		b.edge(b.cur, next)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+func labelOf(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+// isNoReturnCall recognises calls that never return normally: panic and
+// runtime.Goexit (plus os.Exit and the log.Fatal family, which end the
+// process). Purely syntactic — precise enough for path analyses, and a
+// shadowed `panic` in engine code would be its own problem.
+func isNoReturnCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			switch x.Name + "." + fun.Sel.Name {
+			case "runtime.Goexit", "os.Exit":
+				return true
+			case "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ReachesExit reports whether, starting after node index start of block
+// from, some path reaches the CFG's Exit without first executing a node
+// for which stop returns true. It is the core query of the
+// released-on-all-paths analyses: stop marks the releasing/ownership-
+// transferring nodes, and a true answer means some path leaks.
+func (c *CFG) ReachesExit(from *CFGBlock, start int, stop func(ast.Node) bool) bool {
+	// blockSafe caches, per block, whether scanning from its first node
+	// hits a stop node before the block ends.
+	type blockState int
+	const (
+		unvisited blockState = iota
+		visiting
+		done
+	)
+	state := make(map[*CFGBlock]blockState)
+
+	var walk func(b *CFGBlock, idx int) bool
+	walk = func(b *CFGBlock, idx int) bool {
+		if b == c.Exit {
+			return true
+		}
+		if idx == 0 {
+			switch state[b] {
+			case visiting, done:
+				// Already on the path or fully explored without reaching
+				// exit — cycles cannot newly reach exit.
+				return false
+			}
+			state[b] = visiting
+			defer func() { state[b] = done }()
+		}
+		for i := idx; i < len(b.Nodes); i++ {
+			if stop(b.Nodes[i]) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from, start)
+}
+
+// BlockOf locates the block and node index containing n (by identity),
+// searching node subtrees too: a producer call nested inside an
+// assignment statement is found at that statement's slot. Returns nil
+// when n is not in the graph.
+func (c *CFG) BlockOf(n ast.Node) (*CFGBlock, int) {
+	for _, b := range c.Blocks {
+		for i, node := range b.Nodes {
+			if node == n {
+				return b, i
+			}
+			found := false
+			ast.Inspect(node, func(m ast.Node) bool {
+				if m == n {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFrom parses src as a file containing one function and returns
+// that function's CFG.
+func buildFrom(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// stopOnCall builds a stop predicate matching any node containing a
+// call to the named function — the shape the leak analyses use.
+func stopOnCall(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+}
+
+func TestReachesExitStraightLine(t *testing.T) {
+	cfg := buildFrom(t, `
+func f() {
+	acquire()
+	release()
+}`)
+	if cfg.ReachesExit(cfg.Entry, 0, stopOnCall("release")) {
+		t.Error("straight-line path passes release(): exit must not be reachable around it")
+	}
+	if !cfg.ReachesExit(cfg.Entry, 0, stopOnCall("nosuch")) {
+		t.Error("no stop nodes at all: exit must be reachable")
+	}
+}
+
+func TestReachesExitEarlyReturn(t *testing.T) {
+	cfg := buildFrom(t, `
+func f(fail bool) {
+	acquire()
+	if fail {
+		return
+	}
+	release()
+}`)
+	if !cfg.ReachesExit(cfg.Entry, 0, stopOnCall("release")) {
+		t.Error("the early return skips release(): a leaking path must be found")
+	}
+}
+
+func TestReachesExitBothBranchesRelease(t *testing.T) {
+	cfg := buildFrom(t, `
+func f(fail bool) {
+	acquire()
+	if fail {
+		release()
+		return
+	}
+	release()
+}`)
+	if cfg.ReachesExit(cfg.Entry, 0, stopOnCall("release")) {
+		t.Error("every path releases: no leaking path should exist")
+	}
+}
+
+func TestReachesExitLoopBack(t *testing.T) {
+	// The loop can be skipped entirely (zero iterations), so a path
+	// avoiding the in-loop release exists.
+	cfg := buildFrom(t, `
+func f(n int) {
+	acquire()
+	for i := 0; i < n; i++ {
+		release()
+	}
+}`)
+	if !cfg.ReachesExit(cfg.Entry, 0, stopOnCall("release")) {
+		t.Error("zero-iteration loop path must reach exit without releasing")
+	}
+}
+
+func TestReachesExitPanicIsDeadEnd(t *testing.T) {
+	// A branch ending in panic does not reach normal exit, so a release
+	// only on the non-panicking path still covers every exiting path.
+	cfg := buildFrom(t, `
+func f(bad bool) {
+	acquire()
+	if bad {
+		panic("boom")
+	}
+	release()
+}`)
+	if cfg.ReachesExit(cfg.Entry, 0, stopOnCall("release")) {
+		t.Error("panic branch is a dead end: only the releasing path exits")
+	}
+}
+
+func TestBlockOfFindsStatement(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "b.go", `package p
+func f() {
+	a()
+	b()
+}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	cfg := BuildCFG(fd.Body)
+	var bCall ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "b" {
+				bCall = call
+			}
+		}
+		return true
+	})
+	blk, idx := cfg.BlockOf(bCall)
+	if blk == nil {
+		t.Fatal("BlockOf failed to locate the b() call")
+	}
+	// Starting after b() there is nothing left: exit reachable with no
+	// stops, and a() is behind us.
+	if !cfg.ReachesExit(blk, idx+1, func(ast.Node) bool { return true }) {
+		t.Error("all-stop predicate after the last statement: exit still directly reachable")
+	}
+}

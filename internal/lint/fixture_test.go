@@ -1,0 +1,41 @@
+package lint_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"arb/internal/lint"
+)
+
+// doubler reports twice at every call to a function literally named
+// "twice" — the smallest analyzer that forces one source line to carry
+// two diagnostics, which is what multi-pattern want lines exist for.
+var doubler = &lint.Analyzer{
+	Name: "doubler",
+	Doc:  "test analyzer: two diagnostics per marked call",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "twice" {
+					pass.Reportf(call.Pos(), "first report")
+					pass.Reportf(call.Pos(), "second report")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestRunFixtureMultiWant pins the runner's contract for lines carrying
+// several diagnostics: one `// want` comment lists each pattern, every
+// pattern must be consumed by a distinct diagnostic, and both surplus
+// and missing diagnostics fail. The fixture also carries a suppressed
+// call proving directives apply inside fixtures.
+func TestRunFixtureMultiWant(t *testing.T) {
+	lint.RunFixture(t, doubler, "testdata/runner", "arb/internal/core/runnerfixture")
+}

@@ -42,13 +42,16 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package. Mod is the whole
+// run's module view, through which interprocedural analyzers resolve
+// callees across package boundaries and share summaries.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Mod      *Module
 
 	pkg  *Package
 	diag *[]Diagnostic
@@ -182,6 +185,7 @@ func Todos(pkgs []*Package) []Todo {
 // diagnostics in file/line order.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	mod := NewModule(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -190,6 +194,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Mod:      mod,
 				pkg:      pkg,
 				diag:     &diags,
 			}

@@ -1,0 +1,14 @@
+// Package runnerfix exercises the fixture runner itself: multiple
+// want patterns on one line, calls expected to stay silent, and
+// directive suppression inside fixtures.
+package runnerfix
+
+func twice() {}
+
+func once() {}
+
+func use() {
+	twice() // want "first report" "second report"
+	once()
+	twice() //arblint:allow doubler -- runner test: directives work in fixtures
+}

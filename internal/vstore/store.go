@@ -483,15 +483,20 @@ func (st *Store) manifestFor(ver *version, op string) *manifest {
 }
 
 // StoreStats is a point-in-time summary of the store for monitoring.
+// Pins is the runtime counterpart of the snappin analyzer: a value that
+// stays above zero while the store is quiescent means some execution
+// leaked its snapshot and segment GC is wedged — the dynamic signal for
+// whatever the static analysis could not see.
 type StoreStats struct {
-	Version      uint64 // current version id
-	Nodes        int64  // nodes in the current version
-	Segments     int    // open segments (base + live patch segments)
-	SegmentBytes int64  // record bytes held by open segments
-	LiveVersions int    // versions not yet collected (current included)
-	Snapshots    int    // outstanding snapshot pins
-	Patches      int64  // patches committed since the store was opened
-	Compactions  int64  // compactions committed since the store was opened
+	Version      uint64 `json:"version"`      // current version id
+	Nodes        int64  `json:"nodes"`        // nodes in the current version
+	Segments     int    `json:"segments"`     // open segments (base + live patch segments)
+	SegmentBytes int64  `json:"segmentBytes"` // record bytes held by open segments
+	LiveVersions int    `json:"liveVersions"` // versions not yet collected (current included)
+	Snapshots    int    `json:"snapshots"`    // outstanding snapshot pins
+	Pins         int    `json:"pins"`         // alias of Snapshots under the gauge's name
+	Patches      int64  `json:"patches"`      // patches committed since the store was opened
+	Compactions  int64  `json:"compactions"`  // compactions committed since the store was opened
 }
 
 // Stats returns a snapshot of the store's bookkeeping.
@@ -504,6 +509,7 @@ func (st *Store) Stats() StoreStats {
 		Segments:     len(st.segs),
 		LiveVersions: st.live,
 		Snapshots:    st.snapRefs,
+		Pins:         st.snapRefs,
 		Patches:      st.patches,
 		Compactions:  st.compactions,
 	}

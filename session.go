@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arb/internal/core"
@@ -55,7 +56,18 @@ type Session struct {
 	// query prepared on the session; nil means no result caching. Set it
 	// before executions begin — the field itself is not synchronised.
 	rc *rescache.Cache
+
+	// pins counts the snapshot pins acquired through this session and
+	// not yet released — the runtime counterpart of the snappin
+	// analyzer. Nonzero while the session is idle means an execution
+	// leaked its release and the store cannot collect superseded
+	// versions.
+	pins atomic.Int64
 }
+
+// Pins reports the session's outstanding snapshot pins. Zero whenever
+// no execution is in flight; anything else is a leak.
+func (s *Session) Pins() int64 { return s.pins.Load() }
 
 // treeIndex returns the session's cached in-memory subtree index,
 // building it on first use (nil for disk sessions and for trees not laid
@@ -184,7 +196,15 @@ func (s *Session) acquire() (db *storage.DB, names *tree.Names, version uint64, 
 	switch {
 	case s.vs != nil:
 		snap := s.vs.Snapshot()
-		return snap.DB(), snap.Names(), snap.Version(), snap.Release
+		s.pins.Add(1)
+		var once sync.Once
+		release = func() {
+			once.Do(func() {
+				snap.Release()
+				s.pins.Add(-1)
+			})
+		}
+		return snap.DB(), snap.Names(), snap.Version(), release
 	case s.db != nil:
 		return s.db, s.db.Names, 0, func() {}
 	default:
